@@ -1,0 +1,62 @@
+//! Functional benchmarks of the three LSCR algorithms on a fixed LUBM
+//! workload — the criterion view of the Figures 10–14 experiment.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use kgreach::{CloseMap, LocalIndex, LocalIndexConfig};
+use kgreach_datagen::constraints::{s1, s3};
+use kgreach_datagen::lubm::{generate, LubmConfig};
+use kgreach_datagen::queries::{generate_workload, QueryGenConfig};
+
+fn bench_algorithms(c: &mut Criterion) {
+    let g = generate(&LubmConfig { universities: 2, departments: 6, seed: 77 }).unwrap();
+    let index = LocalIndex::build(&g, &LocalIndexConfig::default());
+    let mut close = CloseMap::new(g.num_vertices());
+
+    for (cname, constraint) in [("S1", s1()), ("S3", s3())] {
+        let w = generate_workload(
+            &g,
+            &constraint,
+            &QueryGenConfig {
+                num_true: 5,
+                num_false: 5,
+                seed: 3,
+                max_attempts: 60_000,
+                enforce_difficulty: false,
+            },
+        );
+        let queries: Vec<_> = w
+            .true_queries
+            .iter()
+            .chain(&w.false_queries)
+            .map(|gq| gq.query.compile(&g).unwrap())
+            .collect();
+
+        let mut group = c.benchmark_group(format!("lscr/{cname}"));
+        group.sample_size(10);
+        group.bench_function(BenchmarkId::new("UIS", queries.len()), |b| {
+            b.iter(|| {
+                for q in &queries {
+                    black_box(kgreach::uis::answer_with(&g, q, &mut close).answer);
+                }
+            })
+        });
+        group.bench_function(BenchmarkId::new("UIS*", queries.len()), |b| {
+            b.iter(|| {
+                for q in &queries {
+                    black_box(kgreach::uis_star::answer_with(&g, q, &mut close).answer);
+                }
+            })
+        });
+        group.bench_function(BenchmarkId::new("INS", queries.len()), |b| {
+            b.iter(|| {
+                for q in &queries {
+                    black_box(kgreach::ins::answer_with(&g, q, &index, &mut close).answer);
+                }
+            })
+        });
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_algorithms);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Micro-benchmarks of the hot data structures: label sets, CMS
+//! antichains, and the epoch-versioned `close` map.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use kgreach::{CloseMap, CloseState};
+use kgreach_graph::{Cms, LabelId, LabelSet, VertexId};
+
+fn bench_labelset(c: &mut Criterion) {
+    let a = LabelSet::from_bits(0b1011_0110_1001);
+    let b = LabelSet::from_bits(0b1111_0111_1011);
+    c.bench_function("labelset/subset", |bench| {
+        bench.iter(|| black_box(a).is_subset_of(black_box(b)))
+    });
+    c.bench_function("labelset/union_insert", |bench| {
+        bench.iter(|| {
+            let mut s = black_box(a);
+            s.insert(LabelId(13));
+            s.union(black_box(b))
+        })
+    });
+    c.bench_function("labelset/iter_sum", |bench| {
+        bench.iter(|| black_box(b).iter().map(|l| l.0 as u32).sum::<u32>())
+    });
+}
+
+fn bench_cms(c: &mut Criterion) {
+    // A workload of incomparable and dominated sets.
+    let sets: Vec<LabelSet> = (0..64u64).map(|i| LabelSet::from_bits((i * 37) % 1024)).collect();
+    c.bench_function("cms/insert_64", |bench| {
+        bench.iter(|| {
+            let mut cms = Cms::new();
+            for &s in &sets {
+                cms.insert(s);
+            }
+            black_box(cms.len())
+        })
+    });
+    let cms: Cms = sets.iter().copied().collect();
+    c.bench_function("cms/covers", |bench| {
+        bench.iter(|| black_box(&cms).covers(LabelSet::from_bits(0b11_1111_1111)))
+    });
+}
+
+fn bench_close_map(c: &mut Criterion) {
+    let mut close = CloseMap::new(100_000);
+    c.bench_function("close/set_get_reset_1k", |bench| {
+        bench.iter(|| {
+            close.reset();
+            for i in 0..1000u32 {
+                close.set(VertexId(i), CloseState::F);
+            }
+            let mut t = 0usize;
+            for i in 0..1000u32 {
+                t += (close.get(VertexId(i)) == CloseState::F) as usize;
+            }
+            black_box(t)
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_labelset, bench_cms, bench_close_map
+}
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! SPARQL-engine benchmarks: the two operations the LSCR algorithms lean
+//! on — `SCck` (per-vertex satisfaction) and `V(S,G)` materialization.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use kgreach_datagen::constraints::{s1, s3, s4};
+use kgreach_datagen::lubm::{generate, LubmConfig};
+
+fn bench_sparql(c: &mut Criterion) {
+    let g = generate(&LubmConfig { universities: 2, departments: 6, seed: 9 }).unwrap();
+
+    for (name, constraint) in [("S1", s1()), ("S3", s3()), ("S4", s4())] {
+        let compiled = constraint.compile(&g).unwrap();
+        let mut group = c.benchmark_group(format!("sparql/{name}"));
+        group.sample_size(10);
+        group.bench_function("vsg", |b| {
+            b.iter(|| black_box(compiled.satisfying_vertices(&g)).len())
+        });
+        // SCck over a fixed slice of vertices (mix of hits and misses).
+        let probes: Vec<_> = g.vertices().step_by(97).collect();
+        group.bench_function("scck_probe", |b| {
+            b.iter(|| {
+                let mut hits = 0usize;
+                for &v in &probes {
+                    hits += compiled.satisfies(&g, v) as usize;
+                }
+                black_box(hits)
+            })
+        });
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_sparql);
+criterion_main!(benches);

@@ -1,0 +1,250 @@
+//! # kgreach-bench — the paper's evaluation harness
+//!
+//! One binary per table/figure of the paper's §6 (see DESIGN.md's
+//! per-experiment index):
+//!
+//! | target | regenerates |
+//! |--------|-------------|
+//! | `table2` | Table 2 — local vs traditional indexing time/space on D0'–D5' |
+//! | `fig5` | Figure 5 — sampling-tree indexing time vs density and `|V|` |
+//! | `fig10_14` | Figures 10–14 — S1–S5 query performance on D1'–D5' |
+//! | `fig15` | Figure 15 — random-constraint magnitudes on the YAGO-like KG |
+//! | `all_experiments` | everything above, in EXPERIMENTS.md order |
+//!
+//! Datasets are geometrically scaled replicas of the paper's (their D1–D5
+//! are 3.7M–18.9M vertices; defaults here are laptop-sized with identical
+//! density and the same linear progression — pass `--scale` to grow them).
+//! Absolute numbers differ from the paper's testbed; the *shapes* (who
+//! wins, growth trends, budget blow-ups) are the reproduction target.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+use kgreach::{Algorithm, CloseMap, LocalIndex, LocalIndexConfig};
+use kgreach_datagen::lubm::{self, LubmConfig};
+use kgreach_datagen::queries::{GeneratedQuery, QueryGenConfig, Workload};
+use kgreach_graph::Graph;
+use std::time::{Duration, Instant};
+
+/// A named dataset specification (the paper's D0–D5, scaled).
+#[derive(Clone, Debug)]
+pub struct DatasetSpec {
+    /// Name, e.g. `D1'`.
+    pub name: String,
+    /// Target vertex count.
+    pub target_vertices: usize,
+    /// Generator seed.
+    pub seed: u64,
+}
+
+/// The scaled D0'–D5' LUBM replicas: D0' is the small indexing-comparison
+/// dataset; D1'–D5' grow linearly like the paper's 3.7M→18.9M sequence.
+pub fn lubm_datasets(scale: f64) -> Vec<DatasetSpec> {
+    let base = |v: usize| ((v as f64) * scale) as usize;
+    vec![
+        DatasetSpec { name: "D0'".into(), target_vertices: base(1_600), seed: 100 },
+        DatasetSpec { name: "D1'".into(), target_vertices: base(12_000), seed: 101 },
+        DatasetSpec { name: "D2'".into(), target_vertices: base(24_000), seed: 102 },
+        DatasetSpec { name: "D3'".into(), target_vertices: base(36_000), seed: 103 },
+        DatasetSpec { name: "D4'".into(), target_vertices: base(48_000), seed: 104 },
+        DatasetSpec { name: "D5'".into(), target_vertices: base(60_000), seed: 105 },
+    ]
+}
+
+/// Generates the LUBM replica for a spec.
+pub fn build_lubm(spec: &DatasetSpec) -> Graph {
+    lubm::generate(&LubmConfig::sized(spec.target_vertices, spec.seed))
+        .expect("LUBM generation fits the label bitset")
+}
+
+/// Measured performance of one algorithm over one query group.
+#[derive(Clone, Debug, Default)]
+pub struct GroupResult {
+    /// Mean running time per query.
+    pub avg_time: Duration,
+    /// Mean passed-vertex count (the paper's second metric).
+    pub avg_passed: f64,
+    /// Queries measured.
+    pub queries: usize,
+    /// Answers that disagreed with the generated ground truth (must be 0).
+    pub wrong: usize,
+}
+
+/// Runs `algorithm` over a query group, verifying answers against the
+/// generated ground truth.
+pub fn run_group(
+    g: &Graph,
+    queries: &[GeneratedQuery],
+    algorithm: Algorithm,
+    index: Option<&LocalIndex>,
+) -> GroupResult {
+    let mut close = CloseMap::new(g.num_vertices());
+    let mut total_time = Duration::ZERO;
+    let mut total_passed = 0usize;
+    let mut wrong = 0usize;
+    for gq in queries {
+        let cq = gq.query.compile(g).expect("generated query compiles");
+        let outcome = match algorithm {
+            Algorithm::Uis => kgreach::uis::answer_with(g, &cq, &mut close),
+            Algorithm::UisStar => {
+                // The paper's "disordered" V(S,G): seeded shuffle.
+                kgreach::uis_star::answer_seeded(g, &cq, &mut close, 0xD15C0)
+            }
+            Algorithm::Ins => kgreach::ins::answer_with(
+                g,
+                &cq,
+                index.expect("INS requires a local index"),
+                &mut close,
+            ),
+            Algorithm::Oracle => kgreach::oracle::answer(g, &cq),
+        };
+        total_time += outcome.elapsed;
+        total_passed += outcome.stats.passed_vertices;
+        if outcome.answer != gq.expected {
+            wrong += 1;
+        }
+    }
+    let n = queries.len().max(1);
+    GroupResult {
+        avg_time: total_time / n as u32,
+        avg_passed: total_passed as f64 / n as f64,
+        queries: queries.len(),
+        wrong,
+    }
+}
+
+/// Builds a local index for a dataset, returning it with its build time.
+pub fn build_local_index(g: &Graph, seed: u64) -> (LocalIndex, Duration) {
+    let start = Instant::now();
+    let index = LocalIndex::build(g, &LocalIndexConfig { num_landmarks: None, seed });
+    let elapsed = start.elapsed();
+    (index, elapsed)
+}
+
+/// Generates the evaluation workload for one (dataset, constraint) cell.
+pub fn build_workload(
+    g: &Graph,
+    constraint: &kgreach::SubstructureConstraint,
+    queries_per_group: usize,
+    seed: u64,
+) -> Workload {
+    kgreach_datagen::queries::generate_workload(
+        g,
+        constraint,
+        &QueryGenConfig {
+            num_true: queries_per_group,
+            num_false: queries_per_group,
+            seed,
+            max_attempts: queries_per_group * 4_000,
+            enforce_difficulty: true,
+        },
+    )
+}
+
+/// Formats a duration as fractional milliseconds.
+pub fn ms(d: Duration) -> String {
+    format!("{:.3}", d.as_secs_f64() * 1e3)
+}
+
+/// Formats a byte count as mebibytes.
+pub fn mib(bytes: usize) -> String {
+    format!("{:.2}", bytes as f64 / (1024.0 * 1024.0))
+}
+
+/// Parses `--flag value` style options from the command line.
+pub struct Args {
+    raw: Vec<String>,
+}
+
+impl Args {
+    /// Captures the process arguments.
+    pub fn parse() -> Self {
+        Args { raw: std::env::args().skip(1).collect() }
+    }
+
+    /// The value after `--name`, parsed, or `default`.
+    pub fn get<T: std::str::FromStr>(&self, name: &str, default: T) -> T {
+        let flag = format!("--{name}");
+        self.raw
+            .iter()
+            .position(|a| a == &flag)
+            .and_then(|i| self.raw.get(i + 1))
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    }
+
+    /// Whether the bare flag `--name` is present.
+    pub fn has(&self, name: &str) -> bool {
+        let flag = format!("--{name}");
+        self.raw.iter().any(|a| a == &flag)
+    }
+
+    /// The value after `--name` as a string, if present.
+    pub fn get_str(&self, name: &str) -> Option<&str> {
+        let flag = format!("--{name}");
+        self.raw
+            .iter()
+            .position(|a| a == &flag)
+            .and_then(|i| self.raw.get(i + 1))
+            .map(|s| s.as_str())
+    }
+}
+
+/// Prints a markdown-style table row.
+pub fn print_row(cells: &[String]) {
+    println!("| {} |", cells.join(" | "));
+}
+
+/// Prints a markdown-style table header (with separator line).
+pub fn print_header(cells: &[&str]) {
+    println!("| {} |", cells.join(" | "));
+    println!("|{}|", cells.iter().map(|_| "---").collect::<Vec<_>>().join("|"));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kgreach_datagen::constraints::s3;
+
+    #[test]
+    fn dataset_specs_scale() {
+        let d = lubm_datasets(1.0);
+        assert_eq!(d.len(), 6);
+        assert_eq!(d[1].target_vertices, 12_000);
+        let half = lubm_datasets(0.5);
+        assert_eq!(half[1].target_vertices, 6_000);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(ms(Duration::from_millis(2)), "2.000");
+        assert_eq!(mib(1024 * 1024), "1.00");
+    }
+
+    #[test]
+    fn end_to_end_cell_runs() {
+        // One tiny cell through the whole pipeline: generate, index, run
+        // all three algorithms, verify zero wrong answers.
+        let spec = DatasetSpec { name: "T".into(), target_vertices: 1_000, seed: 9 };
+        let g = build_lubm(&spec);
+        let (index, _) = build_local_index(&g, 1);
+        let w = kgreach_datagen::queries::generate_workload(
+            &g,
+            &s3(),
+            &QueryGenConfig {
+                num_true: 4,
+                num_false: 4,
+                seed: 5,
+                max_attempts: 40_000,
+                enforce_difficulty: false,
+            },
+        );
+        assert!(!w.true_queries.is_empty());
+        for alg in Algorithm::ALL {
+            let r = run_group(&g, &w.true_queries, alg, Some(&index));
+            assert_eq!(r.wrong, 0, "{alg} wrong answers on true group");
+            let r = run_group(&g, &w.false_queries, alg, Some(&index));
+            assert_eq!(r.wrong, 0, "{alg} wrong answers on false group");
+        }
+    }
+}

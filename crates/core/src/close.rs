@@ -1,0 +1,173 @@
+//! The `close` surjection `V → {N, T, F}` (paper Definition 3.1).
+//!
+//! Every LSCR search algorithm in the paper tracks, per vertex `u`:
+//!
+//! * `N` — `u` has not been explored;
+//! * `F` — `s ⇝_L u` has been proved (label-reachable, but no satisfying
+//!   vertex on any discovered path);
+//! * `T` — `s ⇝_{L,S} u` has been proved (label-reachable through a vertex
+//!   satisfying the substructure constraint).
+//!
+//! [`CloseMap`] is the shared implementation: an epoch-versioned array so
+//! thousands of queries reuse one allocation with O(1) reset, plus a
+//! touched-slot counter that yields the paper's second evaluation metric —
+//! "the average number of the vertices whose states in `close` are not `N`"
+//! (§6, *passed-vertex number*).
+
+use kgreach_graph::VertexId;
+
+/// A vertex state in the `close` surjection.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum CloseState {
+    /// Not explored yet.
+    N,
+    /// `s ⇝_L u` proved (explored, no satisfying vertex upstream).
+    F,
+    /// `s ⇝_{L,S} u` proved.
+    T,
+}
+
+/// Epoch-versioned `close` map over the vertices of one graph.
+#[derive(Clone, Debug)]
+pub struct CloseMap {
+    stamps: Vec<u32>,
+    states: Vec<u8>, // valid only when stamp matches; 0 = F, 1 = T
+    epoch: u32,
+    touched: usize,
+}
+
+impl CloseMap {
+    /// Creates a map over `n` vertices, all `N`.
+    pub fn new(n: usize) -> Self {
+        CloseMap { stamps: vec![0; n], states: vec![0; n], epoch: 1, touched: 0 }
+    }
+
+    /// Resets every vertex to `N` in O(1).
+    pub fn reset(&mut self) {
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            self.stamps.fill(0);
+            self.epoch = 1;
+        }
+        self.touched = 0;
+    }
+
+    /// Current state of `v`.
+    #[inline(always)]
+    pub fn get(&self, v: VertexId) -> CloseState {
+        if self.stamps[v.index()] != self.epoch {
+            CloseState::N
+        } else if self.states[v.index()] == 1 {
+            CloseState::T
+        } else {
+            CloseState::F
+        }
+    }
+
+    /// Sets `v` to `F` or `T`.
+    ///
+    /// Setting back to `N` is not part of the paper's surjection life cycle
+    /// and is deliberately unrepresentable — use [`reset`](Self::reset).
+    #[inline(always)]
+    pub fn set(&mut self, v: VertexId, state: CloseState) {
+        debug_assert!(state != CloseState::N, "close states never revert to N");
+        if self.stamps[v.index()] != self.epoch {
+            self.stamps[v.index()] = self.epoch;
+            self.touched += 1;
+        }
+        self.states[v.index()] = (state == CloseState::T) as u8;
+    }
+
+    /// Whether `v` is `T`.
+    #[inline(always)]
+    pub fn is_t(&self, v: VertexId) -> bool {
+        self.get(v) == CloseState::T
+    }
+
+    /// Whether `v` is `N`.
+    #[inline(always)]
+    pub fn is_n(&self, v: VertexId) -> bool {
+        self.stamps[v.index()] != self.epoch
+    }
+
+    /// The paper's passed-vertex metric: vertices whose state is not `N`.
+    #[inline]
+    pub fn passed_vertices(&self) -> usize {
+        self.touched
+    }
+
+    /// Number of vertices covered by the map.
+    pub fn len(&self) -> usize {
+        self.stamps.len()
+    }
+
+    /// Whether the map covers zero vertices.
+    pub fn is_empty(&self) -> bool {
+        self.stamps.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_all_n() {
+        let m = CloseMap::new(3);
+        for i in 0..3 {
+            assert_eq!(m.get(VertexId(i)), CloseState::N);
+            assert!(m.is_n(VertexId(i)));
+        }
+        assert_eq!(m.passed_vertices(), 0);
+    }
+
+    #[test]
+    fn set_and_get() {
+        let mut m = CloseMap::new(3);
+        m.set(VertexId(0), CloseState::F);
+        m.set(VertexId(1), CloseState::T);
+        assert_eq!(m.get(VertexId(0)), CloseState::F);
+        assert_eq!(m.get(VertexId(1)), CloseState::T);
+        assert!(m.is_t(VertexId(1)));
+        assert!(!m.is_t(VertexId(0)));
+        assert_eq!(m.passed_vertices(), 2);
+    }
+
+    #[test]
+    fn upgrade_f_to_t_does_not_double_count() {
+        let mut m = CloseMap::new(2);
+        m.set(VertexId(0), CloseState::F);
+        m.set(VertexId(0), CloseState::T);
+        assert_eq!(m.get(VertexId(0)), CloseState::T);
+        assert_eq!(m.passed_vertices(), 1);
+    }
+
+    #[test]
+    fn reset_restores_n_cheaply() {
+        let mut m = CloseMap::new(4);
+        m.set(VertexId(2), CloseState::T);
+        m.reset();
+        assert_eq!(m.get(VertexId(2)), CloseState::N);
+        assert_eq!(m.passed_vertices(), 0);
+        m.set(VertexId(2), CloseState::F);
+        assert_eq!(m.passed_vertices(), 1);
+    }
+
+    #[test]
+    fn many_resets_stay_correct() {
+        let mut m = CloseMap::new(1);
+        for i in 0..10_000 {
+            m.reset();
+            assert!(m.is_n(VertexId(0)), "iteration {i}");
+            m.set(VertexId(0), CloseState::T);
+            assert!(m.is_t(VertexId(0)));
+        }
+    }
+
+    #[test]
+    fn len_and_empty() {
+        assert_eq!(CloseMap::new(7).len(), 7);
+        assert!(!CloseMap::new(7).is_empty());
+        assert!(CloseMap::new(0).is_empty());
+    }
+}

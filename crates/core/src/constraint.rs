@@ -1,0 +1,314 @@
+//! Substructure constraints (paper Definition 2.2) and their evaluation.
+//!
+//! A substructure constraint `S = (?x, V_S, E_S, E_?)` is a variable-
+//! substructure with a distinguished variable `?x`; a vertex `u`
+//! *satisfies* `S` when binding `?x := u` embeds the pattern into the
+//! graph. The paper observes that `S` "can be expressed by a SPARQL query"
+//! (§2) and evaluates `V(S,G)` with a SPARQL engine (§4) — we do exactly
+//! that: a constraint wraps a single-projection [`SelectQuery`], and the
+//! two operations the search algorithms need are
+//!
+//! * [`CompiledConstraint::satisfies`] — the paper's `SCck(v, S)`;
+//! * [`CompiledConstraint::satisfying_vertices`] — the paper's `V(S,G)`.
+//!
+//! [`ConstraintBuilder`] provides the formal-tuple view for callers that
+//! prefer constructing `(?x, V_S, E_S, E_?)` programmatically.
+
+use kgreach_graph::{Graph, VertexId};
+use kgreach_sparql::{eval, parse, Plan, SelectQuery, SparqlError, Term, TriplePattern};
+use std::fmt;
+
+/// A substructure constraint: a SPARQL BGP with one distinguished variable.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct SubstructureConstraint {
+    query: SelectQuery,
+}
+
+impl SubstructureConstraint {
+    /// Parses a constraint from SPARQL text, e.g. the paper's `S1`:
+    /// `SELECT ?x WHERE { ?x <ub:researchInterest> "Research12" . }`.
+    ///
+    /// The query must project exactly one variable (the `?x` of the
+    /// formal definition).
+    pub fn parse(sparql: &str) -> Result<Self, SparqlError> {
+        Self::from_query(parse(sparql)?)
+    }
+
+    /// Wraps an already-parsed query; must project exactly one variable.
+    pub fn from_query(query: SelectQuery) -> Result<Self, SparqlError> {
+        if query.projection.len() != 1 {
+            return Err(SparqlError::Parse {
+                message: format!(
+                    "a substructure constraint projects exactly one variable, found {}",
+                    query.projection.len()
+                ),
+            });
+        }
+        Ok(SubstructureConstraint { query })
+    }
+
+    /// The distinguished variable name (without `?`).
+    pub fn variable(&self) -> &str {
+        &self.query.projection[0]
+    }
+
+    /// The underlying query.
+    pub fn query(&self) -> &SelectQuery {
+        &self.query
+    }
+
+    /// Number of triple patterns (`|E_S| + |E_?|` in the formal view).
+    pub fn num_patterns(&self) -> usize {
+        self.query.patterns.len()
+    }
+
+    /// Compiles the constraint against a graph for repeated evaluation.
+    pub fn compile(&self, g: &Graph) -> Result<CompiledConstraint, SparqlError> {
+        Ok(CompiledConstraint { plan: Plan::compile(g, &self.query)? })
+    }
+
+    /// The constraint re-serialized as SPARQL text.
+    pub fn to_sparql(&self) -> String {
+        self.query.to_string()
+    }
+}
+
+impl fmt::Display for SubstructureConstraint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.query)
+    }
+}
+
+/// A constraint resolved against one graph.
+#[derive(Clone, Debug)]
+pub struct CompiledConstraint {
+    plan: Plan,
+}
+
+impl CompiledConstraint {
+    /// The paper's `SCck(v, S)`: whether vertex `v` satisfies the
+    /// constraint.
+    #[inline]
+    pub fn satisfies(&self, g: &Graph, v: VertexId) -> bool {
+        eval::satisfies(g, &self.plan, v)
+    }
+
+    /// The paper's `V(S,G)`: every vertex satisfying the constraint, in
+    /// ascending id order. The paper treats this set as *disordered*
+    /// (§4: existing engines cannot order it usefully); UIS\* shuffles it,
+    /// INS orders it with its own priority heap.
+    pub fn satisfying_vertices(&self, g: &Graph) -> Vec<VertexId> {
+        eval::select_distinct(g, &self.plan)
+    }
+
+    /// Whether the constraint provably matches nothing in this graph
+    /// (some constant failed to resolve).
+    pub fn is_unsatisfiable(&self) -> bool {
+        self.plan.unsatisfiable
+    }
+}
+
+/// Builds a constraint from the formal tuple `(?x, V_S, E_S, E_?)`.
+///
+/// * concrete edges (`E_S`) connect concrete vertices (`V_S`);
+/// * variable edges (`E_?`) have a variable on one side — at least one must
+///   touch `?x` (Definition 2.2's side condition).
+#[derive(Clone, Debug, Default)]
+pub struct ConstraintBuilder {
+    patterns: Vec<TriplePattern>,
+    next_fresh: usize,
+}
+
+impl ConstraintBuilder {
+    /// Creates an empty builder; the distinguished variable is `?x`.
+    pub fn new() -> Self {
+        ConstraintBuilder::default()
+    }
+
+    /// Adds a concrete edge `(u, l, v)` from `E_S` (all names are graph
+    /// vertex/label names).
+    pub fn concrete_edge(mut self, u: &str, l: &str, v: &str) -> Self {
+        self.patterns.push(TriplePattern::new(
+            Term::constant(u),
+            Term::constant(l),
+            Term::constant(v),
+        ));
+        self
+    }
+
+    /// Adds a variable edge `(?x, l, v)` — `?x` points at concrete `v`.
+    pub fn x_to(mut self, l: &str, v: &str) -> Self {
+        self.patterns.push(TriplePattern::new(Term::var("x"), Term::constant(l), Term::constant(v)));
+        self
+    }
+
+    /// Adds a variable edge `(u, l, ?x)` — concrete `u` points at `?x`.
+    pub fn to_x(mut self, u: &str, l: &str) -> Self {
+        self.patterns.push(TriplePattern::new(Term::constant(u), Term::constant(l), Term::var("x")));
+        self
+    }
+
+    /// Adds `(?x, l, ?fresh)` — `?x` has *some* `l`-successor.
+    pub fn x_to_any(mut self, l: &str) -> Self {
+        let v = format!("y{}", self.next_fresh);
+        self.next_fresh += 1;
+        self.patterns.push(TriplePattern::new(Term::var("x"), Term::constant(l), Term::var(v)));
+        self
+    }
+
+    /// Adds `(?fresh, l, v)` — concrete `v` has *some* `l`-predecessor.
+    pub fn any_to(mut self, l: &str, v: &str) -> Self {
+        let u = format!("y{}", self.next_fresh);
+        self.next_fresh += 1;
+        self.patterns.push(TriplePattern::new(Term::var(u), Term::constant(l), Term::constant(v)));
+        self
+    }
+
+    /// Adds an arbitrary pattern (full generality: chained variables etc.).
+    pub fn pattern(mut self, p: TriplePattern) -> Self {
+        self.patterns.push(p);
+        self
+    }
+
+    /// Finishes the constraint.
+    ///
+    /// Errors if no pattern mentions `?x` (Definition 2.2 requires an
+    /// `E_?` edge incident to or pointing at `?x`).
+    pub fn build(self) -> Result<SubstructureConstraint, SparqlError> {
+        let touches_x = self.patterns.iter().any(|p| p.variables().any(|v| v == "x"));
+        if !touches_x {
+            return Err(SparqlError::Parse {
+                message: "substructure constraint must have an edge incident to ?x".into(),
+            });
+        }
+        SubstructureConstraint::from_query(SelectQuery {
+            projection: vec!["x".into()],
+            patterns: self.patterns,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn figure3() -> Graph {
+        crate::fixtures::figure3()
+    }
+
+    /// The paper's S0 from Figure 3(b).
+    fn s0() -> SubstructureConstraint {
+        SubstructureConstraint::parse(
+            "SELECT ?x WHERE { ?x <friendOf> <v3> . <v3> <likes> ?y . }",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn s0_satisfying_vertices_match_paper() {
+        let g = figure3();
+        let c = s0().compile(&g).unwrap();
+        let vs = c.satisfying_vertices(&g);
+        let names: Vec<&str> = vs.iter().map(|&v| g.vertex_name(v)).collect();
+        assert_eq!(names, vec!["v1", "v2"]); // paper: V(S0, G0) = {v1, v2}
+    }
+
+    #[test]
+    fn s0_scck_per_vertex() {
+        let g = figure3();
+        let c = s0().compile(&g).unwrap();
+        assert!(c.satisfies(&g, g.vertex_id("v1").unwrap()));
+        assert!(c.satisfies(&g, g.vertex_id("v2").unwrap()));
+        assert!(!c.satisfies(&g, g.vertex_id("v0").unwrap()));
+        assert!(!c.satisfies(&g, g.vertex_id("v3").unwrap()));
+        assert!(!c.satisfies(&g, g.vertex_id("v4").unwrap()));
+        assert!(!c.is_unsatisfiable());
+    }
+
+    #[test]
+    fn projection_arity_enforced() {
+        let q = parse("SELECT ?x ?y WHERE { ?x <p> ?y . }").unwrap();
+        assert!(SubstructureConstraint::from_query(q).is_err());
+        assert!(SubstructureConstraint::parse("SELECT ?x ?y WHERE { ?x <p> ?y . }").is_err());
+    }
+
+    #[test]
+    fn variable_and_display() {
+        let c = s0();
+        assert_eq!(c.variable(), "x");
+        assert_eq!(c.num_patterns(), 2);
+        let text = c.to_sparql();
+        assert!(text.contains("SELECT ?x"));
+        assert_eq!(format!("{c}"), text);
+        // Round-trips through the parser.
+        let again = SubstructureConstraint::parse(&text).unwrap();
+        assert_eq!(again, c);
+    }
+
+    #[test]
+    fn builder_reproduces_s0() {
+        let g = figure3();
+        let c = ConstraintBuilder::new()
+            .x_to("friendOf", "v3")
+            .pattern(TriplePattern::new(
+                Term::constant("v3"),
+                Term::constant("likes"),
+                Term::var("y"),
+            ))
+            .build()
+            .unwrap();
+        let compiled = c.compile(&g).unwrap();
+        let names: Vec<&str> =
+            compiled.satisfying_vertices(&g).iter().map(|&v| g.vertex_name(v)).collect();
+        assert_eq!(names, vec!["v1", "v2"]);
+    }
+
+    #[test]
+    fn builder_variants() {
+        let g = figure3();
+        // ?x such that v0 -advisorOf-> ?x
+        let c = ConstraintBuilder::new().to_x("v0", "advisorOf").build().unwrap();
+        let compiled = c.compile(&g).unwrap();
+        let names: Vec<&str> =
+            compiled.satisfying_vertices(&g).iter().map(|&v| g.vertex_name(v)).collect();
+        assert_eq!(names, vec!["v2"]);
+
+        // ?x with some follows-successor (only v2 follows anyone)
+        let c = ConstraintBuilder::new().x_to_any("follows").build().unwrap();
+        let compiled = c.compile(&g).unwrap();
+        assert_eq!(compiled.satisfying_vertices(&g).len(), 1);
+
+        // combining concrete context edges with the ?x edge
+        let c = ConstraintBuilder::new()
+            .concrete_edge("v3", "likes", "v4")
+            .x_to("friendOf", "v3")
+            .build()
+            .unwrap();
+        let compiled = c.compile(&g).unwrap();
+        assert_eq!(compiled.satisfying_vertices(&g).len(), 2);
+
+        // any_to: ?x bound by someone pointing at v4 — not x-incident alone
+        let err = ConstraintBuilder::new().any_to("likes", "v4").build();
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn builder_requires_x() {
+        let err = ConstraintBuilder::new().concrete_edge("v3", "likes", "v4").build();
+        assert!(err.is_err());
+        let err = ConstraintBuilder::new().build();
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn unsatisfiable_constraint_detected() {
+        let g = figure3();
+        let c = SubstructureConstraint::parse("SELECT ?x WHERE { ?x <friendOf> <ghost> . }")
+            .unwrap()
+            .compile(&g)
+            .unwrap();
+        assert!(c.is_unsatisfiable());
+        assert!(c.satisfying_vertices(&g).is_empty());
+        assert!(!c.satisfies(&g, VertexId(0)));
+    }
+}

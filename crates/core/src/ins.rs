@@ -1,0 +1,413 @@
+//! INS — the informed search algorithm (paper Algorithm 4).
+//!
+//! INS has the same skeleton as UIS\* — materialize `V(S,G)`, chain
+//! label-constrained searches through a shared `close` map — with three
+//! changes that together produce its order-of-magnitude speedups (§6):
+//!
+//! 1. `V(S,G)` is processed by the priority heap `H` instead of an
+//!    arbitrary order, so the search starts from promising candidates
+//!    (explored ones, landmarks, partitions correlated with the target).
+//! 2. The global LIFO stack becomes the global priority queue `Q`, freeing
+//!    the expansion order from the LIFO "bad direction" pathology
+//!    (paper Figure 8).
+//! 3. When the frontier touches a landmark `w`, the precomputed local
+//!    index replaces edge-at-a-time exploration of `F(w)`:
+//!    * `Check(II[w], t*)` answers `w ⇝_L t*` immediately when `t*` lives
+//!      in `w`'s partition (line 22);
+//!    * `Cut(II[w])` marks every intra-partition vertex reachable under
+//!      `L` without touching its edges (line 25);
+//!    * `Push(EIT[w])` enqueues the partition's exit frontier under `L`
+//!      (line 25) — landmarks themselves are never enqueued.
+
+use crate::close::{CloseMap, CloseState};
+use crate::local_index::LocalIndex;
+use crate::priority::{CandidateHeap, GlobalQueue, PriorityContext};
+use crate::query::{CompiledLscrQuery, QueryOutcome, SearchStats};
+use kgreach_graph::{Graph, LabelSet, VertexId};
+use std::time::Instant;
+
+/// Answers `q` with Algorithm 4 over a prebuilt [`LocalIndex`].
+pub fn answer(g: &Graph, q: &CompiledLscrQuery, index: &LocalIndex) -> QueryOutcome {
+    let mut close = CloseMap::new(g.num_vertices());
+    answer_with(g, q, index, &mut close)
+}
+
+/// Answers `q` with a caller-provided `close` map (reset here).
+pub fn answer_with(
+    g: &Graph,
+    q: &CompiledLscrQuery,
+    index: &LocalIndex,
+    close: &mut CloseMap,
+) -> QueryOutcome {
+    let start = Instant::now();
+    close.reset();
+
+    let s = q.source;
+    let t = q.target;
+    let vsg = q.constraint.satisfying_vertices(g);
+
+    let mut ins = Ins {
+        g,
+        index,
+        labels: q.label_constraint,
+        close,
+        queue: GlobalQueue::new(g.num_vertices()),
+        stats: SearchStats { vsg_size: Some(vsg.len()), ..Default::default() },
+    };
+
+    // Lines 1-3: H over V(S,G); Q seeded with s; close[s] ← F.
+    ins.close.set(s, CloseState::F);
+    let ctx = PriorityContext { close: ins.close, index, source: s, target: t };
+    let mut heap = CandidateHeap::new(&vsg, &ctx);
+    let ctx = PriorityContext { close: ins.close, index, source: s, target: t };
+    ins.queue.push(s, &ctx);
+    ins.stats.pushes += 1;
+
+    // Lines 4-14: identical control flow to UIS*.
+    let mut answer = false;
+    loop {
+        let ctx =
+            PriorityContext { close: ins.close, index, source: s, target: t };
+        let Some(v) = heap.pop(&ctx) else { break };
+        match ins.close.get(v) {
+            CloseState::N => {
+                if v == s || v == t {
+                    answer = ins.lcs(s, t, false);
+                    return ins.finish(answer, start);
+                } else if ins.lcs(s, v, false) && ins.lcs(v, t, true) {
+                    answer = true;
+                    break;
+                }
+            }
+            CloseState::F => {
+                if ins.lcs(v, t, true) {
+                    answer = true;
+                    break;
+                }
+            }
+            CloseState::T => {}
+        }
+    }
+
+    ins.finish(answer, start)
+}
+
+struct Ins<'a> {
+    g: &'a Graph,
+    index: &'a LocalIndex,
+    labels: LabelSet,
+    close: &'a mut CloseMap,
+    queue: GlobalQueue,
+    stats: SearchStats,
+}
+
+impl Ins<'_> {
+    /// Algorithm 4's `LCS(s*, t*, L, B)` (lines 16-30).
+    fn lcs(&mut self, s_star: VertexId, t_star: VertexId, b: bool) -> bool {
+        self.stats.lcs_invocations += 1;
+        if s_star == t_star {
+            if b {
+                self.close.set(s_star, CloseState::T);
+            }
+            return true;
+        }
+        // Lines 17-18.
+        if b {
+            self.close.set(s_star, CloseState::T);
+            self.push(s_star, t_star);
+        }
+        // Line 19: while (B=F ∧ Q≠φ) or (B = close[Q.first] = T).
+        loop {
+            // Inline context so the queue (disjoint field) stays borrowable.
+            let ctx = PriorityContext {
+                close: &*self.close,
+                index: self.index,
+                source: t_star,
+                target: t_star,
+            };
+            let Some(u) = self.queue.pop(&ctx) else { break };
+            if b && !self.close.is_t(u) {
+                // Q's top is an F element: it belongs to the suspended
+                // B=F traversal. Put it back and stop this invocation.
+                self.push(u, t_star);
+                break;
+            }
+            if u == t_star {
+                // t* can enter Q through Push(EIT[·]) without an explicit
+                // edge scan; popping it proves s* ⇝_L t*. Re-push so the
+                // global traversal can still resume t*'s own edges.
+                if !b {
+                    self.push(u, t_star);
+                }
+                return true;
+            }
+            let u_state = self.close.get(u);
+            debug_assert!(u_state != CloseState::N, "queued vertices are explored");
+
+            for e in self.g.out_neighbors(u) {
+                if !self.labels.contains(e.label) {
+                    continue;
+                }
+                self.stats.edges_scanned += 1;
+                let w = e.vertex;
+
+                // Reaching t* directly decides this invocation regardless
+                // of landmark status (paper line 28; hoisted so a landmark
+                // t* is not missed).
+                if w == t_star {
+                    self.mark(w, b);
+                    // Correctness fix mirroring UIS*: a B=F invocation
+                    // returning mid-scan must not lose u's remaining edges
+                    // from the global traversal.
+                    if !b {
+                        self.push(u, t_star);
+                    }
+                    return true;
+                }
+
+                // Line 22: t* lives in w's partition and w is its landmark
+                // — the precomputed CMS answers w ⇝_L t*.
+                if self.index.partition().is_landmark(w)
+                    && self.index.partition().af(t_star) == self.index.partition().af(w)
+                {
+                    self.stats.index_hits += 1;
+                    if self
+                        .index
+                        .entry_of(w)
+                        .is_some_and(|entry| entry.check(t_star, self.labels))
+                    {
+                        self.mark(w, b);
+                        if !b {
+                            self.push(u, t_star);
+                        }
+                        return true;
+                    }
+                }
+
+                if self.index.partition().is_landmark(w) {
+                    // Lines 24-25: prune F(w) with the local index. Skip
+                    // when this landmark was already pruned at this state —
+                    // Cut/Push are idempotent per state.
+                    let already = if b { self.close.is_t(w) } else { !self.close.is_n(w) };
+                    self.mark(w, b);
+                    if !already {
+                        self.cut_and_push(w, t_star, b);
+                    }
+                } else {
+                    // Lines 26-27: ordinary frontier expansion.
+                    let explore = if b {
+                        !self.close.is_t(w)
+                    } else {
+                        self.close.is_n(w)
+                    };
+                    if explore {
+                        self.mark(w, b);
+                        self.push(w, t_star);
+                    }
+                }
+            }
+        }
+        false
+    }
+
+    /// `Cut(II[w])` and `Push(EIT[w])` (line 25): mark the intra-partition
+    /// region reachable under `L` and enqueue its exit frontier.
+    fn cut_and_push(&mut self, w: VertexId, t_star: VertexId, b: bool) {
+        self.stats.index_hits += 1;
+        let Some(ord) = self.index.partition().af(w) else { return };
+        let entry = self.index.entry(ord);
+
+        // Cut: for (x, 𝕃) ∈ II[w] with some Lᵢ ⊆ L, close[x] ← B.
+        for (x, cms) in entry.ii_pairs() {
+            if self.close.is_t(x) {
+                continue;
+            }
+            if (b || self.close.is_n(x)) && cms.covers(self.labels) {
+                self.mark(x, b);
+            }
+        }
+        // Push: for (Lx, V) ∈ EIT[w] with Lx ⊆ L, enqueue eligible exits.
+        for (lx, exits) in entry.eit_pairs() {
+            if !lx.is_subset_of(self.labels) {
+                continue;
+            }
+            for &x in exits {
+                let eligible = if b { !self.close.is_t(x) } else { self.close.is_n(x) };
+                if eligible {
+                    self.mark(x, b);
+                    self.push(x, t_star);
+                }
+            }
+        }
+    }
+
+    #[inline]
+    fn mark(&mut self, v: VertexId, b: bool) {
+        let state = if b { CloseState::T } else { CloseState::F };
+        // Never downgrade T.
+        if !(state == CloseState::F && self.close.is_t(v)) {
+            self.close.set(v, state);
+        }
+    }
+
+    #[inline]
+    fn push(&mut self, v: VertexId, t_star: VertexId) {
+        let ctx =
+            PriorityContext { close: &*self.close, index: self.index, source: v, target: t_star };
+        self.queue.push(v, &ctx);
+        self.stats.pushes += 1;
+    }
+
+    fn finish(self, answer: bool, start: Instant) -> QueryOutcome {
+        let mut stats = self.stats;
+        stats.passed_vertices = self.close.passed_vertices();
+        QueryOutcome { answer, stats, elapsed: start.elapsed() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures::{figure3, s0};
+    use crate::local_index::{LocalIndex, LocalIndexConfig};
+    use crate::oracle;
+    use crate::query::LscrQuery;
+
+    const ALL: [&str; 5] = ["friendOf", "likes", "advisorOf", "follows", "hates"];
+
+    fn build_index(g: &Graph, k: usize, seed: u64) -> LocalIndex {
+        LocalIndex::build(g, &LocalIndexConfig { num_landmarks: Some(k), seed })
+    }
+
+    fn run(g: &Graph, idx: &LocalIndex, s: &str, t: &str, labels: &[&str]) -> QueryOutcome {
+        let q = LscrQuery::new(
+            g.vertex_id(s).unwrap(),
+            g.vertex_id(t).unwrap(),
+            g.label_set(labels),
+            s0(),
+        );
+        answer(g, &q.compile(g).unwrap(), idx)
+    }
+
+    #[test]
+    fn paper_examples() {
+        let g = figure3();
+        let idx = build_index(&g, 2, 1);
+        assert!(run(&g, &idx, "v0", "v4", &["likes", "follows"]).answer);
+        assert!(!run(&g, &idx, "v0", "v3", &["likes", "follows"]).answer);
+        assert!(run(&g, &idx, "v3", "v4", &["likes", "hates", "friendOf"]).answer);
+    }
+
+    #[test]
+    fn source_equals_target() {
+        let g = figure3();
+        let idx = build_index(&g, 2, 1);
+        assert!(run(&g, &idx, "v1", "v1", &ALL).answer);
+        assert!(!run(&g, &idx, "v0", "v0", &ALL).answer);
+        assert!(run(&g, &idx, "v4", "v4", &ALL).answer);
+    }
+
+    #[test]
+    fn exhaustive_agreement_with_oracle_across_indexes() {
+        // Every (s, t, L) on figure3, under several landmark layouts: INS
+        // must agree with the oracle regardless of partitioning.
+        let g = figure3();
+        let label_sets: Vec<Vec<&str>> = vec![
+            ALL.to_vec(),
+            vec!["likes", "follows"],
+            vec!["likes", "hates", "friendOf"],
+            vec!["friendOf", "likes"],
+            vec!["advisorOf"],
+            vec![],
+        ];
+        for (k, seed) in [(1usize, 1u64), (2, 1), (2, 7), (3, 5), (5, 2)] {
+            let idx = build_index(&g, k, seed);
+            let mut close = CloseMap::new(g.num_vertices());
+            for s in ["v0", "v1", "v2", "v3", "v4"] {
+                for t in ["v0", "v1", "v2", "v3", "v4"] {
+                    for ls in &label_sets {
+                        let q = LscrQuery::new(
+                            g.vertex_id(s).unwrap(),
+                            g.vertex_id(t).unwrap(),
+                            g.label_set(ls),
+                            s0(),
+                        );
+                        let cq = q.compile(&g).unwrap();
+                        let expected = oracle::answer(&g, &cq).answer;
+                        let got = answer_with(&g, &cq, &idx, &mut close).answer;
+                        assert_eq!(
+                            got, expected,
+                            "INS(k={k},seed={seed}) wrong on {s}->{t} {ls:?}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn index_pruning_is_exercised() {
+        // A landmark interposed between s and t: the search must answer
+        // through Check(II[lm], t) instead of walking edge by edge.
+        // `lm` is the only schema-typed instance, so k = 1 selects it
+        // deterministically.
+        let mut b = kgreach_graph::GraphBuilder::new();
+        b.add_triple("s", "p", "lm");
+        b.add_triple("lm", "p", "a");
+        b.add_triple("a", "p", "t");
+        b.add_triple("s", "marked", "anchor");
+        b.add_triple("lm", "rdf:type", "C");
+        let g = b.build().unwrap();
+        let idx = build_index(&g, 1, 0);
+        let lm = g.vertex_id("lm").unwrap();
+        assert!(idx.partition().is_landmark(lm), "schema selection picks lm");
+
+        let c = crate::constraint::SubstructureConstraint::parse(
+            "SELECT ?x WHERE { ?x <marked> <anchor> . }",
+        )
+        .unwrap();
+        let q = LscrQuery::new(
+            g.vertex_id("s").unwrap(),
+            g.vertex_id("t").unwrap(),
+            g.label_set(&["p"]),
+            c,
+        );
+        let out = answer(&g, &q.compile(&g).unwrap(), &idx);
+        assert!(out.answer);
+        assert!(out.stats.index_hits > 0, "expected landmark pruning to fire");
+        // The intermediate vertex `a` was skipped entirely: the edge walk
+        // stopped at lm and the index answered for the rest.
+        assert!(out.stats.edges_scanned <= 2, "scanned {}", out.stats.edges_scanned);
+    }
+
+    #[test]
+    fn stats_are_populated() {
+        let g = figure3();
+        let idx = build_index(&g, 2, 1);
+        let out = run(&g, &idx, "v0", "v4", &ALL);
+        assert!(out.answer);
+        assert_eq!(out.stats.vsg_size, Some(2));
+        assert!(out.stats.passed_vertices > 0);
+        assert!(out.stats.lcs_invocations >= 1);
+        assert_eq!(out.stats.scck_calls, 0); // INS never calls SCck
+    }
+
+    #[test]
+    fn empty_vsg_is_false() {
+        let g = figure3();
+        let idx = build_index(&g, 2, 1);
+        let c = crate::constraint::SubstructureConstraint::parse(
+            "SELECT ?x WHERE { ?x <likes> <v0> . }",
+        )
+        .unwrap();
+        let q = LscrQuery::new(
+            g.vertex_id("v0").unwrap(),
+            g.vertex_id("v4").unwrap(),
+            g.all_labels(),
+            c,
+        );
+        let out = answer(&g, &q.compile(&g).unwrap(), &idx);
+        assert!(!out.answer);
+        assert_eq!(out.stats.vsg_size, Some(0));
+    }
+}

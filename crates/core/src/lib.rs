@@ -1,0 +1,75 @@
+//! # kgreach — LSCR reachability queries on knowledge graphs
+//!
+//! A from-scratch implementation of *"Reachability Queries with Label and
+//! Substructure Constraints on Knowledge Graphs"* (Wan & Wang;
+//! arXiv:2007.11881, ICDE'23 extended abstract): given a knowledge graph
+//! `G`, an **LSCR query** `Q = (s, t, L, S)` asks whether some path from
+//! `s` to `t` uses only edge labels in `L` *and* passes through a vertex
+//! satisfying the substructure constraint `S`.
+//!
+//! Three solutions, as in the paper:
+//!
+//! | Algorithm | Module | Idea |
+//! |-----------|--------|------|
+//! | **UIS** | [`uis`] | uninformed stack search + per-vertex `SCck`, works on any edge-labeled graph |
+//! | **UIS\*** | [`uis_star`] | materialize `V(S,G)` via a SPARQL engine, chain label-constrained searches over one global stack |
+//! | **INS** | [`ins`] | informed search: priority heap/queue guided by a [`local_index::LocalIndex`] of schema-selected landmarks |
+//!
+//! Supporting machinery: the three-state [`CloseMap`] surjection
+//! ([`close`]), substructure constraints compiled to SPARQL plans
+//! ([`constraint`]), landmark partitioning ([`partition`]), the local index
+//! ([`local_index`]), INS's priority structures ([`priority`]), a
+//! brute-force [`oracle`], and the [`LscrEngine`] facade.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use kgreach::{Algorithm, LscrEngine, LscrQuery, SubstructureConstraint};
+//! use kgreach_graph::GraphBuilder;
+//!
+//! // A tiny financial KG: transfers carry month labels, plus one marriage.
+//! let mut b = GraphBuilder::new();
+//! b.add_triple("suspectC", "apr2019", "mule1");
+//! b.add_triple("mule1", "apr2019", "suspectP");
+//! b.add_triple("mule1", "marriedTo", "amy");
+//! let g = b.build().unwrap();
+//!
+//! // Is there an April-2019 transfer chain C → P through Amy's spouse?
+//! let q = LscrQuery::new(
+//!     g.vertex_id("suspectC").unwrap(),
+//!     g.vertex_id("suspectP").unwrap(),
+//!     g.label_set(&["apr2019"]),
+//!     SubstructureConstraint::parse(
+//!         "SELECT ?x WHERE { ?x <marriedTo> <amy> . }").unwrap(),
+//! );
+//! let mut engine = LscrEngine::new(&g);
+//! assert!(engine.answer(&q, Algorithm::Uis).unwrap().answer);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod close;
+pub mod constraint;
+pub mod engine;
+pub mod fixtures;
+pub mod ins;
+pub mod local_index;
+pub mod oracle;
+pub mod partition;
+pub mod priority;
+pub mod query;
+pub mod uis;
+pub mod uis_star;
+pub mod witness;
+
+pub use close::{CloseMap, CloseState};
+pub use constraint::{CompiledConstraint, ConstraintBuilder, SubstructureConstraint};
+pub use engine::{Algorithm, LscrEngine};
+pub use local_index::{IndexBuildStats, LandmarkEntry, LocalIndex, LocalIndexConfig};
+pub use partition::{default_num_landmarks, select_landmarks, select_landmarks_by_degree, Partition};
+pub use query::{CompiledLscrQuery, LscrQuery, QueryError, QueryOutcome, SearchStats};
+pub use witness::{find_witness, Witness};
+
+// Re-export the substrate types callers need to assemble queries.
+pub use kgreach_graph::{Graph, GraphBuilder, LabelId, LabelSet, VertexId};

@@ -1,0 +1,484 @@
+//! The local index (paper §5.1, Algorithm 3).
+//!
+//! For each landmark `u`, the index entry `II[u] ∪ EIT[u] ∪ D[u]` is
+//! computed *only within the subgraph `F(u)`*:
+//!
+//! * `II[u]` — for every vertex `v ∈ F(u)`, the CMS `M(u, v | F(u))`:
+//!   minimal label sets of intra-partition paths `u → v`
+//!   (Definition 5.1). Used by INS's `Check` and `Cut`.
+//! * `EI[u]` — for every *exit* target `w ∉ F(u)` reached by an edge
+//!   `(v, l, w)` with `v ∈ F(u)`, the minimal sets `M(u,v|F(u)) ∪ {l}`.
+//!   Only materialized transiently.
+//! * `EIT[u]` — `EI[u]` reversed into (label set → exit-vertex list) form
+//!   for query-time efficiency (Theorem 5.1: if `L_u ⊆ L`, `u ⇝_L v` for
+//!   every `v` in the pair's list). Used by INS's `Push`.
+//! * `D[u]` — per target partition `F(v)`, the number of `EI[u]` entries
+//!   landing in `F(v)`: the correlation degree between the two subgraphs,
+//!   which INS's priorities use as the distance estimate
+//!   `ρ(s,t) = D(s.AF, t.AF)`. The paper calls `ρ` a distance but `D`
+//!   counts *connections*; we treat larger counts as closer (more exit
+//!   edges ⇒ easier to cross), see DESIGN.md.
+//!
+//! Because each landmark's BFS is confined to its partition, total
+//! indexing cost is bounded by `O(2^|𝓛|(|E| + |V| log 2^|𝓛|))`
+//! (Theorem 5.3) — independent of the number of landmarks, unlike the
+//! traditional whole-graph landmark indexing it replaces.
+
+use crate::partition::{
+    default_num_landmarks, partition_graph, select_landmarks, Partition, NO_PARTITION,
+};
+use kgreach_graph::fxhash::FxHashMap;
+use kgreach_graph::{Cms, Graph, LabelSet, VertexId};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::collections::VecDeque;
+use std::time::{Duration, Instant};
+
+/// Configuration for [`LocalIndex::build`].
+#[derive(Clone, Debug)]
+pub struct LocalIndexConfig {
+    /// Number of landmarks `k`; `None` uses the paper's
+    /// `k = log|V|·√|V|`.
+    pub num_landmarks: Option<usize>,
+    /// RNG seed for class/landmark sampling (builds are deterministic
+    /// given the seed).
+    pub seed: u64,
+}
+
+impl Default for LocalIndexConfig {
+    fn default() -> Self {
+        LocalIndexConfig { num_landmarks: None, seed: 0x5ca1ab1e }
+    }
+}
+
+/// One landmark's persistent entry: `II[u] ∪ EIT[u]`.
+#[derive(Clone, Debug, Default)]
+pub struct LandmarkEntry {
+    /// `(v, M(u,v|F(u)))` pairs, sorted by `v` for binary search.
+    ii: Vec<(VertexId, Cms)>,
+    /// `(label set, exit vertices)` pairs, sorted by label-set bits.
+    eit: Vec<(LabelSet, Vec<VertexId>)>,
+}
+
+impl LandmarkEntry {
+    /// The CMS from the landmark to `v` within the partition, if any.
+    pub fn ii_cms(&self, v: VertexId) -> Option<&Cms> {
+        self.ii
+            .binary_search_by_key(&v, |(w, _)| *w)
+            .ok()
+            .map(|i| &self.ii[i].1)
+    }
+
+    /// The paper's `Check(II[u], t*)`: whether the landmark reaches `t*`
+    /// within its partition under label constraint `l`.
+    #[inline]
+    pub fn check(&self, t_star: VertexId, l: LabelSet) -> bool {
+        self.ii_cms(t_star).is_some_and(|cms| cms.covers(l))
+    }
+
+    /// Iterates `II[u]` pairs.
+    pub fn ii_pairs(&self) -> impl Iterator<Item = (VertexId, &Cms)> {
+        self.ii.iter().map(|(v, c)| (*v, c))
+    }
+
+    /// Iterates `EIT[u]` pairs.
+    pub fn eit_pairs(&self) -> impl Iterator<Item = (LabelSet, &[VertexId])> {
+        self.eit.iter().map(|(l, vs)| (*l, vs.as_slice()))
+    }
+
+    /// Number of `II` pairs.
+    pub fn num_ii(&self) -> usize {
+        self.ii.len()
+    }
+
+    /// Number of `EIT` pairs.
+    pub fn num_eit(&self) -> usize {
+        self.eit.len()
+    }
+
+    /// Approximate heap footprint in bytes.
+    pub fn heap_bytes(&self) -> usize {
+        let ii: usize = self
+            .ii
+            .iter()
+            .map(|(_, c)| std::mem::size_of::<(VertexId, Cms)>() + c.heap_bytes())
+            .sum();
+        let eit: usize = self
+            .eit
+            .iter()
+            .map(|(_, vs)| {
+                std::mem::size_of::<(LabelSet, Vec<VertexId>)>()
+                    + vs.capacity() * std::mem::size_of::<VertexId>()
+            })
+            .sum();
+        ii + eit
+    }
+}
+
+/// Metadata about one index build, reported by the Table 2 experiment.
+#[derive(Clone, Debug)]
+pub struct IndexBuildStats {
+    /// Wall-clock build time.
+    pub elapsed: Duration,
+    /// Approximate index size in bytes (entries + partition + D).
+    pub bytes: usize,
+    /// Number of landmarks `|I|`.
+    pub num_landmarks: usize,
+    /// Total `II` pairs across landmarks.
+    pub ii_pairs: usize,
+    /// Total `EIT` pairs across landmarks.
+    pub eit_pairs: usize,
+    /// Vertices assigned to some partition.
+    pub assigned_vertices: usize,
+}
+
+/// The complete local index over one graph.
+#[derive(Clone, Debug)]
+pub struct LocalIndex {
+    partition: Partition,
+    entries: Vec<LandmarkEntry>,
+    d: Vec<FxHashMap<u32, u32>>,
+    stats: IndexBuildStats,
+}
+
+impl LocalIndex {
+    /// Builds the index (Algorithm 3).
+    pub fn build(g: &Graph, config: &LocalIndexConfig) -> LocalIndex {
+        let k = config.num_landmarks.unwrap_or_else(|| default_num_landmarks(g.num_vertices()));
+        let mut rng = SmallRng::seed_from_u64(config.seed);
+        // Line 1: landmark selection from the schema.
+        let landmarks = select_landmarks(g, k, &mut rng);
+        Self::build_with_landmarks(g, landmarks)
+    }
+
+    /// Builds the index over an explicit landmark set (used by tests and
+    /// the landmark-selection ablation; Algorithm 3 minus line 1).
+    pub fn build_with_landmarks(g: &Graph, landmarks: Vec<VertexId>) -> LocalIndex {
+        let start = Instant::now();
+        // Line 2: BFSTraverse builds F / AF.
+        let partition = partition_graph(g, landmarks);
+
+        // Lines 3-4: LocalFullIndex per landmark.
+        let mut entries = Vec::with_capacity(partition.num_landmarks());
+        let mut d: Vec<FxHashMap<u32, u32>> = Vec::with_capacity(partition.num_landmarks());
+        for ord in 0..partition.num_landmarks() as u32 {
+            let (entry, d_row) = local_full_index(g, &partition, ord);
+            entries.push(entry);
+            d.push(d_row);
+        }
+
+        let ii_pairs = entries.iter().map(LandmarkEntry::num_ii).sum();
+        let eit_pairs = entries.iter().map(LandmarkEntry::num_eit).sum();
+        let bytes = entries.iter().map(LandmarkEntry::heap_bytes).sum::<usize>()
+            + partition.heap_bytes()
+            + d.iter().map(|m| m.len() * 8 + 16).sum::<usize>();
+        let stats = IndexBuildStats {
+            elapsed: start.elapsed(),
+            bytes,
+            num_landmarks: partition.num_landmarks(),
+            ii_pairs,
+            eit_pairs,
+            assigned_vertices: partition.num_assigned(),
+        };
+        LocalIndex { partition, entries, d, stats }
+    }
+
+    /// Builds with default configuration.
+    pub fn build_default(g: &Graph) -> LocalIndex {
+        Self::build(g, &LocalIndexConfig::default())
+    }
+
+    /// The partition (`F`, `AF`).
+    pub fn partition(&self) -> &Partition {
+        &self.partition
+    }
+
+    /// The entry of landmark `ordinal`.
+    pub fn entry(&self, ordinal: u32) -> &LandmarkEntry {
+        &self.entries[ordinal as usize]
+    }
+
+    /// The entry of a landmark vertex, if `v` is one.
+    pub fn entry_of(&self, v: VertexId) -> Option<&LandmarkEntry> {
+        if self.partition.is_landmark(v) {
+            self.partition.af(v).map(|o| self.entry(o))
+        } else {
+            None
+        }
+    }
+
+    /// The correlation degree `D(a, b)` between partitions: number of exit
+    /// entries of `F(a)` landing in `F(b)`; same-partition correlation is
+    /// `u32::MAX` (maximal — no crossing needed).
+    pub fn correlation(&self, a: u32, b: u32) -> u32 {
+        if a == b {
+            return u32::MAX;
+        }
+        if a == NO_PARTITION || b == NO_PARTITION {
+            return 0;
+        }
+        self.d.get(a as usize).and_then(|row| row.get(&b)).copied().unwrap_or(0)
+    }
+
+    /// The INS distance estimate `ρ(s,t) = D(s.AF, t.AF)` folded into a
+    /// "smaller is closer" key: `0` for the same partition, decreasing in
+    /// the correlation count otherwise, `u32::MAX` when unrelated.
+    pub fn rho(&self, s: VertexId, t: VertexId) -> u32 {
+        let a = self.partition.af(s).unwrap_or(NO_PARTITION);
+        let b = self.partition.af(t).unwrap_or(NO_PARTITION);
+        if a == NO_PARTITION || b == NO_PARTITION {
+            return u32::MAX;
+        }
+        if a == b {
+            return 0;
+        }
+        let corr = self.correlation(a, b);
+        u32::MAX - corr.min(u32::MAX - 1)
+    }
+
+    /// Build statistics.
+    pub fn stats(&self) -> &IndexBuildStats {
+        &self.stats
+    }
+}
+
+/// `LocalFullIndex(u)` (Algorithm 3, lines 5-15): CMS BFS confined to the
+/// landmark's partition, producing its `II`/`EIT` entry and `D` row.
+fn local_full_index(
+    g: &Graph,
+    partition: &Partition,
+    ord: u32,
+) -> (LandmarkEntry, FxHashMap<u32, u32>) {
+    let u = partition.landmark(ord);
+    let mut ii: FxHashMap<VertexId, Cms> = FxHashMap::default();
+    let mut ei: FxHashMap<VertexId, Cms> = FxHashMap::default();
+    let mut queue: VecDeque<(VertexId, LabelSet)> = VecDeque::new();
+    queue.push_back((u, LabelSet::EMPTY));
+
+    while let Some((v, l)) = queue.pop_front() {
+        // Insert(v, L, II[u]): the landmark's own (u, ∅) pair is "fresh"
+        // without being stored (Algorithm 3 line 17).
+        let fresh = if v == u && l.is_empty() {
+            true
+        } else {
+            ii.entry(v).or_default().insert(l)
+        };
+        if !fresh {
+            continue;
+        }
+        for e in g.out_neighbors(v) {
+            let w = e.vertex;
+            let l2 = l.with(e.label);
+            if partition.af(w) == Some(ord) {
+                queue.push_back((w, l2));
+            } else {
+                ei.entry(w).or_default().insert(l2);
+            }
+        }
+    }
+
+    // Line 15: derive EIT[u] and D[u] from EI[u].
+    let mut eit: FxHashMap<LabelSet, Vec<VertexId>> = FxHashMap::default();
+    let mut d: FxHashMap<u32, u32> = FxHashMap::default();
+    for (&w, cms) in &ei {
+        for l in cms.iter() {
+            eit.entry(l).or_default().push(w);
+        }
+        if let Some(b) = partition.af(w) {
+            *d.entry(b).or_insert(0) += 1;
+        }
+    }
+
+    let mut ii_vec: Vec<(VertexId, Cms)> = ii.into_iter().collect();
+    ii_vec.sort_unstable_by_key(|(v, _)| *v);
+    let mut eit_vec: Vec<(LabelSet, Vec<VertexId>)> = eit.into_iter().collect();
+    eit_vec.sort_unstable_by_key(|(l, _)| l.bits());
+    for (_, vs) in &mut eit_vec {
+        vs.sort_unstable();
+    }
+    (LandmarkEntry { ii: ii_vec, eit: eit_vec }, d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures::figure3;
+    use kgreach_graph::GraphBuilder;
+
+    /// Index with every vertex of figure3 reachable from v0.
+    fn index_from(g: &Graph, landmarks: &[&str]) -> LocalIndex {
+        let ids: Vec<VertexId> = landmarks.iter().map(|n| g.vertex_id(n).unwrap()).collect();
+        let partition = partition_graph(g, ids);
+        let mut entries = Vec::new();
+        let mut d = Vec::new();
+        for ord in 0..partition.num_landmarks() as u32 {
+            let (e, row) = local_full_index(g, &partition, ord);
+            entries.push(e);
+            d.push(row);
+        }
+        let stats = IndexBuildStats {
+            elapsed: Duration::ZERO,
+            bytes: 0,
+            num_landmarks: partition.num_landmarks(),
+            ii_pairs: entries.iter().map(LandmarkEntry::num_ii).sum(),
+            eit_pairs: entries.iter().map(LandmarkEntry::num_eit).sum(),
+            assigned_vertices: partition.num_assigned(),
+        };
+        LocalIndex { partition, entries, d, stats }
+    }
+
+    #[test]
+    fn single_landmark_covers_reachable_region() {
+        let g = figure3();
+        let idx = index_from(&g, &["v0"]);
+        let entry = idx.entry(0);
+        // v0 reaches v1..v4; II holds a CMS for each.
+        assert_eq!(entry.num_ii(), 4);
+        // M(v0, v3 | F(v0)) = {{friendOf}} — the paper's Definition 5.1
+        // worked example (F(v0) is the whole reachable region here).
+        let v3 = g.vertex_id("v3").unwrap();
+        let cms = entry.ii_cms(v3).unwrap();
+        let friend = g.label_set(&["friendOf"]);
+        assert!(cms.covers(friend));
+        assert_eq!(cms.len(), 1);
+        // M(v0, v4): the paper's three minimal sets.
+        let v4 = g.vertex_id("v4").unwrap();
+        let cms = entry.ii_cms(v4).unwrap();
+        assert_eq!(cms.len(), 3);
+        assert!(cms.covers(g.label_set(&["friendOf", "likes"])));
+        assert!(cms.covers(g.label_set(&["advisorOf", "follows"])));
+        assert!(cms.covers(g.label_set(&["likes", "follows"])));
+        assert!(!cms.covers(g.label_set(&["likes"])));
+    }
+
+    #[test]
+    fn check_implements_theorem_5_1() {
+        let g = figure3();
+        let idx = index_from(&g, &["v0"]);
+        let entry = idx.entry(0);
+        let v4 = g.vertex_id("v4").unwrap();
+        assert!(entry.check(v4, g.label_set(&["likes", "follows"])));
+        assert!(!entry.check(v4, g.label_set(&["likes", "hates"])));
+        // Unknown vertex: v0 itself is not in II (no cycle back).
+        let v0 = g.vertex_id("v0").unwrap();
+        assert!(!entry.check(v0, g.all_labels()));
+    }
+
+    #[test]
+    fn two_partitions_with_exit_edges() {
+        // lm0's region exits into lm1's region.
+        let mut b = GraphBuilder::new();
+        b.add_triple("lm0", "a", "x");
+        b.add_triple("x", "b", "lm1"); // exit edge from F(lm0) to lm1
+        b.add_triple("lm1", "c", "y");
+        let g = b.build().unwrap();
+        let idx = index_from(&g, &["lm0", "lm1"]);
+        let e0 = idx.entry(0);
+        // EIT[lm0] holds the exit label set {a, b} → [lm1].
+        let ab = g.label_set(&["a", "b"]);
+        let pairs: Vec<_> = e0.eit_pairs().collect();
+        assert_eq!(pairs.len(), 1);
+        assert_eq!(pairs[0].0, ab);
+        assert_eq!(pairs[0].1, &[g.vertex_id("lm1").unwrap()]);
+        // D(0, 1) counts that exit entry; correlation is symmetric in
+        // spirit but directional in value.
+        assert_eq!(idx.correlation(0, 1), 1);
+        assert_eq!(idx.correlation(1, 0), 0);
+        assert_eq!(idx.correlation(0, 0), u32::MAX);
+        // rho: same partition 0; cross partition smaller with higher D.
+        let lm0 = g.vertex_id("lm0").unwrap();
+        let lm1 = g.vertex_id("lm1").unwrap();
+        let y = g.vertex_id("y").unwrap();
+        assert_eq!(idx.rho(lm0, lm0), 0);
+        assert!(idx.rho(lm0, lm1) < u32::MAX);
+        assert!(idx.rho(lm0, y) < idx.rho(y, lm0).max(1)); // 1→0 has D=0
+    }
+
+    #[test]
+    fn cycles_terminate_and_index_self() {
+        let mut b = GraphBuilder::new();
+        b.add_triple("u", "p", "a");
+        b.add_triple("a", "q", "u"); // cycle back to the landmark
+        let g = b.build().unwrap();
+        let idx = index_from(&g, &["u"]);
+        let entry = idx.entry(0);
+        // The landmark reappears in II with the cycle's label set.
+        let u = g.vertex_id("u").unwrap();
+        let cms = entry.ii_cms(u).unwrap();
+        assert!(cms.covers(g.label_set(&["p", "q"])));
+    }
+
+    #[test]
+    fn multigraph_minimality() {
+        // Two parallel routes with different labels; a shortcut label set
+        // must evict the longer one... and incomparable sets coexist.
+        let mut b = GraphBuilder::new();
+        b.add_triple("u", "long1", "m");
+        b.add_triple("m", "long2", "t");
+        b.add_triple("u", "short", "t");
+        let g = b.build().unwrap();
+        let idx = index_from(&g, &["u"]);
+        let t = g.vertex_id("t").unwrap();
+        let cms = idx.entry(0).ii_cms(t).unwrap();
+        assert_eq!(cms.len(), 2); // {short} and {long1, long2}
+        assert!(cms.covers(g.label_set(&["short"])));
+        assert!(cms.covers(g.label_set(&["long1", "long2"])));
+    }
+
+    #[test]
+    fn build_full_pipeline() {
+        let g = figure3();
+        let idx = LocalIndex::build(&g, &LocalIndexConfig { num_landmarks: Some(2), seed: 42 });
+        assert_eq!(idx.stats().num_landmarks, 2);
+        assert!(idx.stats().bytes > 0);
+        assert!(idx.stats().assigned_vertices >= 2);
+        assert_eq!(idx.partition().num_landmarks(), 2);
+        // entry_of answers for landmarks only.
+        let lm = idx.partition().landmarks()[0];
+        assert!(idx.entry_of(lm).is_some());
+        let non_lm = g.vertices().find(|v| !idx.partition().is_landmark(*v)).unwrap();
+        assert!(idx.entry_of(non_lm).is_none());
+    }
+
+    #[test]
+    fn build_deterministic_under_seed() {
+        let g = figure3();
+        let c = LocalIndexConfig { num_landmarks: Some(3), seed: 9 };
+        let a = LocalIndex::build(&g, &c);
+        let b = LocalIndex::build(&g, &c);
+        assert_eq!(a.partition().landmarks(), b.partition().landmarks());
+        assert_eq!(a.stats().ii_pairs, b.stats().ii_pairs);
+    }
+
+    #[test]
+    fn ii_consistency_against_brute_force() {
+        // Theorem 5.2: II entries must match CMS computed by exhaustive
+        // path enumeration restricted to the partition.
+        let g = figure3();
+        let idx = index_from(&g, &["v0"]);
+        let entry = idx.entry(0);
+        // Brute force: enumerate all simple-ish paths (bounded length) from
+        // v0 and collect minimal label sets per target.
+        let v0 = g.vertex_id("v0").unwrap();
+        let mut brute: FxHashMap<VertexId, Cms> = FxHashMap::default();
+        let mut stack = vec![(v0, LabelSet::EMPTY, 0usize)];
+        while let Some((v, l, depth)) = stack.pop() {
+            if depth > 6 {
+                continue;
+            }
+            for e in g.out_neighbors(v) {
+                let l2 = l.with(e.label);
+                brute.entry(e.vertex).or_default().insert(l2);
+                stack.push((e.vertex, l2, depth + 1));
+            }
+        }
+        for (v, cms) in &brute {
+            let indexed = entry.ii_cms(*v).unwrap();
+            // Same coverage for every subset isn't cheap to test fully;
+            // antichains being equal is.
+            let a: Vec<LabelSet> = indexed.iter().collect();
+            let b: Vec<LabelSet> = cms.iter().collect();
+            assert_eq!(a, b, "CMS mismatch at {}", g.vertex_name(*v));
+        }
+    }
+}

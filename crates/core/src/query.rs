@@ -1,0 +1,187 @@
+//! LSCR query types and per-query execution statistics.
+
+use crate::constraint::{CompiledConstraint, SubstructureConstraint};
+use kgreach_graph::{Graph, GraphError, LabelSet, VertexId};
+use kgreach_sparql::SparqlError;
+use std::fmt;
+use std::time::Duration;
+
+/// An LSCR query `Q = (s, t, L, S)` (paper Definition 2.4): does a path
+/// from `source` to `target` exist whose edge labels are all in
+/// `label_constraint` and which passes a vertex satisfying `constraint`?
+#[derive(Clone, Debug)]
+pub struct LscrQuery {
+    /// Source vertex `s`.
+    pub source: VertexId,
+    /// Target vertex `t`.
+    pub target: VertexId,
+    /// Label constraint `L ⊆ 𝓛`.
+    pub label_constraint: LabelSet,
+    /// Substructure constraint `S`.
+    pub constraint: SubstructureConstraint,
+}
+
+/// Errors raised when preparing a query for execution.
+#[derive(Debug, Clone)]
+pub enum QueryError {
+    /// Source/target/label out of range for the graph.
+    Graph(GraphError),
+    /// The constraint failed to compile.
+    Sparql(SparqlError),
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::Graph(e) => write!(f, "{e}"),
+            QueryError::Sparql(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+impl From<GraphError> for QueryError {
+    fn from(e: GraphError) -> Self {
+        QueryError::Graph(e)
+    }
+}
+
+impl From<SparqlError> for QueryError {
+    fn from(e: SparqlError) -> Self {
+        QueryError::Sparql(e)
+    }
+}
+
+impl LscrQuery {
+    /// Creates a query.
+    pub fn new(
+        source: VertexId,
+        target: VertexId,
+        label_constraint: LabelSet,
+        constraint: SubstructureConstraint,
+    ) -> Self {
+        LscrQuery { source, target, label_constraint, constraint }
+    }
+
+    /// Validates the query against `g` and compiles the constraint.
+    pub fn compile(&self, g: &Graph) -> Result<CompiledLscrQuery, QueryError> {
+        g.check_vertex(self.source)?;
+        g.check_vertex(self.target)?;
+        let compiled = self.constraint.compile(g)?;
+        Ok(CompiledLscrQuery {
+            source: self.source,
+            target: self.target,
+            label_constraint: self.label_constraint,
+            constraint: compiled,
+        })
+    }
+}
+
+/// A query validated and resolved against one graph.
+#[derive(Clone, Debug)]
+pub struct CompiledLscrQuery {
+    /// Source vertex `s`.
+    pub source: VertexId,
+    /// Target vertex `t`.
+    pub target: VertexId,
+    /// Label constraint `L`.
+    pub label_constraint: LabelSet,
+    /// Compiled substructure constraint.
+    pub constraint: CompiledConstraint,
+}
+
+/// Counters accumulated while answering one query.
+///
+/// `passed_vertices` is the paper's evaluation metric (§6): the number of
+/// vertices whose `close` state is not `N` when the search stops.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SearchStats {
+    /// Vertices with `close ≠ N` at termination.
+    pub passed_vertices: usize,
+    /// Invocations of `SCck` (UIS only; UIS\*/INS use `V(S,G)` instead).
+    pub scck_calls: usize,
+    /// Edges scanned across all traversals.
+    pub edges_scanned: usize,
+    /// Stack/queue pushes.
+    pub pushes: usize,
+    /// `LCS` invocations (UIS\*/INS).
+    pub lcs_invocations: usize,
+    /// `|V(S,G)|` when the algorithm materialized it.
+    pub vsg_size: Option<usize>,
+    /// Local-index landmark entries consulted (INS).
+    pub index_hits: usize,
+}
+
+/// The outcome of answering one query.
+#[derive(Clone, Debug)]
+pub struct QueryOutcome {
+    /// The boolean answer of `Q`.
+    pub answer: bool,
+    /// Search counters.
+    pub stats: SearchStats,
+    /// Wall-clock time spent answering.
+    pub elapsed: Duration,
+}
+
+impl fmt::Display for QueryOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} in {:?} (passed={}, scck={}, edges={})",
+            if self.answer { "TRUE" } else { "FALSE" },
+            self.elapsed,
+            self.stats.passed_vertices,
+            self.stats.scck_calls,
+            self.stats.edges_scanned
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kgreach_graph::GraphBuilder;
+
+    fn tiny() -> Graph {
+        let mut b = GraphBuilder::new();
+        b.add_triple("a", "p", "b");
+        b.build().unwrap()
+    }
+
+    fn any_constraint() -> SubstructureConstraint {
+        SubstructureConstraint::parse("SELECT ?x WHERE { ?x <p> <b> . }").unwrap()
+    }
+
+    #[test]
+    fn compile_validates_vertices() {
+        let g = tiny();
+        let q = LscrQuery::new(VertexId(0), VertexId(9), LabelSet::all(1), any_constraint());
+        match q.compile(&g) {
+            Err(QueryError::Graph(_)) => {}
+            other => panic!("expected graph error, got {other:?}"),
+        }
+        let q = LscrQuery::new(VertexId(0), VertexId(1), LabelSet::all(1), any_constraint());
+        assert!(q.compile(&g).is_ok());
+    }
+
+    #[test]
+    fn error_display() {
+        let e: QueryError = GraphError::VertexOutOfRange { id: 9, num_vertices: 2 }.into();
+        assert!(e.to_string().contains("vertex id 9"));
+        let e: QueryError = SparqlError::EmptyPattern.into();
+        assert!(e.to_string().contains("no triple patterns"));
+    }
+
+    #[test]
+    fn outcome_display() {
+        let o = QueryOutcome {
+            answer: true,
+            stats: SearchStats { passed_vertices: 5, ..Default::default() },
+            elapsed: Duration::from_millis(3),
+        };
+        let text = o.to_string();
+        assert!(text.contains("TRUE"));
+        assert!(text.contains("passed=5"));
+    }
+}

@@ -1,0 +1,359 @@
+//! UIS\* — the improved uninformed search (paper Algorithm 2).
+//!
+//! Instead of probing every visited vertex with `SCck`, UIS\* materializes
+//! `V(S,G)` once (through the SPARQL engine) and reduces the LSCR query to
+//! a sequence of label-constrained reachability checks
+//! `s ⇝_L v` / `v ⇝_L t` for `v ∈ V(S,G)`, run by the shared function
+//! `LCS(s*, t*, L, B)` over one **global stack** and one `close` map:
+//!
+//! * `B = F` invocations explore the still-unexplored (`N`) region
+//!   reachable from `s` — across all invocations they amount to a single
+//!   traversal (Theorem 4.1);
+//! * `B = T` invocations re-explore from a satisfying vertex, upgrading
+//!   `F` vertices to `T` — again each vertex is upgraded at most once.
+//!
+//! Total work is `O(|V| + |E|)` (Theorem 4.5) — but the paper's evaluation
+//! shows the *order* in which `V(S,G)` is processed dominates real
+//! performance (§6: UIS\* often loses to plain UIS because the set is
+//! unordered and the search keeps "falling into bad directions"; INS fixes
+//! exactly this). [`answer_seeded`] reproduces that unordered behaviour.
+
+use crate::close::{CloseMap, CloseState};
+use crate::query::{CompiledLscrQuery, QueryOutcome, SearchStats};
+use kgreach_graph::{Graph, LabelSet, VertexId};
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use std::time::Instant;
+
+/// Answers `q`, processing `V(S,G)` in ascending vertex-id order.
+pub fn answer(g: &Graph, q: &CompiledLscrQuery) -> QueryOutcome {
+    let mut close = CloseMap::new(g.num_vertices());
+    answer_with(g, q, &mut close)
+}
+
+/// Answers `q` with a caller-provided `close` map (reset here).
+///
+/// The reported time includes the `V(S,G)` materialization — UIS\* and
+/// INS both pay the SPARQL engine, and comparing them against UIS is only
+/// fair if that cost is on the clock.
+pub fn answer_with(g: &Graph, q: &CompiledLscrQuery, close: &mut CloseMap) -> QueryOutcome {
+    let start = Instant::now();
+    let vsg = q.constraint.satisfying_vertices(g);
+    let mut outcome = answer_with_order(g, q, close, &vsg);
+    outcome.elapsed = start.elapsed();
+    outcome
+}
+
+/// Answers `q`, shuffling `V(S,G)` with the given seed — the paper's
+/// "disordered" semantics (§4: existing SPARQL engines cannot order the
+/// matches usefully for reachability). Timing includes the
+/// materialization and shuffle, as in [`answer_with`].
+pub fn answer_seeded(
+    g: &Graph,
+    q: &CompiledLscrQuery,
+    close: &mut CloseMap,
+    seed: u64,
+) -> QueryOutcome {
+    let start = Instant::now();
+    let mut vsg = q.constraint.satisfying_vertices(g);
+    let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+    vsg.shuffle(&mut rng);
+    let mut outcome = answer_with_order(g, q, close, &vsg);
+    outcome.elapsed = start.elapsed();
+    outcome
+}
+
+/// Answers `q`, processing `V(S,G)` exactly in the order given.
+pub fn answer_with_order(
+    g: &Graph,
+    q: &CompiledLscrQuery,
+    close: &mut CloseMap,
+    vsg: &[VertexId],
+) -> QueryOutcome {
+    let start = Instant::now();
+    close.reset();
+
+    let mut state = UisStar {
+        g,
+        labels: q.label_constraint,
+        close,
+        stack: Vec::with_capacity(64),
+        stats: SearchStats { vsg_size: Some(vsg.len()), ..Default::default() },
+    };
+
+    // Lines 1-2: global stack with s; close[s] ← F.
+    state.stack.push(q.source);
+    state.stats.pushes += 1;
+    state.close.set(q.source, CloseState::F);
+
+    let s = q.source;
+    let t = q.target;
+
+    // Lines 3-12.
+    let mut answer = false;
+    for &v in vsg {
+        match state.close.get(v) {
+            CloseState::N => {
+                if v == s || v == t {
+                    // v ∈ V(S,G) coincides with an endpoint: plain
+                    // label-reachability decides the whole query.
+                    answer = state.lcs(s, t, false);
+                    return state.finish(answer, start);
+                } else if state.lcs(s, v, false) && state.lcs(v, t, true) {
+                    answer = true;
+                    break;
+                }
+            }
+            CloseState::F => {
+                if state.lcs(v, t, true) {
+                    answer = true;
+                    break;
+                }
+            }
+            // T: v's whole L-reachable region was already explored in a
+            // previous B = T invocation and t was not in it.
+            CloseState::T => {}
+        }
+    }
+
+    state.finish(answer, start)
+}
+
+struct UisStar<'a> {
+    g: &'a Graph,
+    labels: LabelSet,
+    close: &'a mut CloseMap,
+    stack: Vec<VertexId>,
+    stats: SearchStats,
+}
+
+impl UisStar<'_> {
+    /// The paper's `LCS(s*, t*, L, B)` (Algorithm 2, lines 14-24),
+    /// verifying `s* ⇝_L t*` over the shared stack/`close`.
+    fn lcs(&mut self, s_star: VertexId, t_star: VertexId, b: bool) -> bool {
+        self.stats.lcs_invocations += 1;
+        if s_star == t_star {
+            // Zero-edge path: for B = T, s* additionally becomes T.
+            if b {
+                self.close.set(s_star, CloseState::T);
+            }
+            return true;
+        }
+        // Lines 15-16.
+        if b {
+            self.close.set(s_star, CloseState::T);
+            self.stack.push(s_star);
+            self.stats.pushes += 1;
+        }
+        // Line 17: while (B=F ∧ S≠φ) or (B = close[S.first] = T).
+        loop {
+            let u = match self.stack.last() {
+                Some(&top) if !b || self.close.is_t(top) => {
+                    self.stack.pop();
+                    top
+                }
+                _ => break,
+            };
+            for e in self.g.out_neighbors(u) {
+                if !self.labels.contains(e.label) {
+                    continue;
+                }
+                self.stats.edges_scanned += 1;
+                let w = e.vertex;
+                // Line 20: case 1 (B=T ∧ close[w]≠T), case 2 (B=F ∧ close[w]=N).
+                let explore = if b { !self.close.is_t(w) } else { self.close.is_n(w) };
+                if explore {
+                    self.close.set(w, if b { CloseState::T } else { CloseState::F });
+                    self.stack.push(w);
+                    self.stats.pushes += 1;
+                    if w == t_star {
+                        // Correctness fix over the paper's literal Alg. 2:
+                        // a B=F invocation returning mid-scan would lose
+                        // u's remaining edges from the global traversal
+                        // (Theorem 4.1 only covers *false* returns). Re-
+                        // push u so later invocations resume its scan;
+                        // already-explored neighbors are skipped by case 2.
+                        if !b {
+                            self.stack.push(u);
+                            self.stats.pushes += 1;
+                        }
+                        return true;
+                    }
+                }
+            }
+        }
+        // Line 24: pop the elements passed in this invocation (state T), so
+        // the next B = F invocation resumes at the old F frontier.
+        if b {
+            while let Some(&x) = self.stack.last() {
+                if self.close.is_t(x) {
+                    self.stack.pop();
+                } else {
+                    break;
+                }
+            }
+        }
+        false
+    }
+
+    fn finish(mut self, answer: bool, start: Instant) -> QueryOutcome {
+        self.stats.passed_vertices = self.close.passed_vertices();
+        QueryOutcome { answer, stats: self.stats, elapsed: start.elapsed() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures::{figure3, s0};
+    use crate::oracle;
+    use crate::query::LscrQuery;
+
+    const ALL: [&str; 5] = ["friendOf", "likes", "advisorOf", "follows", "hates"];
+
+    fn run(g: &Graph, s: &str, t: &str, labels: &[&str]) -> QueryOutcome {
+        let q = LscrQuery::new(
+            g.vertex_id(s).unwrap(),
+            g.vertex_id(t).unwrap(),
+            g.label_set(labels),
+            s0(),
+        );
+        answer(g, &q.compile(g).unwrap())
+    }
+
+    #[test]
+    fn paper_examples() {
+        let g = figure3();
+        assert!(run(&g, "v0", "v4", &["likes", "follows"]).answer);
+        assert!(!run(&g, "v0", "v3", &["likes", "follows"]).answer);
+        assert!(run(&g, "v3", "v4", &["likes", "hates", "friendOf"]).answer);
+    }
+
+    #[test]
+    fn section4_worked_example() {
+        // §4: Q0 = (v3, v4, {likes, hates, friendOf}, S0) is answered by
+        // verifying v3 ⇝_L v1 and v1 ⇝_L v4.
+        let g = figure3();
+        let out = run(&g, "v3", "v4", &["likes", "hates", "friendOf"]);
+        assert!(out.answer);
+        assert_eq!(out.stats.vsg_size, Some(2)); // V(S0,G0) = {v1, v2}
+        assert!(out.stats.lcs_invocations >= 2);
+    }
+
+    #[test]
+    fn substructure_only() {
+        let g = figure3();
+        assert!(run(&g, "v0", "v4", &ALL).answer);
+        assert!(run(&g, "v0", "v3", &ALL).answer);
+        assert!(!run(&g, "v4", "v0", &ALL).answer);
+    }
+
+    #[test]
+    fn source_equals_target() {
+        let g = figure3();
+        assert!(run(&g, "v1", "v1", &ALL).answer);
+        assert!(!run(&g, "v0", "v0", &ALL).answer);
+        assert!(run(&g, "v4", "v4", &ALL).answer);
+    }
+
+    #[test]
+    fn endpoint_in_vsg_shortcut() {
+        // t = v1 ∈ V(S0,G0): answer is plain label reachability s ⇝_L t.
+        let g = figure3();
+        assert!(run(&g, "v0", "v1", &["friendOf"]).answer);
+        assert!(!run(&g, "v3", "v1", &["likes"]).answer); // v3-likes->v4 only
+        assert!(run(&g, "v3", "v1", &["likes", "hates"]).answer);
+    }
+
+    #[test]
+    fn exhaustive_agreement_with_oracle_and_uis() {
+        let g = figure3();
+        let label_sets: Vec<Vec<&str>> = vec![
+            ALL.to_vec(),
+            vec!["likes", "follows"],
+            vec!["likes", "hates", "friendOf"],
+            vec!["friendOf", "likes"],
+            vec!["hates"],
+            vec![],
+        ];
+        let mut close = CloseMap::new(g.num_vertices());
+        for s in ["v0", "v1", "v2", "v3", "v4"] {
+            for t in ["v0", "v1", "v2", "v3", "v4"] {
+                for ls in &label_sets {
+                    let q = LscrQuery::new(
+                        g.vertex_id(s).unwrap(),
+                        g.vertex_id(t).unwrap(),
+                        g.label_set(ls),
+                        s0(),
+                    );
+                    let cq = q.compile(&g).unwrap();
+                    let expected = oracle::answer(&g, &cq).answer;
+                    assert_eq!(
+                        answer_with(&g, &cq, &mut close).answer,
+                        expected,
+                        "uis* vs oracle on {s}->{t} {ls:?}"
+                    );
+                    assert_eq!(
+                        crate::uis::answer(&g, &cq).answer,
+                        expected,
+                        "uis vs oracle on {s}->{t} {ls:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn all_orders_agree() {
+        // The V(S,G) processing order affects cost, never the answer.
+        let g = figure3();
+        let mut close = CloseMap::new(g.num_vertices());
+        for s in ["v0", "v1", "v3", "v4"] {
+            for t in ["v0", "v2", "v4"] {
+                let q = LscrQuery::new(
+                    g.vertex_id(s).unwrap(),
+                    g.vertex_id(t).unwrap(),
+                    g.label_set(&["likes", "hates", "friendOf"]),
+                    s0(),
+                );
+                let cq = q.compile(&g).unwrap();
+                let reference = answer_with(&g, &cq, &mut close).answer;
+                for seed in 0..10 {
+                    assert_eq!(
+                        answer_seeded(&g, &cq, &mut close, seed).answer,
+                        reference,
+                        "seed {seed} changed the answer for {s}->{t}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pushes_bounded_by_search_tree() {
+        // Definition 3.2: ≤ 2 nodes per vertex, plus one s* push per LCS.
+        let g = figure3();
+        let out = run(&g, "v3", "v4", &ALL);
+        let bound = 2 * g.num_vertices() + out.stats.lcs_invocations;
+        assert!(out.stats.pushes <= bound, "{} > {bound}", out.stats.pushes);
+    }
+
+    #[test]
+    fn empty_vsg_means_false() {
+        let g = figure3();
+        let c = crate::constraint::SubstructureConstraint::parse(
+            "SELECT ?x WHERE { ?x <likes> <v0> . }", // nobody likes v0
+        )
+        .unwrap();
+        let q = LscrQuery::new(
+            g.vertex_id("v0").unwrap(),
+            g.vertex_id("v4").unwrap(),
+            g.all_labels(),
+            c,
+        );
+        let out = answer(&g, &q.compile(&g).unwrap());
+        assert!(!out.answer);
+        assert_eq!(out.stats.vsg_size, Some(0));
+        assert_eq!(out.stats.lcs_invocations, 0);
+    }
+}

@@ -1,0 +1,254 @@
+//! Substructure constraints: the paper's S1–S5 (Table 3) plus the §6.2
+//! random constraint generator with selectivity targeting.
+
+use kgreach::{CompiledConstraint, SubstructureConstraint};
+use kgreach_graph::{Graph, VertexId};
+use kgreach_sparql::{SelectQuery, Term, TriplePattern};
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// The paper's five typical substructure constraints on LUBM (Table 3),
+/// verbatim modulo ASCII quoting.
+pub fn s1() -> SubstructureConstraint {
+    SubstructureConstraint::parse(
+        "SELECT ?x WHERE { ?x <ub:researchInterest> \"Research12\" . }",
+    )
+    .expect("S1 parses")
+}
+
+/// S2 — S1 plus an associate-professor type requirement (~50% of S1).
+pub fn s2() -> SubstructureConstraint {
+    SubstructureConstraint::parse(
+        "SELECT ?x WHERE { ?x <ub:researchInterest> \"Research12\" . \
+         ?x <rdf:type> <ub:AssociateProfessor> . }",
+    )
+    .expect("S2 parses")
+}
+
+/// S3 — undergraduates taking a course (~120× S1).
+pub fn s3() -> SubstructureConstraint {
+    SubstructureConstraint::parse(
+        "SELECT ?x WHERE { ?x <rdf:type> <ub:UndergraduateStudent> . \
+         ?x <ub:takesCourse> ?y . ?y <rdf:type> <ub:Course> . }",
+    )
+    .expect("S3 parses")
+}
+
+/// S4 — the high-selectivity graduate-student star pattern (~1× S1).
+pub fn s4() -> SubstructureConstraint {
+    SubstructureConstraint::parse(
+        "SELECT ?x WHERE { ?x <ub:name> \"GraduateStudent4\" . \
+         ?x <ub:takesCourse> ?y1 . ?x <ub:advisor> ?y2 . ?x <ub:memberOf> ?y3 . \
+         ?z1 <ub:takesCourse> ?y1 . ?y2 <ub:teacherOf> ?z2 . \
+         ?y2 <ub:worksFor> ?z3 . ?y3 <ub:subOrganizationOf> ?z4 . }",
+    )
+    .expect("S4 parses")
+}
+
+/// S5 — the unique full professor (|V(S5,D)| = 1).
+pub fn s5() -> SubstructureConstraint {
+    SubstructureConstraint::parse(
+        "SELECT ?x WHERE { ?x <ub:emailAddress> 'FullProfessor0@Department0.University0.edu' . \
+         ?x <ub:undergraduateDegreeFrom> ?y1 . ?x <ub:mastersDegreeFrom> ?y2 . \
+         ?x <ub:doctoralDegreeFrom> ?y3 . }",
+    )
+    .expect("S5 parses")
+}
+
+/// All five constraints with their paper names.
+pub fn all_lubm_constraints() -> Vec<(&'static str, SubstructureConstraint)> {
+    vec![("S1", s1()), ("S2", s2()), ("S3", s3()), ("S4", s4()), ("S5", s5())]
+}
+
+/// Generates a random substructure constraint whose satisfying-vertex
+/// count lands in `[0.8m, 1.2m]` (the §6.2 protocol): seed a constraint
+/// from a random typed instance, then widen/narrow it until the count
+/// fits. Returns the constraint and its exact `|V(S,G)|`, or `None` if no
+/// attempt converged.
+pub fn random_constraint_with_magnitude(
+    g: &Graph,
+    m: usize,
+    seed: u64,
+) -> Option<(SubstructureConstraint, usize)> {
+    let schema = g.schema();
+    let type_label = schema.type_label?;
+    let type_name = g.label_name(type_label).to_string();
+    let lo = (0.8 * m as f64) as usize;
+    let hi = (1.2 * m as f64).ceil() as usize;
+    let mut rng = SmallRng::seed_from_u64(seed);
+
+    // Classes sorted by instance count give the coarse dial; extra
+    // patterns narrow from there.
+    let mut classes: Vec<(VertexId, usize)> =
+        schema.iter_classes().map(|(c, inst)| (c, inst.len())).collect();
+    classes.sort_unstable_by_key(|&(_, n)| n);
+
+    for attempt in 0..128 {
+        // Seed either from a concrete class at least as populous as the
+        // target, or — every other attempt — from the variable-class
+        // pattern `?x rdf:type ?c` (all typed instances), which gives the
+        // narrowing loop a coarser starting point.
+        let candidates: Vec<usize> = classes
+            .iter()
+            .enumerate()
+            .filter(|(_, &(_, n))| n >= lo)
+            .map(|(i, _)| i)
+            .collect();
+        let seed_pattern = if candidates.is_empty() || attempt % 2 == 1 {
+            TriplePattern::new(Term::var("x"), Term::constant(&type_name), Term::var("c"))
+        } else {
+            let &ci = candidates.choose(&mut rng)?;
+            let (class, _) = classes[ci];
+            TriplePattern::new(
+                Term::var("x"),
+                Term::constant(&type_name),
+                Term::constant(g.vertex_name(class)),
+            )
+        };
+        let mut patterns = vec![seed_pattern];
+
+        // Narrow with structural patterns sampled from a random instance
+        // of the class; on overshoot keep the pattern, on undershoot drop
+        // it and try a different one (the paper's "gradually and randomly
+        // adjust V_S, E_S and E_?").
+        for _round in 0..16 {
+            let constraint = SubstructureConstraint::from_query(SelectQuery {
+                projection: vec!["x".into()],
+                patterns: patterns.clone(),
+            })
+            .ok()?;
+            let compiled = constraint.compile(g).ok()?;
+            let instances = compiled.satisfying_vertices(g);
+            let count = instances.len();
+            if (lo..=hi).contains(&count) {
+                return Some((constraint, count));
+            }
+            if count < lo {
+                if patterns.len() <= 1 {
+                    break; // class alone is too small: try another class
+                }
+                patterns.pop(); // undo the last narrowing, try another
+                continue;
+            }
+            // Too many matches: add a pattern observed on a random
+            // satisfying instance so the result stays non-empty.
+            let &inst = instances.choose(&mut rng)?;
+            let out: Vec<_> = g.out_neighbors(inst).to_vec();
+            if out.is_empty() {
+                break;
+            }
+            let e = out[rng.gen_range(0..out.len())];
+            // Generalize the object to a variable most of the time:
+            // (?x, l, ?y) patterns cut gently, concrete objects cut hard.
+            let object = if rng.gen_bool(0.75) {
+                Term::var(format!("v{}", patterns.len()))
+            } else {
+                Term::constant(g.vertex_name(e.vertex))
+            };
+            patterns.push(TriplePattern::new(
+                Term::var("x"),
+                Term::constant(g.label_name(e.label)),
+                object,
+            ));
+        }
+    }
+    None
+}
+
+/// Convenience: compile a named constraint against a graph.
+pub fn compile(c: &SubstructureConstraint, g: &Graph) -> CompiledConstraint {
+    c.compile(g).expect("constraint compiles against generated graph")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lubm::{generate, LubmConfig};
+
+    fn lubm() -> Graph {
+        generate(&LubmConfig { universities: 2, departments: 5, seed: 11 }).unwrap()
+    }
+
+    #[test]
+    fn s1_selectivity_near_one_permille() {
+        let g = lubm();
+        let v = compile(&s1(), &g).satisfying_vertices(&g).len();
+        let frac = v as f64 / g.num_vertices() as f64;
+        // Tuned to the paper's ≈1‰ (generous band: tiny graphs are noisy).
+        assert!((0.0005..0.01).contains(&frac), "S1 fraction {frac} ({v} matches)");
+        assert!(v > 0);
+    }
+
+    #[test]
+    fn s2_is_about_half_of_s1() {
+        let g = lubm();
+        let v1 = compile(&s1(), &g).satisfying_vertices(&g).len();
+        let v2 = compile(&s2(), &g).satisfying_vertices(&g).len();
+        let ratio = v2 as f64 / v1 as f64;
+        assert!((0.2..0.8).contains(&ratio), "S2/S1 = {ratio} ({v2}/{v1})");
+    }
+
+    #[test]
+    fn s3_is_far_larger_than_s1() {
+        let g = lubm();
+        let v1 = compile(&s1(), &g).satisfying_vertices(&g).len();
+        let v3 = compile(&s3(), &g).satisfying_vertices(&g).len();
+        let ratio = v3 as f64 / v1 as f64;
+        assert!(ratio > 40.0, "S3/S1 = {ratio} ({v3}/{v1})");
+        // All 48 UG students per department take courses.
+        assert_eq!(v3, 48 * 10);
+    }
+
+    #[test]
+    fn s4_is_comparable_to_s1() {
+        let g = lubm();
+        let v1 = compile(&s1(), &g).satisfying_vertices(&g).len();
+        let v4 = compile(&s4(), &g).satisfying_vertices(&g).len();
+        let ratio = v4 as f64 / (v1 as f64).max(1.0);
+        assert!((0.2..5.0).contains(&ratio), "S4/S1 = {ratio} ({v4}/{v1})");
+    }
+
+    #[test]
+    fn s5_is_unique() {
+        let g = lubm();
+        let v5 = compile(&s5(), &g).satisfying_vertices(&g);
+        assert_eq!(v5.len(), 1);
+        let name = g.vertex_name(v5[0]);
+        assert!(name.starts_with("FullProfessor0.Department0.University0"), "{name}");
+    }
+
+    #[test]
+    fn all_constraints_compile_and_roundtrip() {
+        let g = lubm();
+        for (name, c) in all_lubm_constraints() {
+            let text = c.to_sparql();
+            let back = SubstructureConstraint::parse(&text).unwrap();
+            assert_eq!(back, c, "{name} round-trips");
+            assert!(!compile(&c, &g).is_unsatisfiable(), "{name} resolves");
+        }
+    }
+
+    #[test]
+    fn random_constraint_hits_magnitude() {
+        let g = crate::yago::generate(&crate::yago::YagoConfig {
+            entities: 4_000,
+            edges_per_entity: 3,
+            num_labels: 16,
+            num_classes: 12,
+            seed: 3,
+        })
+        .unwrap();
+        for m in [10usize, 100, 1000] {
+            let Some((c, count)) = random_constraint_with_magnitude(&g, m, 42 + m as u64) else {
+                panic!("no constraint found for magnitude {m}");
+            };
+            let lo = (0.8 * m as f64) as usize;
+            let hi = (1.2 * m as f64).ceil() as usize;
+            assert!((lo..=hi).contains(&count), "m={m}: count {count} outside [{lo},{hi}]");
+            // The count is real.
+            let actual = compile(&c, &g).satisfying_vertices(&g).len();
+            assert_eq!(actual, count);
+        }
+    }
+}

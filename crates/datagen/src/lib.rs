@@ -1,0 +1,31 @@
+//! # kgreach-datagen — synthetic workloads for the LSCR evaluation
+//!
+//! The paper evaluates on LUBM [4] (synthetic, generated) and YAGO [18]
+//! (real, ~4M vertices). Neither artifact can ship with this repository,
+//! so this crate rebuilds the *workload generators* (see DESIGN.md's
+//! substitution table):
+//!
+//! * [`lubm`] — a university-ontology generator emitting exactly the
+//!   predicate vocabulary of the paper's S1–S5 constraints, with entity
+//!   ratios tuned to reproduce their selectivities (≈1‰, ≈50%, ≈120×,
+//!   ≈1×, =1);
+//! * [`yago`] — a scale-free, Zipf-labeled, class-taxonomized KG standing
+//!   in for YAGO in the Figure 15 experiments;
+//! * [`constraints`] — Table 3's S1–S5 plus the §6.2 random-constraint
+//!   generator with `|V(S,G)|`-magnitude targeting;
+//! * [`queries`] — the §6.1.1 evaluation-query protocol (stratified label
+//!   sizes, BFS-distance filtering, UIS difficulty filtering, false-type
+//!   balancing).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod constraints;
+pub mod lubm;
+pub mod queries;
+pub mod yago;
+
+pub use constraints::{all_lubm_constraints, random_constraint_with_magnitude};
+pub use lubm::LubmConfig;
+pub use queries::{FalseKind, GeneratedQuery, QueryGenConfig, Workload};
+pub use yago::YagoConfig;

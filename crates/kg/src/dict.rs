@@ -1,0 +1,139 @@
+//! String interning dictionaries mapping IRIs/literals to dense ids.
+//!
+//! KGs are stored as RDF triples of strings; every algorithm in this
+//! repository works on dense integer ids. `Dict` provides the two-way
+//! mapping with O(1) amortized interning and O(1) reverse lookup.
+
+use crate::fxhash::FxHashMap;
+
+/// A two-way string ↔ dense-id dictionary.
+///
+/// Ids are assigned in first-seen order starting from 0, so they can be used
+/// directly as array indices.
+#[derive(Default, Clone, Debug)]
+pub struct Dict {
+    by_name: FxHashMap<Box<str>, u32>,
+    by_id: Vec<Box<str>>,
+}
+
+impl Dict {
+    /// Creates an empty dictionary.
+    pub fn new() -> Self {
+        Dict::default()
+    }
+
+    /// Creates an empty dictionary with room for `cap` entries.
+    pub fn with_capacity(cap: usize) -> Self {
+        Dict {
+            by_name: crate::fxhash::fx_map_with_capacity(cap),
+            by_id: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Interns `name`, returning its id (existing or freshly assigned).
+    pub fn intern(&mut self, name: &str) -> u32 {
+        if let Some(&id) = self.by_name.get(name) {
+            return id;
+        }
+        let id = self.by_id.len() as u32;
+        let boxed: Box<str> = name.into();
+        self.by_id.push(boxed.clone());
+        self.by_name.insert(boxed, id);
+        id
+    }
+
+    /// Looks up the id of `name`, if interned.
+    pub fn get(&self, name: &str) -> Option<u32> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Returns the string for `id`.
+    ///
+    /// # Panics
+    /// Panics if `id` was never assigned.
+    pub fn name(&self, id: u32) -> &str {
+        &self.by_id[id as usize]
+    }
+
+    /// Returns the string for `id`, if assigned.
+    pub fn try_name(&self, id: u32) -> Option<&str> {
+        self.by_id.get(id as usize).map(|s| &**s)
+    }
+
+    /// Number of interned strings.
+    pub fn len(&self) -> usize {
+        self.by_id.len()
+    }
+
+    /// Whether the dictionary is empty.
+    pub fn is_empty(&self) -> bool {
+        self.by_id.is_empty()
+    }
+
+    /// Iterates over `(id, name)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, &str)> {
+        self.by_id.iter().enumerate().map(|(i, s)| (i as u32, &**s))
+    }
+
+    /// Approximate heap footprint in bytes (for index-size reporting).
+    pub fn heap_bytes(&self) -> usize {
+        let strings: usize = self.by_id.iter().map(|s| s.len()).sum();
+        // Two owning copies of every string (map key + vec entry), plus
+        // table overhead approximated by entry counts.
+        2 * strings
+            + self.by_id.capacity() * std::mem::size_of::<Box<str>>()
+            + self.by_name.capacity()
+                * (std::mem::size_of::<Box<str>>() + std::mem::size_of::<u32>())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_assigns_dense_ids() {
+        let mut d = Dict::new();
+        assert_eq!(d.intern("a"), 0);
+        assert_eq!(d.intern("b"), 1);
+        assert_eq!(d.intern("a"), 0); // idempotent
+        assert_eq!(d.len(), 2);
+    }
+
+    #[test]
+    fn reverse_lookup() {
+        let mut d = Dict::with_capacity(4);
+        let id = d.intern("http://example.org/x");
+        assert_eq!(d.name(id), "http://example.org/x");
+        assert_eq!(d.try_name(id), Some("http://example.org/x"));
+        assert_eq!(d.try_name(id + 1), None);
+    }
+
+    #[test]
+    fn get_without_interning() {
+        let mut d = Dict::new();
+        assert_eq!(d.get("missing"), None);
+        d.intern("present");
+        assert_eq!(d.get("present"), Some(0));
+    }
+
+    #[test]
+    fn iteration_in_id_order() {
+        let mut d = Dict::new();
+        d.intern("x");
+        d.intern("y");
+        d.intern("z");
+        let v: Vec<(u32, &str)> = d.iter().collect();
+        assert_eq!(v, vec![(0, "x"), (1, "y"), (2, "z")]);
+    }
+
+    #[test]
+    fn empty_and_bytes() {
+        let d = Dict::new();
+        assert!(d.is_empty());
+        let mut d = d;
+        d.intern("abc");
+        assert!(!d.is_empty());
+        assert!(d.heap_bytes() >= 6); // two copies of "abc"
+    }
+}

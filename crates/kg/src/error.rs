@@ -1,0 +1,94 @@
+//! Error types for the knowledge-graph substrate.
+
+use std::fmt;
+
+/// Errors raised while building or loading a knowledge graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// The graph uses more distinct edge labels than the label-set
+    /// machinery supports (see [`MAX_LABELS`](crate::labelset::MAX_LABELS)).
+    TooManyLabels {
+        /// Number of labels requested.
+        requested: usize,
+        /// Maximum supported.
+        max: usize,
+    },
+    /// A vertex id referenced by an edge or query is out of range.
+    VertexOutOfRange {
+        /// The offending id.
+        id: u32,
+        /// Number of vertices in the graph.
+        num_vertices: usize,
+    },
+    /// A label id referenced by an edge or query is out of range.
+    LabelOutOfRange {
+        /// The offending id.
+        id: u16,
+        /// Number of labels in the graph.
+        num_labels: usize,
+    },
+    /// A serialized graph file could not be parsed.
+    Parse {
+        /// 1-based line number of the offending line.
+        line: usize,
+        /// Human-readable description.
+        message: String,
+    },
+    /// An I/O error, stringified (keeps the error type `Clone + Eq`).
+    Io(String),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::TooManyLabels { requested, max } => write!(
+                f,
+                "graph has {requested} distinct edge labels, but at most {max} are supported"
+            ),
+            GraphError::VertexOutOfRange { id, num_vertices } => {
+                write!(f, "vertex id {id} out of range (graph has {num_vertices} vertices)")
+            }
+            GraphError::LabelOutOfRange { id, num_labels } => {
+                write!(f, "label id {id} out of range (graph has {num_labels} labels)")
+            }
+            GraphError::Parse { line, message } => write!(f, "parse error at line {line}: {message}"),
+            GraphError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+impl From<std::io::Error> for GraphError {
+    fn from(e: std::io::Error) -> Self {
+        GraphError::Io(e.to_string())
+    }
+}
+
+/// Convenience alias for graph-substrate results.
+pub type Result<T> = std::result::Result<T, GraphError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = GraphError::TooManyLabels { requested: 90, max: 64 };
+        assert!(e.to_string().contains("90"));
+        assert!(e.to_string().contains("64"));
+
+        let e = GraphError::VertexOutOfRange { id: 5, num_vertices: 3 };
+        assert!(e.to_string().contains("vertex id 5"));
+
+        let e = GraphError::Parse { line: 12, message: "bad triple".into() };
+        assert!(e.to_string().contains("line 12"));
+    }
+
+    #[test]
+    fn io_error_converts() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "nope");
+        let e: GraphError = io.into();
+        assert!(matches!(e, GraphError::Io(_)));
+    }
+}

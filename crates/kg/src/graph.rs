@@ -1,0 +1,451 @@
+//! The knowledge graph `G = (V, E, 𝓛, LS)` and its builder.
+//!
+//! [`Graph`] is an immutable, query-optimized snapshot: interned vertex and
+//! label dictionaries, CSR adjacency in both directions, and the RDFS
+//! [`Schema`] layer. [`GraphBuilder`] accumulates triples (string-level or
+//! pre-interned) and freezes them into a `Graph`.
+
+use crate::csr::{Csr, LabeledTarget};
+use crate::dict::Dict;
+use crate::error::{GraphError, Result};
+use crate::ids::{Edge, LabelId, VertexId};
+use crate::labelset::{LabelSet, MAX_LABELS};
+use crate::schema::Schema;
+use crate::triples::{vocab, Triple};
+
+/// An immutable edge-labeled knowledge graph.
+#[derive(Clone, Debug)]
+pub struct Graph {
+    vertex_dict: Dict,
+    label_dict: Dict,
+    out: Csr,
+    inn: Csr,
+    schema: Schema,
+}
+
+impl Graph {
+    /// Number of vertices `|V|`.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.vertex_dict.len()
+    }
+
+    /// Number of edges `|E|`.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.out.num_edges()
+    }
+
+    /// Number of distinct edge labels `|𝓛|`.
+    #[inline]
+    pub fn num_labels(&self) -> usize {
+        self.label_dict.len()
+    }
+
+    /// Graph density `D = |E| / |V|` (0 for the empty graph).
+    pub fn density(&self) -> f64 {
+        if self.num_vertices() == 0 {
+            0.0
+        } else {
+            self.num_edges() as f64 / self.num_vertices() as f64
+        }
+    }
+
+    /// The full label alphabet as a [`LabelSet`].
+    pub fn all_labels(&self) -> LabelSet {
+        LabelSet::all(self.num_labels())
+    }
+
+    /// Iterator over all vertex ids.
+    pub fn vertices(&self) -> impl Iterator<Item = VertexId> {
+        (0..self.num_vertices() as u32).map(VertexId)
+    }
+
+    /// Out-edges of `v` as `(label, target)` pairs sorted by label.
+    #[inline(always)]
+    pub fn out_neighbors(&self, v: VertexId) -> &[LabeledTarget] {
+        self.out.neighbors(v)
+    }
+
+    /// In-edges of `v` as `(label, source)` pairs sorted by label.
+    #[inline(always)]
+    pub fn in_neighbors(&self, v: VertexId) -> &[LabeledTarget] {
+        self.inn.neighbors(v)
+    }
+
+    /// Out-edges of `v` with label `l`.
+    #[inline]
+    pub fn out_neighbors_with_label(&self, v: VertexId, l: LabelId) -> &[LabeledTarget] {
+        self.out.neighbors_with_label(v, l)
+    }
+
+    /// In-edges of `v` with label `l`.
+    #[inline]
+    pub fn in_neighbors_with_label(&self, v: VertexId, l: LabelId) -> &[LabeledTarget] {
+        self.inn.neighbors_with_label(v, l)
+    }
+
+    /// Out-degree of `v`.
+    #[inline]
+    pub fn out_degree(&self, v: VertexId) -> usize {
+        self.out.degree(v)
+    }
+
+    /// In-degree of `v`.
+    #[inline]
+    pub fn in_degree(&self, v: VertexId) -> usize {
+        self.inn.degree(v)
+    }
+
+    /// Total degree (in + out) of `v`.
+    #[inline]
+    pub fn degree(&self, v: VertexId) -> usize {
+        self.out_degree(v) + self.in_degree(v)
+    }
+
+    /// Whether the concrete edge `(s, l, t)` exists.
+    pub fn has_edge(&self, s: VertexId, l: LabelId, t: VertexId) -> bool {
+        self.out.neighbors_with_label(s, l).iter().any(|n| n.vertex == t)
+    }
+
+    /// Iterates every edge of the graph in source order.
+    pub fn edges(&self) -> impl Iterator<Item = Edge> + '_ {
+        self.vertices().flat_map(move |v| {
+            self.out_neighbors(v).iter().map(move |t| Edge::new(v, t.label, t.vertex))
+        })
+    }
+
+    /// The RDFS schema layer `LS`.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Resolves a vertex name to its id.
+    pub fn vertex_id(&self, name: &str) -> Option<VertexId> {
+        self.vertex_dict.get(name).map(VertexId)
+    }
+
+    /// Resolves a label (predicate) name to its id.
+    pub fn label_id(&self, name: &str) -> Option<LabelId> {
+        self.label_dict.get(name).map(|id| LabelId(id as u16))
+    }
+
+    /// The name of vertex `v`.
+    pub fn vertex_name(&self, v: VertexId) -> &str {
+        self.vertex_dict.name(v.0)
+    }
+
+    /// The name of label `l`.
+    pub fn label_name(&self, l: LabelId) -> &str {
+        self.label_dict.name(l.0 as u32)
+    }
+
+    /// Builds a label set from predicate names; unknown names are skipped.
+    pub fn label_set(&self, names: &[&str]) -> LabelSet {
+        names.iter().filter_map(|n| self.label_id(n)).collect()
+    }
+
+    /// Validates that `v` is a vertex of this graph.
+    pub fn check_vertex(&self, v: VertexId) -> Result<()> {
+        if v.index() < self.num_vertices() {
+            Ok(())
+        } else {
+            Err(GraphError::VertexOutOfRange { id: v.0, num_vertices: self.num_vertices() })
+        }
+    }
+
+    /// Validates that `l` is a label of this graph.
+    pub fn check_label(&self, l: LabelId) -> Result<()> {
+        if l.index() < self.num_labels() {
+            Ok(())
+        } else {
+            Err(GraphError::LabelOutOfRange { id: l.0, num_labels: self.num_labels() })
+        }
+    }
+
+    /// Approximate total heap footprint in bytes (adjacency + dictionaries
+    /// + schema), used for the index/graph size columns in the evaluation.
+    pub fn heap_bytes(&self) -> usize {
+        self.out.heap_bytes()
+            + self.inn.heap_bytes()
+            + self.vertex_dict.heap_bytes()
+            + self.label_dict.heap_bytes()
+            + self.schema.heap_bytes()
+    }
+
+    /// Serializes the graph back to triples (test/io helper).
+    pub fn to_triples(&self) -> impl Iterator<Item = Triple> + '_ {
+        self.edges().map(move |e| {
+            Triple::new(
+                self.vertex_name(e.src),
+                self.label_name(e.label),
+                self.vertex_name(e.dst),
+            )
+        })
+    }
+}
+
+/// Accumulates triples and freezes them into a [`Graph`].
+///
+/// The builder deduplicates *edges* (identical `(s,p,o)` triples are stored
+/// once) but not vertices — re-interning is cheap.
+#[derive(Default, Clone, Debug)]
+pub struct GraphBuilder {
+    vertex_dict: Dict,
+    label_dict: Dict,
+    edges: Vec<Edge>,
+}
+
+impl GraphBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        GraphBuilder::default()
+    }
+
+    /// Creates a builder with capacity hints.
+    pub fn with_capacity(vertices: usize, edges: usize) -> Self {
+        GraphBuilder {
+            vertex_dict: Dict::with_capacity(vertices),
+            label_dict: Dict::with_capacity(32),
+            edges: Vec::with_capacity(edges),
+        }
+    }
+
+    /// Interns a vertex name, returning its id.
+    pub fn intern_vertex(&mut self, name: &str) -> VertexId {
+        VertexId(self.vertex_dict.intern(name))
+    }
+
+    /// Interns a label name, returning its id.
+    pub fn intern_label(&mut self, name: &str) -> LabelId {
+        let id = self.label_dict.intern(name);
+        debug_assert!(id <= u16::MAX as u32, "label id overflows u16");
+        LabelId(id as u16)
+    }
+
+    /// Adds a string-level triple as an edge.
+    pub fn add_triple(&mut self, subject: &str, predicate: &str, object: &str) {
+        let s = self.intern_vertex(subject);
+        let p = self.intern_label(predicate);
+        let o = self.intern_vertex(object);
+        self.add_edge(s, p, o);
+    }
+
+    /// Adds a [`Triple`].
+    pub fn add(&mut self, t: &Triple) {
+        self.add_triple(&t.subject, &t.predicate, &t.object);
+    }
+
+    /// Adds an edge between already-interned ids.
+    pub fn add_edge(&mut self, src: VertexId, label: LabelId, dst: VertexId) {
+        self.edges.push(Edge::new(src, label, dst));
+    }
+
+    /// Number of edges added so far (before dedup).
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Number of vertices interned so far.
+    pub fn num_vertices(&self) -> usize {
+        self.vertex_dict.len()
+    }
+
+    /// Freezes the builder into an immutable [`Graph`].
+    ///
+    /// Returns [`GraphError::TooManyLabels`] if more than
+    /// [`MAX_LABELS`] distinct predicates were interned.
+    pub fn build(mut self) -> Result<Graph> {
+        if self.label_dict.len() > MAX_LABELS {
+            return Err(GraphError::TooManyLabels {
+                requested: self.label_dict.len(),
+                max: MAX_LABELS,
+            });
+        }
+        // Deduplicate identical edges: CSR construction sorts per-vertex, but
+        // global dedup first keeps |E| honest for the evaluation metrics.
+        self.edges.sort_unstable();
+        self.edges.dedup();
+
+        let n = self.vertex_dict.len();
+        let out = Csr::build(n, self.edges.iter().map(|e| (e.src, e.label, e.dst)));
+        let inn = Csr::build(n, self.edges.iter().map(|e| (e.dst, e.label, e.src)));
+
+        // Derive the RDFS schema layer from the frozen edges.
+        let mut schema = Schema::default();
+        for (id, name) in self.label_dict.iter() {
+            let l = LabelId(id as u16);
+            if vocab::is_type(name) {
+                schema.type_label = Some(l);
+            } else if vocab::is_subclass_of(name) {
+                schema.subclass_label = Some(l);
+            } else if vocab::is_domain(name) {
+                schema.domain_label = Some(l);
+            } else if vocab::is_range(name) {
+                schema.range_label = Some(l);
+            }
+        }
+        if let Some(tl) = schema.type_label {
+            for e in &self.edges {
+                if e.label == tl {
+                    schema.add_instance(e.dst, e.src);
+                }
+            }
+        }
+        if let Some(sc) = schema.subclass_label {
+            for e in &self.edges {
+                if e.label == sc {
+                    schema.add_class(e.src);
+                    schema.add_class(e.dst);
+                }
+            }
+        }
+
+        Ok(Graph { vertex_dict: self.vertex_dict, label_dict: self.label_dict, out, inn, schema })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The Figure 3(a) running-example graph `G0` (edges reconstructed from
+    /// the paper's worked CMS examples; see `kgreach::fixtures::figure3`).
+    pub(crate) fn figure3_graph() -> Graph {
+        let mut b = GraphBuilder::new();
+        for (s, p, o) in [
+            ("v0", "friendOf", "v1"),
+            ("v0", "likes", "v2"),
+            ("v0", "advisorOf", "v2"),
+            ("v1", "friendOf", "v3"),
+            ("v2", "friendOf", "v3"),
+            ("v2", "follows", "v4"),
+            ("v3", "likes", "v4"),
+            ("v4", "hates", "v1"),
+        ] {
+            b.add_triple(s, p, o);
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn basic_counts() {
+        let g = figure3_graph();
+        assert_eq!(g.num_vertices(), 5);
+        assert_eq!(g.num_edges(), 8);
+        assert_eq!(g.num_labels(), 5);
+        assert!((g.density() - 8.0 / 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn name_resolution_roundtrip() {
+        let g = figure3_graph();
+        let v3 = g.vertex_id("v3").unwrap();
+        assert_eq!(g.vertex_name(v3), "v3");
+        let likes = g.label_id("likes").unwrap();
+        assert_eq!(g.label_name(likes), "likes");
+        assert_eq!(g.vertex_id("nope"), None);
+        assert_eq!(g.label_id("nope"), None);
+    }
+
+    #[test]
+    fn adjacency_both_directions() {
+        let g = figure3_graph();
+        let v0 = g.vertex_id("v0").unwrap();
+        let v1 = g.vertex_id("v1").unwrap();
+        let v3 = g.vertex_id("v3").unwrap();
+        let friend = g.label_id("friendOf").unwrap();
+        assert!(g.has_edge(v0, friend, v1));
+        assert!(!g.has_edge(v1, friend, v0));
+        // v3's in-edges: friendOf from v1 and v2
+        let ins: Vec<_> = g.in_neighbors_with_label(v3, friend).iter().map(|t| t.vertex).collect();
+        assert_eq!(ins.len(), 2);
+        assert_eq!(g.in_degree(v3), 2);
+        assert_eq!(g.out_degree(v0), 3);
+        assert_eq!(g.degree(v0), 3);
+    }
+
+    #[test]
+    fn edges_iterator_covers_all() {
+        let g = figure3_graph();
+        assert_eq!(g.edges().count(), 8);
+        let triples: Vec<_> = g.to_triples().collect();
+        assert_eq!(triples.len(), 8);
+    }
+
+    #[test]
+    fn duplicate_triples_are_deduped() {
+        let mut b = GraphBuilder::new();
+        b.add_triple("a", "p", "b");
+        b.add_triple("a", "p", "b");
+        assert_eq!(b.num_edges(), 2);
+        let g = b.build().unwrap();
+        assert_eq!(g.num_edges(), 1);
+    }
+
+    #[test]
+    fn too_many_labels_rejected() {
+        let mut b = GraphBuilder::new();
+        for i in 0..65 {
+            b.add_triple("a", &format!("p{i}"), "b");
+        }
+        match b.build() {
+            Err(GraphError::TooManyLabels { requested, max }) => {
+                assert_eq!(requested, 65);
+                assert_eq!(max, MAX_LABELS);
+            }
+            other => panic!("expected TooManyLabels, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn schema_extraction() {
+        let mut b = GraphBuilder::new();
+        b.add_triple("Walker", "rdf:type", "eg:Researcher");
+        b.add_triple("Taylor", "rdf:type", "eg:Researcher");
+        b.add_triple("eg:Researcher", "rdfs:subClassOf", "eg:Person");
+        b.add_triple("Walker", "eg:workWith", "Taylor");
+        let g = b.build().unwrap();
+        let schema = g.schema();
+        assert!(schema.type_label.is_some());
+        assert!(schema.subclass_label.is_some());
+        let researcher = g.vertex_id("eg:Researcher").unwrap();
+        let person = g.vertex_id("eg:Person").unwrap();
+        assert!(schema.is_class(researcher));
+        assert!(schema.is_class(person));
+        assert_eq!(schema.instances_of(researcher).len(), 2);
+        assert!(schema.vocabulary_labels().len() >= 2);
+    }
+
+    #[test]
+    fn check_bounds() {
+        let g = figure3_graph();
+        assert!(g.check_vertex(VertexId(0)).is_ok());
+        assert!(g.check_vertex(VertexId(99)).is_err());
+        assert!(g.check_label(LabelId(0)).is_ok());
+        assert!(g.check_label(LabelId(99)).is_err());
+    }
+
+    #[test]
+    fn empty_graph_builds() {
+        let g = GraphBuilder::new().build().unwrap();
+        assert_eq!(g.num_vertices(), 0);
+        assert_eq!(g.num_edges(), 0);
+        assert_eq!(g.density(), 0.0);
+        assert_eq!(g.vertices().count(), 0);
+    }
+
+    #[test]
+    fn label_set_helper() {
+        let g = figure3_graph();
+        let ls = g.label_set(&["likes", "follows", "missing"]);
+        assert_eq!(ls.len(), 2);
+        assert!(ls.contains(g.label_id("likes").unwrap()));
+    }
+
+    #[test]
+    fn heap_bytes_positive() {
+        let g = figure3_graph();
+        assert!(g.heap_bytes() > 0);
+    }
+}

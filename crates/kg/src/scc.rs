@@ -1,0 +1,206 @@
+//! Strongly connected component decomposition (iterative Tarjan).
+//!
+//! The Zou et al. [25]-style LCR baseline (see `kgreach-lcr`) decomposes the
+//! input graph into SCCs, computes local transitive closures per component,
+//! and propagates CMS along the condensation's topological order. This
+//! module provides the decomposition plus the condensation order.
+
+use crate::graph::Graph;
+use crate::ids::VertexId;
+
+/// The result of an SCC decomposition.
+#[derive(Clone, Debug)]
+pub struct SccDecomposition {
+    /// `component[v]` — the component id of vertex `v`. Component ids are
+    /// assigned in *reverse topological order* of the condensation by
+    /// Tarjan's algorithm (a component is numbered only after everything it
+    /// reaches), so iterating components `0, 1, 2, …` visits successors
+    /// before predecessors.
+    pub component: Vec<u32>,
+    /// Vertices of each component.
+    pub members: Vec<Vec<VertexId>>,
+}
+
+impl SccDecomposition {
+    /// Number of components.
+    pub fn num_components(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Component id of `v`.
+    #[inline]
+    pub fn component_of(&self, v: VertexId) -> u32 {
+        self.component[v.index()]
+    }
+
+    /// Components in topological order of the condensation (sources first).
+    ///
+    /// Tarjan numbers components in reverse topological order, so this is
+    /// simply the descending id order.
+    pub fn topological_order(&self) -> impl Iterator<Item = u32> + '_ {
+        (0..self.num_components() as u32).rev()
+    }
+}
+
+/// Computes the SCC decomposition of `g` with an iterative Tarjan pass
+/// (explicit stack; safe on deep graphs that would overflow recursion).
+pub fn tarjan_scc(g: &Graph) -> SccDecomposition {
+    let n = g.num_vertices();
+    const UNVISITED: u32 = u32::MAX;
+    let mut index = vec![UNVISITED; n]; // discovery index
+    let mut lowlink = vec![0u32; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<u32> = Vec::new();
+    let mut component = vec![UNVISITED; n];
+    let mut members: Vec<Vec<VertexId>> = Vec::new();
+    let mut next_index = 0u32;
+
+    // Explicit DFS frames: (vertex, next out-edge position).
+    let mut frames: Vec<(u32, usize)> = Vec::new();
+
+    for root in 0..n as u32 {
+        if index[root as usize] != UNVISITED {
+            continue;
+        }
+        frames.push((root, 0));
+        index[root as usize] = next_index;
+        lowlink[root as usize] = next_index;
+        next_index += 1;
+        stack.push(root);
+        on_stack[root as usize] = true;
+
+        while let Some(&mut (v, ref mut edge_pos)) = frames.last_mut() {
+            let neighbors = g.out_neighbors(VertexId(v));
+            if *edge_pos < neighbors.len() {
+                let w = neighbors[*edge_pos].vertex.0;
+                *edge_pos += 1;
+                if index[w as usize] == UNVISITED {
+                    index[w as usize] = next_index;
+                    lowlink[w as usize] = next_index;
+                    next_index += 1;
+                    stack.push(w);
+                    on_stack[w as usize] = true;
+                    frames.push((w, 0));
+                } else if on_stack[w as usize] {
+                    lowlink[v as usize] = lowlink[v as usize].min(index[w as usize]);
+                }
+            } else {
+                frames.pop();
+                if let Some(&mut (parent, _)) = frames.last_mut() {
+                    lowlink[parent as usize] = lowlink[parent as usize].min(lowlink[v as usize]);
+                }
+                if lowlink[v as usize] == index[v as usize] {
+                    // v roots a component: pop the stack down to v.
+                    let comp_id = members.len() as u32;
+                    let mut comp = Vec::new();
+                    loop {
+                        let w = stack.pop().expect("tarjan stack underflow");
+                        on_stack[w as usize] = false;
+                        component[w as usize] = comp_id;
+                        comp.push(VertexId(w));
+                        if w == v {
+                            break;
+                        }
+                    }
+                    members.push(comp);
+                }
+            }
+        }
+    }
+
+    SccDecomposition { component, members }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::GraphBuilder;
+
+    fn graph_from(edges: &[(&str, &str)]) -> Graph {
+        let mut b = GraphBuilder::new();
+        for (s, o) in edges {
+            b.add_triple(s, "p", o);
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn single_cycle_is_one_component() {
+        let g = graph_from(&[("a", "b"), ("b", "c"), ("c", "a")]);
+        let scc = tarjan_scc(&g);
+        assert_eq!(scc.num_components(), 1);
+        assert_eq!(scc.members[0].len(), 3);
+    }
+
+    #[test]
+    fn dag_has_singleton_components() {
+        let g = graph_from(&[("a", "b"), ("b", "c")]);
+        let scc = tarjan_scc(&g);
+        assert_eq!(scc.num_components(), 3);
+        for m in &scc.members {
+            assert_eq!(m.len(), 1);
+        }
+    }
+
+    #[test]
+    fn component_ids_reverse_topological() {
+        // a -> b -> c: Tarjan numbers c first (it reaches nothing).
+        let g = graph_from(&[("a", "b"), ("b", "c")]);
+        let scc = tarjan_scc(&g);
+        let a = g.vertex_id("a").unwrap();
+        let c = g.vertex_id("c").unwrap();
+        // a's component must come *later* (higher id) than c's.
+        assert!(scc.component_of(a) > scc.component_of(c));
+        // topological_order yields sources first.
+        let order: Vec<u32> = scc.topological_order().collect();
+        assert_eq!(order.first().copied(), Some(scc.component_of(a)));
+    }
+
+    #[test]
+    fn two_cycles_bridge() {
+        // cycle {a,b} -> cycle {c,d}
+        let g = graph_from(&[("a", "b"), ("b", "a"), ("b", "c"), ("c", "d"), ("d", "c")]);
+        let scc = tarjan_scc(&g);
+        assert_eq!(scc.num_components(), 2);
+        let a = g.vertex_id("a").unwrap();
+        let b = g.vertex_id("b").unwrap();
+        let c = g.vertex_id("c").unwrap();
+        let d = g.vertex_id("d").unwrap();
+        assert_eq!(scc.component_of(a), scc.component_of(b));
+        assert_eq!(scc.component_of(c), scc.component_of(d));
+        assert_ne!(scc.component_of(a), scc.component_of(c));
+    }
+
+    #[test]
+    fn disconnected_vertices() {
+        let mut b = GraphBuilder::new();
+        b.add_triple("a", "p", "b");
+        b.intern_vertex("lonely");
+        let g = b.build().unwrap();
+        let scc = tarjan_scc(&g);
+        assert_eq!(scc.num_components(), 3);
+    }
+
+    #[test]
+    fn self_loop_is_singleton_component() {
+        let g = graph_from(&[("a", "a"), ("a", "b")]);
+        let scc = tarjan_scc(&g);
+        assert_eq!(scc.num_components(), 2);
+    }
+
+    #[test]
+    fn deep_chain_does_not_overflow() {
+        // 100k-vertex chain would blow a recursive Tarjan.
+        let mut b = GraphBuilder::with_capacity(100_001, 100_000);
+        let mut prev = b.intern_vertex("n0");
+        let p = b.intern_label("p");
+        for i in 1..=100_000u32 {
+            let cur = b.intern_vertex(&format!("n{i}"));
+            b.add_edge(prev, p, cur);
+            prev = cur;
+        }
+        let g = b.build().unwrap();
+        let scc = tarjan_scc(&g);
+        assert_eq!(scc.num_components(), 100_001);
+    }
+}

@@ -1,0 +1,163 @@
+//! Online LCR search — the index-free baseline of Jin et al. [6].
+//!
+//! Label-constrained reachability by direct graph traversal, `O(|V|+|E|)`
+//! per query: the label constraint prunes edges as they are scanned.
+//! Provided in both BFS and DFS flavors (the paper discusses both as the
+//! "uninformed search" family for LCR, §3); results are identical, costs
+//! differ by workload.
+
+use kgreach_graph::traverse::EpochMask;
+use kgreach_graph::{Graph, LabelSet, VertexId};
+use std::collections::VecDeque;
+
+/// Statistics from one online LCR query.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct OnlineStats {
+    /// Vertices visited.
+    pub visited: usize,
+    /// Edges scanned (including label-rejected ones).
+    pub edges_scanned: usize,
+}
+
+/// A reusable online LCR searcher (owns the visited mask).
+#[derive(Clone, Debug)]
+pub struct OnlineLcr {
+    mask: EpochMask,
+}
+
+impl OnlineLcr {
+    /// Creates a searcher for graphs with `n` vertices.
+    pub fn new(n: usize) -> Self {
+        OnlineLcr { mask: EpochMask::new(n) }
+    }
+
+    /// BFS check of `s ⇝_L t`.
+    pub fn bfs(&mut self, g: &Graph, s: VertexId, t: VertexId, l: LabelSet) -> (bool, OnlineStats) {
+        let mut stats = OnlineStats::default();
+        if s == t {
+            return (true, stats);
+        }
+        self.mask.reset();
+        self.mask.insert(s);
+        stats.visited = 1;
+        let mut queue = VecDeque::from([s]);
+        while let Some(u) = queue.pop_front() {
+            for e in g.out_neighbors(u) {
+                stats.edges_scanned += 1;
+                if l.contains(e.label) && self.mask.insert(e.vertex) {
+                    stats.visited += 1;
+                    if e.vertex == t {
+                        return (true, stats);
+                    }
+                    queue.push_back(e.vertex);
+                }
+            }
+        }
+        (false, stats)
+    }
+
+    /// DFS check of `s ⇝_L t` (iterative).
+    pub fn dfs(&mut self, g: &Graph, s: VertexId, t: VertexId, l: LabelSet) -> (bool, OnlineStats) {
+        let mut stats = OnlineStats::default();
+        if s == t {
+            return (true, stats);
+        }
+        self.mask.reset();
+        self.mask.insert(s);
+        stats.visited = 1;
+        let mut stack = vec![s];
+        while let Some(u) = stack.pop() {
+            for e in g.out_neighbors(u) {
+                stats.edges_scanned += 1;
+                if l.contains(e.label) && self.mask.insert(e.vertex) {
+                    stats.visited += 1;
+                    if e.vertex == t {
+                        return (true, stats);
+                    }
+                    stack.push(e.vertex);
+                }
+            }
+        }
+        (false, stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kgreach_graph::GraphBuilder;
+
+    fn diamond() -> Graph {
+        // s -a-> m1 -b-> t ; s -c-> m2 -d-> t
+        let mut b = GraphBuilder::new();
+        b.add_triple("s", "a", "m1");
+        b.add_triple("m1", "b", "t");
+        b.add_triple("s", "c", "m2");
+        b.add_triple("m2", "d", "t");
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn bfs_and_dfs_agree() {
+        let g = diamond();
+        let s = g.vertex_id("s").unwrap();
+        let t = g.vertex_id("t").unwrap();
+        let mut o = OnlineLcr::new(g.num_vertices());
+        for labels in [
+            vec!["a", "b"],
+            vec!["c", "d"],
+            vec!["a", "d"],
+            vec!["a", "b", "c", "d"],
+            vec![],
+        ] {
+            let l = g.label_set(&labels);
+            let (bfs, _) = o.bfs(&g, s, t, l);
+            let (dfs, _) = o.dfs(&g, s, t, l);
+            assert_eq!(bfs, dfs, "labels {labels:?}");
+        }
+    }
+
+    #[test]
+    fn label_pruning() {
+        let g = diamond();
+        let s = g.vertex_id("s").unwrap();
+        let t = g.vertex_id("t").unwrap();
+        let mut o = OnlineLcr::new(g.num_vertices());
+        assert!(o.bfs(&g, s, t, g.label_set(&["a", "b"])).0);
+        assert!(!o.bfs(&g, s, t, g.label_set(&["a", "d"])).0);
+        assert!(!o.bfs(&g, s, t, g.label_set(&["b"])).0);
+    }
+
+    #[test]
+    fn reflexive() {
+        let g = diamond();
+        let s = g.vertex_id("s").unwrap();
+        let mut o = OnlineLcr::new(g.num_vertices());
+        assert!(o.bfs(&g, s, s, LabelSet::EMPTY).0);
+        assert!(o.dfs(&g, s, s, LabelSet::EMPTY).0);
+    }
+
+    #[test]
+    fn stats_track_work() {
+        let g = diamond();
+        let s = g.vertex_id("s").unwrap();
+        let t = g.vertex_id("t").unwrap();
+        let mut o = OnlineLcr::new(g.num_vertices());
+        let (ok, stats) = o.bfs(&g, s, t, g.all_labels());
+        assert!(ok);
+        assert!(stats.visited >= 2);
+        assert!(stats.edges_scanned >= 1);
+    }
+
+    #[test]
+    fn searcher_is_reusable() {
+        let g = diamond();
+        let s = g.vertex_id("s").unwrap();
+        let t = g.vertex_id("t").unwrap();
+        let m1 = g.vertex_id("m1").unwrap();
+        let mut o = OnlineLcr::new(g.num_vertices());
+        assert!(o.bfs(&g, s, t, g.all_labels()).0);
+        assert!(!o.bfs(&g, m1, s, g.all_labels()).0);
+        assert!(o.dfs(&g, s, m1, g.label_set(&["a"])).0);
+    }
+}

@@ -1,0 +1,213 @@
+//! SCC-decomposition LCR index in the spirit of Zou et al. [25].
+//!
+//! [25] decomposes the graph into strongly connected components, computes a
+//! *local* transitive closure (all-pairs CMS) inside each component, and
+//! stitches components together along the topological order of the
+//! condensation. The paper's §3.2 notes it "does not scale well on large
+//! graphs (|V| > 5.4k)" — the all-pairs local closures are the reason, and
+//! this implementation preserves that cost profile.
+//!
+//! Queries run a BFS over a hybrid move set: *jump* within a component via
+//! the precomputed local CMS, or *step* across an inter-component edge.
+//! Every path decomposes into intra-component segments joined by cross
+//! edges, so the hybrid search is exact.
+
+use crate::budget::{Budget, BudgetExceeded};
+use kgreach_graph::fxhash::FxHashMap;
+use kgreach_graph::scc::{tarjan_scc, SccDecomposition};
+use kgreach_graph::traverse::EpochMask;
+use kgreach_graph::{Cms, Graph, LabelSet, VertexId};
+use std::collections::VecDeque;
+use std::time::Duration;
+
+/// The [25]-style index: SCC decomposition + per-component local closures.
+#[derive(Clone, Debug)]
+pub struct ZouIndex {
+    scc: SccDecomposition,
+    /// Intra-component all-pairs CMS, keyed by (source, target).
+    local: FxHashMap<(VertexId, VertexId), Cms>,
+    /// Wall-clock build time.
+    pub build_time: Duration,
+}
+
+impl ZouIndex {
+    /// Builds the index within `budget`.
+    pub fn build(g: &Graph, mut budget: Budget) -> Result<Self, BudgetExceeded> {
+        let scc = tarjan_scc(g);
+        let mut local: FxHashMap<(VertexId, VertexId), Cms> = FxHashMap::default();
+
+        for comp in 0..scc.num_components() as u32 {
+            let members = &scc.members[comp as usize];
+            if members.len() == 1 {
+                continue; // singleton: no intra-component pairs
+            }
+            // Per-member CMS BFS restricted to intra-component edges.
+            for &u in members {
+                let mut queue: VecDeque<(VertexId, LabelSet)> =
+                    VecDeque::from([(u, LabelSet::EMPTY)]);
+                while let Some((v, l)) = queue.pop_front() {
+                    budget.tick(|| format!("component {comp}, source {u}"))?;
+                    let fresh = if v == u && l.is_empty() {
+                        true
+                    } else {
+                        local.entry((u, v)).or_default().insert(l)
+                    };
+                    if !fresh {
+                        continue;
+                    }
+                    for e in g.out_neighbors(v) {
+                        if scc.component_of(e.vertex) == comp {
+                            queue.push_back((e.vertex, l.with(e.label)));
+                        }
+                    }
+                }
+            }
+        }
+        Ok(ZouIndex { scc, local, build_time: budget.elapsed() })
+    }
+
+    /// Answers `s ⇝_L t` with the hybrid jump/step BFS.
+    pub fn reaches(&self, g: &Graph, s: VertexId, t: VertexId, l: LabelSet) -> bool {
+        if s == t {
+            return true;
+        }
+        let mut mask = EpochMask::new(g.num_vertices());
+        mask.insert(s);
+        let mut queue = VecDeque::from([s]);
+        while let Some(u) = queue.pop_front() {
+            // Jump: all component-mates reachable under l.
+            let comp = self.scc.component_of(u);
+            if self.scc.members[comp as usize].len() > 1 {
+                for &v in &self.scc.members[comp as usize] {
+                    if v != u
+                        && !mask.contains(v)
+                        && self.local.get(&(u, v)).is_some_and(|c| c.covers(l))
+                    {
+                        if v == t {
+                            return true;
+                        }
+                        mask.insert(v);
+                        queue.push_back(v);
+                    }
+                }
+            }
+            // Step: cross-component edges under l (intra edges are already
+            // summarized by jumps, but stepping them too is harmless and
+            // covers components whose local pairs were never stored).
+            for e in g.out_neighbors(u) {
+                if l.contains(e.label) && mask.insert(e.vertex) {
+                    if e.vertex == t {
+                        return true;
+                    }
+                    queue.push_back(e.vertex);
+                }
+            }
+        }
+        false
+    }
+
+    /// Number of stored intra-component pairs.
+    pub fn num_local_pairs(&self) -> usize {
+        self.local.len()
+    }
+
+    /// Approximate heap footprint in bytes.
+    pub fn heap_bytes(&self) -> usize {
+        self.local
+            .values()
+            .map(|c| 8 + std::mem::size_of::<Cms>() + c.heap_bytes())
+            .sum::<usize>()
+            + self.scc.component.len() * 4
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kgreach_graph::traverse::lcr_reachable;
+    use kgreach_graph::GraphBuilder;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_graph(n: usize, m: usize, labels: usize, seed: u64) -> Graph {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut b = GraphBuilder::new();
+        for i in 0..n {
+            b.intern_vertex(&format!("n{i}"));
+        }
+        for _ in 0..m {
+            let s = rng.gen_range(0..n);
+            let t = rng.gen_range(0..n);
+            let lab = rng.gen_range(0..labels);
+            b.add_triple(&format!("n{s}"), &format!("l{lab}"), &format!("n{t}"));
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn agrees_with_online_search() {
+        for seed in 0..4 {
+            let g = random_graph(30, 90, 4, seed); // dense → real SCCs
+            let idx = ZouIndex::build(&g, Budget::unlimited()).unwrap();
+            let mut rng = SmallRng::seed_from_u64(seed ^ 0xf00d);
+            for _ in 0..300 {
+                let s = VertexId(rng.gen_range(0..30));
+                let t = VertexId(rng.gen_range(0..30));
+                let l = LabelSet::from_bits(rng.gen_range(0..16));
+                assert_eq!(
+                    idx.reaches(&g, s, t, l),
+                    lcr_reachable(&g, s, t, l),
+                    "seed {seed}: ({s},{t},{l:?})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cycle_pairs_are_indexed() {
+        let mut b = GraphBuilder::new();
+        b.add_triple("a", "p", "b");
+        b.add_triple("b", "q", "c");
+        b.add_triple("c", "r", "a");
+        let g = b.build().unwrap();
+        let idx = ZouIndex::build(&g, Budget::unlimited()).unwrap();
+        // One 3-cycle: 6 ordered pairs plus 3 reflexive pairs recording
+        // the label sets of the cycles through each vertex.
+        assert_eq!(idx.num_local_pairs(), 9);
+        let a = g.vertex_id("a").unwrap();
+        let c = g.vertex_id("c").unwrap();
+        assert!(idx.reaches(&g, a, c, g.label_set(&["p", "q"])));
+        assert!(!idx.reaches(&g, a, c, g.label_set(&["p", "r"])));
+        assert!(idx.reaches(&g, c, a, g.label_set(&["r"])));
+    }
+
+    #[test]
+    fn dag_stores_nothing_locally() {
+        let mut b = GraphBuilder::new();
+        b.add_triple("x", "p", "y");
+        b.add_triple("y", "q", "z");
+        let g = b.build().unwrap();
+        let idx = ZouIndex::build(&g, Budget::unlimited()).unwrap();
+        assert_eq!(idx.num_local_pairs(), 0);
+        let x = g.vertex_id("x").unwrap();
+        let z = g.vertex_id("z").unwrap();
+        assert!(idx.reaches(&g, x, z, g.all_labels()));
+        assert!(!idx.reaches(&g, z, x, g.all_labels()));
+    }
+
+    #[test]
+    fn budget_enforced() {
+        let g = random_graph(80, 400, 5, 9);
+        assert!(ZouIndex::build(&g, Budget::with_limit(Duration::ZERO)).is_err());
+    }
+
+    #[test]
+    fn bytes_positive_with_cycles() {
+        let mut b = GraphBuilder::new();
+        b.add_triple("a", "p", "b");
+        b.add_triple("b", "p", "a");
+        let g = b.build().unwrap();
+        let idx = ZouIndex::build(&g, Budget::unlimited()).unwrap();
+        assert!(idx.heap_bytes() > 0);
+    }
+}

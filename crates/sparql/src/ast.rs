@@ -1,0 +1,181 @@
+//! Abstract syntax for the SPARQL subset.
+//!
+//! The engine supports exactly what substructure constraints need (paper §2,
+//! Table 3): `SELECT ?vars WHERE { basic graph pattern }`, where a pattern
+//! term is an IRI, a quoted literal, or a variable. This is the fragment
+//! the paper compiles substructure constraints into.
+
+use std::fmt;
+
+/// A term in a triple pattern.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Term {
+    /// A concrete IRI or literal (both name graph vertices).
+    Constant(String),
+    /// A variable, stored without the leading `?`.
+    Variable(String),
+}
+
+impl Term {
+    /// Convenience constructor for a constant term.
+    pub fn constant(s: impl Into<String>) -> Self {
+        Term::Constant(s.into())
+    }
+
+    /// Convenience constructor for a variable term (no leading `?`).
+    pub fn var(s: impl Into<String>) -> Self {
+        Term::Variable(s.into())
+    }
+
+    /// Whether the term is a variable.
+    pub fn is_variable(&self) -> bool {
+        matches!(self, Term::Variable(_))
+    }
+
+    /// The variable name, if this is a variable.
+    pub fn as_variable(&self) -> Option<&str> {
+        match self {
+            Term::Variable(v) => Some(v),
+            Term::Constant(_) => None,
+        }
+    }
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::Constant(c) => {
+                if c.contains(' ') || c.contains('"') {
+                    write!(f, "\"{}\"", c.replace('"', "\\\""))
+                } else {
+                    write!(f, "<{c}>")
+                }
+            }
+            Term::Variable(v) => write!(f, "?{v}"),
+        }
+    }
+}
+
+/// One triple pattern `subject predicate object`.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct TriplePattern {
+    /// Subject term.
+    pub subject: Term,
+    /// Predicate term (usually a constant; variables are supported).
+    pub predicate: Term,
+    /// Object term.
+    pub object: Term,
+}
+
+impl TriplePattern {
+    /// Creates a pattern.
+    pub fn new(subject: Term, predicate: Term, object: Term) -> Self {
+        TriplePattern { subject, predicate, object }
+    }
+
+    /// Iterates the variable names used by this pattern.
+    pub fn variables(&self) -> impl Iterator<Item = &str> {
+        [&self.subject, &self.predicate, &self.object]
+            .into_iter()
+            .filter_map(|t| t.as_variable())
+    }
+}
+
+impl fmt::Display for TriplePattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} {} .", self.subject, self.predicate, self.object)
+    }
+}
+
+/// A `SELECT … WHERE { … }` query over a basic graph pattern.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct SelectQuery {
+    /// Projected variable names (without `?`), in query order.
+    pub projection: Vec<String>,
+    /// The basic graph pattern.
+    pub patterns: Vec<TriplePattern>,
+}
+
+impl SelectQuery {
+    /// All distinct variable names in pattern order of first occurrence.
+    pub fn variables(&self) -> Vec<&str> {
+        let mut seen: Vec<&str> = Vec::new();
+        for p in &self.patterns {
+            for v in p.variables() {
+                if !seen.contains(&v) {
+                    seen.push(v);
+                }
+            }
+        }
+        seen
+    }
+}
+
+impl fmt::Display for SelectQuery {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SELECT")?;
+        for v in &self.projection {
+            write!(f, " ?{v}")?;
+        }
+        write!(f, " WHERE {{ ")?;
+        for p in &self.patterns {
+            write!(f, "{p} ")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn term_display() {
+        assert_eq!(Term::constant("ub:Course").to_string(), "<ub:Course>");
+        assert_eq!(Term::constant("Research 12").to_string(), "\"Research 12\"");
+        assert_eq!(Term::var("x").to_string(), "?x");
+    }
+
+    #[test]
+    fn term_predicates() {
+        assert!(Term::var("x").is_variable());
+        assert!(!Term::constant("a").is_variable());
+        assert_eq!(Term::var("x").as_variable(), Some("x"));
+        assert_eq!(Term::constant("a").as_variable(), None);
+    }
+
+    #[test]
+    fn pattern_variables() {
+        let p = TriplePattern::new(Term::var("x"), Term::constant("p"), Term::var("y"));
+        let vars: Vec<_> = p.variables().collect();
+        assert_eq!(vars, vec!["x", "y"]);
+    }
+
+    #[test]
+    fn query_variables_deduped_in_order() {
+        let q = SelectQuery {
+            projection: vec!["x".into()],
+            patterns: vec![
+                TriplePattern::new(Term::var("x"), Term::constant("p"), Term::var("y")),
+                TriplePattern::new(Term::var("y"), Term::constant("q"), Term::var("x")),
+            ],
+        };
+        assert_eq!(q.variables(), vec!["x", "y"]);
+    }
+
+    #[test]
+    fn query_display_roundtrips_through_parser() {
+        let q = SelectQuery {
+            projection: vec!["x".into()],
+            patterns: vec![TriplePattern::new(
+                Term::var("x"),
+                Term::constant("ub:researchInterest"),
+                Term::constant("Research12"),
+            )],
+        };
+        let text = q.to_string();
+        assert!(text.starts_with("SELECT ?x WHERE {"));
+        let back = crate::parse(&text).unwrap();
+        assert_eq!(back, q);
+    }
+}

@@ -1,0 +1,64 @@
+//! Error types for the SPARQL subset engine.
+
+use std::fmt;
+
+/// Errors raised while lexing, parsing or planning a SPARQL query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SparqlError {
+    /// A character that cannot start any token.
+    Lex {
+        /// Byte offset in the query string.
+        position: usize,
+        /// Description of the problem.
+        message: String,
+    },
+    /// The token stream does not form a valid query.
+    Parse {
+        /// Description of the problem.
+        message: String,
+    },
+    /// The query selects a variable that never occurs in a pattern.
+    UnboundProjection {
+        /// The offending variable name (without `?`).
+        variable: String,
+    },
+    /// The query has no triple patterns.
+    EmptyPattern,
+}
+
+impl fmt::Display for SparqlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SparqlError::Lex { position, message } => {
+                write!(f, "lex error at byte {position}: {message}")
+            }
+            SparqlError::Parse { message } => write!(f, "parse error: {message}"),
+            SparqlError::UnboundProjection { variable } => {
+                write!(f, "projected variable ?{variable} does not occur in any pattern")
+            }
+            SparqlError::EmptyPattern => write!(f, "query has no triple patterns"),
+        }
+    }
+}
+
+impl std::error::Error for SparqlError {}
+
+/// Convenience alias for SPARQL results.
+pub type Result<T> = std::result::Result<T, SparqlError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(SparqlError::Lex { position: 3, message: "bad".into() }
+            .to_string()
+            .contains("byte 3"));
+        assert!(SparqlError::Parse { message: "oops".into() }.to_string().contains("oops"));
+        assert!(SparqlError::UnboundProjection { variable: "x".into() }
+            .to_string()
+            .contains("?x"));
+        assert!(SparqlError::EmptyPattern.to_string().contains("no triple patterns"));
+    }
+}

@@ -1,0 +1,461 @@
+//! Backtracking evaluation of resolved plans.
+//!
+//! The evaluator enumerates embeddings of a basic graph pattern into the
+//! graph by depth-first join: each plan pattern extends the current partial
+//! binding with every compatible edge. Three entry points cover everything
+//! the LSCR algorithms need:
+//!
+//! * [`satisfies`] — the paper's `SCck(v, S)`: does binding the projection
+//!   variable `?x := v` extend to a full embedding?
+//! * [`select_distinct`] — the paper's `V(S,G)`: all distinct values of
+//!   `?x`. Prunes any branch whose `?x` is already in the result set, so
+//!   the cost is bounded by embeddings *per distinct* `?x` prefix rather
+//!   than total embeddings.
+//! * [`count_embeddings`] — total embedding count (tests/diagnostics).
+
+use crate::plan::{NodeRef, Plan, PredRef, ResolvedPattern};
+use kgreach_graph::fxhash::FxHashSet;
+use kgreach_graph::{Graph, LabelId, VertexId};
+
+/// A partial assignment of node and predicate variables.
+#[derive(Clone, Debug)]
+pub struct Bindings {
+    nodes: Vec<Option<VertexId>>,
+    preds: Vec<Option<LabelId>>,
+}
+
+impl Bindings {
+    /// Fresh all-unbound bindings sized for `plan`.
+    pub fn for_plan(plan: &Plan) -> Self {
+        Bindings { nodes: vec![None; plan.num_node_vars], preds: vec![None; plan.num_pred_vars] }
+    }
+
+    /// Value of node variable `v`, if bound.
+    #[inline]
+    pub fn node(&self, v: u16) -> Option<VertexId> {
+        self.nodes[v as usize]
+    }
+
+    /// Value of predicate variable `v`, if bound.
+    #[inline]
+    pub fn pred(&self, v: u16) -> Option<LabelId> {
+        self.preds[v as usize]
+    }
+}
+
+/// Search control returned by solution visitors.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum Control {
+    /// Keep enumerating.
+    Continue,
+    /// Stop the whole search.
+    Stop,
+}
+
+/// `SCck(v, S)`: whether binding the first projected variable to `x`
+/// extends to a full embedding of the plan.
+pub fn satisfies(g: &Graph, plan: &Plan, x: VertexId) -> bool {
+    if plan.unsatisfiable {
+        return false;
+    }
+    let var = match plan.projection.first() {
+        Some(&v) => v,
+        None => return false,
+    };
+    let mut b = Bindings::for_plan(plan);
+    b.nodes[var as usize] = Some(x);
+    let mut found = false;
+    solve(g, plan, 0, &mut b, &mut |_| {
+        found = true;
+        Control::Stop
+    });
+    found
+}
+
+/// `V(S,G)`: all distinct values of the first projected variable, in
+/// ascending vertex-id order (callers that need the paper's "disordered"
+/// semantics shuffle explicitly).
+pub fn select_distinct(g: &Graph, plan: &Plan) -> Vec<VertexId> {
+    if plan.unsatisfiable {
+        return Vec::new();
+    }
+    let var = match plan.projection.first() {
+        Some(&v) => v,
+        None => return Vec::new(),
+    };
+    let mut found: FxHashSet<VertexId> = FxHashSet::default();
+    let mut b = Bindings::for_plan(plan);
+    solve_dedup(g, plan, 0, &mut b, var, &mut found);
+    let mut out: Vec<VertexId> = found.into_iter().collect();
+    out.sort_unstable();
+    out
+}
+
+/// Counts full embeddings, stopping at `limit` (use `usize::MAX` for all).
+pub fn count_embeddings(g: &Graph, plan: &Plan, limit: usize) -> usize {
+    if plan.unsatisfiable || limit == 0 {
+        return 0;
+    }
+    let mut count = 0usize;
+    let mut b = Bindings::for_plan(plan);
+    solve(g, plan, 0, &mut b, &mut |_| {
+        count += 1;
+        if count >= limit {
+            Control::Stop
+        } else {
+            Control::Continue
+        }
+    });
+    count
+}
+
+/// Depth-first join over `plan.patterns[depth..]`, invoking `visit` for
+/// every full embedding.
+fn solve(
+    g: &Graph,
+    plan: &Plan,
+    depth: usize,
+    b: &mut Bindings,
+    visit: &mut dyn FnMut(&Bindings) -> Control,
+) -> Control {
+    if depth == plan.patterns.len() {
+        return visit(b);
+    }
+    let pat = plan.patterns[depth];
+    each_match(g, pat, b, &mut |b| solve(g, plan, depth + 1, b, visit))
+}
+
+/// Like [`solve`], but prunes branches whose distinguished variable `var`
+/// is bound to an already-collected value, and records values on success.
+fn solve_dedup(
+    g: &Graph,
+    plan: &Plan,
+    depth: usize,
+    b: &mut Bindings,
+    var: u16,
+    found: &mut FxHashSet<VertexId>,
+) -> Control {
+    if let Some(x) = b.nodes[var as usize] {
+        if found.contains(&x) {
+            return Control::Continue; // subtree can only repeat x
+        }
+    }
+    if depth == plan.patterns.len() {
+        if let Some(x) = b.nodes[var as usize] {
+            found.insert(x);
+        }
+        return Control::Continue;
+    }
+    let pat = plan.patterns[depth];
+    each_match(g, pat, b, &mut |b| solve_dedup(g, plan, depth + 1, b, var, found))
+}
+
+/// Enumerates every edge matching `pat` under the current bindings,
+/// extending the bindings for each and invoking `k`; restores the bindings
+/// afterwards. Returns `Stop` as soon as `k` does.
+fn each_match(
+    g: &Graph,
+    pat: ResolvedPattern,
+    b: &mut Bindings,
+    k: &mut dyn FnMut(&mut Bindings) -> Control,
+) -> Control {
+    #[derive(Copy, Clone)]
+    enum Slot {
+        Bound(VertexId),
+        Free(u16),
+    }
+    let resolve = |n: NodeRef, b: &Bindings| match n {
+        NodeRef::Const(v) => Slot::Bound(v),
+        NodeRef::Var(i) => match b.nodes[i as usize] {
+            Some(v) => Slot::Bound(v),
+            None => Slot::Free(i),
+        },
+    };
+    let s = resolve(pat.s, b);
+    let o = resolve(pat.o, b);
+    let p: Option<LabelId> = match pat.p {
+        PredRef::Const(l) => Some(l),
+        PredRef::Var(i) => b.preds[i as usize],
+    };
+
+    // Per-edge continuation: binds whatever is free, calls k, restores.
+    let mut try_edge = |src: VertexId, label: LabelId, dst: VertexId, b: &mut Bindings| -> Control {
+        // Check/bind subject.
+        let mut bound_s = None;
+        match s {
+            Slot::Bound(v) => {
+                if v != src {
+                    return Control::Continue;
+                }
+            }
+            Slot::Free(i) => {
+                b.nodes[i as usize] = Some(src);
+                bound_s = Some(i);
+            }
+        }
+        // Check/bind object. Note: if s and o are the *same* free variable,
+        // s's binding above makes o Bound-checked here via the re-resolve.
+        let o_now = match pat.o {
+            NodeRef::Const(v) => Slot::Bound(v),
+            NodeRef::Var(i) => match b.nodes[i as usize] {
+                Some(v) => Slot::Bound(v),
+                None => Slot::Free(i),
+            },
+        };
+        let mut bound_o = None;
+        match o_now {
+            Slot::Bound(v) => {
+                if v != dst {
+                    if let Some(i) = bound_s {
+                        b.nodes[i as usize] = None;
+                    }
+                    return Control::Continue;
+                }
+            }
+            Slot::Free(i) => {
+                b.nodes[i as usize] = Some(dst);
+                bound_o = Some(i);
+            }
+        }
+        // Check/bind predicate.
+        let mut bound_p = None;
+        let pred_ok = match pat.p {
+            PredRef::Const(l) => l == label,
+            PredRef::Var(i) => match b.preds[i as usize] {
+                Some(l) => l == label,
+                None => {
+                    b.preds[i as usize] = Some(label);
+                    bound_p = Some(i);
+                    true
+                }
+            },
+        };
+        let flow = if pred_ok { k(b) } else { Control::Continue };
+        if let Some(i) = bound_p {
+            b.preds[i as usize] = None;
+        }
+        if let Some(i) = bound_o {
+            b.nodes[i as usize] = None;
+        }
+        if let Some(i) = bound_s {
+            b.nodes[i as usize] = None;
+        }
+        flow
+    };
+
+    match (s, o, p) {
+        // Subject known: scan its out-edges (label-filtered when possible).
+        (Slot::Bound(sv), _, Some(l)) => {
+            for t in g.out_neighbors_with_label(sv, l) {
+                if try_edge(sv, t.label, t.vertex, b) == Control::Stop {
+                    return Control::Stop;
+                }
+            }
+            Control::Continue
+        }
+        (Slot::Bound(sv), _, None) => {
+            for t in g.out_neighbors(sv) {
+                if try_edge(sv, t.label, t.vertex, b) == Control::Stop {
+                    return Control::Stop;
+                }
+            }
+            Control::Continue
+        }
+        // Object known: scan its in-edges.
+        (Slot::Free(_), Slot::Bound(ov), Some(l)) => {
+            for t in g.in_neighbors_with_label(ov, l) {
+                if try_edge(t.vertex, t.label, ov, b) == Control::Stop {
+                    return Control::Stop;
+                }
+            }
+            Control::Continue
+        }
+        (Slot::Free(_), Slot::Bound(ov), None) => {
+            for t in g.in_neighbors(ov) {
+                if try_edge(t.vertex, t.label, ov, b) == Control::Stop {
+                    return Control::Stop;
+                }
+            }
+            Control::Continue
+        }
+        // Nothing known: full edge scan (the planner avoids this unless the
+        // pattern graph is disconnected).
+        (Slot::Free(_), Slot::Free(_), _) => {
+            for sv in g.vertices() {
+                let edges = match p {
+                    Some(l) => g.out_neighbors_with_label(sv, l),
+                    None => g.out_neighbors(sv),
+                };
+                for t in edges {
+                    if try_edge(sv, t.label, t.vertex, b) == Control::Stop {
+                        return Control::Stop;
+                    }
+                }
+            }
+            Control::Continue
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{parse, Plan};
+    use kgreach_graph::GraphBuilder;
+
+    /// Figure 3's running example: v1 and v2 satisfy S0.
+    ///
+    /// Edges reconstructed from the paper's worked examples (see
+    /// `kgreach::fixtures::figure3` for the derivation).
+    fn figure3() -> Graph {
+        let mut b = GraphBuilder::new();
+        for (s, p, o) in [
+            ("v0", "friendOf", "v1"),
+            ("v0", "likes", "v2"),
+            ("v0", "advisorOf", "v2"),
+            ("v1", "friendOf", "v3"),
+            ("v2", "friendOf", "v3"),
+            ("v2", "follows", "v4"),
+            ("v3", "likes", "v4"),
+            ("v4", "hates", "v1"),
+        ] {
+            b.add_triple(s, p, o);
+        }
+        b.build().unwrap()
+    }
+
+    fn plan_of(g: &Graph, q: &str) -> Plan {
+        Plan::compile(g, &parse(q).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn paper_s0_select_matches_figure3() {
+        let g = figure3();
+        // S0: SELECT ?x WHERE { ?x <friendOf> v3 . v3 <likes> ?y . }
+        let plan = plan_of(&g, "SELECT ?x WHERE { ?x <friendOf> <v3> . <v3> <likes> ?y . }");
+        let vs = select_distinct(&g, &plan);
+        let names: Vec<&str> = vs.iter().map(|&v| g.vertex_name(v)).collect();
+        assert_eq!(names, vec!["v1", "v2"]); // the paper's V(S0, G0)
+    }
+
+    #[test]
+    fn paper_s0_satisfies() {
+        let g = figure3();
+        let plan = plan_of(&g, "SELECT ?x WHERE { ?x <friendOf> <v3> . <v3> <likes> ?y . }");
+        let v1 = g.vertex_id("v1").unwrap();
+        let v2 = g.vertex_id("v2").unwrap();
+        let v3 = g.vertex_id("v3").unwrap();
+        let v4 = g.vertex_id("v4").unwrap();
+        assert!(satisfies(&g, &plan, v1));
+        assert!(satisfies(&g, &plan, v2));
+        assert!(!satisfies(&g, &plan, v3));
+        assert!(!satisfies(&g, &plan, v4));
+    }
+
+    #[test]
+    fn v0_reaches_v3_by_friendship_but_does_not_satisfy_s0() {
+        // v0's friendOf edges reach v3 only transitively (via v1), so v0
+        // does *not* satisfy S0 even though M(v0,v3) = {{friendOf}}.
+        let g = figure3();
+        let plan = plan_of(&g, "SELECT ?x WHERE { ?x <friendOf> <v3> . <v3> <likes> ?y . }");
+        let v0 = g.vertex_id("v0").unwrap();
+        assert!(!satisfies(&g, &plan, v0));
+        assert!(!select_distinct(&g, &plan).contains(&v0));
+    }
+
+    #[test]
+    fn count_embeddings_with_limit() {
+        let g = figure3();
+        let plan = plan_of(&g, "SELECT ?x WHERE { ?x <friendOf> <v3> . }");
+        assert_eq!(count_embeddings(&g, &plan, usize::MAX), 2);
+        assert_eq!(count_embeddings(&g, &plan, 1), 1);
+        assert_eq!(count_embeddings(&g, &plan, 0), 0);
+    }
+
+    #[test]
+    fn unsatisfiable_plan_yields_nothing() {
+        let g = figure3();
+        let plan = plan_of(&g, "SELECT ?x WHERE { ?x <friendOf> <nonexistent> . }");
+        assert!(plan.unsatisfiable);
+        assert!(select_distinct(&g, &plan).is_empty());
+        assert!(!satisfies(&g, &plan, VertexId(0)));
+        assert_eq!(count_embeddings(&g, &plan, usize::MAX), 0);
+    }
+
+    #[test]
+    fn same_variable_subject_and_object() {
+        // self-loop matching: ?x <p> ?x
+        let mut b = GraphBuilder::new();
+        b.add_triple("a", "p", "a");
+        b.add_triple("a", "p", "b");
+        let g = b.build().unwrap();
+        let plan = plan_of(&g, "SELECT ?x WHERE { ?x <p> ?x . }");
+        let vs = select_distinct(&g, &plan);
+        assert_eq!(vs.len(), 1);
+        assert_eq!(g.vertex_name(vs[0]), "a");
+    }
+
+    #[test]
+    fn predicate_variable_joins() {
+        // ?x ?p v3 and v3 ?p v4 — same predicate variable must unify.
+        let mut b = GraphBuilder::new();
+        b.add_triple("a", "likes", "m");
+        b.add_triple("m", "likes", "z");
+        b.add_triple("b", "hates", "m");
+        b.add_triple("m", "adores", "z2");
+        let g = b.build().unwrap();
+        let plan = plan_of(&g, "SELECT ?x WHERE { ?x ?p <m> . <m> ?p ?y . }");
+        let vs = select_distinct(&g, &plan);
+        let names: Vec<&str> = vs.iter().map(|&v| g.vertex_name(v)).collect();
+        assert_eq!(names, vec!["a"]); // b's 'hates' has no m-outgoing match
+    }
+
+    #[test]
+    fn multi_hop_star_pattern() {
+        let g = figure3();
+        // vertices with an out-edge to something that likes v4
+        let plan = plan_of(&g, "SELECT ?x WHERE { ?x ?p ?m . ?m <likes> <v4> . }");
+        let vs = select_distinct(&g, &plan);
+        let names: Vec<&str> = vs.iter().map(|&v| g.vertex_name(v)).collect();
+        // v3 likes v4; who points at v3? v1 and v2 (friendOf).
+        assert_eq!(names, vec!["v1", "v2"]);
+    }
+
+    #[test]
+    fn disconnected_pattern_cartesian() {
+        let mut b = GraphBuilder::new();
+        b.add_triple("a", "p", "b");
+        b.add_triple("c", "q", "d");
+        let g = b.build().unwrap();
+        let plan = plan_of(&g, "SELECT ?x WHERE { ?x <p> ?y . ?z <q> ?w . }");
+        let vs = select_distinct(&g, &plan);
+        assert_eq!(vs.len(), 1);
+        assert_eq!(g.vertex_name(vs[0]), "a");
+        // and if the disconnected side is empty, nothing matches
+        let plan = plan_of(&g, "SELECT ?x WHERE { ?x <p> ?y . ?z <q> <a> . }");
+        assert!(select_distinct(&g, &plan).is_empty());
+    }
+
+    #[test]
+    fn bindings_accessors() {
+        let g = figure3();
+        let plan = plan_of(&g, "SELECT ?x WHERE { ?x ?p <v3> . }");
+        let b = Bindings::for_plan(&plan);
+        assert_eq!(b.node(0), None);
+        assert_eq!(b.pred(0), None);
+    }
+
+    #[test]
+    fn dedup_prunes_duplicate_branches() {
+        // One ?x with many ?y continuations: the dedup search must still
+        // return exactly one ?x (correctness; perf is asserted elsewhere).
+        let mut b = GraphBuilder::new();
+        for i in 0..50 {
+            b.add_triple("hub", "p", &format!("t{i}"));
+        }
+        let g = b.build().unwrap();
+        let plan = plan_of(&g, "SELECT ?x WHERE { ?x <p> ?y . }");
+        let vs = select_distinct(&g, &plan);
+        assert_eq!(vs.len(), 1);
+    }
+}

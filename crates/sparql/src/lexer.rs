@@ -1,0 +1,202 @@
+//! Tokenizer for the SPARQL subset.
+//!
+//! Accepts the ASCII spelling of the paper's Table 3 queries, e.g.
+//! `SELECT ?x WHERE { ?x <ub:researchInterest> "Research12" . }`.
+//! Angle-bracket IRIs, double- or single-quoted literals, `?var`s, bare
+//! prefixed names (`ub:takesCourse`), braces and dots.
+
+use crate::error::{Result, SparqlError};
+
+/// A lexical token.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Token {
+    /// `SELECT` (case-insensitive).
+    Select,
+    /// `WHERE` (case-insensitive).
+    Where,
+    /// `DISTINCT` (case-insensitive; accepted and ignored by the parser).
+    Distinct,
+    /// `?name`.
+    Variable(String),
+    /// `<iri>`, `"literal"`, `'literal'` or a bare prefixed name.
+    Constant(String),
+    /// `{`.
+    LBrace,
+    /// `}`.
+    RBrace,
+    /// `.`.
+    Dot,
+}
+
+/// Tokenizes `input` into a vector of tokens.
+pub fn tokenize(input: &str) -> Result<Vec<Token>> {
+    let bytes = input.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            c if c.is_whitespace() => i += 1,
+            '{' => {
+                tokens.push(Token::LBrace);
+                i += 1;
+            }
+            '}' => {
+                tokens.push(Token::RBrace);
+                i += 1;
+            }
+            '.' => {
+                tokens.push(Token::Dot);
+                i += 1;
+            }
+            '<' => {
+                let rest = &input[i + 1..];
+                let end = rest.find('>').ok_or_else(|| SparqlError::Lex {
+                    position: i,
+                    message: "unterminated IRI (missing '>')".into(),
+                })?;
+                tokens.push(Token::Constant(rest[..end].to_string()));
+                i += end + 2;
+            }
+            '"' | '\'' => {
+                let quote = c;
+                let mut out = String::new();
+                let mut j = i + 1;
+                let mut escaped = false;
+                let mut closed = false;
+                while j < bytes.len() {
+                    let d = bytes[j] as char;
+                    if escaped {
+                        out.push(d);
+                        escaped = false;
+                    } else if d == '\\' {
+                        escaped = true;
+                    } else if d == quote {
+                        closed = true;
+                        break;
+                    } else {
+                        out.push(d);
+                    }
+                    j += 1;
+                }
+                if !closed {
+                    return Err(SparqlError::Lex {
+                        position: i,
+                        message: "unterminated literal".into(),
+                    });
+                }
+                tokens.push(Token::Constant(out));
+                i = j + 1;
+            }
+            '?' => {
+                let start = i + 1;
+                let mut j = start;
+                while j < bytes.len() && is_name_char(bytes[j] as char) {
+                    j += 1;
+                }
+                if j == start {
+                    return Err(SparqlError::Lex {
+                        position: i,
+                        message: "'?' must be followed by a variable name".into(),
+                    });
+                }
+                tokens.push(Token::Variable(input[start..j].to_string()));
+                i = j;
+            }
+            c if is_name_char(c) => {
+                let start = i;
+                let mut j = i;
+                while j < bytes.len() && is_name_char(bytes[j] as char) {
+                    j += 1;
+                }
+                let word = &input[start..j];
+                let token = match word.to_ascii_uppercase().as_str() {
+                    "SELECT" => Token::Select,
+                    "WHERE" => Token::Where,
+                    "DISTINCT" => Token::Distinct,
+                    _ => Token::Constant(word.to_string()),
+                };
+                tokens.push(token);
+                i = j;
+            }
+            other => {
+                return Err(SparqlError::Lex {
+                    position: i,
+                    message: format!("unexpected character {other:?}"),
+                })
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+/// Characters allowed in bare names, prefixed names and variable names.
+/// Deliberately generous: IRIs like `ub:subOrganizationOf` and literals
+/// like `FullProfessor0@Department0.University0.edu` appear in the paper —
+/// but `.` is excluded (it terminates patterns); dotted names must be
+/// quoted or bracketed.
+fn is_name_char(c: char) -> bool {
+    c.is_alphanumeric() || matches!(c, ':' | '_' | '-' | '/' | '#' | '@')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keywords_case_insensitive() {
+        let t = tokenize("select ?x WHERE distinct").unwrap();
+        assert_eq!(
+            t,
+            vec![Token::Select, Token::Variable("x".into()), Token::Where, Token::Distinct]
+        );
+    }
+
+    #[test]
+    fn iris_literals_and_names() {
+        let t = tokenize("<ub:Course> \"Research12\" 'Research13' ub:advisor").unwrap();
+        assert_eq!(
+            t,
+            vec![
+                Token::Constant("ub:Course".into()),
+                Token::Constant("Research12".into()),
+                Token::Constant("Research13".into()),
+                Token::Constant("ub:advisor".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn punctuation() {
+        let t = tokenize("{ . }").unwrap();
+        assert_eq!(t, vec![Token::LBrace, Token::Dot, Token::RBrace]);
+    }
+
+    #[test]
+    fn escaped_literal() {
+        let t = tokenize(r#""a \"quoted\" thing""#).unwrap();
+        assert_eq!(t, vec![Token::Constant("a \"quoted\" thing".into())]);
+    }
+
+    #[test]
+    fn full_paper_query_tokenizes() {
+        let q = r#"SELECT ?x WHERE { ?x <ub:researchInterest> "Research12" .
+                   ?x <rdf:type> <ub:AssociateProfessor> . }"#;
+        let t = tokenize(q).unwrap();
+        assert_eq!(t.len(), 13);
+    }
+
+    #[test]
+    fn errors() {
+        assert!(matches!(tokenize("<oops"), Err(SparqlError::Lex { .. })));
+        assert!(matches!(tokenize("\"oops"), Err(SparqlError::Lex { .. })));
+        assert!(matches!(tokenize("? x"), Err(SparqlError::Lex { .. })));
+        assert!(matches!(tokenize("|"), Err(SparqlError::Lex { .. })));
+    }
+
+    #[test]
+    fn email_literals_lex_as_one_token() {
+        let t = tokenize("'FullProfessor0@Department0.University0.edu'").unwrap();
+        assert_eq!(t, vec![Token::Constant("FullProfessor0@Department0.University0.edu".into())]);
+    }
+}

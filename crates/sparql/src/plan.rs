@@ -1,0 +1,295 @@
+//! Query planning: name resolution and greedy join ordering.
+//!
+//! A parsed [`SelectQuery`] refers to vertices and predicates by string;
+//! a [`Plan`] resolves them against a concrete [`Graph`] into dense ids and
+//! fixes a pattern evaluation order. Ordering is the classic greedy
+//! heuristic: repeatedly pick the cheapest pattern *connected* to the
+//! already-bound variables (constants and previously placed patterns), so
+//! the backtracking evaluator always joins against at least one bound
+//! endpoint when the pattern graph is connected.
+
+use crate::ast::{SelectQuery, Term};
+use crate::error::{Result, SparqlError};
+use kgreach_graph::{Graph, LabelId, VertexId};
+
+/// A subject/object slot in a resolved pattern.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum NodeRef {
+    /// A concrete vertex.
+    Const(VertexId),
+    /// A node variable, by dense index.
+    Var(u16),
+}
+
+/// A predicate slot in a resolved pattern.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum PredRef {
+    /// A concrete label.
+    Const(LabelId),
+    /// A predicate variable, by dense index (separate namespace from
+    /// node variables).
+    Var(u16),
+}
+
+/// A triple pattern with ids resolved and variables numbered.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct ResolvedPattern {
+    /// Subject slot.
+    pub s: NodeRef,
+    /// Predicate slot.
+    pub p: PredRef,
+    /// Object slot.
+    pub o: NodeRef,
+}
+
+/// An executable plan: resolved patterns in evaluation order.
+#[derive(Clone, Debug)]
+pub struct Plan {
+    /// Patterns in the order the evaluator joins them.
+    pub patterns: Vec<ResolvedPattern>,
+    /// Number of node variables.
+    pub num_node_vars: usize,
+    /// Number of predicate variables.
+    pub num_pred_vars: usize,
+    /// Node-variable indices of the projected variables, in query order.
+    pub projection: Vec<u16>,
+    /// Node-variable names (index → name), for diagnostics.
+    pub node_var_names: Vec<String>,
+    /// Whether some constant failed to resolve — the query matches nothing.
+    pub unsatisfiable: bool,
+}
+
+impl Plan {
+    /// Compiles `query` against `graph`.
+    ///
+    /// Unknown constants do not error — they make the plan
+    /// [`unsatisfiable`](Plan::unsatisfiable) (the query simply has no
+    /// matches in this graph), mirroring SPARQL set semantics.
+    pub fn compile(graph: &Graph, query: &SelectQuery) -> Result<Plan> {
+        if query.patterns.is_empty() {
+            return Err(SparqlError::EmptyPattern);
+        }
+        let mut node_var_names: Vec<String> = Vec::new();
+        let mut pred_var_names: Vec<String> = Vec::new();
+        let mut unsatisfiable = false;
+
+        fn node_ref(
+            graph: &Graph,
+            t: &Term,
+            names: &mut Vec<String>,
+            unsatisfiable: &mut bool,
+        ) -> NodeRef {
+            match t {
+                Term::Constant(c) => match graph.vertex_id(c) {
+                    Some(v) => NodeRef::Const(v),
+                    None => {
+                        *unsatisfiable = true;
+                        NodeRef::Const(VertexId(0))
+                    }
+                },
+                Term::Variable(v) => {
+                    let idx = match names.iter().position(|n| n == v) {
+                        Some(i) => i,
+                        None => {
+                            names.push(v.clone());
+                            names.len() - 1
+                        }
+                    };
+                    NodeRef::Var(idx as u16)
+                }
+            }
+        }
+
+        let mut patterns = Vec::with_capacity(query.patterns.len());
+        for p in &query.patterns {
+            let s = node_ref(graph, &p.subject, &mut node_var_names, &mut unsatisfiable);
+            let o = node_ref(graph, &p.object, &mut node_var_names, &mut unsatisfiable);
+            let pred = match &p.predicate {
+                Term::Constant(c) => match graph.label_id(c) {
+                    Some(l) => PredRef::Const(l),
+                    None => {
+                        unsatisfiable = true;
+                        PredRef::Const(LabelId(0))
+                    }
+                },
+                Term::Variable(v) => {
+                    if node_var_names.iter().any(|n| n == v) {
+                        return Err(SparqlError::Parse {
+                            message: format!(
+                                "variable ?{v} is used in both node and predicate position"
+                            ),
+                        });
+                    }
+                    let idx = match pred_var_names.iter().position(|n| n == v) {
+                        Some(i) => i,
+                        None => {
+                            pred_var_names.push(v.clone());
+                            pred_var_names.len() - 1
+                        }
+                    };
+                    PredRef::Var(idx as u16)
+                }
+            };
+            patterns.push(ResolvedPattern { s, p: pred, o });
+        }
+
+        let mut projection = Vec::with_capacity(query.projection.len());
+        for v in &query.projection {
+            match node_var_names.iter().position(|n| n == v) {
+                Some(i) => projection.push(i as u16),
+                None => {
+                    // Either unused (caught by the parser) or predicate-only.
+                    return Err(SparqlError::Parse {
+                        message: format!(
+                            "projected variable ?{v} must occur in a subject/object position"
+                        ),
+                    });
+                }
+            }
+        }
+
+        let ordered = order_patterns(patterns, &projection);
+        Ok(Plan {
+            patterns: ordered,
+            num_node_vars: node_var_names.len(),
+            num_pred_vars: pred_var_names.len(),
+            projection,
+            node_var_names,
+            unsatisfiable,
+        })
+    }
+}
+
+/// Greedy connected ordering.
+///
+/// The bound-variable set starts with the projected variables: the hot
+/// caller (`SCck`) evaluates the plan with `?x` pre-bound, and the
+/// `V(S,G)` enumerator benefits from binding `?x` early too (its distinct-
+/// value pruning cuts entire subtrees once a value is known).
+fn order_patterns(mut pending: Vec<ResolvedPattern>, projection: &[u16]) -> Vec<ResolvedPattern> {
+    let mut bound: Vec<bool> = Vec::new();
+    let bind = |v: u16, bound: &mut Vec<bool>| {
+        if bound.len() <= v as usize {
+            bound.resize(v as usize + 1, false);
+        }
+        bound[v as usize] = true;
+    };
+    for &v in projection {
+        bind(v, &mut bound);
+    }
+
+    let is_bound = |n: NodeRef, bound: &[bool]| match n {
+        NodeRef::Const(_) => true,
+        NodeRef::Var(v) => bound.get(v as usize).copied().unwrap_or(false),
+    };
+
+    let mut ordered = Vec::with_capacity(pending.len());
+    while !pending.is_empty() {
+        // Cost: fewer unbound node slots is better; a constant predicate is
+        // better than a variable one; connectivity (≥1 bound node slot)
+        // dominates everything.
+        let mut best = 0usize;
+        let mut best_key = (usize::MAX, usize::MAX, usize::MAX);
+        for (i, p) in pending.iter().enumerate() {
+            let s_bound = is_bound(p.s, &bound);
+            let o_bound = is_bound(p.o, &bound);
+            let connected = usize::from(!(s_bound || o_bound));
+            let unbound_nodes = usize::from(!s_bound) + usize::from(!o_bound);
+            let pred_var = usize::from(matches!(p.p, PredRef::Var(_)));
+            let key = (connected, unbound_nodes, pred_var);
+            if key < best_key {
+                best_key = key;
+                best = i;
+            }
+        }
+        let chosen = pending.swap_remove(best);
+        if let NodeRef::Var(v) = chosen.s {
+            bind(v, &mut bound);
+        }
+        if let NodeRef::Var(v) = chosen.o {
+            bind(v, &mut bound);
+        }
+        ordered.push(chosen);
+    }
+    ordered
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+    use kgreach_graph::GraphBuilder;
+
+    fn graph() -> Graph {
+        let mut b = GraphBuilder::new();
+        b.add_triple("a", "p", "b");
+        b.add_triple("b", "q", "c");
+        b.add_triple("a", "q", "c");
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn compile_resolves_ids() {
+        let g = graph();
+        let q = parse("SELECT ?x WHERE { ?x <p> <b> . }").unwrap();
+        let plan = Plan::compile(&g, &q).unwrap();
+        assert!(!plan.unsatisfiable);
+        assert_eq!(plan.num_node_vars, 1);
+        assert_eq!(plan.projection, vec![0]);
+        match plan.patterns[0] {
+            ResolvedPattern { s: NodeRef::Var(0), p: PredRef::Const(l), o: NodeRef::Const(v) } => {
+                assert_eq!(l, g.label_id("p").unwrap());
+                assert_eq!(v, g.vertex_id("b").unwrap());
+            }
+            other => panic!("unexpected pattern {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_constant_is_unsatisfiable_not_error() {
+        let g = graph();
+        let q = parse("SELECT ?x WHERE { ?x <p> <missing> . }").unwrap();
+        let plan = Plan::compile(&g, &q).unwrap();
+        assert!(plan.unsatisfiable);
+        let q = parse("SELECT ?x WHERE { ?x <missingpred> <b> . }").unwrap();
+        assert!(Plan::compile(&g, &q).unwrap().unsatisfiable);
+    }
+
+    #[test]
+    fn ordering_prefers_connected_patterns() {
+        let g = graph();
+        // ?y <q> ?z is disconnected from ?x until ?x <p> ?y runs.
+        let q = parse("SELECT ?x WHERE { ?y <q> ?z . ?x <p> ?y . }").unwrap();
+        let plan = Plan::compile(&g, &q).unwrap();
+        // First pattern must touch ?x (projection pre-bound).
+        match plan.patterns[0] {
+            ResolvedPattern { s: NodeRef::Var(v), .. } => {
+                assert_eq!(plan.node_var_names[v as usize], "x");
+            }
+            ref other => panic!("unexpected first pattern {other:?}"),
+        }
+    }
+
+    #[test]
+    fn predicate_variable_namespace_is_separate() {
+        let g = graph();
+        let q = parse("SELECT ?x WHERE { ?x ?p <b> . }").unwrap();
+        let plan = Plan::compile(&g, &q).unwrap();
+        assert_eq!(plan.num_node_vars, 1);
+        assert_eq!(plan.num_pred_vars, 1);
+    }
+
+    #[test]
+    fn shared_node_and_pred_variable_rejected() {
+        let g = graph();
+        let q = parse("SELECT ?x WHERE { ?x ?x <b> . }").unwrap();
+        assert!(Plan::compile(&g, &q).is_err());
+    }
+
+    #[test]
+    fn projection_must_be_node_position() {
+        let g = graph();
+        let q = parse("SELECT ?p WHERE { <a> ?p <b> . }").unwrap();
+        assert!(Plan::compile(&g, &q).is_err());
+    }
+}

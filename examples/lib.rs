@@ -1,0 +1,28 @@
+//! Shared helpers for the runnable examples.
+
+use kgreach::{Algorithm, LscrEngine, LscrQuery};
+
+/// Answers `query` with every practical algorithm and prints a comparison
+/// line per algorithm; panics if the algorithms disagree.
+pub fn run_all_algorithms(engine: &mut LscrEngine<'_>, label: &str, query: &LscrQuery) -> bool {
+    println!("── {label}");
+    let mut answers = Vec::new();
+    for alg in Algorithm::ALL {
+        let outcome = engine.answer(query, alg).expect("query is valid");
+        println!(
+            "   {:<5} → {:<5} in {:>9.3?}  (passed {} vertices, scck {}, |V(S,G)| {})",
+            alg.name(),
+            outcome.answer,
+            outcome.elapsed,
+            outcome.stats.passed_vertices,
+            outcome.stats.scck_calls,
+            outcome.stats.vsg_size.map_or("-".into(), |v| v.to_string()),
+        );
+        answers.push(outcome.answer);
+    }
+    assert!(
+        answers.windows(2).all(|w| w[0] == w[1]),
+        "algorithms disagree on {label} — this is a bug"
+    );
+    answers[0]
+}

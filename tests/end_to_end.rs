@@ -1,0 +1,166 @@
+//! End-to-end pipeline tests: generators → constraints → workloads →
+//! all three algorithms → consistency with the oracle, across crates.
+
+use kgreach::{Algorithm, LocalIndexConfig, LscrEngine, LscrQuery};
+use kgreach_datagen::constraints::{all_lubm_constraints, s1, s3};
+use kgreach_datagen::queries::{generate_workload, QueryGenConfig};
+use kgreach_integration::small_lubm;
+
+#[test]
+fn full_lubm_pipeline_s1_to_s5() {
+    let g = small_lubm(21);
+    let mut engine = LscrEngine::new(&g);
+    for (name, constraint) in all_lubm_constraints() {
+        let w = generate_workload(
+            &g,
+            &constraint,
+            &QueryGenConfig {
+                num_true: 3,
+                num_false: 3,
+                seed: 5,
+                max_attempts: 30_000,
+                enforce_difficulty: false,
+            },
+        );
+        for gq in w.true_queries.iter().chain(&w.false_queries) {
+            for alg in [Algorithm::Uis, Algorithm::UisStar, Algorithm::Ins, Algorithm::Oracle] {
+                let out = engine.answer(&gq.query, alg).unwrap();
+                assert_eq!(
+                    out.answer, gq.expected,
+                    "{name}: {alg} wrong on {} → {}",
+                    gq.query.source, gq.query.target
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn workload_is_reusable_across_engines() {
+    let g = small_lubm(22);
+    let w = generate_workload(
+        &g,
+        &s3(),
+        &QueryGenConfig {
+            num_true: 4,
+            num_false: 4,
+            seed: 6,
+            max_attempts: 30_000,
+            enforce_difficulty: false,
+        },
+    );
+    // Two engines with different index layouts must agree.
+    let mut e1 = LscrEngine::with_index_config(
+        &g,
+        LocalIndexConfig { num_landmarks: Some(32), seed: 1 },
+    );
+    let mut e2 = LscrEngine::with_index_config(
+        &g,
+        LocalIndexConfig { num_landmarks: Some(500), seed: 2 },
+    );
+    for gq in w.true_queries.iter().chain(&w.false_queries) {
+        let a = e1.answer(&gq.query, Algorithm::Ins).unwrap().answer;
+        let b = e2.answer(&gq.query, Algorithm::Ins).unwrap().answer;
+        assert_eq!(a, gq.expected);
+        assert_eq!(b, gq.expected);
+    }
+}
+
+#[test]
+fn graph_io_roundtrip_preserves_answers() {
+    let g = small_lubm(23);
+    let mut bytes = Vec::new();
+    kgreach_graph::io::write_graph(&g, &mut bytes).unwrap();
+    let g2 = kgreach_graph::io::read_graph(&bytes[..]).unwrap();
+    assert_eq!(g2.num_vertices(), g.num_vertices());
+    assert_eq!(g2.num_edges(), g.num_edges());
+
+    // Same query by *name* answers identically on both copies (ids may
+    // differ after a round-trip; names are the stable identity).
+    let c = s1();
+    let make = |g: &kgreach_graph::Graph| {
+        LscrQuery::new(
+            g.vertex_id("UndergraduateStudent0.Department0.University0").unwrap(),
+            g.vertex_id("University1").unwrap(),
+            g.all_labels(),
+            c.clone(),
+        )
+    };
+    let mut e1 = LscrEngine::new(&g);
+    let mut e2 = LscrEngine::new(&g2);
+    let a = e1.answer(&make(&g), Algorithm::Uis).unwrap().answer;
+    let b = e2.answer(&make(&g2), Algorithm::Uis).unwrap().answer;
+    assert_eq!(a, b);
+}
+
+#[test]
+fn lcr_baselines_agree_on_lubm() {
+    use kgreach_graph::traverse::lcr_reachable;
+    use kgreach_lcr::{Budget, LandmarkConfig, LandmarkIndex, OnlineLcr, ZouIndex};
+    use rand::{Rng, SeedableRng};
+
+    let g = small_lubm(24);
+    let landmark = LandmarkIndex::build(
+        &g,
+        &LandmarkConfig { num_landmarks: Some(40), b: 5 },
+        Budget::unlimited(),
+    )
+    .unwrap();
+    let zou = ZouIndex::build(&g, Budget::unlimited()).unwrap();
+    let mut online = OnlineLcr::new(g.num_vertices());
+
+    let mut rng = rand::rngs::SmallRng::seed_from_u64(77);
+    for _ in 0..150 {
+        let s = kgreach_graph::VertexId(rng.gen_range(0..g.num_vertices() as u32));
+        let t = kgreach_graph::VertexId(rng.gen_range(0..g.num_vertices() as u32));
+        let l = kgreach_graph::LabelSet::from_bits(rng.gen::<u64>())
+            .intersection(g.all_labels());
+        let expected = lcr_reachable(&g, s, t, l);
+        assert_eq!(online.bfs(&g, s, t, l).0, expected, "online bfs {s}->{t}");
+        assert_eq!(online.dfs(&g, s, t, l).0, expected, "online dfs {s}->{t}");
+        assert_eq!(landmark.reaches(&g, s, t, l), expected, "landmark {s}->{t}");
+        assert_eq!(zou.reaches(&g, s, t, l), expected, "zou {s}->{t}");
+    }
+}
+
+#[test]
+fn sparql_vsg_equals_brute_force_scck() {
+    let g = small_lubm(25);
+    for (name, constraint) in all_lubm_constraints() {
+        let compiled = constraint.compile(&g).unwrap();
+        let via_engine = compiled.satisfying_vertices(&g);
+        let via_scck: Vec<_> =
+            g.vertices().filter(|&v| compiled.satisfies(&g, v)).collect();
+        assert_eq!(via_engine, via_scck, "{name}: V(S,G) mismatch");
+    }
+}
+
+#[test]
+fn passed_vertex_metric_ordering() {
+    // INS's pruning should never pass *more* vertices than UIS* on the
+    // same true query (both are V(S,G)-driven; INS adds index pruning).
+    // This is the paper's Figures 10-14 passed-vertex ordering.
+    let g = small_lubm(26);
+    let w = generate_workload(
+        &g,
+        &s3(),
+        &QueryGenConfig {
+            num_true: 6,
+            num_false: 0,
+            seed: 8,
+            max_attempts: 30_000,
+            enforce_difficulty: false,
+        },
+    );
+    let mut engine = LscrEngine::new(&g);
+    let mut ins_total = 0usize;
+    let mut uis_total = 0usize;
+    for gq in &w.true_queries {
+        ins_total += engine.answer(&gq.query, Algorithm::Ins).unwrap().stats.passed_vertices;
+        uis_total += engine.answer(&gq.query, Algorithm::Uis).unwrap().stats.passed_vertices;
+    }
+    assert!(
+        ins_total <= uis_total * 2,
+        "INS passed {ins_total} vs UIS {uis_total}: pruning regressed badly"
+    );
+}

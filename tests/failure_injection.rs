@@ -1,0 +1,157 @@
+//! Failure injection and edge cases: oversized alphabets, out-of-range
+//! ids, malformed SPARQL, unsatisfiable constraints, degenerate queries.
+
+use kgreach::{Algorithm, LscrEngine, LscrQuery, QueryError, SubstructureConstraint};
+use kgreach_graph::{GraphBuilder, GraphError, LabelSet, VertexId, MAX_LABELS};
+use kgreach_integration::small_lubm;
+
+#[test]
+fn too_many_labels_is_a_typed_error() {
+    let mut b = GraphBuilder::new();
+    for i in 0..=MAX_LABELS {
+        b.add_triple("a", &format!("p{i}"), "b");
+    }
+    match b.build() {
+        Err(GraphError::TooManyLabels { requested, max }) => {
+            assert_eq!(requested, MAX_LABELS + 1);
+            assert_eq!(max, MAX_LABELS);
+        }
+        other => panic!("expected TooManyLabels, got {other:?}"),
+    }
+}
+
+#[test]
+fn out_of_range_vertices_rejected_at_compile() {
+    let g = small_lubm(31);
+    let c = SubstructureConstraint::parse("SELECT ?x WHERE { ?x <rdf:type> <ub:Course> . }")
+        .unwrap();
+    let q = LscrQuery::new(VertexId(u32::MAX - 1), VertexId(0), g.all_labels(), c);
+    let mut engine = LscrEngine::new(&g);
+    match engine.answer(&q, Algorithm::Uis) {
+        Err(QueryError::Graph(GraphError::VertexOutOfRange { .. })) => {}
+        other => panic!("expected VertexOutOfRange, got {other:?}"),
+    }
+}
+
+#[test]
+fn malformed_sparql_is_rejected() {
+    for text in [
+        "",
+        "SELECT",
+        "SELECT ?x",
+        "SELECT ?x WHERE",
+        "SELECT ?x WHERE { }",
+        "SELECT ?x WHERE { ?x <p> }",
+        "SELECT ?x WHERE { ?x <p ?y }",
+        "WHERE { ?x <p> ?y }",
+        "SELECT ?missing WHERE { ?x <p> ?y }",
+        "SELECT ?x ?y WHERE { ?x <p> ?y }", // two projections: not a constraint
+    ] {
+        assert!(
+            SubstructureConstraint::parse(text).is_err(),
+            "accepted malformed constraint: {text:?}"
+        );
+    }
+}
+
+#[test]
+fn unsatisfiable_constraint_answers_false_everywhere() {
+    let g = small_lubm(32);
+    let c = SubstructureConstraint::parse(
+        "SELECT ?x WHERE { ?x <no:such:predicate> <no:such:vertex> . }",
+    )
+    .unwrap();
+    let mut engine = LscrEngine::new(&g);
+    let q = LscrQuery::new(VertexId(0), VertexId(1), g.all_labels(), c);
+    for alg in [Algorithm::Uis, Algorithm::UisStar, Algorithm::Ins, Algorithm::Oracle] {
+        let out = engine.answer(&q, alg).unwrap();
+        assert!(!out.answer, "{alg} claimed an unsatisfiable constraint holds");
+    }
+}
+
+#[test]
+fn source_equals_target_is_consistent_across_algorithms() {
+    let g = small_lubm(33);
+    let c = SubstructureConstraint::parse(
+        "SELECT ?x WHERE { ?x <rdf:type> <ub:UndergraduateStudent> . }",
+    )
+    .unwrap();
+    let mut engine = LscrEngine::new(&g);
+    for raw in [0u32, 7, 100, 500] {
+        let v = VertexId(raw % g.num_vertices() as u32);
+        let q = LscrQuery::new(v, v, g.all_labels(), c.clone());
+        let expected = engine.answer(&q, Algorithm::Oracle).unwrap().answer;
+        for alg in Algorithm::ALL {
+            assert_eq!(
+                engine.answer(&q, alg).unwrap().answer,
+                expected,
+                "{alg} inconsistent on s = t = {v}"
+            );
+        }
+    }
+}
+
+#[test]
+fn empty_label_constraint_only_trivial_paths() {
+    let g = small_lubm(34);
+    let c = SubstructureConstraint::parse(
+        "SELECT ?x WHERE { ?x <rdf:type> <ub:UndergraduateStudent> . }",
+    )
+    .unwrap();
+    let mut engine = LscrEngine::new(&g);
+    // Distinct endpoints, empty L: no path exists.
+    let q = LscrQuery::new(VertexId(0), VertexId(1), LabelSet::EMPTY, c.clone());
+    for alg in Algorithm::ALL {
+        assert!(!engine.answer(&q, alg).unwrap().answer, "{alg}");
+    }
+    // s = t where s satisfies S: the zero-edge path answers true.
+    let ug = g
+        .vertex_id("UndergraduateStudent0.Department0.University0")
+        .unwrap();
+    let q = LscrQuery::new(ug, ug, LabelSet::EMPTY, c);
+    for alg in Algorithm::ALL {
+        assert!(engine.answer(&q, alg).unwrap().answer, "{alg}");
+    }
+}
+
+#[test]
+fn graph_with_no_edges() {
+    let mut b = GraphBuilder::new();
+    b.intern_vertex("lonely1");
+    b.intern_vertex("lonely2");
+    b.intern_label("p");
+    let g = b.build().unwrap();
+    let c = SubstructureConstraint::parse("SELECT ?x WHERE { ?x <p> ?y . }").unwrap();
+    let mut engine = LscrEngine::new(&g);
+    let q = LscrQuery::new(VertexId(0), VertexId(1), g.all_labels(), c);
+    for alg in [Algorithm::Uis, Algorithm::UisStar, Algorithm::Ins, Algorithm::Oracle] {
+        assert!(!engine.answer(&q, alg).unwrap().answer, "{alg}");
+    }
+}
+
+#[test]
+fn triple_parser_rejects_garbage() {
+    use kgreach_graph::triples::parse_line;
+    for (line, text) in [
+        (1usize, "<a> <b>"),
+        (2, "<unterminated"),
+        (3, "\"unterminated"),
+        (4, "<a> <b> <c> <d>"),
+    ] {
+        let err = parse_line(text, line).unwrap_err();
+        match err {
+            GraphError::Parse { line: l, .. } => assert_eq!(l, line),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn budget_exceeded_surfaces_progress() {
+    use kgreach_lcr::{Budget, FullTransitiveClosure};
+    let g = small_lubm(35);
+    let err =
+        FullTransitiveClosure::build(&g, Budget::with_limit(std::time::Duration::ZERO))
+            .unwrap_err();
+    assert!(err.to_string().contains("budget"));
+}

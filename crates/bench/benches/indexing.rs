@@ -39,8 +39,7 @@ fn bench_landmark_selection_ablation(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("schema_guided", |b| {
         b.iter(|| {
-            let idx =
-                LocalIndex::build(&g, &LocalIndexConfig { num_landmarks: Some(k), seed: 6 });
+            let idx = LocalIndex::build(&g, &LocalIndexConfig { num_landmarks: Some(k), seed: 6 });
             black_box(idx.stats().ii_pairs)
         })
     });
@@ -74,5 +73,10 @@ fn bench_baseline_indexes(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_local_index_build, bench_landmark_selection_ablation, bench_baseline_indexes);
+criterion_group!(
+    benches,
+    bench_local_index_build,
+    bench_landmark_selection_ablation,
+    bench_baseline_indexes
+);
 criterion_main!(benches);

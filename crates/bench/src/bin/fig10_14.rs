@@ -28,10 +28,11 @@ fn main() {
     let num_datasets: usize = args.get("datasets", 5);
     let which = args.get_str("constraint").unwrap_or("all").to_lowercase();
 
-    let selected: Vec<(&str, kgreach::SubstructureConstraint)> = constraints::all_lubm_constraints()
-        .into_iter()
-        .filter(|(name, _)| which == "all" || name.to_lowercase() == which)
-        .collect();
+    let selected: Vec<(&str, kgreach::SubstructureConstraint)> =
+        constraints::all_lubm_constraints()
+            .into_iter()
+            .filter(|(name, _)| which == "all" || name.to_lowercase() == which)
+            .collect();
     if selected.is_empty() {
         eprintln!("unknown --constraint {which}; use s1..s5 or all");
         std::process::exit(2);
@@ -45,20 +46,24 @@ fn main() {
         let fig = 10 + name[1..].parse::<usize>().unwrap_or(1) - 1;
         println!("\n# Figure {fig} — substructure constraint {name}: {}", constraint.to_sparql());
         print_header(&[
-            "Dataset", "|V|", "|E|", "|V(S,G)|", "group", "algo", "avg time(ms)", "avg passed-vertex", "queries", "wrong",
+            "Dataset",
+            "|V|",
+            "|E|",
+            "|V(S,G)|",
+            "group",
+            "algo",
+            "avg time(ms)",
+            "avg passed-vertex",
+            "queries",
+            "wrong",
         ]);
         for spec in &datasets {
             let g = kgreach_bench::build_lubm(spec);
             let (index, _) = build_local_index(&g, spec.seed);
-            let vsg = constraint
-                .compile(&g)
-                .expect("constraint compiles")
-                .satisfying_vertices(&g)
-                .len();
+            let vsg =
+                constraint.compile(&g).expect("constraint compiles").satisfying_vertices(&g).len();
             let w = build_workload(&g, constraint, queries, spec.seed ^ 0x51);
-            for (group_name, group) in
-                [("true", &w.true_queries), ("false", &w.false_queries)]
-            {
+            for (group_name, group) in [("true", &w.true_queries), ("false", &w.false_queries)] {
                 for alg in Algorithm::ALL {
                     let r = run_group(&g, group, alg, Some(&index));
                     print_row(&[

@@ -32,7 +32,12 @@ fn main() {
         seed: 0x1a60,
     })
     .expect("generation fits");
-    println!("# YAGO-like graph: |V|={} |E|={} |L|={}", g.num_vertices(), g.num_edges(), g.num_labels());
+    println!(
+        "# YAGO-like graph: |V|={} |E|={} |L|={}",
+        g.num_vertices(),
+        g.num_edges(),
+        g.num_labels()
+    );
 
     let (index, build_time) = build_local_index(&g, 7);
     if args.has("index-stats") {
@@ -46,7 +51,14 @@ fn main() {
 
     println!("\n# Figure 15 — random constraints by |V(S,G)| magnitude\n");
     print_header(&[
-        "magnitude", "avg |V(S,G)|", "group", "algo", "avg time(ms)", "avg passed-vertex", "queries", "wrong",
+        "magnitude",
+        "avg |V(S,G)|",
+        "group",
+        "algo",
+        "avg time(ms)",
+        "avg passed-vertex",
+        "queries",
+        "wrong",
     ]);
 
     for mag in 1..=max_mag {
@@ -70,8 +82,7 @@ fn main() {
             eprintln!("# magnitude 10^{mag}: no constraint found, skipped");
             continue;
         }
-        let avg_vsg: f64 =
-            pool.iter().map(|(_, c)| *c as f64).sum::<f64>() / pool.len() as f64;
+        let avg_vsg: f64 = pool.iter().map(|(_, c)| *c as f64).sum::<f64>() / pool.len() as f64;
 
         // Merge workloads from the pool.
         let mut true_queries = Vec::new();

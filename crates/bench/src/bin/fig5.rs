@@ -50,6 +50,7 @@ fn main() {
     let base: usize = args.get("sweep-base", 1_000);
     for step in 0..5 {
         let v = base * (1 << step); // 1k, 2k, 4k, 8k, 16k by default
+
         // D = 1.5: entities × 1.5 edges. edges_per_entity is integral, so
         // alternate 1 and 2 via the ratio knob: use 2 then trim by density
         // of preferential attachment (type edges add ~1): ≈1.5 overall with

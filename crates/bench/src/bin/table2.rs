@@ -23,7 +23,13 @@ fn main() {
     println!("# Table 2 — synthetic datasets: indexing time (IT) and space (IS)");
     println!("# traditional budget: {budget_secs}s (scaled stand-in for the paper's 8h cap)\n");
     print_header(&[
-        "Dataset", "Vertex", "Edge", "Local IT(s)", "Local IS(MB)", "Trad IT(s)", "Trad IS(MB)",
+        "Dataset",
+        "Vertex",
+        "Edge",
+        "Local IT(s)",
+        "Local IS(MB)",
+        "Trad IT(s)",
+        "Trad IS(MB)",
     ]);
 
     for spec in lubm_datasets(scale) {
@@ -40,10 +46,7 @@ fn main() {
             Budget::with_limit(Duration::from_secs(budget_secs)),
         );
         let (trad_it, trad_is) = match &trad {
-            Ok(idx) => (
-                format!("{:.2}", idx.build_time.as_secs_f64()),
-                mib(idx.heap_bytes()),
-            ),
+            Ok(idx) => (format!("{:.2}", idx.build_time.as_secs_f64()), mib(idx.heap_bytes())),
             Err(_) => ("-".into(), "-".into()),
         };
 

@@ -138,13 +138,21 @@ impl ConstraintBuilder {
 
     /// Adds a variable edge `(?x, l, v)` — `?x` points at concrete `v`.
     pub fn x_to(mut self, l: &str, v: &str) -> Self {
-        self.patterns.push(TriplePattern::new(Term::var("x"), Term::constant(l), Term::constant(v)));
+        self.patterns.push(TriplePattern::new(
+            Term::var("x"),
+            Term::constant(l),
+            Term::constant(v),
+        ));
         self
     }
 
     /// Adds a variable edge `(u, l, ?x)` — concrete `u` points at `?x`.
     pub fn to_x(mut self, u: &str, l: &str) -> Self {
-        self.patterns.push(TriplePattern::new(Term::constant(u), Term::constant(l), Term::var("x")));
+        self.patterns.push(TriplePattern::new(
+            Term::constant(u),
+            Term::constant(l),
+            Term::var("x"),
+        ));
         self
     }
 
@@ -198,10 +206,8 @@ mod tests {
 
     /// The paper's S0 from Figure 3(b).
     fn s0() -> SubstructureConstraint {
-        SubstructureConstraint::parse(
-            "SELECT ?x WHERE { ?x <friendOf> <v3> . <v3> <likes> ?y . }",
-        )
-        .unwrap()
+        SubstructureConstraint::parse("SELECT ?x WHERE { ?x <friendOf> <v3> . <v3> <likes> ?y . }")
+            .unwrap()
     }
 
     #[test]

@@ -165,10 +165,8 @@ mod tests {
     #[test]
     fn engine_reuses_index() {
         let g = figure3();
-        let mut engine = LscrEngine::with_index_config(
-            &g,
-            LocalIndexConfig { num_landmarks: Some(2), seed: 4 },
-        );
+        let mut engine =
+            LscrEngine::with_index_config(&g, LocalIndexConfig { num_landmarks: Some(2), seed: 4 });
         let before = engine.local_index().stats().num_landmarks;
         assert_eq!(before, 2);
         // Second access must not rebuild (same pointer-ish check via stats).

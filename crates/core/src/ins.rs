@@ -66,8 +66,7 @@ pub fn answer_with(
     // Lines 4-14: identical control flow to UIS*.
     let mut answer = false;
     loop {
-        let ctx =
-            PriorityContext { close: ins.close, index, source: s, target: t };
+        let ctx = PriorityContext { close: ins.close, index, source: s, target: t };
         let Some(v) = heap.pop(&ctx) else { break };
         match ins.close.get(v) {
             CloseState::N => {
@@ -171,10 +170,7 @@ impl Ins<'_> {
                     && self.index.partition().af(t_star) == self.index.partition().af(w)
                 {
                     self.stats.index_hits += 1;
-                    if self
-                        .index
-                        .entry_of(w)
-                        .is_some_and(|entry| entry.check(t_star, self.labels))
+                    if self.index.entry_of(w).is_some_and(|entry| entry.check(t_star, self.labels))
                     {
                         self.mark(w, b);
                         if !b {
@@ -195,11 +191,7 @@ impl Ins<'_> {
                     }
                 } else {
                     // Lines 26-27: ordinary frontier expansion.
-                    let explore = if b {
-                        !self.close.is_t(w)
-                    } else {
-                        self.close.is_n(w)
-                    };
+                    let explore = if b { !self.close.is_t(w) } else { self.close.is_n(w) };
                     if explore {
                         self.mark(w, b);
                         self.push(w, t_star);

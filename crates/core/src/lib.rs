@@ -67,7 +67,9 @@ pub use close::{CloseMap, CloseState};
 pub use constraint::{CompiledConstraint, ConstraintBuilder, SubstructureConstraint};
 pub use engine::{Algorithm, LscrEngine};
 pub use local_index::{IndexBuildStats, LandmarkEntry, LocalIndex, LocalIndexConfig};
-pub use partition::{default_num_landmarks, select_landmarks, select_landmarks_by_degree, Partition};
+pub use partition::{
+    default_num_landmarks, select_landmarks, select_landmarks_by_degree, Partition,
+};
 pub use query::{CompiledLscrQuery, LscrQuery, QueryError, QueryOutcome, SearchStats};
 pub use witness::{find_witness, Witness};
 

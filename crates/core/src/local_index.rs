@@ -63,10 +63,7 @@ pub struct LandmarkEntry {
 impl LandmarkEntry {
     /// The CMS from the landmark to `v` within the partition, if any.
     pub fn ii_cms(&self, v: VertexId) -> Option<&Cms> {
-        self.ii
-            .binary_search_by_key(&v, |(w, _)| *w)
-            .ok()
-            .map(|i| &self.ii[i].1)
+        self.ii.binary_search_by_key(&v, |(w, _)| *w).ok().map(|i| &self.ii[i].1)
     }
 
     /// The paper's `Check(II[u], t*)`: whether the landmark reaches `t*`
@@ -258,11 +255,7 @@ fn local_full_index(
     while let Some((v, l)) = queue.pop_front() {
         // Insert(v, L, II[u]): the landmark's own (u, ∅) pair is "fresh"
         // without being stored (Algorithm 3 line 17).
-        let fresh = if v == u && l.is_empty() {
-            true
-        } else {
-            ii.entry(v).or_default().insert(l)
-        };
+        let fresh = if v == u && l.is_empty() { true } else { ii.entry(v).or_default().insert(l) };
         if !fresh {
             continue;
         }

@@ -66,8 +66,8 @@ fn directional_closure(g: &Graph, start: VertexId, l: LabelSet, dir: Direction) 
 mod tests {
     use super::*;
     use crate::constraint::SubstructureConstraint;
-    use crate::query::LscrQuery;
     use crate::fixtures::figure3;
+    use crate::query::LscrQuery;
 
     fn run(g: &Graph, s: &str, t: &str, labels: &[&str], sparql: &str) -> bool {
         let q = LscrQuery::new(

@@ -229,6 +229,7 @@ mod tests {
     fn default_k_formula() {
         assert_eq!(default_num_landmarks(0), 0);
         assert_eq!(default_num_landmarks(1), 1); // clamped up
+
         // |V| = 1024: log2 = 10, sqrt = 32 → 320.
         assert_eq!(default_num_landmarks(1024), 320);
         assert!(default_num_landmarks(100) <= 100);

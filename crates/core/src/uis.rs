@@ -32,8 +32,7 @@ pub fn answer_with(g: &Graph, q: &CompiledLscrQuery, close: &mut CloseMap) -> Qu
     stack.push(s);
     stats.pushes += 1;
     stats.scck_calls += 1;
-    let s_state =
-        if q.constraint.satisfies(g, s) { CloseState::T } else { CloseState::F };
+    let s_state = if q.constraint.satisfies(g, s) { CloseState::T } else { CloseState::F };
     close.set(s, s_state);
 
     // s = t: the zero-edge path answers immediately when s satisfies S;
@@ -61,11 +60,7 @@ pub fn answer_with(g: &Graph, q: &CompiledLscrQuery, close: &mut CloseMap) -> Qu
             } else if v_state == CloseState::N {
                 // Case 2: first contact — close[v] ← SCck(v, S).
                 stats.scck_calls += 1;
-                let st = if q.constraint.satisfies(g, v) {
-                    CloseState::T
-                } else {
-                    CloseState::F
-                };
+                let st = if q.constraint.satisfies(g, v) { CloseState::T } else { CloseState::F };
                 close.set(v, st);
                 stack.push(v);
                 stats.pushes += 1;
@@ -228,8 +223,8 @@ mod tests {
         b.add_triple("sat", "p", "m");
         b.add_triple("m", "p", "t");
         let g = b.build().unwrap();
-        let c = SubstructureConstraint::parse("SELECT ?x WHERE { ?x <marked> <anchor> . }")
-            .unwrap();
+        let c =
+            SubstructureConstraint::parse("SELECT ?x WHERE { ?x <marked> <anchor> . }").unwrap();
         let q = LscrQuery::new(
             g.vertex_id("sat").unwrap(),
             g.vertex_id("t").unwrap(),

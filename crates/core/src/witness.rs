@@ -217,8 +217,7 @@ mod tests {
                         g.label_set(labels),
                         s0(),
                     );
-                    let expected =
-                        engine.answer(&q, crate::Algorithm::Uis).unwrap().answer;
+                    let expected = engine.answer(&q, crate::Algorithm::Uis).unwrap().answer;
                     let w = find_witness(&g, &q.compile(&g).unwrap());
                     assert_eq!(w.is_some(), expected, "{s}->{t} {labels:?}");
                 }

@@ -11,10 +11,8 @@ use rand::{Rng, SeedableRng};
 /// The paper's five typical substructure constraints on LUBM (Table 3),
 /// verbatim modulo ASCII quoting.
 pub fn s1() -> SubstructureConstraint {
-    SubstructureConstraint::parse(
-        "SELECT ?x WHERE { ?x <ub:researchInterest> \"Research12\" . }",
-    )
-    .expect("S1 parses")
+    SubstructureConstraint::parse("SELECT ?x WHERE { ?x <ub:researchInterest> \"Research12\" . }")
+        .expect("S1 parses")
 }
 
 /// S2 — S1 plus an associate-professor type requirement (~50% of S1).
@@ -89,12 +87,8 @@ pub fn random_constraint_with_magnitude(
         // target, or — every other attempt — from the variable-class
         // pattern `?x rdf:type ?c` (all typed instances), which gives the
         // narrowing loop a coarser starting point.
-        let candidates: Vec<usize> = classes
-            .iter()
-            .enumerate()
-            .filter(|(_, &(_, n))| n >= lo)
-            .map(|(i, _)| i)
-            .collect();
+        let candidates: Vec<usize> =
+            classes.iter().enumerate().filter(|(_, &(_, n))| n >= lo).map(|(i, _)| i).collect();
         let seed_pattern = if candidates.is_empty() || attempt % 2 == 1 {
             TriplePattern::new(Term::var("x"), Term::constant(&type_name), Term::var("c"))
         } else {

@@ -70,9 +70,8 @@ pub fn generate(config: &LubmConfig) -> Result<Graph> {
     let mut b = GraphBuilder::with_capacity(depts * 140, depts * 480);
 
     // Shared literal vertices for research interests.
-    let interests: Vec<VertexId> = (0..NUM_RESEARCH_INTERESTS)
-        .map(|i| b.intern_vertex(&format!("Research{i}")))
-        .collect();
+    let interests: Vec<VertexId> =
+        (0..NUM_RESEARCH_INTERESTS).map(|i| b.intern_vertex(&format!("Research{i}"))).collect();
 
     // Predicates (interned once).
     let p_type = b.intern_label("rdf:type");
@@ -162,8 +161,7 @@ pub fn generate(config: &LubmConfig) -> Result<Graph> {
                 (c_asstprof, "AssistantProfessor", 6),
             ] {
                 for i in 0..count {
-                    let prof =
-                        b.intern_vertex(&format!("{kind}{i}.Department{d}.University{u}"));
+                    let prof = b.intern_vertex(&format!("{kind}{i}.Department{d}.University{u}"));
                     b.add_edge(prof, p_type, class);
                     b.add_edge(prof, p_worksfor, dept);
                     b.add_edge(dept, p_hasmember, prof);
@@ -180,9 +178,8 @@ pub fn generate(config: &LubmConfig) -> Result<Graph> {
                         b.add_edge(prof, degree, from);
                     }
                     if kind == "FullProfessor" {
-                        let email = b.intern_vertex(&format!(
-                            "{kind}{i}@Department{d}.University{u}.edu"
-                        ));
+                        let email =
+                            b.intern_vertex(&format!("{kind}{i}@Department{d}.University{u}.edu"));
                         b.add_edge(prof, p_email, email);
                     }
                     faculty.push(prof);
@@ -193,7 +190,8 @@ pub fn generate(config: &LubmConfig) -> Result<Graph> {
 
             // Undergraduates: 48, each takes a course.
             for i in 0..48 {
-                let s = b.intern_vertex(&format!("UndergraduateStudent{i}.Department{d}.University{u}"));
+                let s = b
+                    .intern_vertex(&format!("UndergraduateStudent{i}.Department{d}.University{u}"));
                 b.add_edge(s, p_type, c_ugstudent);
                 b.add_edge(s, p_memberof, dept);
                 b.add_edge(dept, p_hasmember, s);
@@ -203,14 +201,13 @@ pub fn generate(config: &LubmConfig) -> Result<Graph> {
 
             // Graduates: 10, named over a cycling window, with advisors.
             for i in 0..10 {
-                let s = b.intern_vertex(&format!("GraduateStudentV{i}.Department{d}.University{u}"));
+                let s =
+                    b.intern_vertex(&format!("GraduateStudentV{i}.Department{d}.University{u}"));
                 b.add_edge(s, p_type, c_gradstudent);
                 b.add_edge(s, p_memberof, dept);
                 b.add_edge(dept, p_hasmember, s);
-                let name = b.intern_vertex(&format!(
-                    "GraduateStudent{}",
-                    grad_counter % NUM_GRAD_NAMES
-                ));
+                let name =
+                    b.intern_vertex(&format!("GraduateStudent{}", grad_counter % NUM_GRAD_NAMES));
                 grad_counter += 1;
                 b.add_edge(s, p_name, name);
                 let advisor = faculty[rng.gen_range(0..faculty.len())];

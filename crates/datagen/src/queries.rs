@@ -180,11 +180,7 @@ pub fn generate_workload(
 
         if outcome.answer {
             if true_queries.len() < config.num_true {
-                true_queries.push(GeneratedQuery {
-                    query,
-                    expected: true,
-                    false_kind: None,
-                });
+                true_queries.push(GeneratedQuery { query, expected: true, false_kind: None });
             }
         } else if false_queries.len() < config.num_false {
             // Determine the failure shape for balancing.

@@ -35,7 +35,13 @@ pub struct YagoConfig {
 
 impl Default for YagoConfig {
     fn default() -> Self {
-        YagoConfig { entities: 10_000, edges_per_entity: 3, num_labels: 24, num_classes: 30, seed: 0xca11ab1e }
+        YagoConfig {
+            entities: 10_000,
+            edges_per_entity: 3,
+            num_labels: 24,
+            num_classes: 30,
+            seed: 0xca11ab1e,
+        }
     }
 }
 
@@ -126,8 +132,14 @@ mod tests {
     use kgreach_graph::GraphStats;
 
     fn small() -> Graph {
-        generate(&YagoConfig { entities: 3_000, edges_per_entity: 3, num_labels: 20, num_classes: 15, seed: 5 })
-            .unwrap()
+        generate(&YagoConfig {
+            entities: 3_000,
+            edges_per_entity: 3,
+            num_labels: 20,
+            num_classes: 15,
+            seed: 5,
+        })
+        .unwrap()
     }
 
     #[test]

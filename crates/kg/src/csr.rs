@@ -35,7 +35,10 @@ impl Csr {
     /// Uses a counting-sort placement: O(|V| + |E|), no comparison sort.
     /// Within each vertex, edges are ordered by `(label, vertex)` to make
     /// per-label scans cache-friendly and deterministic.
-    pub fn build(num_vertices: usize, edges: impl Iterator<Item = (VertexId, LabelId, VertexId)> + Clone) -> Self {
+    pub fn build(
+        num_vertices: usize,
+        edges: impl Iterator<Item = (VertexId, LabelId, VertexId)> + Clone,
+    ) -> Self {
         let mut counts = vec![0u32; num_vertices + 1];
         let mut num_edges = 0usize;
         for (k, _, _) in edges.clone() {
@@ -119,7 +122,8 @@ mod tests {
     #[test]
     fn neighbors_sorted_by_label() {
         let csr = sample();
-        let n: Vec<_> = csr.neighbors(VertexId(0)).iter().map(|t| (t.label.0, t.vertex.0)).collect();
+        let n: Vec<_> =
+            csr.neighbors(VertexId(0)).iter().map(|t| (t.label.0, t.vertex.0)).collect();
         assert_eq!(n, vec![(0, 2), (1, 1)]);
     }
 
@@ -142,11 +146,8 @@ mod tests {
     #[test]
     fn neighbors_with_label_filters() {
         let csr = sample();
-        let n: Vec<_> = csr
-            .neighbors_with_label(VertexId(0), LabelId(1))
-            .iter()
-            .map(|t| t.vertex.0)
-            .collect();
+        let n: Vec<_> =
+            csr.neighbors_with_label(VertexId(0), LabelId(1)).iter().map(|t| t.vertex.0).collect();
         assert_eq!(n, vec![1]);
         assert!(csr.neighbors_with_label(VertexId(0), LabelId(9)).is_empty());
     }

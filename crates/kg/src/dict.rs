@@ -24,10 +24,7 @@ impl Dict {
 
     /// Creates an empty dictionary with room for `cap` entries.
     pub fn with_capacity(cap: usize) -> Self {
-        Dict {
-            by_name: crate::fxhash::fx_map_with_capacity(cap),
-            by_id: Vec::with_capacity(cap),
-        }
+        Dict { by_name: crate::fxhash::fx_map_with_capacity(cap), by_id: Vec::with_capacity(cap) }
     }
 
     /// Interns `name`, returning its id (existing or freshly assigned).

@@ -51,7 +51,9 @@ impl fmt::Display for GraphError {
             GraphError::LabelOutOfRange { id, num_labels } => {
                 write!(f, "label id {id} out of range (graph has {num_labels} labels)")
             }
-            GraphError::Parse { line, message } => write!(f, "parse error at line {line}: {message}"),
+            GraphError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
             GraphError::Io(e) => write!(f, "i/o error: {e}"),
         }
     }

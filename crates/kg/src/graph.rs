@@ -176,11 +176,7 @@ impl Graph {
     /// Serializes the graph back to triples (test/io helper).
     pub fn to_triples(&self) -> impl Iterator<Item = Triple> + '_ {
         self.edges().map(move |e| {
-            Triple::new(
-                self.vertex_name(e.src),
-                self.label_name(e.label),
-                self.vertex_name(e.dst),
-            )
+            Triple::new(self.vertex_name(e.src), self.label_name(e.label), self.vertex_name(e.dst))
         })
     }
 }

@@ -129,8 +129,7 @@ mod tests {
 
     #[test]
     fn write_triples_direct() {
-        let triples =
-            vec![Triple::new("x", "p", "y"), Triple::new("y", "p", "literal with space")];
+        let triples = [Triple::new("x", "p", "y"), Triple::new("y", "p", "literal with space")];
         let mut bytes = Vec::new();
         write_triples(triples.iter(), &mut bytes).unwrap();
         let text = String::from_utf8(bytes).unwrap();

@@ -237,9 +237,7 @@ impl Cms {
         }
         // No stored subset: evict strict supersets, then add.
         self.sets.retain(|s| !set.is_proper_subset_of(*s));
-        let pos = self
-            .sets
-            .partition_point(|s| (s.len(), s.bits()) < (set.len(), set.bits()));
+        let pos = self.sets.partition_point(|s| (s.len(), s.bits()) < (set.len(), set.bits()));
         self.sets.insert(pos, set);
         true
     }

@@ -95,13 +95,9 @@ impl Schema {
 
     /// Approximate heap footprint in bytes.
     pub fn heap_bytes(&self) -> usize {
-        let inst: usize = self
-            .instances
-            .iter()
-            .map(|v| v.capacity() * std::mem::size_of::<VertexId>())
-            .sum();
-        inst
-            + self.classes.capacity() * std::mem::size_of::<VertexId>()
+        let inst: usize =
+            self.instances.iter().map(|v| v.capacity() * std::mem::size_of::<VertexId>()).sum();
+        inst + self.classes.capacity() * std::mem::size_of::<VertexId>()
             + self.class_pos.capacity()
                 * (std::mem::size_of::<VertexId>() + std::mem::size_of::<usize>())
     }

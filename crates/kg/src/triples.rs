@@ -135,7 +135,9 @@ fn parse_term(input: &str, line: usize) -> Result<(String, &str)> {
             let end = input.find(char::is_whitespace).unwrap_or(input.len());
             Ok((input[..end].to_string(), &input[end..]))
         }
-        None => Err(GraphError::Parse { line, message: "expected a term, found end of line".into() }),
+        None => {
+            Err(GraphError::Parse { line, message: "expected a term, found end of line".into() })
+        }
     }
 }
 

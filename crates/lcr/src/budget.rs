@@ -103,7 +103,7 @@ mod tests {
         // The first 1023 ticks skip the clock; the 1024th checks.
         let mut failed = false;
         for _ in 0..2048 {
-            if b.tick(|| String::new()).is_err() {
+            if b.tick(String::new).is_err() {
                 failed = true;
                 break;
             }

@@ -66,7 +66,11 @@ pub struct LandmarkIndex {
 
 impl LandmarkIndex {
     /// Builds the index within `budget`.
-    pub fn build(g: &Graph, config: &LandmarkConfig, mut budget: Budget) -> Result<Self, BudgetExceeded> {
+    pub fn build(
+        g: &Graph,
+        config: &LandmarkConfig,
+        mut budget: Budget,
+    ) -> Result<Self, BudgetExceeded> {
         let n = g.num_vertices();
         let k = config.num_landmarks.unwrap_or_else(|| default_num_landmarks(n)).min(n);
 
@@ -97,7 +101,8 @@ impl LandmarkIndex {
                 continue;
             }
             budget.check(|| format!("shortcuts for {v}"))?;
-            shortcuts[v.index()] = shortcut_entries(g, v, &landmark_ordinal, config.b, &mut budget)?;
+            shortcuts[v.index()] =
+                shortcut_entries(g, v, &landmark_ordinal, config.b, &mut budget)?;
         }
 
         Ok(LandmarkIndex {
@@ -213,11 +218,8 @@ fn shortcut_entries(
     let mut queue: VecDeque<(VertexId, LabelSet)> = VecDeque::from([(v, LabelSet::EMPTY)]);
     while let Some((u, l)) = queue.pop_front() {
         budget.tick(|| format!("shortcut bfs from {v}"))?;
-        let fresh = if u == v && l.is_empty() {
-            true
-        } else {
-            visited_cms.entry(u).or_default().insert(l)
-        };
+        let fresh =
+            if u == v && l.is_empty() { true } else { visited_cms.entry(u).or_default().insert(l) };
         if !fresh {
             continue;
         }
@@ -334,7 +336,11 @@ mod tests {
     #[test]
     fn budget_enforced() {
         let g = random_graph(60, 300, 6, 3);
-        let r = LandmarkIndex::build(&g, &LandmarkConfig::default(), Budget::with_limit(Duration::ZERO));
+        let r = LandmarkIndex::build(
+            &g,
+            &LandmarkConfig::default(),
+            Budget::with_limit(Duration::ZERO),
+        );
         assert!(r.is_err());
     }
 

@@ -103,13 +103,9 @@ mod tests {
         let s = g.vertex_id("s").unwrap();
         let t = g.vertex_id("t").unwrap();
         let mut o = OnlineLcr::new(g.num_vertices());
-        for labels in [
-            vec!["a", "b"],
-            vec!["c", "d"],
-            vec!["a", "d"],
-            vec!["a", "b", "c", "d"],
-            vec![],
-        ] {
+        for labels in
+            [vec!["a", "b"], vec!["c", "d"], vec!["a", "d"], vec!["a", "b", "c", "d"], vec![]]
+        {
             let l = g.label_set(&labels);
             let (bfs, _) = o.bfs(&g, s, t, l);
             let (dfs, _) = o.dfs(&g, s, t, l);

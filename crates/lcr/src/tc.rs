@@ -27,11 +27,7 @@ pub fn cms_from(
     let mut queue: VecDeque<(VertexId, LabelSet)> = VecDeque::from([(s, LabelSet::EMPTY)]);
     while let Some((v, l)) = queue.pop_front() {
         budget.tick(|| format!("cms_from({s}), queue {}", queue.len()))?;
-        let fresh = if v == s && l.is_empty() {
-            true
-        } else {
-            out.entry(v).or_default().insert(l)
-        };
+        let fresh = if v == s && l.is_empty() { true } else { out.entry(v).or_default().insert(l) };
         if !fresh {
             continue;
         }
@@ -121,11 +117,7 @@ mod tests {
             for t in g.vertices() {
                 for bits in 0u64..8 {
                     let l = LabelSet::from_bits(bits);
-                    assert_eq!(
-                        tc.reaches(s, t, l),
-                        lcr_reachable(&g, s, t, l),
-                        "({s},{t},{l:?})"
-                    );
+                    assert_eq!(tc.reaches(s, t, l), lcr_reachable(&g, s, t, l), "({s},{t},{l:?})");
                 }
             }
         }

@@ -113,10 +113,7 @@ impl ZouIndex {
 
     /// Approximate heap footprint in bytes.
     pub fn heap_bytes(&self) -> usize {
-        self.local
-            .values()
-            .map(|c| 8 + std::mem::size_of::<Cms>() + c.heap_bytes())
-            .sum::<usize>()
+        self.local.values().map(|c| 8 + std::mem::size_of::<Cms>() + c.heap_bytes()).sum::<usize>()
             + self.scc.component.len() * 4
     }
 }

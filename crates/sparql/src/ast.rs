@@ -75,9 +75,7 @@ impl TriplePattern {
 
     /// Iterates the variable names used by this pattern.
     pub fn variables(&self) -> impl Iterator<Item = &str> {
-        [&self.subject, &self.predicate, &self.object]
-            .into_iter()
-            .filter_map(|t| t.as_variable())
+        [&self.subject, &self.predicate, &self.object].into_iter().filter_map(|t| t.as_variable())
     }
 }
 

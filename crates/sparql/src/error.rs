@@ -56,9 +56,7 @@ mod tests {
             .to_string()
             .contains("byte 3"));
         assert!(SparqlError::Parse { message: "oops".into() }.to_string().contains("oops"));
-        assert!(SparqlError::UnboundProjection { variable: "x".into() }
-            .to_string()
-            .contains("?x"));
+        assert!(SparqlError::UnboundProjection { variable: "x".into() }.to_string().contains("?x"));
         assert!(SparqlError::EmptyPattern.to_string().contains("no triple patterns"));
     }
 }

@@ -179,69 +179,70 @@ fn each_match(
     };
 
     // Per-edge continuation: binds whatever is free, calls k, restores.
-    let mut try_edge = |src: VertexId, label: LabelId, dst: VertexId, b: &mut Bindings| -> Control {
-        // Check/bind subject.
-        let mut bound_s = None;
-        match s {
-            Slot::Bound(v) => {
-                if v != src {
-                    return Control::Continue;
-                }
-            }
-            Slot::Free(i) => {
-                b.nodes[i as usize] = Some(src);
-                bound_s = Some(i);
-            }
-        }
-        // Check/bind object. Note: if s and o are the *same* free variable,
-        // s's binding above makes o Bound-checked here via the re-resolve.
-        let o_now = match pat.o {
-            NodeRef::Const(v) => Slot::Bound(v),
-            NodeRef::Var(i) => match b.nodes[i as usize] {
-                Some(v) => Slot::Bound(v),
-                None => Slot::Free(i),
-            },
-        };
-        let mut bound_o = None;
-        match o_now {
-            Slot::Bound(v) => {
-                if v != dst {
-                    if let Some(i) = bound_s {
-                        b.nodes[i as usize] = None;
+    let mut try_edge =
+        |src: VertexId, label: LabelId, dst: VertexId, b: &mut Bindings| -> Control {
+            // Check/bind subject.
+            let mut bound_s = None;
+            match s {
+                Slot::Bound(v) => {
+                    if v != src {
+                        return Control::Continue;
                     }
-                    return Control::Continue;
+                }
+                Slot::Free(i) => {
+                    b.nodes[i as usize] = Some(src);
+                    bound_s = Some(i);
                 }
             }
-            Slot::Free(i) => {
-                b.nodes[i as usize] = Some(dst);
-                bound_o = Some(i);
-            }
-        }
-        // Check/bind predicate.
-        let mut bound_p = None;
-        let pred_ok = match pat.p {
-            PredRef::Const(l) => l == label,
-            PredRef::Var(i) => match b.preds[i as usize] {
-                Some(l) => l == label,
-                None => {
-                    b.preds[i as usize] = Some(label);
-                    bound_p = Some(i);
-                    true
+            // Check/bind object. Note: if s and o are the *same* free variable,
+            // s's binding above makes o Bound-checked here via the re-resolve.
+            let o_now = match pat.o {
+                NodeRef::Const(v) => Slot::Bound(v),
+                NodeRef::Var(i) => match b.nodes[i as usize] {
+                    Some(v) => Slot::Bound(v),
+                    None => Slot::Free(i),
+                },
+            };
+            let mut bound_o = None;
+            match o_now {
+                Slot::Bound(v) => {
+                    if v != dst {
+                        if let Some(i) = bound_s {
+                            b.nodes[i as usize] = None;
+                        }
+                        return Control::Continue;
+                    }
                 }
-            },
+                Slot::Free(i) => {
+                    b.nodes[i as usize] = Some(dst);
+                    bound_o = Some(i);
+                }
+            }
+            // Check/bind predicate.
+            let mut bound_p = None;
+            let pred_ok = match pat.p {
+                PredRef::Const(l) => l == label,
+                PredRef::Var(i) => match b.preds[i as usize] {
+                    Some(l) => l == label,
+                    None => {
+                        b.preds[i as usize] = Some(label);
+                        bound_p = Some(i);
+                        true
+                    }
+                },
+            };
+            let flow = if pred_ok { k(b) } else { Control::Continue };
+            if let Some(i) = bound_p {
+                b.preds[i as usize] = None;
+            }
+            if let Some(i) = bound_o {
+                b.nodes[i as usize] = None;
+            }
+            if let Some(i) = bound_s {
+                b.nodes[i as usize] = None;
+            }
+            flow
         };
-        let flow = if pred_ok { k(b) } else { Control::Continue };
-        if let Some(i) = bound_p {
-            b.preds[i as usize] = None;
-        }
-        if let Some(i) = bound_o {
-            b.nodes[i as usize] = None;
-        }
-        if let Some(i) = bound_s {
-            b.nodes[i as usize] = None;
-        }
-        flow
-    };
 
     match (s, o, p) {
         // Subject known: scan its out-edges (label-filtered when possible).

@@ -84,7 +84,9 @@ impl Parser {
             return Err(SparqlError::EmptyPattern);
         }
         if let Some(t) = self.peek() {
-            return Err(SparqlError::Parse { message: format!("trailing token {t:?} after query") });
+            return Err(SparqlError::Parse {
+                message: format!("trailing token {t:?} after query"),
+            });
         }
 
         // Every projected variable must occur in some pattern.

@@ -9,7 +9,7 @@ use kgreach_datagen::lubm::{generate, LubmConfig};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
-fn main() {
+pub(crate) fn main() {
     let g = generate(&LubmConfig { universities: 3, departments: 6, seed: 2024 }).unwrap();
     println!(
         "LUBM-style KG: {} vertices, {} edges, {} predicates, {} classes",

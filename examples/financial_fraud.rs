@@ -15,10 +15,12 @@ use kgreach::{LscrEngine, LscrQuery, SubstructureConstraint};
 use kgreach_examples::run_all_algorithms;
 use kgreach_graph::GraphBuilder;
 
-fn main() {
+pub(crate) fn main() {
     let mut b = GraphBuilder::new();
     // April 2019 transfer chain: C → m1 → X → m2 → P.
-    for (s, o) in [("suspectC", "mule1"), ("mule1", "personX"), ("personX", "mule2"), ("mule2", "suspectP")] {
+    for (s, o) in
+        [("suspectC", "mule1"), ("mule1", "personX"), ("personX", "mule2"), ("mule2", "suspectP")]
+    {
         b.add_triple(s, "transfer:2019-04", o);
     }
     // A decoy chain in March that also reaches P, not through X.
@@ -54,7 +56,11 @@ fn main() {
     let friend_of_amy =
         SubstructureConstraint::parse("SELECT ?x WHERE { ?x <friend-of> <amy> . }").unwrap();
     let march_friend = LscrQuery::new(c, p, g.label_set(&["transfer:2019-03"]), friend_of_amy);
-    assert!(run_all_algorithms(&mut engine, "March 2019, middleman friends with Amy", &march_friend));
+    assert!(run_all_algorithms(
+        &mut engine,
+        "March 2019, middleman friends with Amy",
+        &march_friend
+    ));
 
     println!("\nEconomic-criminal relationship between C and P: CONFIRMED (April chain).");
 }

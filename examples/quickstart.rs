@@ -6,7 +6,7 @@
 use kgreach::{Algorithm, LscrEngine, LscrQuery, SubstructureConstraint};
 use kgreach_graph::GraphBuilder;
 
-fn main() {
+pub(crate) fn main() {
     // A little collaboration graph. Labels are predicates; vertices are
     // interned by name on first use.
     let mut builder = GraphBuilder::new();

@@ -1,0 +1,36 @@
+//! Workspace-level smoke test: every example program's `main` runs end to
+//! end, so `examples/` cannot bit-rot silently. The examples assert their
+//! own scenario outcomes (algorithm agreement, expected answers), which
+//! makes running them a real test, not just a compile check.
+//!
+//! Each example file is included as a module, so this target exercises the
+//! exact code `cargo run --example <name>` executes.
+
+#[path = "academic_advisor.rs"]
+mod academic_advisor;
+#[path = "financial_fraud.rs"]
+mod financial_fraud;
+#[path = "quickstart.rs"]
+mod quickstart;
+#[path = "yago_explore.rs"]
+mod yago_explore;
+
+#[test]
+fn quickstart_scenario() {
+    quickstart::main();
+}
+
+#[test]
+fn financial_fraud_scenario() {
+    financial_fraud::main();
+}
+
+#[test]
+fn academic_advisor_scenario() {
+    academic_advisor::main();
+}
+
+#[test]
+fn yago_explore_scenario() {
+    yago_explore::main();
+}

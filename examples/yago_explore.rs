@@ -9,7 +9,7 @@ use kgreach_datagen::yago::{generate, YagoConfig};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
-fn main() {
+pub(crate) fn main() {
     let g = generate(&YagoConfig {
         entities: 12_000,
         edges_per_entity: 3,
@@ -31,7 +31,8 @@ fn main() {
     let all = g.all_labels();
 
     for magnitude in [10usize, 100, 1000] {
-        let Some((constraint, count)) = random_constraint_with_magnitude(&g, magnitude, 7 + magnitude as u64)
+        let Some((constraint, count)) =
+            random_constraint_with_magnitude(&g, magnitude, 7 + magnitude as u64)
         else {
             println!("magnitude {magnitude}: no constraint found");
             continue;

@@ -2,7 +2,9 @@
 //! constraints and queries, UIS ≡ UIS\* ≡ INS ≡ oracle, plus metamorphic
 //! monotonicity properties from the problem definition.
 
-use kgreach::{Algorithm, CloseMap, LocalIndex, LocalIndexConfig, LscrQuery, SubstructureConstraint};
+use kgreach::{
+    Algorithm, CloseMap, LocalIndex, LocalIndexConfig, LscrQuery, SubstructureConstraint,
+};
 use kgreach_graph::{LabelSet, VertexId};
 use kgreach_integration::random_typed_graph;
 use proptest::prelude::*;

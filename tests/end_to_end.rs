@@ -50,14 +50,10 @@ fn workload_is_reusable_across_engines() {
         },
     );
     // Two engines with different index layouts must agree.
-    let mut e1 = LscrEngine::with_index_config(
-        &g,
-        LocalIndexConfig { num_landmarks: Some(32), seed: 1 },
-    );
-    let mut e2 = LscrEngine::with_index_config(
-        &g,
-        LocalIndexConfig { num_landmarks: Some(500), seed: 2 },
-    );
+    let mut e1 =
+        LscrEngine::with_index_config(&g, LocalIndexConfig { num_landmarks: Some(32), seed: 1 });
+    let mut e2 =
+        LscrEngine::with_index_config(&g, LocalIndexConfig { num_landmarks: Some(500), seed: 2 });
     for gq in w.true_queries.iter().chain(&w.false_queries) {
         let a = e1.answer(&gq.query, Algorithm::Ins).unwrap().answer;
         let b = e2.answer(&gq.query, Algorithm::Ins).unwrap().answer;
@@ -113,8 +109,7 @@ fn lcr_baselines_agree_on_lubm() {
     for _ in 0..150 {
         let s = kgreach_graph::VertexId(rng.gen_range(0..g.num_vertices() as u32));
         let t = kgreach_graph::VertexId(rng.gen_range(0..g.num_vertices() as u32));
-        let l = kgreach_graph::LabelSet::from_bits(rng.gen::<u64>())
-            .intersection(g.all_labels());
+        let l = kgreach_graph::LabelSet::from_bits(rng.gen::<u64>()).intersection(g.all_labels());
         let expected = lcr_reachable(&g, s, t, l);
         assert_eq!(online.bfs(&g, s, t, l).0, expected, "online bfs {s}->{t}");
         assert_eq!(online.dfs(&g, s, t, l).0, expected, "online dfs {s}->{t}");
@@ -129,8 +124,7 @@ fn sparql_vsg_equals_brute_force_scck() {
     for (name, constraint) in all_lubm_constraints() {
         let compiled = constraint.compile(&g).unwrap();
         let via_engine = compiled.satisfying_vertices(&g);
-        let via_scck: Vec<_> =
-            g.vertices().filter(|&v| compiled.satisfies(&g, v)).collect();
+        let via_scck: Vec<_> = g.vertices().filter(|&v| compiled.satisfies(&g, v)).collect();
         assert_eq!(via_engine, via_scck, "{name}: V(S,G) mismatch");
     }
 }

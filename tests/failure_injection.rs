@@ -23,8 +23,8 @@ fn too_many_labels_is_a_typed_error() {
 #[test]
 fn out_of_range_vertices_rejected_at_compile() {
     let g = small_lubm(31);
-    let c = SubstructureConstraint::parse("SELECT ?x WHERE { ?x <rdf:type> <ub:Course> . }")
-        .unwrap();
+    let c =
+        SubstructureConstraint::parse("SELECT ?x WHERE { ?x <rdf:type> <ub:Course> . }").unwrap();
     let q = LscrQuery::new(VertexId(u32::MAX - 1), VertexId(0), g.all_labels(), c);
     let mut engine = LscrEngine::new(&g);
     match engine.answer(&q, Algorithm::Uis) {
@@ -105,9 +105,7 @@ fn empty_label_constraint_only_trivial_paths() {
         assert!(!engine.answer(&q, alg).unwrap().answer, "{alg}");
     }
     // s = t where s satisfies S: the zero-edge path answers true.
-    let ug = g
-        .vertex_id("UndergraduateStudent0.Department0.University0")
-        .unwrap();
+    let ug = g.vertex_id("UndergraduateStudent0.Department0.University0").unwrap();
     let q = LscrQuery::new(ug, ug, LabelSet::EMPTY, c);
     for alg in Algorithm::ALL {
         assert!(engine.answer(&q, alg).unwrap().answer, "{alg}");
@@ -132,12 +130,9 @@ fn graph_with_no_edges() {
 #[test]
 fn triple_parser_rejects_garbage() {
     use kgreach_graph::triples::parse_line;
-    for (line, text) in [
-        (1usize, "<a> <b>"),
-        (2, "<unterminated"),
-        (3, "\"unterminated"),
-        (4, "<a> <b> <c> <d>"),
-    ] {
+    for (line, text) in
+        [(1usize, "<a> <b>"), (2, "<unterminated"), (3, "\"unterminated"), (4, "<a> <b> <c> <d>")]
+    {
         let err = parse_line(text, line).unwrap_err();
         match err {
             GraphError::Parse { line: l, .. } => assert_eq!(l, line),
@@ -150,8 +145,7 @@ fn triple_parser_rejects_garbage() {
 fn budget_exceeded_surfaces_progress() {
     use kgreach_lcr::{Budget, FullTransitiveClosure};
     let g = small_lubm(35);
-    let err =
-        FullTransitiveClosure::build(&g, Budget::with_limit(std::time::Duration::ZERO))
-            .unwrap_err();
+    let err = FullTransitiveClosure::build(&g, Budget::with_limit(std::time::Duration::ZERO))
+        .unwrap_err();
     assert!(err.to_string().contains("budget"));
 }

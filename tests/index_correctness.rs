@@ -5,7 +5,9 @@
 use kgreach::{LocalIndex, LocalIndexConfig};
 use kgreach_graph::{Cms, LabelSet, VertexId};
 use kgreach_integration::{random_graph, random_typed_graph};
-use kgreach_lcr::{Budget, FullTransitiveClosure, LandmarkConfig, LandmarkIndex, SamplingTreeIndex, ZouIndex};
+use kgreach_lcr::{
+    Budget, FullTransitiveClosure, LandmarkConfig, LandmarkIndex, SamplingTreeIndex, ZouIndex,
+};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -23,11 +25,8 @@ fn brute_cms_in_partition(
     let mut stack = vec![(s, LabelSet::EMPTY)];
     let mut seen: std::collections::BTreeMap<VertexId, Cms> = Default::default();
     while let Some((v, l)) = stack.pop() {
-        let fresh = if v == s && l.is_empty() {
-            true
-        } else {
-            seen.entry(v).or_default().insert(l)
-        };
+        let fresh =
+            if v == s && l.is_empty() { true } else { seen.entry(v).or_default().insert(l) };
         if !fresh {
             continue;
         }
@@ -52,15 +51,11 @@ fn local_index_ii_matches_brute_force_on_random_graphs() {
             let lm = index.partition().landmark(ord);
             let brute = brute_cms_in_partition(&g, &index, lm, ord);
             let entry = index.entry(ord);
-            assert_eq!(
-                entry.num_ii(),
-                brute.len(),
-                "seed {seed} ord {ord}: II size mismatch"
-            );
+            assert_eq!(entry.num_ii(), brute.len(), "seed {seed} ord {ord}: II size mismatch");
             for (v, cms) in &brute {
-                let indexed = entry.ii_cms(*v).unwrap_or_else(|| {
-                    panic!("seed {seed} ord {ord}: missing II entry for {v}")
-                });
+                let indexed = entry
+                    .ii_cms(*v)
+                    .unwrap_or_else(|| panic!("seed {seed} ord {ord}: missing II entry for {v}"));
                 let a: Vec<LabelSet> = indexed.iter().collect();
                 let b: Vec<LabelSet> = cms.iter().collect();
                 assert_eq!(a, b, "seed {seed} ord {ord}: CMS mismatch at {v}");

@@ -1,0 +1,297 @@
+//! Offline vendored stand-in for the subset of the `criterion` 0.5 API used
+//! by this workspace's benchmarks (see `vendor/README.md` for the policy).
+//!
+//! It implements a real measuring harness — warm-up, automatic iteration
+//! scaling toward a per-sample time target, and a min/median/max report —
+//! but none of criterion's statistics, plotting, or baseline storage. The
+//! CLI accepts the flags our CI and docs use (`--test`, `--quick`,
+//! `--bench`, a substring filter) and ignores the rest, so `cargo bench`
+//! and `cargo bench -- --quick` behave as with the real crate.
+
+#![warn(missing_docs)]
+
+pub use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// How a benchmark binary was asked to run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Mode {
+    /// Full measurement (default under `cargo bench`).
+    Bench,
+    /// Reduced sample count and time target (`--quick`).
+    Quick,
+    /// Run each benchmark body once and report nothing (`--test`).
+    Test,
+}
+
+/// The benchmark manager: holds configuration and runs registered
+/// functions. Created by [`Criterion::default`], which also parses the
+/// process's command-line arguments.
+pub struct Criterion {
+    sample_size: usize,
+    mode: Mode,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let mut mode = Mode::Bench;
+        let mut filter = None;
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--quick" => mode = Mode::Quick,
+                "--test" => mode = Mode::Test,
+                // Flags cargo or users pass that we accept and ignore.
+                s if s.starts_with('-') => {}
+                s => filter = Some(s.to_string()),
+            }
+        }
+        Criterion { sample_size: 100, mode, filter }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples collected per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs a single benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let name = id.full_name();
+        if self.filter.as_ref().is_some_and(|flt| !name.contains(flt.as_str())) {
+            return self;
+        }
+        run_one(&name, self.mode, self.sample_size, f);
+        self
+    }
+
+    /// Opens a named group; benchmarks added to it share the `name/` prefix
+    /// and may override configuration.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { c: self, prefix: name.into(), sample_size: None }
+    }
+
+    /// Prints the closing summary (a no-op in this stand-in).
+    pub fn final_summary(&mut self) {}
+}
+
+/// A set of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    c: &'a mut Criterion,
+    prefix: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Runs one benchmark inside the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.prefix, id.into().full_name());
+        let filtered = self.c.filter.as_ref().is_some_and(|flt| !full.contains(flt.as_str()));
+        if !filtered {
+            let n = self.sample_size.unwrap_or(self.c.sample_size);
+            run_one(&full, self.c.mode, n, f);
+        }
+        self
+    }
+
+    /// Closes the group.
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier, optionally parameterized (`name/param`).
+pub struct BenchmarkId {
+    name: String,
+    param: Option<String>,
+}
+
+impl BenchmarkId {
+    /// An id with a parameter component, displayed as `name/param`.
+    pub fn new(name: impl Into<String>, param: impl std::fmt::Display) -> Self {
+        BenchmarkId { name: name.into(), param: Some(param.to_string()) }
+    }
+
+    fn full_name(&self) -> String {
+        match &self.param {
+            Some(p) => format!("{}/{}", self.name, p),
+            None => self.name.clone(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { name: s.to_string(), param: None }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { name: s, param: None }
+    }
+}
+
+/// The timing handle passed to each benchmark closure.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `iters` executions of `f`; the harness divides out the
+    /// iteration count.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Measures one benchmark and prints a `min / median / max` line.
+fn run_one<F: FnMut(&mut Bencher)>(name: &str, mode: Mode, samples: usize, mut f: F) {
+    if mode == Mode::Test {
+        let mut b = Bencher { iters: 1, elapsed: Duration::ZERO };
+        f(&mut b);
+        println!("Testing {name} ... ok");
+        return;
+    }
+    let (samples, per_sample) = match mode {
+        Mode::Quick => (samples.min(10), Duration::from_millis(25)),
+        _ => (samples, Duration::from_millis(100)),
+    };
+
+    // Warm-up and iteration scaling: grow the iteration count until one
+    // sample takes at least `per_sample`.
+    let mut iters: u64 = 1;
+    let mut b = Bencher { iters, elapsed: Duration::ZERO };
+    loop {
+        b.iters = iters;
+        f(&mut b);
+        if b.elapsed >= per_sample || iters >= (1 << 40) {
+            break;
+        }
+        // Aim straight for the target, with headroom against timer noise.
+        let scale = per_sample.as_secs_f64() / b.elapsed.as_secs_f64().max(1e-9);
+        iters = (iters as f64 * scale.clamp(2.0, 1e6)).ceil() as u64;
+    }
+
+    let mut times: Vec<f64> = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        b.iters = iters;
+        f(&mut b);
+        times.push(b.elapsed.as_secs_f64() / iters as f64);
+    }
+    times.sort_by(|a, c| a.partial_cmp(c).expect("durations are finite"));
+    let (min, med, max) = (times[0], times[times.len() / 2], times[times.len() - 1]);
+    println!(
+        "{name:<40} time: [{} {} {}]  ({samples} samples x {iters} iters)",
+        fmt_time(min),
+        fmt_time(med),
+        fmt_time(max),
+    );
+}
+
+/// Formats seconds with criterion-style units.
+fn fmt_time(secs: f64) -> String {
+    if secs < 1e-6 {
+        format!("{:.2} ns", secs * 1e9)
+    } else if secs < 1e-3 {
+        format!("{:.2} µs", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:.2} ms", secs * 1e3)
+    } else {
+        format!("{secs:.2} s")
+    }
+}
+
+/// Declares a benchmark group: either `criterion_group!(name, target, ...)`
+/// or the braced form with an explicit `config = ...` expression.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $config;
+            $( $target(&mut c); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the benchmark binary's `main`, running each group in order.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("UIS", 10).full_name(), "UIS/10");
+        assert_eq!(BenchmarkId::from("plain").full_name(), "plain");
+    }
+
+    #[test]
+    fn bencher_divides_iterations() {
+        let mut calls = 0u64;
+        let mut b = Bencher { iters: 5, elapsed: Duration::ZERO };
+        b.iter(|| calls += 1);
+        assert_eq!(calls, 5);
+    }
+
+    #[test]
+    fn test_mode_runs_once() {
+        let mut calls = 0u32;
+        run_one("x", Mode::Test, 100, |b| b.iter(|| calls += 1));
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn quick_mode_measures() {
+        let mut samples = 0u32;
+        run_one("y", Mode::Quick, 3, |b| {
+            samples += 1;
+            b.iter(|| std::hint::black_box(1 + 1));
+        });
+        // At least one warm-up call plus three samples.
+        assert!(samples >= 4);
+    }
+
+    #[test]
+    fn time_units() {
+        assert_eq!(fmt_time(2e-9), "2.00 ns");
+        assert_eq!(fmt_time(3e-6), "3.00 µs");
+        assert_eq!(fmt_time(4e-3), "4.00 ms");
+        assert_eq!(fmt_time(5.0), "5.00 s");
+    }
+}

@@ -1,0 +1,47 @@
+//! Collection strategies (`prop::collection::vec`).
+
+use crate::strategy::Strategy;
+use core::ops::Range;
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// A strategy producing `Vec`s of values from `element`, with a length
+/// drawn uniformly from `size`.
+pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+    VecStrategy { element, size }
+}
+
+/// See [`vec`].
+pub struct VecStrategy<S> {
+    element: S,
+    size: Range<usize>,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn sample(&self, rng: &mut SmallRng) -> Self::Value {
+        let n = if self.size.is_empty() { 0 } else { rng.gen_range(self.size.clone()) };
+        (0..n).map(|_| self.element.sample(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn vec_respects_length_and_element_bounds() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let strat = vec(0u64..10, 0..5);
+        let mut saw_nonempty = false;
+        for _ in 0..200 {
+            let v = strat.sample(&mut rng);
+            assert!(v.len() < 5);
+            assert!(v.iter().all(|&x| x < 10));
+            saw_nonempty |= !v.is_empty();
+        }
+        assert!(saw_nonempty);
+    }
+}

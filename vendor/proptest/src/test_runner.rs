@@ -1,0 +1,84 @@
+//! Configuration and failure types for the [`proptest!`](crate::proptest)
+//! runner.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// Runner configuration; construct with functional-update syntax over
+/// [`ProptestConfig::default`].
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of sampled cases per test (default 256; override globally
+    /// with the `PROPTEST_CASES` environment variable).
+    pub cases: u32,
+    /// Accepted for compatibility; this stand-in never shrinks.
+    pub max_shrink_iters: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256, max_shrink_iters: 0 }
+    }
+}
+
+/// Why a single test case failed.
+#[derive(Clone, Debug)]
+pub enum TestCaseError {
+    /// An assertion failed with the given message.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// A failed-assertion error.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TestCaseError::Fail(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+/// Resolves the case count, honoring the `PROPTEST_CASES` override.
+pub fn effective_cases(configured: u32) -> u32 {
+    std::env::var("PROPTEST_CASES").ok().and_then(|v| v.parse().ok()).unwrap_or(configured)
+}
+
+/// A deterministic RNG derived from the test function's name, so a failing
+/// case reproduces on every run.
+pub fn rng_for(test_name: &str) -> SmallRng {
+    // FNV-1a over the name; any stable hash works.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    SmallRng::seed_from_u64(h)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn rng_is_per_name_deterministic() {
+        let a: u64 = rng_for("alpha").gen();
+        let b: u64 = rng_for("alpha").gen();
+        let c: u64 = rng_for("beta").gen();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn effective_cases_defaults_to_configured() {
+        std::env::remove_var("PROPTEST_CASES");
+        assert_eq!(effective_cases(48), 48);
+    }
+}

@@ -1,20 +1,25 @@
-//! Functional benchmarks of the three LSCR algorithms on a fixed LUBM
-//! workload — the criterion view of the Figures 10–14 experiment.
+//! Functional benchmarks of the three LSCR algorithms (plus the adaptive
+//! `Auto` planner) on a fixed LUBM workload — the criterion view of the
+//! Figures 10–14 experiment.
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
-use kgreach::{CloseMap, LocalIndex, LocalIndexConfig};
+use kgreach::{Algorithm, LscrEngine, QueryOptions, SearchScratch};
 use kgreach_datagen::constraints::{s1, s3};
 use kgreach_datagen::lubm::{generate, LubmConfig};
 use kgreach_datagen::queries::{generate_workload, QueryGenConfig};
 
 fn bench_algorithms(c: &mut Criterion) {
-    let g = generate(&LubmConfig { universities: 2, departments: 6, seed: 77 }).unwrap();
-    let index = LocalIndex::build(&g, &LocalIndexConfig::default());
-    let mut close = CloseMap::new(g.num_vertices());
+    let engine = LscrEngine::new(
+        generate(&LubmConfig { universities: 2, departments: 6, seed: 77 }).unwrap(),
+    );
+    let g = engine.graph();
+    let index = engine.local_index();
+    let mut scratch = SearchScratch::new(g.num_vertices());
+    let opts = QueryOptions::default();
 
     for (cname, constraint) in [("S1", s1()), ("S3", s3())] {
         let w = generate_workload(
-            &g,
+            g,
             &constraint,
             &QueryGenConfig {
                 num_true: 5,
@@ -28,7 +33,7 @@ fn bench_algorithms(c: &mut Criterion) {
             .true_queries
             .iter()
             .chain(&w.false_queries)
-            .map(|gq| gq.query.compile(&g).unwrap())
+            .map(|gq| gq.query.compile(g).unwrap())
             .collect();
 
         let mut group = c.benchmark_group(format!("lscr/{cname}"));
@@ -36,21 +41,31 @@ fn bench_algorithms(c: &mut Criterion) {
         group.bench_function(BenchmarkId::new("UIS", queries.len()), |b| {
             b.iter(|| {
                 for q in &queries {
-                    black_box(kgreach::uis::answer_with(&g, q, &mut close).answer);
+                    black_box(kgreach::uis::answer_with(g, q, &mut scratch, &opts).answer);
                 }
             })
         });
         group.bench_function(BenchmarkId::new("UIS*", queries.len()), |b| {
             b.iter(|| {
                 for q in &queries {
-                    black_box(kgreach::uis_star::answer_with(&g, q, &mut close).answer);
+                    black_box(kgreach::uis_star::answer_with(g, q, &mut scratch, &opts).answer);
                 }
             })
         });
         group.bench_function(BenchmarkId::new("INS", queries.len()), |b| {
             b.iter(|| {
                 for q in &queries {
-                    black_box(kgreach::ins::answer_with(&g, q, &index, &mut close).answer);
+                    black_box(kgreach::ins::answer_with(g, q, &index, &mut scratch, &opts).answer);
+                }
+            })
+        });
+        // The adaptive planner through the full session path — must track
+        // the best manual column, and never lose to the worst by >2×.
+        group.bench_function(BenchmarkId::new("Auto", queries.len()), |b| {
+            let mut session = engine.session();
+            b.iter(|| {
+                for q in &queries {
+                    black_box(session.answer_compiled(q, Algorithm::Auto, &opts).answer);
                 }
             })
         });

@@ -1,0 +1,57 @@
+//! Batch query throughput: queries/sec of `LscrEngine::answer_batch` on a
+//! fixed mixed workload at 1/2/4/8 threads — the scaling baseline future
+//! sharding/caching/async PRs are measured against.
+//!
+//! Criterion reports time per `answer_batch` call over the whole batch;
+//! divide the batch size (printed once at startup) by the reported time
+//! for queries/sec.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use kgreach::{Algorithm, LscrEngine, LscrQuery};
+use kgreach_datagen::constraints::{s1, s3};
+use kgreach_datagen::lubm::{generate, LubmConfig};
+use kgreach_datagen::queries::{generate_workload, QueryGenConfig};
+
+fn bench_batch_throughput(c: &mut Criterion) {
+    let g = generate(&LubmConfig { universities: 2, departments: 6, seed: 77 }).unwrap();
+    let engine = LscrEngine::new(g);
+    let _ = engine.local_index(); // index cost off the clock, as in serving
+
+    // A mixed workload: both constraints, both truth values, algorithms
+    // round-robin across the manual three plus Auto.
+    let algs = [Algorithm::Uis, Algorithm::UisStar, Algorithm::Ins, Algorithm::Auto];
+    let mut queries: Vec<(LscrQuery, Algorithm)> = Vec::new();
+    for (ci, constraint) in [s1(), s3()].into_iter().enumerate() {
+        let w = generate_workload(
+            engine.graph(),
+            &constraint,
+            &QueryGenConfig {
+                num_true: 8,
+                num_false: 8,
+                seed: 3 + ci as u64,
+                max_attempts: 80_000,
+                enforce_difficulty: false,
+            },
+        );
+        for (i, gq) in w.true_queries.iter().chain(&w.false_queries).enumerate() {
+            queries.push((gq.query.clone(), algs[i % algs.len()]));
+        }
+    }
+    println!("# batch_throughput: {} queries per batch call", queries.len());
+
+    let mut group = c.benchmark_group("batch_throughput");
+    group.sample_size(10);
+    for threads in [1usize, 2, 4, 8] {
+        group.bench_function(BenchmarkId::new("threads", threads), |b| {
+            b.iter(|| {
+                let results = engine.answer_batch(black_box(&queries), threads);
+                assert!(results.iter().all(|r| r.is_ok()));
+                results.len()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_batch_throughput);
+criterion_main!(benches);

@@ -17,7 +17,8 @@
 
 use kgreach::Algorithm;
 use kgreach_bench::{
-    build_local_index, build_workload, lubm_datasets, ms, print_header, print_row, run_group, Args,
+    build_local_index, build_workload, engine_with_index, lubm_datasets, ms, print_header,
+    print_row, run_group, Args,
 };
 use kgreach_datagen::constraints;
 
@@ -63,9 +64,11 @@ fn main() {
             let vsg =
                 constraint.compile(&g).expect("constraint compiles").satisfying_vertices(&g).len();
             let w = build_workload(&g, constraint, queries, spec.seed ^ 0x51);
+            let engine = engine_with_index(g, index);
+            let g = engine.graph();
             for (group_name, group) in [("true", &w.true_queries), ("false", &w.false_queries)] {
-                for alg in Algorithm::ALL {
-                    let r = run_group(&g, group, alg, Some(&index));
+                for alg in Algorithm::ALL.into_iter().chain([Algorithm::Auto]) {
+                    let r = run_group(&engine, group, alg);
                     print_row(&[
                         spec.name.clone(),
                         format!("{}", g.num_vertices()),
@@ -83,5 +86,6 @@ fn main() {
         }
     }
     println!("\n# expected shape: linear growth in dataset scale; INS fastest;");
-    println!("# UIS* worst on true queries (random V(S,G) order); wrong must be 0.");
+    println!("# UIS* worst on true queries (random V(S,G) order); wrong must be 0;");
+    println!("# Auto should track the best manual column per constraint.");
 }

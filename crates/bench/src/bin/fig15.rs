@@ -13,7 +13,9 @@
 //!         [--constraints-per-magnitude 4] [--index-stats]`
 
 use kgreach::Algorithm;
-use kgreach_bench::{build_local_index, mib, ms, print_header, print_row, run_group, Args};
+use kgreach_bench::{
+    build_local_index, engine_with_index, mib, ms, print_header, print_row, run_group, Args,
+};
 use kgreach_datagen::queries::{generate_workload, QueryGenConfig};
 use kgreach_datagen::{random_constraint_with_magnitude, yago::YagoConfig};
 
@@ -48,6 +50,8 @@ fn main() {
             index.stats().num_landmarks
         );
     }
+    let engine = engine_with_index(g, index);
+    let g = engine.shared_graph();
 
     println!("\n# Figure 15 — random constraints by |V(S,G)| magnitude\n");
     print_header(&[
@@ -107,8 +111,8 @@ fn main() {
         false_queries.truncate(queries);
 
         for (group_name, group) in [("true", &true_queries), ("false", &false_queries)] {
-            for alg in Algorithm::ALL {
-                let r = run_group(&g, group, alg, Some(&index));
+            for alg in Algorithm::ALL.into_iter().chain([Algorithm::Auto]) {
+                let r = run_group(&engine, group, alg);
                 print_row(&[
                     format!("10^{mag}"),
                     format!("{avg_vsg:.0}"),

@@ -1,4 +1,4 @@
-//! Figure 5 — Sampling-Tree ([6]-style) indexing time.
+//! Figure 5 — Sampling-Tree (\[6\]-style) indexing time.
 //!
 //! (a) fixed `|V|`, density `D = |E|/|V|` swept over 2.0–5.0: indexing
 //!     time grows roughly linearly in density;

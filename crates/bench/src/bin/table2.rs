@@ -1,7 +1,7 @@
 //! Table 2 — indexing time and space: local index vs traditional landmark
 //! indexing on the scaled D0'–D5' LUBM datasets.
 //!
-//! The paper's Table 2 shows the traditional method [19] taking 27,171 s /
+//! The paper's Table 2 shows the traditional method \[19\] taking 27,171 s /
 //! 11.7 GB on the *smallest* dataset and timing out (8 h) on all others,
 //! while the local index grows linearly (23 s → 7,699 s, 4 MB → 684 MB).
 //! This harness reproduces the shape at laptop scale: the traditional

@@ -20,7 +20,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
-use kgreach::{Algorithm, CloseMap, LocalIndex, LocalIndexConfig};
+use kgreach::{Algorithm, LocalIndex, LocalIndexConfig, LscrEngine, QueryOptions, VsgOrder};
 use kgreach_datagen::lubm::{self, LubmConfig};
 use kgreach_datagen::queries::{GeneratedQuery, QueryGenConfig, Workload};
 use kgreach_graph::Graph;
@@ -70,34 +70,29 @@ pub struct GroupResult {
     pub wrong: usize,
 }
 
-/// Runs `algorithm` over a query group, verifying answers against the
-/// generated ground truth.
+/// Runs `algorithm` over a query group through a fresh [`Session`](kgreach::Session) on the
+/// shared engine, verifying answers against the generated ground truth.
+///
+/// UIS\* gets the paper's "disordered" `V(S,G)` semantics via a seeded
+/// shuffle; all other algorithms run with default options.
 pub fn run_group(
-    g: &Graph,
+    engine: &LscrEngine,
     queries: &[GeneratedQuery],
     algorithm: Algorithm,
-    index: Option<&LocalIndex>,
 ) -> GroupResult {
-    let mut close = CloseMap::new(g.num_vertices());
+    let opts = if algorithm == Algorithm::UisStar {
+        QueryOptions::default().with_vsg_order(VsgOrder::Shuffled(0xD15C0))
+    } else {
+        QueryOptions::default()
+    };
+    let mut session = engine.session();
     let mut total_time = Duration::ZERO;
     let mut total_passed = 0usize;
     let mut wrong = 0usize;
     for gq in queries {
-        let cq = gq.query.compile(g).expect("generated query compiles");
-        let outcome = match algorithm {
-            Algorithm::Uis => kgreach::uis::answer_with(g, &cq, &mut close),
-            Algorithm::UisStar => {
-                // The paper's "disordered" V(S,G): seeded shuffle.
-                kgreach::uis_star::answer_seeded(g, &cq, &mut close, 0xD15C0)
-            }
-            Algorithm::Ins => kgreach::ins::answer_with(
-                g,
-                &cq,
-                index.expect("INS requires a local index"),
-                &mut close,
-            ),
-            Algorithm::Oracle => kgreach::oracle::answer(g, &cq),
-        };
+        let outcome = session
+            .answer_with_options(&gq.query, algorithm, &opts)
+            .expect("generated query compiles");
         total_time += outcome.elapsed;
         total_passed += outcome.stats.passed_vertices;
         if outcome.answer != gq.expected {
@@ -111,6 +106,14 @@ pub fn run_group(
         queries: queries.len(),
         wrong,
     }
+}
+
+/// Wraps a generated dataset and its timed local index into a shared
+/// engine — the standard setup step of every experiment binary.
+pub fn engine_with_index(g: Graph, index: LocalIndex) -> LscrEngine {
+    let engine = LscrEngine::new(g);
+    engine.set_local_index(index).expect("index was built for this graph");
+    engine
 }
 
 /// Builds a local index for a dataset, returning it with its build time.
@@ -240,10 +243,11 @@ mod tests {
             },
         );
         assert!(!w.true_queries.is_empty());
-        for alg in Algorithm::ALL {
-            let r = run_group(&g, &w.true_queries, alg, Some(&index));
+        let engine = engine_with_index(g, index);
+        for alg in Algorithm::ALL.into_iter().chain([Algorithm::Auto]) {
+            let r = run_group(&engine, &w.true_queries, alg);
             assert_eq!(r.wrong, 0, "{alg} wrong answers on true group");
-            let r = run_group(&g, &w.false_queries, alg, Some(&index));
+            let r = run_group(&engine, &w.false_queries, alg);
             assert_eq!(r.wrong, 0, "{alg} wrong answers on false group");
         }
     }

@@ -22,6 +22,9 @@ use std::fmt;
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub struct SubstructureConstraint {
     query: SelectQuery,
+    /// Canonical re-serialization of `query`, fixed at construction so
+    /// plan-cache keying never re-formats the query on the hot path.
+    text: String,
 }
 
 impl SubstructureConstraint {
@@ -44,7 +47,8 @@ impl SubstructureConstraint {
                 ),
             });
         }
-        Ok(SubstructureConstraint { query })
+        let text = query.to_string();
+        Ok(SubstructureConstraint { query, text })
     }
 
     /// The distinguished variable name (without `?`).
@@ -69,13 +73,19 @@ impl SubstructureConstraint {
 
     /// The constraint re-serialized as SPARQL text.
     pub fn to_sparql(&self) -> String {
-        self.query.to_string()
+        self.text.clone()
+    }
+
+    /// The canonical SPARQL text, borrowed — the engine's plan-cache key
+    /// (precomputed at construction; cache hits allocate nothing).
+    pub fn sparql_text(&self) -> &str {
+        &self.text
     }
 }
 
 impl fmt::Display for SubstructureConstraint {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}", self.query)
+        f.write_str(&self.text)
     }
 }
 
@@ -105,6 +115,51 @@ impl CompiledConstraint {
     /// (some constant failed to resolve).
     pub fn is_unsatisfiable(&self) -> bool {
         self.plan.unsatisfiable
+    }
+
+    /// A cheap upper-bound estimate of `|V(S,G)|`, without evaluating the
+    /// constraint: the minimum over the `?x`-incident patterns of each
+    /// pattern's standalone match bound, taken from schema statistics
+    /// (class instance counts for `rdf:type` patterns), adjacency degrees
+    /// (concrete endpoints), or `label_counts` (per-label edge counts,
+    /// indexed by label id — typically `GraphStats::label_histogram`).
+    ///
+    /// Used by the `Algorithm::Auto` planner to gauge constraint
+    /// selectivity in O(patterns) time. Returns `g.num_vertices()` when
+    /// nothing bounds `?x`.
+    pub fn estimate_candidates(&self, g: &Graph, label_counts: &[usize]) -> usize {
+        use kgreach_sparql::{NodeRef, PredRef};
+        if self.plan.unsatisfiable {
+            return 0;
+        }
+        let n = g.num_vertices();
+        let Some(&x) = self.plan.projection.first() else { return n };
+        let mut best = n;
+        for p in &self.plan.patterns {
+            let touches_x = p.s == NodeRef::Var(x) || p.o == NodeRef::Var(x);
+            if !touches_x {
+                continue;
+            }
+            let bound = match (p.s, p.p, p.o) {
+                // (?x, rdf:type, C): the schema knows the class size.
+                (NodeRef::Var(_), PredRef::Const(l), NodeRef::Const(c))
+                    if g.schema().type_label == Some(l) =>
+                {
+                    g.schema().instances_of(c).len()
+                }
+                // A concrete endpoint bounds matches by its degree.
+                (NodeRef::Const(v), PredRef::Const(l), _) => g.out_neighbors_with_label(v, l).len(),
+                (_, PredRef::Const(l), NodeRef::Const(v)) => g.in_neighbors_with_label(v, l).len(),
+                (NodeRef::Const(v), PredRef::Var(_), _) => g.out_degree(v),
+                (_, PredRef::Var(_), NodeRef::Const(v)) => g.in_degree(v),
+                // Both endpoints variable: every edge with this label is a
+                // potential match.
+                (_, PredRef::Const(l), _) => label_counts.get(l.index()).copied().unwrap_or(n),
+                (_, PredRef::Var(_), _) => n,
+            };
+            best = best.min(bound);
+        }
+        best
     }
 }
 
@@ -304,6 +359,57 @@ mod tests {
         assert!(err.is_err());
         let err = ConstraintBuilder::new().build();
         assert!(err.is_err());
+    }
+
+    #[test]
+    fn estimate_bounds_actual_candidates() {
+        let g = figure3();
+        let hist = kgreach_graph::GraphStats::compute(&g).label_histogram;
+        for sparql in [
+            "SELECT ?x WHERE { ?x <friendOf> <v3> . <v3> <likes> ?y . }",
+            "SELECT ?x WHERE { ?x <likes> ?y . }",
+            "SELECT ?x WHERE { <v0> <advisorOf> ?x . }",
+            "SELECT ?x WHERE { ?x ?p <v4> . }",
+        ] {
+            let c = SubstructureConstraint::parse(sparql).unwrap().compile(&g).unwrap();
+            let actual = c.satisfying_vertices(&g).len();
+            let estimate = c.estimate_candidates(&g, &hist);
+            assert!(
+                estimate >= actual,
+                "{sparql}: estimate {estimate} < actual {actual} (must be an upper bound)"
+            );
+            assert!(estimate <= g.num_vertices());
+        }
+        // Unsatisfiable constraints estimate to zero.
+        let c = SubstructureConstraint::parse("SELECT ?x WHERE { ?x <friendOf> <ghost> . }")
+            .unwrap()
+            .compile(&g)
+            .unwrap();
+        assert_eq!(c.estimate_candidates(&g, &hist), 0);
+    }
+
+    #[test]
+    fn estimate_uses_schema_class_counts() {
+        let mut b = kgreach_graph::GraphBuilder::new();
+        for i in 0..10 {
+            b.add_triple(&format!("s{i}"), "rdf:type", "Small");
+            b.add_triple(&format!("s{i}"), "p", "hub");
+        }
+        for i in 0..50 {
+            b.add_triple(&format!("b{i}"), "rdf:type", "Big");
+        }
+        let g = b.build().unwrap();
+        let hist = kgreach_graph::GraphStats::compute(&g).label_histogram;
+        let c = SubstructureConstraint::parse("SELECT ?x WHERE { ?x <rdf:type> <Small> . }")
+            .unwrap()
+            .compile(&g)
+            .unwrap();
+        assert_eq!(c.estimate_candidates(&g, &hist), 10);
+        let c = SubstructureConstraint::parse("SELECT ?x WHERE { ?x <rdf:type> <Big> . }")
+            .unwrap()
+            .compile(&g)
+            .unwrap();
+        assert_eq!(c.estimate_candidates(&g, &hist), 50);
     }
 
     #[test]

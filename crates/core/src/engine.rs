@@ -1,30 +1,41 @@
-//! A unified engine facade over UIS, UIS\* and INS.
+//! The shared, concurrency-ready LSCR engine.
 //!
-//! Owns the reusable per-query workspaces (`close` map) and, for INS, the
-//! prebuilt [`LocalIndex`], so callers answer many queries without
-//! re-allocating or re-indexing:
+//! [`LscrEngine`] owns the *immutable-after-build* serving state — the
+//! graph behind an [`Arc`], the lazily built [`LocalIndex`], a
+//! constraint-plan cache keyed by SPARQL text — and exposes every query
+//! entry point through `&self`, so one engine instance is shared across
+//! threads (`LscrEngine: Send + Sync`). All mutable per-query state lives
+//! in per-thread [`Session`]s; the engine only synchronizes constant-time
+//! bookkeeping (plan-cache lookups, the scratch pool, the index handle),
+//! never the searches themselves.
 //!
 //! ```
 //! use kgreach::{Algorithm, LscrEngine, LscrQuery, SubstructureConstraint};
 //! use kgreach::fixtures::{figure3, s0};
 //!
-//! let g = figure3();
-//! let mut engine = LscrEngine::new(&g);
+//! let engine = LscrEngine::new(figure3());
 //! let q = LscrQuery::new(
-//!     g.vertex_id("v0").unwrap(),
-//!     g.vertex_id("v4").unwrap(),
-//!     g.label_set(&["likes", "follows"]),
+//!     engine.graph().vertex_id("v0").unwrap(),
+//!     engine.graph().vertex_id("v4").unwrap(),
+//!     engine.graph().label_set(&["likes", "follows"]),
 //!     s0(),
 //! );
 //! let outcome = engine.answer(&q, Algorithm::Ins).unwrap();
 //! assert!(outcome.answer);
+//! // The adaptive planner picks UIS / UIS* / INS from cheap statistics:
+//! let outcome = engine.answer(&q, Algorithm::Auto).unwrap();
+//! assert!(outcome.answer);
 //! ```
 
-use crate::close::CloseMap;
+use crate::constraint::CompiledConstraint;
 use crate::local_index::{LocalIndex, LocalIndexConfig};
-use crate::query::{CompiledLscrQuery, LscrQuery, QueryError, QueryOutcome};
-use crate::{ins, oracle, uis, uis_star};
-use kgreach_graph::Graph;
+use crate::query::{
+    CompiledLscrQuery, LscrQuery, PreparedQuery, QueryError, QueryOptions, QueryOutcome,
+};
+use crate::session::{SearchScratch, Session};
+use kgreach_graph::fxhash::FxHashMap;
+use kgreach_graph::{Graph, GraphStats};
+use std::sync::{Arc, Mutex, OnceLock, RwLock};
 
 /// The LSCR algorithms implemented by this crate.
 #[derive(Copy, Clone, PartialEq, Eq, Debug, Hash)]
@@ -37,10 +48,16 @@ pub enum Algorithm {
     Ins,
     /// The brute-force three-pass reference (tests/diagnostics).
     Oracle,
+    /// Adaptive: the engine picks UIS, UIS\* or INS per query from cheap
+    /// statistics (constraint selectivity, `|L|` relative to `𝓛`, index
+    /// availability). The choice is recorded in
+    /// [`SearchStats::algorithm`](crate::SearchStats::algorithm).
+    Auto,
 }
 
 impl Algorithm {
-    /// All practical algorithms (excludes the oracle).
+    /// The practical manual algorithms (excludes the oracle and the
+    /// adaptive meta-choice).
     pub const ALL: [Algorithm; 3] = [Algorithm::Uis, Algorithm::UisStar, Algorithm::Ins];
 
     /// Short display name matching the paper's figures.
@@ -50,6 +67,7 @@ impl Algorithm {
             Algorithm::UisStar => "UIS*",
             Algorithm::Ins => "INS",
             Algorithm::Oracle => "oracle",
+            Algorithm::Auto => "Auto",
         }
     }
 }
@@ -60,82 +78,341 @@ impl std::fmt::Display for Algorithm {
     }
 }
 
-/// An LSCR query engine bound to one graph.
-pub struct LscrEngine<'g> {
-    graph: &'g Graph,
-    close: CloseMap,
-    index: Option<LocalIndex>,
-    index_config: LocalIndexConfig,
+/// Scratch sets retained in the engine pool. Sessions beyond this many
+/// concurrent ones still work — their scratch is simply dropped instead
+/// of recycled.
+const SCRATCH_POOL_CAP: usize = 64;
+
+/// Distinct constraint plans retained in the plan cache. Once full, new
+/// constraint texts compile per-query instead of being cached, bounding
+/// engine memory under workloads with unbounded distinct constraints
+/// (e.g. per-entity generated patterns).
+const PLAN_CACHE_CAP: usize = 4096;
+
+/// Graph-level statistics the `Auto` planner consults, computed once per
+/// engine on first use.
+#[derive(Debug)]
+struct PlannerStats {
+    label_histogram: Vec<usize>,
 }
 
-impl<'g> LscrEngine<'g> {
+/// An owned, thread-shareable LSCR query engine bound to one graph.
+///
+/// See the [module docs](self) for the shared/per-thread state split.
+/// Entry points, roughly from convenient to fast:
+///
+/// * [`answer`](Self::answer) / [`answer_with_options`](Self::answer_with_options)
+///   — one-shot, grabs pooled scratch per call;
+/// * [`session`](Self::session) — a per-thread [`Session`] that reuses
+///   one scratch set across many queries (the hot-loop API);
+/// * [`prepare`](Self::prepare) — compile/validate once, reuse the
+///   compiled constraint and the materialized `V(S,G)` across repeated
+///   executions;
+/// * [`answer_batch`](Self::answer_batch) — fan a slice of queries across
+///   scoped threads.
+#[derive(Debug)]
+pub struct LscrEngine {
+    graph: Arc<Graph>,
+    index_config: LocalIndexConfig,
+    index: RwLock<Option<Arc<LocalIndex>>>,
+    plan_cache: RwLock<FxHashMap<String, Arc<CompiledConstraint>>>,
+    scratch_pool: Mutex<Vec<SearchScratch>>,
+    planner_stats: OnceLock<PlannerStats>,
+}
+
+impl LscrEngine {
     /// Creates an engine with the default index configuration. The local
-    /// index is built lazily on the first INS query.
-    pub fn new(graph: &'g Graph) -> Self {
-        LscrEngine {
-            graph,
-            close: CloseMap::new(graph.num_vertices()),
-            index: None,
-            index_config: LocalIndexConfig::default(),
-        }
+    /// index is built lazily on the first INS query (or eagerly via
+    /// [`local_index`](Self::local_index)).
+    ///
+    /// Accepts an owned [`Graph`] or an `Arc<Graph>` — pass a clone of an
+    /// existing `Arc` to keep using the graph outside the engine, or
+    /// reach it through [`graph`](Self::graph).
+    pub fn new(graph: impl Into<Arc<Graph>>) -> Self {
+        Self::with_index_config(graph, LocalIndexConfig::default())
     }
 
     /// Creates an engine with a custom index configuration.
-    pub fn with_index_config(graph: &'g Graph, config: LocalIndexConfig) -> Self {
+    pub fn with_index_config(graph: impl Into<Arc<Graph>>, config: LocalIndexConfig) -> Self {
         LscrEngine {
-            graph,
-            close: CloseMap::new(graph.num_vertices()),
-            index: None,
+            graph: graph.into(),
             index_config: config,
+            index: RwLock::new(None),
+            plan_cache: RwLock::new(FxHashMap::default()),
+            scratch_pool: Mutex::new(Vec::new()),
+            planner_stats: OnceLock::new(),
         }
     }
 
     /// The underlying graph.
-    pub fn graph(&self) -> &'g Graph {
-        self.graph
+    pub fn graph(&self) -> &Graph {
+        &self.graph
     }
 
-    /// Builds (or returns) the local index.
-    pub fn local_index(&mut self) -> &LocalIndex {
-        if self.index.is_none() {
-            self.index = Some(LocalIndex::build(self.graph, &self.index_config));
+    /// A shared handle to the graph (for callers that outlive the
+    /// engine or feed the same graph elsewhere).
+    pub fn shared_graph(&self) -> Arc<Graph> {
+        Arc::clone(&self.graph)
+    }
+
+    /// Builds (or returns) the shared local index. The build happens at
+    /// most once; concurrent callers block until it is available.
+    pub fn local_index(&self) -> Arc<LocalIndex> {
+        if let Some(index) = self.index.read().expect("index lock").clone() {
+            return index;
         }
-        self.index.as_ref().expect("just built")
+        let mut slot = self.index.write().expect("index lock");
+        if let Some(index) = slot.clone() {
+            return index; // another thread won the build race
+        }
+        let built = Arc::new(LocalIndex::build(&self.graph, &self.index_config));
+        *slot = Some(Arc::clone(&built));
+        built
+    }
+
+    pub(crate) fn local_index_arc(&self) -> Arc<LocalIndex> {
+        self.local_index()
+    }
+
+    /// The local index if some caller has already built or installed it —
+    /// what the `Auto` planner consults (it never triggers a build).
+    pub fn local_index_if_built(&self) -> Option<Arc<LocalIndex>> {
+        self.index.read().expect("index lock").clone()
     }
 
     /// Installs a prebuilt index (e.g. shared across engines or loaded
-    /// from a build step).
-    pub fn set_local_index(&mut self, index: LocalIndex) {
-        self.index = Some(index);
+    /// from a build step), replacing any current one.
+    ///
+    /// The index must have been built for this engine's graph: its
+    /// [`graph_fingerprint`](LocalIndex::graph_fingerprint) is checked
+    /// and a mismatch is rejected with [`QueryError::IndexGraphMismatch`]
+    /// instead of being silently accepted (which would produce wrong
+    /// answers).
+    pub fn set_local_index(&self, index: impl Into<Arc<LocalIndex>>) -> Result<(), QueryError> {
+        let index = index.into();
+        let expected = self.graph.fingerprint();
+        let found = index.graph_fingerprint();
+        if expected != found {
+            return Err(QueryError::IndexGraphMismatch { expected, found });
+        }
+        *self.index.write().expect("index lock") = Some(index);
+        Ok(())
     }
 
-    /// Compiles and answers `query` with `algorithm`.
+    /// Opens a per-thread [`Session`], recycling pooled scratch if
+    /// available.
+    pub fn session(&self) -> Session<'_> {
+        let scratch = self
+            .scratch_pool
+            .lock()
+            .expect("scratch pool lock")
+            .pop()
+            .unwrap_or_else(|| SearchScratch::new(self.graph.num_vertices()));
+        Session::new(self, scratch)
+    }
+
+    pub(crate) fn recycle_scratch(&self, scratch: SearchScratch) {
+        if scratch.num_vertices() != self.graph.num_vertices() {
+            return; // foreign scratch; never poison the pool
+        }
+        let mut pool = self.scratch_pool.lock().expect("scratch pool lock");
+        if pool.len() < SCRATCH_POOL_CAP {
+            pool.push(scratch);
+        }
+    }
+
+    #[cfg(test)]
+    pub(crate) fn pooled_scratch_count(&self) -> usize {
+        self.scratch_pool.lock().expect("scratch pool lock").len()
+    }
+
+    /// Validates `query` and compiles its constraint through the plan
+    /// cache: constraints with identical SPARQL text share one compiled
+    /// plan across queries, sessions and threads. Cache hits allocate
+    /// nothing (the key is the constraint's precomputed canonical text);
+    /// the cache holds at most 4096 plans — beyond that,
+    /// new texts compile per-query without being retained.
+    pub fn compile(&self, query: &LscrQuery) -> Result<CompiledLscrQuery, QueryError> {
+        self.graph.check_vertex(query.source)?;
+        self.graph.check_vertex(query.target)?;
+        let key = query.constraint.sparql_text();
+        if let Some(cached) = self.plan_cache.read().expect("plan cache lock").get(key) {
+            return Ok(query.with_constraint(Arc::clone(cached)));
+        }
+        let compiled = Arc::new(query.constraint.compile(&self.graph)?);
+        let mut cache = self.plan_cache.write().expect("plan cache lock");
+        let shared = match cache.get(key) {
+            Some(winner) => Arc::clone(winner), // a racing compiler won; keep its plan
+            None if cache.len() < PLAN_CACHE_CAP => {
+                cache.insert(key.to_owned(), Arc::clone(&compiled));
+                compiled
+            }
+            None => compiled, // cache full: serve uncached
+        };
+        drop(cache);
+        Ok(query.with_constraint(shared))
+    }
+
+    /// Number of distinct constraint plans currently cached.
+    pub fn cached_plans(&self) -> usize {
+        self.plan_cache.read().expect("plan cache lock").len()
+    }
+
+    /// Compiles and validates `query` once for repeated execution; see
+    /// [`PreparedQuery`].
+    pub fn prepare(&self, query: &LscrQuery) -> Result<PreparedQuery, QueryError> {
+        Ok(PreparedQuery::new(self.compile(query)?))
+    }
+
+    /// Compiles and answers `query` with `algorithm`, using pooled
+    /// scratch. For query loops, prefer holding a [`session`](Self::session).
     pub fn answer(
-        &mut self,
+        &self,
         query: &LscrQuery,
         algorithm: Algorithm,
     ) -> Result<QueryOutcome, QueryError> {
-        let compiled = query.compile(self.graph)?;
-        Ok(self.answer_compiled(&compiled, algorithm))
+        self.session().answer(query, algorithm)
     }
 
-    /// Answers an already-compiled query.
-    pub fn answer_compiled(
-        &mut self,
-        query: &CompiledLscrQuery,
+    /// [`answer`](Self::answer) with explicit [`QueryOptions`].
+    pub fn answer_with_options(
+        &self,
+        query: &LscrQuery,
         algorithm: Algorithm,
+        opts: &QueryOptions,
+    ) -> Result<QueryOutcome, QueryError> {
+        self.session().answer_with_options(query, algorithm, opts)
+    }
+
+    /// Answers an already-compiled query with pooled scratch.
+    pub fn answer_compiled(&self, query: &CompiledLscrQuery, algorithm: Algorithm) -> QueryOutcome {
+        self.session().answer_compiled(query, algorithm, &QueryOptions::default())
+    }
+
+    /// Executes a [`PreparedQuery`] with pooled scratch.
+    pub fn answer_prepared(
+        &self,
+        prepared: &PreparedQuery,
+        algorithm: Algorithm,
+        opts: &QueryOptions,
     ) -> QueryOutcome {
-        match algorithm {
-            Algorithm::Uis => uis::answer_with(self.graph, query, &mut self.close),
-            Algorithm::UisStar => uis_star::answer_with(self.graph, query, &mut self.close),
-            Algorithm::Ins => {
-                if self.index.is_none() {
-                    self.index = Some(LocalIndex::build(self.graph, &self.index_config));
-                }
-                let index = self.index.as_ref().expect("index built above");
-                ins::answer_with(self.graph, query, index, &mut self.close)
+        self.session().answer_prepared(prepared, algorithm, opts)
+    }
+
+    /// Answers a batch of `(query, algorithm)` pairs, fanning them across
+    /// `threads` scoped worker threads (one [`Session`] each). `0` uses
+    /// [`std::thread::available_parallelism`]. Results keep the input
+    /// order.
+    pub fn answer_batch(
+        &self,
+        queries: &[(LscrQuery, Algorithm)],
+        threads: usize,
+    ) -> Vec<Result<QueryOutcome, QueryError>> {
+        self.answer_batch_with_options(queries, threads, &QueryOptions::default())
+    }
+
+    /// [`answer_batch`](Self::answer_batch) with explicit options applied
+    /// to every query.
+    pub fn answer_batch_with_options(
+        &self,
+        queries: &[(LscrQuery, Algorithm)],
+        threads: usize,
+        opts: &QueryOptions,
+    ) -> Vec<Result<QueryOutcome, QueryError>> {
+        if queries.is_empty() {
+            return Vec::new();
+        }
+        let threads = match threads {
+            0 => std::thread::available_parallelism().map_or(1, usize::from),
+            t => t,
+        }
+        .min(queries.len());
+        // Build the index up front when the batch needs it, so workers
+        // don't serialize behind the build lock.
+        if queries.iter().any(|(_, a)| *a == Algorithm::Ins) {
+            let _ = self.local_index();
+        }
+        if threads <= 1 {
+            let mut session = self.session();
+            return queries
+                .iter()
+                .map(|(q, alg)| session.answer_with_options(q, *alg, opts))
+                .collect();
+        }
+        let chunk = queries.len().div_ceil(threads);
+        let mut results: Vec<Option<Result<QueryOutcome, QueryError>>> = Vec::new();
+        results.resize_with(queries.len(), || None);
+        std::thread::scope(|scope| {
+            for (qs, rs) in queries.chunks(chunk).zip(results.chunks_mut(chunk)) {
+                scope.spawn(move || {
+                    let mut session = self.session();
+                    for ((query, alg), slot) in qs.iter().zip(rs) {
+                        *slot = Some(session.answer_with_options(query, *alg, opts));
+                    }
+                });
             }
-            Algorithm::Oracle => oracle::answer(self.graph, query),
+        });
+        results.into_iter().map(|r| r.expect("every batch slot filled")).collect()
+    }
+
+    /// The adaptive planner behind [`Algorithm::Auto`]: picks a concrete
+    /// algorithm for `query` from cheap statistics — estimated constraint
+    /// selectivity (schema class sizes, adjacency degrees, per-label edge
+    /// counts; or the exact `|V(S,G)|` via `vsg_hint` when a prepared
+    /// query already materialized it), `|L|` relative to `𝓛`, and whether
+    /// the local index is already available (planning never triggers an
+    /// index build).
+    ///
+    /// Heuristics follow the paper's §6 findings: INS dominates when
+    /// `V(S,G)` is small and selective; UIS wins when the constraint is
+    /// unselective (satisfying vertices are met early) or the label
+    /// constraint confines the search to a small region; UIS\* handles
+    /// the degenerate empty-`V(S,G)` case for free.
+    pub fn plan_algorithm(&self, query: &CompiledLscrQuery, vsg_hint: Option<usize>) -> Algorithm {
+        let g: &Graph = &self.graph;
+        let n = g.num_vertices().max(1);
+        // Provably empty V(S,G): UIS* inspects the empty candidate list
+        // and answers false immediately — no traversal at all.
+        if query.constraint.is_unsatisfiable() {
+            return Algorithm::UisStar;
+        }
+        let estimate = vsg_hint.unwrap_or_else(|| {
+            let stats = self.planner_stats.get_or_init(|| PlannerStats {
+                label_histogram: GraphStats::compute(g).label_histogram,
+            });
+            query.constraint.estimate_candidates(g, &stats.label_histogram)
+        });
+        if estimate == 0 {
+            return Algorithm::UisStar;
+        }
+        let index_ready = self.local_index_if_built().is_some();
+        let selectivity = estimate as f64 / n as f64;
+        let label_frac = query.label_constraint.len() as f64 / g.num_labels().max(1) as f64;
+
+        // Tiny candidate sets: the V(S,G)-driven informed search touches
+        // almost nothing when the index can prune for it. The absolute
+        // bound only applies when the candidates are also a minority of
+        // the graph (on toy graphs "8 candidates" can be everything).
+        if index_ready && (selectivity <= 0.02 || (estimate <= 8 && estimate * 2 <= n)) {
+            return Algorithm::Ins;
+        }
+        // Unselective constraints: UIS meets a satisfying vertex early and
+        // SCck is cheap relative to V(S,G) materialization (paper S3).
+        if selectivity >= 0.05 {
+            return Algorithm::Uis;
+        }
+        // Narrow label constraints confine the uninformed search to a
+        // small label-feasible region.
+        if label_frac <= 0.25 {
+            return Algorithm::Uis;
+        }
+        // Mid-selectivity, broad labels: informed search if possible,
+        // otherwise the uninformed baseline (UIS* only wins its
+        // degenerate cases, per §6).
+        if index_ready {
+            Algorithm::Ins
+        } else {
+            Algorithm::Uis
         }
     }
 }
@@ -145,55 +422,203 @@ mod tests {
     use super::*;
     use crate::fixtures::{figure3, s0};
     use crate::query::LscrQuery;
+    use crate::SubstructureConstraint;
+
+    fn all_labels_query(g: &Graph, s: &str, t: &str) -> LscrQuery {
+        LscrQuery::new(g.vertex_id(s).unwrap(), g.vertex_id(t).unwrap(), g.all_labels(), s0())
+    }
 
     #[test]
     fn all_algorithms_through_engine() {
-        let g = figure3();
-        let mut engine = LscrEngine::new(&g);
+        let engine = LscrEngine::new(figure3());
+        let g = engine.graph();
         let q = LscrQuery::new(
             g.vertex_id("v3").unwrap(),
             g.vertex_id("v4").unwrap(),
             g.label_set(&["likes", "hates", "friendOf"]),
             s0(),
         );
-        for alg in [Algorithm::Uis, Algorithm::UisStar, Algorithm::Ins, Algorithm::Oracle] {
+        for alg in
+            [Algorithm::Uis, Algorithm::UisStar, Algorithm::Ins, Algorithm::Oracle, Algorithm::Auto]
+        {
             let out = engine.answer(&q, alg).unwrap();
             assert!(out.answer, "{alg} disagrees");
         }
     }
 
     #[test]
+    fn engine_is_shareable_from_arc_graph() {
+        let g = Arc::new(figure3());
+        let engine = LscrEngine::new(Arc::clone(&g));
+        assert_eq!(engine.graph().num_vertices(), g.num_vertices());
+        assert_eq!(engine.shared_graph().num_edges(), g.num_edges());
+        let q = all_labels_query(&g, "v0", "v4");
+        assert!(engine.answer(&q, Algorithm::Uis).unwrap().answer);
+    }
+
+    #[test]
     fn engine_reuses_index() {
-        let g = figure3();
-        let mut engine =
-            LscrEngine::with_index_config(&g, LocalIndexConfig { num_landmarks: Some(2), seed: 4 });
-        let before = engine.local_index().stats().num_landmarks;
-        assert_eq!(before, 2);
-        // Second access must not rebuild (same pointer-ish check via stats).
-        let again = engine.local_index().stats().num_landmarks;
-        assert_eq!(again, 2);
+        let engine = LscrEngine::with_index_config(
+            figure3(),
+            LocalIndexConfig { num_landmarks: Some(2), seed: 4 },
+        );
+        let first = engine.local_index();
+        assert_eq!(first.stats().num_landmarks, 2);
+        // Second access returns the same shared build.
+        let again = engine.local_index();
+        assert!(Arc::ptr_eq(&first, &again));
     }
 
     #[test]
     fn set_prebuilt_index() {
-        let g = figure3();
+        let g = Arc::new(figure3());
         let idx = LocalIndex::build(&g, &LocalIndexConfig { num_landmarks: Some(3), seed: 9 });
-        let mut engine = LscrEngine::new(&g);
-        engine.set_local_index(idx);
+        let engine = LscrEngine::new(Arc::clone(&g));
+        engine.set_local_index(idx).unwrap();
         assert_eq!(engine.local_index().stats().num_landmarks, 3);
     }
 
     #[test]
-    fn invalid_query_errors() {
-        let g = figure3();
-        let mut engine = LscrEngine::new(&g);
-        let q = LscrQuery::new(
-            kgreach_graph::VertexId(99),
+    fn mismatched_index_rejected() {
+        // An index built for a *different* graph must not be accepted.
+        let engine = LscrEngine::new(figure3());
+        let mut b = kgreach_graph::GraphBuilder::new();
+        b.add_triple("x", "p", "y");
+        let other = b.build().unwrap();
+        let foreign = LocalIndex::build(&other, &LocalIndexConfig::default());
+        match engine.set_local_index(foreign) {
+            Err(QueryError::IndexGraphMismatch { expected, found }) => {
+                assert_ne!(expected, found);
+                assert_eq!(expected, engine.graph().fingerprint());
+            }
+            other => panic!("expected IndexGraphMismatch, got {other:?}"),
+        }
+        // The engine still has no index installed.
+        assert!(engine.local_index_if_built().is_none());
+    }
+
+    #[test]
+    fn plan_cache_shares_compiled_constraints() {
+        let engine = LscrEngine::new(figure3());
+        let g = engine.graph();
+        assert_eq!(engine.cached_plans(), 0);
+        let q1 = all_labels_query(g, "v0", "v4");
+        let q2 = all_labels_query(g, "v3", "v4"); // same constraint text
+        let c1 = engine.compile(&q1).unwrap();
+        let c2 = engine.compile(&q2).unwrap();
+        assert_eq!(engine.cached_plans(), 1);
+        assert!(Arc::ptr_eq(&c1.constraint, &c2.constraint), "plans must be shared");
+        // A different constraint gets its own cache slot.
+        let q3 = LscrQuery::new(
+            q1.source,
+            q1.target,
+            q1.label_constraint,
+            SubstructureConstraint::parse("SELECT ?x WHERE { ?x <likes> ?y . }").unwrap(),
+        );
+        engine.compile(&q3).unwrap();
+        assert_eq!(engine.cached_plans(), 2);
+    }
+
+    #[test]
+    fn prepared_query_memoizes_vsg() {
+        let engine = LscrEngine::new(figure3());
+        let g = engine.graph();
+        let prepared = engine.prepare(&all_labels_query(g, "v0", "v4")).unwrap();
+        assert_eq!(prepared.vsg_len_if_materialized(), None);
+        let out = engine.answer_prepared(&prepared, Algorithm::UisStar, &QueryOptions::default());
+        assert!(out.answer);
+        // First UIS* execution materialized V(S0,G0) = {v1, v2}.
+        assert_eq!(prepared.vsg_len_if_materialized(), Some(2));
+        let again = engine.answer_prepared(&prepared, Algorithm::Ins, &QueryOptions::default());
+        assert!(again.answer);
+        assert_eq!(again.stats.vsg_size, Some(2));
+    }
+
+    #[test]
+    fn auto_planner_decisions() {
+        let engine = LscrEngine::new(figure3());
+        let g = engine.graph();
+
+        // Unsatisfiable constraint → UIS* (free false from empty V(S,G)).
+        let unsat = LscrQuery::new(
+            g.vertex_id("v0").unwrap(),
             g.vertex_id("v4").unwrap(),
             g.all_labels(),
+            SubstructureConstraint::parse("SELECT ?x WHERE { ?x <likes> <ghost> . }").unwrap(),
+        );
+        let compiled = engine.compile(&unsat).unwrap();
+        assert_eq!(engine.plan_algorithm(&compiled, None), Algorithm::UisStar);
+
+        // No index built: the planner must not pick INS (and must not
+        // trigger a build as a side effect).
+        let q = engine.compile(&all_labels_query(g, "v0", "v4")).unwrap();
+        let chosen = engine.plan_algorithm(&q, None);
+        assert_ne!(chosen, Algorithm::Ins);
+        assert!(engine.local_index_if_built().is_none(), "planning must not build");
+
+        // Index available + tiny V(S,G) (exact hint) → INS.
+        let _ = engine.local_index();
+        assert_eq!(engine.plan_algorithm(&q, Some(1)), Algorithm::Ins);
+
+        // Huge V(S,G) → UIS regardless of index.
+        assert_eq!(engine.plan_algorithm(&q, Some(g.num_vertices())), Algorithm::Uis);
+
+        // Whatever Auto picks, the recorded choice is a concrete
+        // algorithm and the answer matches the oracle.
+        let out = engine.answer(&all_labels_query(g, "v0", "v4"), Algorithm::Auto).unwrap();
+        let expected = engine.answer(&all_labels_query(g, "v0", "v4"), Algorithm::Oracle).unwrap();
+        assert_eq!(out.answer, expected.answer);
+        assert!(matches!(
+            out.stats.algorithm,
+            Some(Algorithm::Uis | Algorithm::UisStar | Algorithm::Ins)
+        ));
+    }
+
+    #[test]
+    fn answer_batch_matches_sequential() {
+        let engine = LscrEngine::new(figure3());
+        let g = engine.graph();
+        let mut queries = Vec::new();
+        let algs = [Algorithm::Uis, Algorithm::UisStar, Algorithm::Ins, Algorithm::Auto];
+        let names = ["v0", "v1", "v2", "v3", "v4"];
+        for (i, s) in names.iter().enumerate() {
+            for t in names {
+                queries.push((all_labels_query(g, s, t), algs[i % algs.len()]));
+            }
+        }
+        let sequential: Vec<bool> = queries
+            .iter()
+            .map(|(q, _)| engine.answer(q, Algorithm::Oracle).unwrap().answer)
+            .collect();
+        for threads in [0, 1, 2, 8] {
+            let results = engine.answer_batch(&queries, threads);
+            assert_eq!(results.len(), queries.len());
+            for (i, r) in results.iter().enumerate() {
+                assert_eq!(
+                    r.as_ref().unwrap().answer,
+                    sequential[i],
+                    "threads={threads}, query {i}"
+                );
+            }
+        }
+        assert!(engine.answer_batch(&[], 4).is_empty());
+    }
+
+    #[test]
+    fn invalid_query_errors() {
+        let engine = LscrEngine::new(figure3());
+        let q = LscrQuery::new(
+            kgreach_graph::VertexId(99),
+            engine.graph().vertex_id("v4").unwrap(),
+            engine.graph().all_labels(),
             s0(),
         );
         assert!(engine.answer(&q, Algorithm::Uis).is_err());
+        // Batch surfaces per-query errors without failing the batch.
+        let ok = all_labels_query(engine.graph(), "v0", "v4");
+        let results = engine.answer_batch(&[(q, Algorithm::Uis), (ok, Algorithm::Uis)], 2);
+        assert!(results[0].is_err());
+        assert!(results[1].as_ref().unwrap().answer);
     }
 
     #[test]
@@ -201,6 +626,8 @@ mod tests {
         assert_eq!(Algorithm::Uis.name(), "UIS");
         assert_eq!(Algorithm::UisStar.to_string(), "UIS*");
         assert_eq!(Algorithm::Ins.to_string(), "INS");
+        assert_eq!(Algorithm::Auto.to_string(), "Auto");
         assert_eq!(Algorithm::ALL.len(), 3);
+        assert!(!Algorithm::ALL.contains(&Algorithm::Auto));
     }
 }

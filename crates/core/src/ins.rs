@@ -22,43 +22,85 @@
 use crate::close::{CloseMap, CloseState};
 use crate::local_index::LocalIndex;
 use crate::priority::{CandidateHeap, GlobalQueue, PriorityContext};
-use crate::query::{CompiledLscrQuery, QueryOutcome, SearchStats};
+use crate::query::{CompiledLscrQuery, QueryOptions, QueryOutcome, RunLimits, SearchStats};
+use crate::session::SearchScratch;
 use kgreach_graph::{Graph, LabelSet, VertexId};
 use std::time::Instant;
 
-/// Answers `q` with Algorithm 4 over a prebuilt [`LocalIndex`].
+/// Answers `q` with Algorithm 4 over a prebuilt [`LocalIndex`], with
+/// freshly allocated scratch and default options.
 pub fn answer(g: &Graph, q: &CompiledLscrQuery, index: &LocalIndex) -> QueryOutcome {
-    let mut close = CloseMap::new(g.num_vertices());
-    answer_with(g, q, index, &mut close)
+    let mut scratch = SearchScratch::new(g.num_vertices());
+    answer_with(g, q, index, &mut scratch, &QueryOptions::default())
 }
 
-/// Answers `q` with a caller-provided `close` map (reset here).
+/// Answers `q` with session-owned scratch (reset here). The reported time
+/// includes the `V(S,G)` materialization, as for UIS\*.
 pub fn answer_with(
     g: &Graph,
     q: &CompiledLscrQuery,
     index: &LocalIndex,
-    close: &mut CloseMap,
+    scratch: &mut SearchScratch,
+    opts: &QueryOptions,
 ) -> QueryOutcome {
     let start = Instant::now();
+    let limits = RunLimits::new(opts, start);
+    let vsg = q.constraint.satisfying_vertices(g);
+    let mut outcome = run(g, q, index, scratch, &vsg, limits);
+    outcome.elapsed = start.elapsed();
+    outcome
+}
+
+/// Answers `q` over an already-materialized `V(S,G)` — the entry point
+/// for prepared queries. INS's candidate heap imposes its own processing
+/// order, so the slice order is irrelevant here; the step budget and
+/// timeout in `opts` still apply.
+pub fn answer_with_vsg(
+    g: &Graph,
+    q: &CompiledLscrQuery,
+    index: &LocalIndex,
+    scratch: &mut SearchScratch,
+    vsg: &[VertexId],
+    opts: &QueryOptions,
+) -> QueryOutcome {
+    run(g, q, index, scratch, vsg, RunLimits::new(opts, Instant::now()))
+}
+
+fn run(
+    g: &Graph,
+    q: &CompiledLscrQuery,
+    index: &LocalIndex,
+    scratch: &mut SearchScratch,
+    vsg: &[VertexId],
+    limits: RunLimits,
+) -> QueryOutcome {
+    let start = Instant::now();
+    let (close, queue) = scratch.close_and_queue();
     close.reset();
+    queue.reset();
 
     let s = q.source;
     let t = q.target;
-    let vsg = q.constraint.satisfying_vertices(g);
 
     let mut ins = Ins {
         g,
         index,
         labels: q.label_constraint,
         close,
-        queue: GlobalQueue::new(g.num_vertices()),
-        stats: SearchStats { vsg_size: Some(vsg.len()), ..Default::default() },
+        queue,
+        stats: SearchStats {
+            vsg_size: Some(vsg.len()),
+            algorithm: Some(crate::Algorithm::Ins),
+            ..Default::default()
+        },
+        limits,
+        interrupted: false,
     };
 
     // Lines 1-3: H over V(S,G); Q seeded with s; close[s] ← F.
     ins.close.set(s, CloseState::F);
     let ctx = PriorityContext { close: ins.close, index, source: s, target: t };
-    let mut heap = CandidateHeap::new(&vsg, &ctx);
+    let mut heap = CandidateHeap::new(vsg, &ctx);
     let ctx = PriorityContext { close: ins.close, index, source: s, target: t };
     ins.queue.push(s, &ctx);
     ins.stats.pushes += 1;
@@ -66,6 +108,10 @@ pub fn answer_with(
     // Lines 4-14: identical control flow to UIS*.
     let mut answer = false;
     loop {
+        if ins.interrupted || ins.limits.exceeded(ins.stats.edges_scanned) {
+            ins.interrupted = true;
+            break;
+        }
         let ctx = PriorityContext { close: ins.close, index, source: s, target: t };
         let Some(v) = heap.pop(&ctx) else { break };
         match ins.close.get(v) {
@@ -96,8 +142,10 @@ struct Ins<'a> {
     index: &'a LocalIndex,
     labels: LabelSet,
     close: &'a mut CloseMap,
-    queue: GlobalQueue,
+    queue: &'a mut GlobalQueue,
     stats: SearchStats,
+    limits: RunLimits,
+    interrupted: bool,
 }
 
 impl Ins<'_> {
@@ -117,6 +165,10 @@ impl Ins<'_> {
         }
         // Line 19: while (B=F ∧ Q≠φ) or (B = close[Q.first] = T).
         loop {
+            if self.limits.exceeded(self.stats.edges_scanned) {
+                self.interrupted = true;
+                return false;
+            }
             // Inline context so the queue (disjoint field) stays borrowable.
             let ctx = PriorityContext {
                 close: &*self.close,
@@ -253,7 +305,9 @@ impl Ins<'_> {
     fn finish(self, answer: bool, start: Instant) -> QueryOutcome {
         let mut stats = self.stats;
         stats.passed_vertices = self.close.passed_vertices();
-        QueryOutcome { answer, stats, elapsed: start.elapsed() }
+        let mut out = QueryOutcome::finished(answer, stats, start.elapsed());
+        out.interrupted = self.interrupted;
+        out
     }
 }
 
@@ -312,9 +366,10 @@ mod tests {
             vec!["advisorOf"],
             vec![],
         ];
+        let opts = QueryOptions::default();
         for (k, seed) in [(1usize, 1u64), (2, 1), (2, 7), (3, 5), (5, 2)] {
             let idx = build_index(&g, k, seed);
-            let mut close = CloseMap::new(g.num_vertices());
+            let mut scratch = SearchScratch::new(g.num_vertices());
             for s in ["v0", "v1", "v2", "v3", "v4"] {
                 for t in ["v0", "v1", "v2", "v3", "v4"] {
                     for ls in &label_sets {
@@ -326,7 +381,7 @@ mod tests {
                         );
                         let cq = q.compile(&g).unwrap();
                         let expected = oracle::answer(&g, &cq).answer;
-                        let got = answer_with(&g, &cq, &idx, &mut close).answer;
+                        let got = answer_with(&g, &cq, &idx, &mut scratch, &opts).answer;
                         assert_eq!(
                             got, expected,
                             "INS(k={k},seed={seed}) wrong on {s}->{t} {ls:?}"
@@ -382,6 +437,42 @@ mod tests {
         assert!(out.stats.passed_vertices > 0);
         assert!(out.stats.lcs_invocations >= 1);
         assert_eq!(out.stats.scck_calls, 0); // INS never calls SCck
+    }
+
+    #[test]
+    fn prepared_vsg_entry_point_agrees() {
+        let g = figure3();
+        let idx = build_index(&g, 2, 1);
+        let mut scratch = SearchScratch::new(g.num_vertices());
+        let q = LscrQuery::new(
+            g.vertex_id("v0").unwrap(),
+            g.vertex_id("v4").unwrap(),
+            g.label_set(&["likes", "follows"]),
+            s0(),
+        );
+        let cq = q.compile(&g).unwrap();
+        let vsg = cq.constraint.satisfying_vertices(&g);
+        let out = answer_with_vsg(&g, &cq, &idx, &mut scratch, &vsg, &QueryOptions::default());
+        assert!(out.answer);
+        assert_eq!(out.stats.algorithm, Some(crate::Algorithm::Ins));
+    }
+
+    #[test]
+    fn step_budget_interrupts() {
+        let g = figure3();
+        let idx = build_index(&g, 2, 1);
+        let mut scratch = SearchScratch::new(g.num_vertices());
+        let q = LscrQuery::new(
+            g.vertex_id("v0").unwrap(),
+            g.vertex_id("v4").unwrap(),
+            g.label_set(&["likes", "follows"]),
+            s0(),
+        );
+        let cq = q.compile(&g).unwrap();
+        let out =
+            answer_with(&g, &cq, &idx, &mut scratch, &QueryOptions::default().with_step_budget(0));
+        assert!(out.interrupted);
+        assert!(!out.answer);
     }
 
     #[test]

@@ -18,8 +18,17 @@
 //! Supporting machinery: the three-state [`CloseMap`] surjection
 //! ([`close`]), substructure constraints compiled to SPARQL plans
 //! ([`constraint`]), landmark partitioning ([`partition`]), the local index
-//! ([`local_index`]), INS's priority structures ([`priority`]), a
-//! brute-force [`oracle`], and the [`LscrEngine`] facade.
+//! ([`local_index`]), INS's priority structures ([`priority`]), and a
+//! brute-force [`oracle`].
+//!
+//! Serving is split into an owned, `Send + Sync` [`LscrEngine`] (graph,
+//! shared index, constraint-plan cache — every entry point takes `&self`)
+//! and per-thread [`Session`]s owning the mutable search scratch, so many
+//! threads answer queries against one engine with no locking on the hot
+//! path. [`PreparedQuery`] amortizes compilation and `V(S,G)`
+//! materialization across repeated executions, [`QueryOptions`] selects
+//! witnesses/stats/budgets per execution, and [`Algorithm::Auto`] lets
+//! the engine pick UIS/UIS\*/INS adaptively.
 //!
 //! ## Quick start
 //!
@@ -32,7 +41,10 @@
 //! b.add_triple("suspectC", "apr2019", "mule1");
 //! b.add_triple("mule1", "apr2019", "suspectP");
 //! b.add_triple("mule1", "marriedTo", "amy");
-//! let g = b.build().unwrap();
+//!
+//! // The engine owns the graph; reach it through `engine.graph()`.
+//! let engine = LscrEngine::new(b.build().unwrap());
+//! let g = engine.graph();
 //!
 //! // Is there an April-2019 transfer chain C → P through Amy's spouse?
 //! let q = LscrQuery::new(
@@ -42,8 +54,21 @@
 //!     SubstructureConstraint::parse(
 //!         "SELECT ?x WHERE { ?x <marriedTo> <amy> . }").unwrap(),
 //! );
-//! let mut engine = LscrEngine::new(&g);
-//! assert!(engine.answer(&q, Algorithm::Uis).unwrap().answer);
+//! // One-shot: let the adaptive planner pick the algorithm.
+//! assert!(engine.answer(&q, Algorithm::Auto).unwrap().answer);
+//!
+//! // Hot loop: a per-thread session reuses one scratch set.
+//! let mut session = engine.session();
+//! for _ in 0..3 {
+//!     assert!(session.answer(&q, Algorithm::Uis).unwrap().answer);
+//! }
+//!
+//! // Repeated query: compile once, reuse the compiled constraint and
+//! // the materialized V(S,G).
+//! let prepared = engine.prepare(&q).unwrap();
+//! let opts = kgreach::QueryOptions::default().with_witness(true);
+//! let out = engine.answer_prepared(&prepared, Algorithm::UisStar, &opts);
+//! assert_eq!(out.witness.unwrap().via, g.vertex_id("mule1").unwrap());
 //! ```
 
 #![warn(missing_docs)]
@@ -59,6 +84,7 @@ pub mod oracle;
 pub mod partition;
 pub mod priority;
 pub mod query;
+pub mod session;
 pub mod uis;
 pub mod uis_star;
 pub mod witness;
@@ -70,8 +96,12 @@ pub use local_index::{IndexBuildStats, LandmarkEntry, LocalIndex, LocalIndexConf
 pub use partition::{
     default_num_landmarks, select_landmarks, select_landmarks_by_degree, Partition,
 };
-pub use query::{CompiledLscrQuery, LscrQuery, QueryError, QueryOutcome, SearchStats};
+pub use query::{
+    CompiledLscrQuery, LscrQuery, PreparedQuery, QueryError, QueryOptions, QueryOutcome,
+    SearchStats, VsgOrder,
+};
+pub use session::{SearchScratch, Session};
 pub use witness::{find_witness, Witness};
 
 // Re-export the substrate types callers need to assemble queries.
-pub use kgreach_graph::{Graph, GraphBuilder, LabelId, LabelSet, VertexId};
+pub use kgreach_graph::{Graph, GraphBuilder, GraphFingerprint, LabelId, LabelSet, VertexId};

@@ -28,7 +28,7 @@ use crate::partition::{
     default_num_landmarks, partition_graph, select_landmarks, Partition, NO_PARTITION,
 };
 use kgreach_graph::fxhash::FxHashMap;
-use kgreach_graph::{Cms, Graph, LabelSet, VertexId};
+use kgreach_graph::{Cms, Graph, GraphFingerprint, LabelSet, VertexId};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use std::collections::VecDeque;
@@ -136,6 +136,7 @@ pub struct LocalIndex {
     entries: Vec<LandmarkEntry>,
     d: Vec<FxHashMap<u32, u32>>,
     stats: IndexBuildStats,
+    fingerprint: GraphFingerprint,
 }
 
 impl LocalIndex {
@@ -177,7 +178,7 @@ impl LocalIndex {
             eit_pairs,
             assigned_vertices: partition.num_assigned(),
         };
-        LocalIndex { partition, entries, d, stats }
+        LocalIndex { partition, entries, d, stats, fingerprint: g.fingerprint() }
     }
 
     /// Builds with default configuration.
@@ -236,6 +237,13 @@ impl LocalIndex {
     /// Build statistics.
     pub fn stats(&self) -> &IndexBuildStats {
         &self.stats
+    }
+
+    /// The fingerprint of the graph this index was built for. Engines
+    /// reject prebuilt indexes whose fingerprint does not match their
+    /// graph (see [`LscrEngine::set_local_index`](crate::LscrEngine::set_local_index)).
+    pub fn graph_fingerprint(&self) -> GraphFingerprint {
+        self.fingerprint
     }
 }
 
@@ -317,7 +325,7 @@ mod tests {
             eit_pairs: entries.iter().map(LandmarkEntry::num_eit).sum(),
             assigned_vertices: partition.num_assigned(),
         };
-        LocalIndex { partition, entries, d, stats }
+        LocalIndex { partition, entries, d, stats, fingerprint: g.fingerprint() }
     }
 
     #[test]

@@ -16,7 +16,7 @@ use std::time::Instant;
 /// Answers `q` by the three-pass decomposition.
 pub fn answer(g: &Graph, q: &CompiledLscrQuery) -> QueryOutcome {
     let start = Instant::now();
-    let mut stats = SearchStats::default();
+    let mut stats = SearchStats { algorithm: Some(crate::Algorithm::Oracle), ..Default::default() };
 
     let forward = directional_closure(g, q.source, q.label_constraint, Direction::Forward);
     let backward = directional_closure(g, q.target, q.label_constraint, Direction::Backward);
@@ -32,7 +32,7 @@ pub fn answer(g: &Graph, q: &CompiledLscrQuery) -> QueryOutcome {
         }
     }
 
-    QueryOutcome { answer, stats, elapsed: start.elapsed() }
+    QueryOutcome::finished(answer, stats, start.elapsed())
 }
 
 enum Direction {

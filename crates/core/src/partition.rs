@@ -160,7 +160,7 @@ pub fn select_landmarks<R: Rng>(g: &Graph, k: usize, rng: &mut R) -> Vec<VertexI
     chosen
 }
 
-/// Highest-degree landmark selection — the traditional strategy of [19]
+/// Highest-degree landmark selection — the traditional strategy of \[19\]
 /// that §5.1.2 argues is wrong for KGs (it picks class/vocabulary hubs).
 /// Provided for the ablation benchmark comparing selection strategies.
 pub fn select_landmarks_by_degree(g: &Graph, k: usize) -> Vec<VertexId> {

@@ -137,6 +137,17 @@ impl GlobalQueue {
         }
     }
 
+    /// Readies the queue for a fresh query in O(1): drops all live
+    /// entries and invalidates the per-target ρ memo. Push tokens and the
+    /// sequence counter are *kept* — stale tokens are harmless once the
+    /// heap is empty (they are only consulted against live heap entries),
+    /// and the monotone sequence preserves FIFO tie-breaking across
+    /// queries.
+    pub fn reset(&mut self) {
+        self.heap.clear();
+        self.memo_target = None;
+    }
+
     /// Memoized `ρ(v, t*)` (see [`LocalIndex::rho`]).
     fn rho(&mut self, v: VertexId, ctx: &PriorityContext<'_>) -> u32 {
         if self.memo_target != Some(ctx.target) {
@@ -394,6 +405,28 @@ mod tests {
         let first = q.pop(&ctx).unwrap();
         let second = q.pop(&ctx).unwrap();
         assert_ne!(first, second);
+        assert_eq!(q.pop(&ctx), None);
+    }
+
+    #[test]
+    fn queue_reset_reuses_allocations() {
+        let (g, idx) = setup();
+        let a = g.vertex_id("a").unwrap();
+        let b = g.vertex_id("b").unwrap();
+        let mut close = CloseMap::new(g.num_vertices());
+        close.set(a, CloseState::F);
+        close.set(b, CloseState::F);
+        let ctx = PriorityContext { close: &close, index: &idx, source: a, target: b };
+        let mut q = GlobalQueue::new(g.num_vertices());
+        q.push(a, &ctx);
+        q.push(b, &ctx);
+        q.reset();
+        assert!(q.is_empty());
+        assert_eq!(q.pop(&ctx), None);
+        // Pushes after a reset behave like a fresh queue.
+        q.push(a, &ctx);
+        q.push(a, &ctx); // dedup still keeps newest
+        assert_eq!(q.pop(&ctx), Some(a));
         assert_eq!(q.pop(&ctx), None);
     }
 

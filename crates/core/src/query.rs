@@ -1,10 +1,13 @@
-//! LSCR query types and per-query execution statistics.
+//! LSCR query types, execution options and per-query statistics.
 
 use crate::constraint::{CompiledConstraint, SubstructureConstraint};
-use kgreach_graph::{Graph, GraphError, LabelSet, VertexId};
+use crate::engine::Algorithm;
+use crate::witness::Witness;
+use kgreach_graph::{Graph, GraphError, GraphFingerprint, LabelSet, VertexId};
 use kgreach_sparql::SparqlError;
 use std::fmt;
-use std::time::Duration;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// An LSCR query `Q = (s, t, L, S)` (paper Definition 2.4): does a path
 /// from `source` to `target` exist whose edge labels are all in
@@ -23,11 +26,20 @@ pub struct LscrQuery {
 
 /// Errors raised when preparing a query for execution.
 #[derive(Debug, Clone)]
+#[non_exhaustive]
 pub enum QueryError {
     /// Source/target/label out of range for the graph.
     Graph(GraphError),
     /// The constraint failed to compile.
     Sparql(SparqlError),
+    /// A prebuilt [`LocalIndex`](crate::LocalIndex) was built for a
+    /// different graph than the engine's (fingerprint mismatch).
+    IndexGraphMismatch {
+        /// Fingerprint of the engine's graph.
+        expected: GraphFingerprint,
+        /// Fingerprint of the graph the index was built for.
+        found: GraphFingerprint,
+    },
 }
 
 impl fmt::Display for QueryError {
@@ -35,11 +47,24 @@ impl fmt::Display for QueryError {
         match self {
             QueryError::Graph(e) => write!(f, "{e}"),
             QueryError::Sparql(e) => write!(f, "{e}"),
+            QueryError::IndexGraphMismatch { expected, found } => write!(
+                f,
+                "local index was built for a different graph: engine graph is [{expected}], \
+                 index was built for [{found}]"
+            ),
         }
     }
 }
 
-impl std::error::Error for QueryError {}
+impl std::error::Error for QueryError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            QueryError::Graph(e) => Some(e),
+            QueryError::Sparql(e) => Some(e),
+            QueryError::IndexGraphMismatch { .. } => None,
+        }
+    }
+}
 
 impl From<GraphError> for QueryError {
     fn from(e: GraphError) -> Self {
@@ -65,20 +90,35 @@ impl LscrQuery {
     }
 
     /// Validates the query against `g` and compiles the constraint.
+    ///
+    /// [`LscrEngine::prepare`](crate::LscrEngine::prepare) is the cached
+    /// equivalent: it reuses compiled constraints across queries with the
+    /// same SPARQL text.
     pub fn compile(&self, g: &Graph) -> Result<CompiledLscrQuery, QueryError> {
         g.check_vertex(self.source)?;
         g.check_vertex(self.target)?;
         let compiled = self.constraint.compile(g)?;
-        Ok(CompiledLscrQuery {
+        Ok(self.with_constraint(Arc::new(compiled)))
+    }
+
+    /// Assembles the compiled form from an already-compiled (possibly
+    /// cached) constraint. Endpoints must have been validated by the
+    /// caller.
+    pub(crate) fn with_constraint(&self, constraint: Arc<CompiledConstraint>) -> CompiledLscrQuery {
+        CompiledLscrQuery {
             source: self.source,
             target: self.target,
             label_constraint: self.label_constraint,
-            constraint: compiled,
-        })
+            constraint,
+        }
     }
 }
 
 /// A query validated and resolved against one graph.
+///
+/// The compiled constraint is behind an [`Arc`] so engine-level plan
+/// caches and [`PreparedQuery`] can share one
+/// compiled plan across many queries and threads without cloning it.
 #[derive(Clone, Debug)]
 pub struct CompiledLscrQuery {
     /// Source vertex `s`.
@@ -88,14 +128,161 @@ pub struct CompiledLscrQuery {
     /// Label constraint `L`.
     pub label_constraint: LabelSet,
     /// Compiled substructure constraint.
-    pub constraint: CompiledConstraint,
+    pub constraint: Arc<CompiledConstraint>,
+}
+
+/// A query compiled and validated once for repeated execution.
+///
+/// Created by [`LscrEngine::prepare`](crate::LscrEngine::prepare). Beyond
+/// the compiled constraint (shared through the engine's plan cache), a
+/// prepared query memoizes the materialized `V(S,G)` on its first
+/// UIS\*/INS execution, so re-running it skips the SPARQL evaluation
+/// entirely — the BitPath-style amortization of per-query compilation
+/// across a workload. The type is `Sync`: one prepared query can be
+/// executed concurrently by many sessions.
+#[derive(Debug)]
+pub struct PreparedQuery {
+    compiled: CompiledLscrQuery,
+    vsg: std::sync::OnceLock<Vec<VertexId>>,
+}
+
+impl PreparedQuery {
+    pub(crate) fn new(compiled: CompiledLscrQuery) -> Self {
+        PreparedQuery { compiled, vsg: std::sync::OnceLock::new() }
+    }
+
+    /// The compiled query.
+    pub fn compiled(&self) -> &CompiledLscrQuery {
+        &self.compiled
+    }
+
+    /// The materialized `V(S,G)` over `g`, computed on first call and
+    /// memoized. `g` must be the graph the query was prepared against.
+    pub fn vsg(&self, g: &Graph) -> &[VertexId] {
+        self.vsg.get_or_init(|| self.compiled.constraint.satisfying_vertices(g))
+    }
+
+    /// `|V(S,G)|` if some execution has already materialized it — a free
+    /// exact selectivity figure for the `Auto` planner.
+    pub fn vsg_len_if_materialized(&self) -> Option<usize> {
+        self.vsg.get().map(Vec::len)
+    }
+}
+
+/// How the `V(S,G)` candidate set is ordered before UIS\* processes it.
+///
+/// The paper treats the set as *disordered* (§4: existing SPARQL engines
+/// cannot order it usefully); the shuffled variant reproduces that
+/// behaviour deterministically for the evaluation harness. INS ignores
+/// this option — its priority heap imposes its own order.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub enum VsgOrder {
+    /// Ascending vertex-id order (what the SPARQL engine emits).
+    #[default]
+    Ascending,
+    /// Seeded shuffle — the paper's "disordered" semantics.
+    Shuffled(u64),
+}
+
+/// Per-execution options, replacing the old one-shape-fits-all outcome.
+///
+/// Construct with [`QueryOptions::default`] and refine with the builder
+/// methods; the struct is `#[non_exhaustive]` so future options are not
+/// breaking changes.
+///
+/// ```
+/// use kgreach::QueryOptions;
+/// use std::time::Duration;
+///
+/// let opts = QueryOptions::default()
+///     .with_witness(true)
+///     .with_step_budget(1_000_000)
+///     .with_timeout(Duration::from_millis(50));
+/// assert!(opts.witness);
+/// ```
+#[derive(Clone, Debug, Default)]
+#[non_exhaustive]
+pub struct QueryOptions {
+    /// Reconstruct a [`Witness`] path for true answers.
+    pub witness: bool,
+    /// Omit [`SearchStats`] from the outcome (counters that are free to
+    /// collect are still collected; this zeroes the reported struct for
+    /// callers that serve answers only).
+    pub skip_stats: bool,
+    /// Abort the search after this many scanned edges (the answer is then
+    /// *unproven*, see [`QueryOutcome::interrupted`]).
+    pub step_budget: Option<u64>,
+    /// Abort the search after this much wall-clock time.
+    pub timeout: Option<Duration>,
+    /// `V(S,G)` processing order for UIS\*.
+    pub vsg_order: VsgOrder,
+}
+
+impl QueryOptions {
+    /// Toggles witness-path reconstruction for true answers.
+    pub fn with_witness(mut self, witness: bool) -> Self {
+        self.witness = witness;
+        self
+    }
+
+    /// Toggles omitting search statistics from the outcome.
+    pub fn with_skip_stats(mut self, skip: bool) -> Self {
+        self.skip_stats = skip;
+        self
+    }
+
+    /// Caps the number of edges the search may scan.
+    pub fn with_step_budget(mut self, edges: u64) -> Self {
+        self.step_budget = Some(edges);
+        self
+    }
+
+    /// Caps the wall-clock time of the search.
+    pub fn with_timeout(mut self, timeout: Duration) -> Self {
+        self.timeout = Some(timeout);
+        self
+    }
+
+    /// Sets the `V(S,G)` processing order for UIS\*.
+    pub fn with_vsg_order(mut self, order: VsgOrder) -> Self {
+        self.vsg_order = order;
+        self
+    }
+}
+
+/// Resolved step/time limits for one execution, derived from
+/// [`QueryOptions`] at search start. Checked once per expanded vertex —
+/// cheap when no limit is set (one integer compare, no clock read).
+#[derive(Copy, Clone, Debug)]
+pub(crate) struct RunLimits {
+    max_edges: u64,
+    deadline: Option<Instant>,
+}
+
+impl RunLimits {
+    pub(crate) fn new(opts: &QueryOptions, start: Instant) -> Self {
+        RunLimits {
+            max_edges: opts.step_budget.unwrap_or(u64::MAX),
+            deadline: opts.timeout.map(|t| start + t),
+        }
+    }
+
+    /// Whether the search must stop now.
+    #[inline]
+    pub(crate) fn exceeded(&self, edges_scanned: usize) -> bool {
+        edges_scanned as u64 >= self.max_edges || self.deadline.is_some_and(|d| Instant::now() >= d)
+    }
 }
 
 /// Counters accumulated while answering one query.
 ///
 /// `passed_vertices` is the paper's evaluation metric (§6): the number of
 /// vertices whose `close` state is not `N` when the search stops.
+///
+/// The struct is `#[non_exhaustive]`: future counters are not breaking
+/// changes. Construct via `Default` and read fields directly.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
+#[non_exhaustive]
 pub struct SearchStats {
     /// Vertices with `close ≠ N` at termination.
     pub passed_vertices: usize,
@@ -111,25 +298,47 @@ pub struct SearchStats {
     pub vsg_size: Option<usize>,
     /// Local-index landmark entries consulted (INS).
     pub index_hits: usize,
+    /// The algorithm that actually executed — for
+    /// [`Algorithm::Auto`] this records the
+    /// planner's choice.
+    pub algorithm: Option<Algorithm>,
 }
 
 /// The outcome of answering one query.
 #[derive(Clone, Debug)]
+#[non_exhaustive]
 pub struct QueryOutcome {
     /// The boolean answer of `Q`.
     pub answer: bool,
-    /// Search counters.
+    /// Search counters (zeroed when [`QueryOptions::skip_stats`] is set).
     pub stats: SearchStats,
     /// Wall-clock time spent answering.
     pub elapsed: Duration,
+    /// The witness path, when requested via [`QueryOptions::witness`] and
+    /// the answer is true.
+    pub witness: Option<Witness>,
+    /// Whether a step budget or timeout stopped the search early. When
+    /// set, `answer == false` means *not proven within the limits*, not
+    /// *definitely unreachable*.
+    pub interrupted: bool,
+}
+
+impl QueryOutcome {
+    /// Assembles an outcome with no witness and no interruption — the
+    /// common case for the search algorithms; the session layer fills in
+    /// the rest.
+    pub(crate) fn finished(answer: bool, stats: SearchStats, elapsed: Duration) -> Self {
+        QueryOutcome { answer, stats, elapsed, witness: None, interrupted: false }
+    }
 }
 
 impl fmt::Display for QueryOutcome {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{} in {:?} (passed={}, scck={}, edges={})",
+            "{}{} in {:?} (passed={}, scck={}, edges={})",
             if self.answer { "TRUE" } else { "FALSE" },
+            if self.interrupted { " (interrupted)" } else { "" },
             self.elapsed,
             self.stats.passed_vertices,
             self.stats.scck_calls,
@@ -142,6 +351,7 @@ impl fmt::Display for QueryOutcome {
 mod tests {
     use super::*;
     use kgreach_graph::GraphBuilder;
+    use std::error::Error as _;
 
     fn tiny() -> Graph {
         let mut b = GraphBuilder::new();
@@ -166,22 +376,61 @@ mod tests {
     }
 
     #[test]
-    fn error_display() {
+    fn error_display_and_source_chain() {
         let e: QueryError = GraphError::VertexOutOfRange { id: 9, num_vertices: 2 }.into();
         assert!(e.to_string().contains("vertex id 9"));
+        assert!(e.source().is_some_and(|s| s.to_string().contains("vertex id 9")));
         let e: QueryError = SparqlError::EmptyPattern.into();
         assert!(e.to_string().contains("no triple patterns"));
+        assert!(e.source().is_some_and(|s| s.is::<SparqlError>()));
+        let fp = tiny().fingerprint();
+        let e = QueryError::IndexGraphMismatch { expected: fp, found: fp };
+        assert!(e.to_string().contains("different graph"));
+        assert!(e.source().is_none());
+    }
+
+    #[test]
+    fn options_builder_roundtrip() {
+        let opts = QueryOptions::default()
+            .with_witness(true)
+            .with_skip_stats(true)
+            .with_step_budget(42)
+            .with_timeout(Duration::from_secs(1))
+            .with_vsg_order(VsgOrder::Shuffled(7));
+        assert!(opts.witness);
+        assert!(opts.skip_stats);
+        assert_eq!(opts.step_budget, Some(42));
+        assert_eq!(opts.timeout, Some(Duration::from_secs(1)));
+        assert_eq!(opts.vsg_order, VsgOrder::Shuffled(7));
+        let defaults = QueryOptions::default();
+        assert!(!defaults.witness && defaults.step_budget.is_none());
+        assert_eq!(defaults.vsg_order, VsgOrder::Ascending);
+    }
+
+    #[test]
+    fn run_limits_semantics() {
+        let start = Instant::now();
+        let unlimited = RunLimits::new(&QueryOptions::default(), start);
+        assert!(!unlimited.exceeded(usize::MAX - 1));
+        let limits = RunLimits::new(&QueryOptions::default().with_step_budget(10), start);
+        assert!(!limits.exceeded(9));
+        assert!(limits.exceeded(10));
+        let limits = RunLimits::new(&QueryOptions::default().with_timeout(Duration::ZERO), start);
+        assert!(limits.exceeded(0));
     }
 
     #[test]
     fn outcome_display() {
-        let o = QueryOutcome {
-            answer: true,
-            stats: SearchStats { passed_vertices: 5, ..Default::default() },
-            elapsed: Duration::from_millis(3),
-        };
+        let mut o = QueryOutcome::finished(
+            true,
+            SearchStats { passed_vertices: 5, ..Default::default() },
+            Duration::from_millis(3),
+        );
         let text = o.to_string();
         assert!(text.contains("TRUE"));
         assert!(text.contains("passed=5"));
+        assert!(!text.contains("interrupted"));
+        o.interrupted = true;
+        assert!(o.to_string().contains("interrupted"));
     }
 }

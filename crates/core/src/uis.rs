@@ -13,22 +13,31 @@
 //! `O(|V|·(|V_S|+|E_S|+|E_?|) + |E|)` time bound (Theorem 3.3) pays for.
 
 use crate::close::{CloseMap, CloseState};
-use crate::query::{CompiledLscrQuery, QueryOutcome, SearchStats};
+use crate::query::{CompiledLscrQuery, QueryOptions, QueryOutcome, RunLimits, SearchStats};
+use crate::session::SearchScratch;
 use kgreach_graph::Graph;
 use std::time::Instant;
 
-/// Answers `q` with Algorithm 1, reusing `close` across calls (reset here).
-pub fn answer_with(g: &Graph, q: &CompiledLscrQuery, close: &mut CloseMap) -> QueryOutcome {
+/// Answers `q` with Algorithm 1, reusing the session scratch across calls
+/// (reset here). Honors the step budget / timeout in `opts`.
+pub fn answer_with(
+    g: &Graph,
+    q: &CompiledLscrQuery,
+    scratch: &mut SearchScratch,
+    opts: &QueryOptions,
+) -> QueryOutcome {
     let start = Instant::now();
-    let mut stats = SearchStats::default();
+    let limits = RunLimits::new(opts, start);
+    let mut stats = SearchStats { algorithm: Some(crate::Algorithm::Uis), ..Default::default() };
+    let (close, stack) = scratch.close_and_stack();
     close.reset();
+    stack.clear();
 
     let s = q.source;
     let t = q.target;
     let labels = q.label_constraint;
 
     // Line 1-2: stack with s; close[s] ← SCck(s, S).
-    let mut stack = Vec::with_capacity(64);
     stack.push(s);
     stats.pushes += 1;
     stats.scck_calls += 1;
@@ -43,6 +52,11 @@ pub fn answer_with(g: &Graph, q: &CompiledLscrQuery, close: &mut CloseMap) -> Qu
 
     // Lines 3-11.
     while let Some(u) = stack.pop() {
+        if limits.exceeded(stats.edges_scanned) {
+            let mut out = finish(false, stats, close, start);
+            out.interrupted = true;
+            return out;
+        }
         let u_is_t = close.is_t(u);
         for e in g.out_neighbors(u) {
             if !labels.contains(e.label) {
@@ -78,15 +92,15 @@ pub fn answer_with(g: &Graph, q: &CompiledLscrQuery, close: &mut CloseMap) -> Qu
     finish(false, stats, close, start)
 }
 
-/// Answers `q` with a freshly allocated `close` map.
+/// Answers `q` with freshly allocated scratch and default options.
 pub fn answer(g: &Graph, q: &CompiledLscrQuery) -> QueryOutcome {
-    let mut close = CloseMap::new(g.num_vertices());
-    answer_with(g, q, &mut close)
+    let mut scratch = SearchScratch::new(g.num_vertices());
+    answer_with(g, q, &mut scratch, &QueryOptions::default())
 }
 
 fn finish(answer: bool, mut stats: SearchStats, close: &CloseMap, start: Instant) -> QueryOutcome {
     stats.passed_vertices = close.passed_vertices();
-    QueryOutcome { answer, stats, elapsed: start.elapsed() }
+    QueryOutcome::finished(answer, stats, start.elapsed())
 }
 
 #[cfg(test)]
@@ -236,9 +250,10 @@ mod tests {
     }
 
     #[test]
-    fn close_map_reuse_across_queries() {
+    fn scratch_reuse_across_queries() {
         let g = figure3();
-        let mut close = CloseMap::new(g.num_vertices());
+        let mut scratch = SearchScratch::new(g.num_vertices());
+        let opts = QueryOptions::default();
         let q1 = LscrQuery::new(
             g.vertex_id("v0").unwrap(),
             g.vertex_id("v4").unwrap(),
@@ -255,8 +270,33 @@ mod tests {
         )
         .compile(&g)
         .unwrap();
-        assert!(answer_with(&g, &q1, &mut close).answer);
-        assert!(!answer_with(&g, &q2, &mut close).answer);
-        assert!(answer_with(&g, &q1, &mut close).answer); // stale state cleared
+        assert!(answer_with(&g, &q1, &mut scratch, &opts).answer);
+        assert!(!answer_with(&g, &q2, &mut scratch, &opts).answer);
+        assert!(answer_with(&g, &q1, &mut scratch, &opts).answer); // stale state cleared
+    }
+
+    #[test]
+    fn step_budget_interrupts_without_wrong_answers() {
+        let g = figure3();
+        let q = LscrQuery::new(
+            g.vertex_id("v0").unwrap(),
+            g.vertex_id("v4").unwrap(),
+            g.label_set(&ALL),
+            s0(),
+        )
+        .compile(&g)
+        .unwrap();
+        let mut scratch = SearchScratch::new(g.num_vertices());
+        // Budget 0: interrupted immediately after the first expansion
+        // round, answer unproven.
+        let out = answer_with(&g, &q, &mut scratch, &QueryOptions::default().with_step_budget(0));
+        assert!(out.interrupted);
+        assert!(!out.answer);
+        // A generous budget finds the true answer uninterrupted.
+        let out =
+            answer_with(&g, &q, &mut scratch, &QueryOptions::default().with_step_budget(10_000));
+        assert!(!out.interrupted);
+        assert!(out.answer);
+        assert_eq!(out.stats.algorithm, Some(crate::Algorithm::Uis));
     }
 }

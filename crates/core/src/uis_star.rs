@@ -19,66 +19,98 @@
 //! exactly this). [`answer_seeded`] reproduces that unordered behaviour.
 
 use crate::close::{CloseMap, CloseState};
-use crate::query::{CompiledLscrQuery, QueryOutcome, SearchStats};
+use crate::query::{
+    CompiledLscrQuery, QueryOptions, QueryOutcome, RunLimits, SearchStats, VsgOrder,
+};
+use crate::session::SearchScratch;
 use kgreach_graph::{Graph, LabelSet, VertexId};
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use std::time::Instant;
 
-/// Answers `q`, processing `V(S,G)` in ascending vertex-id order.
+/// Answers `q` with freshly allocated scratch and default options
+/// (ascending `V(S,G)` order).
 pub fn answer(g: &Graph, q: &CompiledLscrQuery) -> QueryOutcome {
-    let mut close = CloseMap::new(g.num_vertices());
-    answer_with(g, q, &mut close)
+    let mut scratch = SearchScratch::new(g.num_vertices());
+    answer_with(g, q, &mut scratch, &QueryOptions::default())
 }
 
-/// Answers `q` with a caller-provided `close` map (reset here).
+/// Answers `q` with session-owned scratch (reset here), materializing
+/// `V(S,G)` in the order requested by [`QueryOptions::vsg_order`].
 ///
 /// The reported time includes the `V(S,G)` materialization — UIS\* and
 /// INS both pay the SPARQL engine, and comparing them against UIS is only
 /// fair if that cost is on the clock.
-pub fn answer_with(g: &Graph, q: &CompiledLscrQuery, close: &mut CloseMap) -> QueryOutcome {
+pub fn answer_with(
+    g: &Graph,
+    q: &CompiledLscrQuery,
+    scratch: &mut SearchScratch,
+    opts: &QueryOptions,
+) -> QueryOutcome {
     let start = Instant::now();
-    let vsg = q.constraint.satisfying_vertices(g);
-    let mut outcome = answer_with_order(g, q, close, &vsg);
+    let limits = RunLimits::new(opts, start);
+    let mut vsg = q.constraint.satisfying_vertices(g);
+    if let VsgOrder::Shuffled(seed) = opts.vsg_order {
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+        vsg.shuffle(&mut rng);
+    }
+    let mut outcome = run(g, q, scratch, &vsg, limits);
     outcome.elapsed = start.elapsed();
     outcome
 }
 
 /// Answers `q`, shuffling `V(S,G)` with the given seed — the paper's
 /// "disordered" semantics (§4: existing SPARQL engines cannot order the
-/// matches usefully for reachability). Timing includes the
-/// materialization and shuffle, as in [`answer_with`].
+/// matches usefully for reachability). Shorthand for [`answer_with`] with
+/// [`VsgOrder::Shuffled`].
 pub fn answer_seeded(
     g: &Graph,
     q: &CompiledLscrQuery,
-    close: &mut CloseMap,
+    scratch: &mut SearchScratch,
     seed: u64,
 ) -> QueryOutcome {
-    let start = Instant::now();
-    let mut vsg = q.constraint.satisfying_vertices(g);
-    let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
-    vsg.shuffle(&mut rng);
-    let mut outcome = answer_with_order(g, q, close, &vsg);
-    outcome.elapsed = start.elapsed();
-    outcome
+    answer_with(g, q, scratch, &QueryOptions::default().with_vsg_order(VsgOrder::Shuffled(seed)))
 }
 
-/// Answers `q`, processing `V(S,G)` exactly in the order given.
+/// Answers `q`, processing an already-materialized `V(S,G)` exactly in
+/// the order given — the entry point for prepared queries, whose
+/// materialization cost is amortized across executions.
+/// [`QueryOptions::vsg_order`] is ignored (the order is explicit); the
+/// step budget and timeout still apply.
 pub fn answer_with_order(
     g: &Graph,
     q: &CompiledLscrQuery,
-    close: &mut CloseMap,
+    scratch: &mut SearchScratch,
     vsg: &[VertexId],
+    opts: &QueryOptions,
+) -> QueryOutcome {
+    run(g, q, scratch, vsg, RunLimits::new(opts, Instant::now()))
+}
+
+fn run(
+    g: &Graph,
+    q: &CompiledLscrQuery,
+    scratch: &mut SearchScratch,
+    vsg: &[VertexId],
+    limits: RunLimits,
 ) -> QueryOutcome {
     let start = Instant::now();
+    let (close, stack) = scratch.close_and_stack();
     close.reset();
+    stack.clear();
 
     let mut state = UisStar {
         g,
         labels: q.label_constraint,
         close,
-        stack: Vec::with_capacity(64),
-        stats: SearchStats { vsg_size: Some(vsg.len()), ..Default::default() },
+        stack,
+        stats: SearchStats {
+            vsg_size: Some(vsg.len()),
+            algorithm: Some(crate::Algorithm::UisStar),
+            ..Default::default()
+        },
+        limits,
+        interrupted: false,
     };
 
     // Lines 1-2: global stack with s; close[s] ← F.
@@ -92,6 +124,10 @@ pub fn answer_with_order(
     // Lines 3-12.
     let mut answer = false;
     for &v in vsg {
+        if state.interrupted || state.limits.exceeded(state.stats.edges_scanned) {
+            state.interrupted = true;
+            break;
+        }
         match state.close.get(v) {
             CloseState::N => {
                 if v == s || v == t {
@@ -123,8 +159,10 @@ struct UisStar<'a> {
     g: &'a Graph,
     labels: LabelSet,
     close: &'a mut CloseMap,
-    stack: Vec<VertexId>,
+    stack: &'a mut Vec<VertexId>,
     stats: SearchStats,
+    limits: RunLimits,
+    interrupted: bool,
 }
 
 impl UisStar<'_> {
@@ -147,6 +185,10 @@ impl UisStar<'_> {
         }
         // Line 17: while (B=F ∧ S≠φ) or (B = close[S.first] = T).
         loop {
+            if self.limits.exceeded(self.stats.edges_scanned) {
+                self.interrupted = true;
+                return false;
+            }
             let u = match self.stack.last() {
                 Some(&top) if !b || self.close.is_t(top) => {
                     self.stack.pop();
@@ -198,7 +240,9 @@ impl UisStar<'_> {
 
     fn finish(mut self, answer: bool, start: Instant) -> QueryOutcome {
         self.stats.passed_vertices = self.close.passed_vertices();
-        QueryOutcome { answer, stats: self.stats, elapsed: start.elapsed() }
+        let mut out = QueryOutcome::finished(answer, self.stats, start.elapsed());
+        out.interrupted = self.interrupted;
+        out
     }
 }
 
@@ -276,7 +320,8 @@ mod tests {
             vec!["hates"],
             vec![],
         ];
-        let mut close = CloseMap::new(g.num_vertices());
+        let mut scratch = SearchScratch::new(g.num_vertices());
+        let opts = QueryOptions::default();
         for s in ["v0", "v1", "v2", "v3", "v4"] {
             for t in ["v0", "v1", "v2", "v3", "v4"] {
                 for ls in &label_sets {
@@ -289,7 +334,7 @@ mod tests {
                     let cq = q.compile(&g).unwrap();
                     let expected = oracle::answer(&g, &cq).answer;
                     assert_eq!(
-                        answer_with(&g, &cq, &mut close).answer,
+                        answer_with(&g, &cq, &mut scratch, &opts).answer,
                         expected,
                         "uis* vs oracle on {s}->{t} {ls:?}"
                     );
@@ -307,7 +352,8 @@ mod tests {
     fn all_orders_agree() {
         // The V(S,G) processing order affects cost, never the answer.
         let g = figure3();
-        let mut close = CloseMap::new(g.num_vertices());
+        let mut scratch = SearchScratch::new(g.num_vertices());
+        let opts = QueryOptions::default();
         for s in ["v0", "v1", "v3", "v4"] {
             for t in ["v0", "v2", "v4"] {
                 let q = LscrQuery::new(
@@ -317,16 +363,51 @@ mod tests {
                     s0(),
                 );
                 let cq = q.compile(&g).unwrap();
-                let reference = answer_with(&g, &cq, &mut close).answer;
+                let reference = answer_with(&g, &cq, &mut scratch, &opts).answer;
                 for seed in 0..10 {
                     assert_eq!(
-                        answer_seeded(&g, &cq, &mut close, seed).answer,
+                        answer_seeded(&g, &cq, &mut scratch, seed).answer,
                         reference,
                         "seed {seed} changed the answer for {s}->{t}"
                     );
                 }
             }
         }
+    }
+
+    #[test]
+    fn prepared_order_entry_point_agrees() {
+        // answer_with_order over a pre-materialized V(S,G) gives the same
+        // answers as the self-materializing path.
+        let g = figure3();
+        let mut scratch = SearchScratch::new(g.num_vertices());
+        let q = LscrQuery::new(
+            g.vertex_id("v3").unwrap(),
+            g.vertex_id("v4").unwrap(),
+            g.label_set(&["likes", "hates", "friendOf"]),
+            s0(),
+        );
+        let cq = q.compile(&g).unwrap();
+        let vsg = cq.constraint.satisfying_vertices(&g);
+        let out = answer_with_order(&g, &cq, &mut scratch, &vsg, &QueryOptions::default());
+        assert!(out.answer);
+        assert_eq!(out.stats.vsg_size, Some(vsg.len()));
+    }
+
+    #[test]
+    fn step_budget_interrupts() {
+        let g = figure3();
+        let mut scratch = SearchScratch::new(g.num_vertices());
+        let q = LscrQuery::new(
+            g.vertex_id("v3").unwrap(),
+            g.vertex_id("v4").unwrap(),
+            g.label_set(&["likes", "hates", "friendOf"]),
+            s0(),
+        );
+        let cq = q.compile(&g).unwrap();
+        let out = answer_with(&g, &cq, &mut scratch, &QueryOptions::default().with_step_budget(0));
+        assert!(out.interrupted);
+        assert!(!out.answer);
     }
 
     #[test]

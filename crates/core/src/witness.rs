@@ -201,8 +201,8 @@ mod tests {
     #[test]
     fn witness_agrees_with_engine_answer() {
         // find_witness is Some ⟺ the query is true, across many queries.
-        let g = figure3();
-        let mut engine = crate::LscrEngine::new(&g);
+        let engine = crate::LscrEngine::new(figure3());
+        let g = engine.graph();
         let all = ["friendOf", "likes", "advisorOf", "follows", "hates"];
         let sets = [all.as_slice(), &["likes", "follows"], &["friendOf"], &[]];
         for s in ["v0", "v1", "v2", "v3", "v4"] {
@@ -218,7 +218,7 @@ mod tests {
                         s0(),
                     );
                     let expected = engine.answer(&q, crate::Algorithm::Uis).unwrap().answer;
-                    let w = find_witness(&g, &q.compile(&g).unwrap());
+                    let w = find_witness(g, &q.compile(g).unwrap());
                     assert_eq!(w.is_some(), expected, "{s}->{t} {labels:?}");
                 }
             }

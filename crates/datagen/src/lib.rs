@@ -1,6 +1,6 @@
 //! # kgreach-datagen — synthetic workloads for the LSCR evaluation
 //!
-//! The paper evaluates on LUBM [4] (synthetic, generated) and YAGO [18]
+//! The paper evaluates on LUBM \[4\] (synthetic, generated) and YAGO \[18\]
 //! (real, ~4M vertices). Neither artifact can ship with this repository,
 //! so this crate rebuilds the *workload generators* (see DESIGN.md's
 //! substitution table):

@@ -1,6 +1,6 @@
 //! A LUBM-style synthetic university-domain KG generator.
 //!
-//! Mirrors the Lehigh University Benchmark ontology [4] that the paper's
+//! Mirrors the Lehigh University Benchmark ontology \[4\] that the paper's
 //! §6.1 experiments run on: universities contain departments; departments
 //! employ full/associate/assistant professors who teach courses, hold
 //! degrees and research interests; undergraduate and graduate students

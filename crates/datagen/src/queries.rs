@@ -113,7 +113,7 @@ pub fn generate_workload(
     let mut attempts = 0usize;
 
     let mut fwd_mask = EpochMask::new(n);
-    let mut close = kgreach::CloseMap::new(n);
+    let mut scratch = kgreach::SearchScratch::new(n);
 
     while (true_queries.len() < config.num_true || false_queries.len() < config.num_false)
         && attempts < config.max_attempts
@@ -166,7 +166,8 @@ pub fn generate_workload(
         };
 
         // Classify with UIS and apply the difficulty filter.
-        let outcome = kgreach::uis::answer_with(g, &cq, &mut close);
+        let outcome =
+            kgreach::uis::answer_with(g, &cq, &mut scratch, &kgreach::QueryOptions::default());
         if config.enforce_difficulty {
             let min_lo = (10.0 * log_v) as usize;
             let min_hi = ((n as f64) / (10.0 * log_v)) as usize;
@@ -286,7 +287,7 @@ mod tests {
     fn ground_truth_matches_oracle() {
         let g = lubm();
         let w = generate_workload(&g, &s3(), &config(8));
-        let mut engine = kgreach::LscrEngine::new(&g);
+        let engine = kgreach::LscrEngine::new(g);
         for q in w.true_queries.iter().chain(&w.false_queries) {
             let out = engine.answer(&q.query, Algorithm::Oracle).unwrap();
             assert_eq!(out.answer, q.expected);
@@ -331,7 +332,7 @@ mod tests {
         cfg.max_attempts = 20_000;
         let w = generate_workload(&g, &s3(), &cfg);
         // The filter may reduce yield but never produces wrong answers.
-        let mut engine = kgreach::LscrEngine::new(&g);
+        let engine = kgreach::LscrEngine::new(g);
         for q in w.true_queries.iter().chain(&w.false_queries) {
             let out = engine.answer(&q.query, Algorithm::Oracle).unwrap();
             assert_eq!(out.answer, q.expected);

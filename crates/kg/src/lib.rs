@@ -54,7 +54,7 @@ mod graph;
 
 pub use csr::LabeledTarget;
 pub use error::{GraphError, Result};
-pub use graph::{Graph, GraphBuilder};
+pub use graph::{Graph, GraphBuilder, GraphFingerprint};
 pub use ids::{Edge, LabelId, VertexId};
 pub use labelset::{Cms, LabelSet, MAX_LABELS};
 pub use schema::Schema;

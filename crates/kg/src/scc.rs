@@ -1,6 +1,6 @@
 //! Strongly connected component decomposition (iterative Tarjan).
 //!
-//! The Zou et al. [25]-style LCR baseline (see `kgreach-lcr`) decomposes the
+//! The Zou et al. \[25\]-style LCR baseline (see `kgreach-lcr`) decomposes the
 //! input graph into SCCs, computes local transitive closures per component,
 //! and propagates CMS along the condensation's topological order. This
 //! module provides the decomposition plus the condensation order.

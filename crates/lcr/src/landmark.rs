@@ -1,4 +1,4 @@
-//! Traditional landmark indexing in the spirit of Valstar et al. [19] —
+//! Traditional landmark indexing in the spirit of Valstar et al. \[19\] —
 //! the Table 2 comparator.
 //!
 //! The state-of-the-art LCR index the paper argues against scaling to KGs:
@@ -27,12 +27,12 @@ use kgreach_graph::{Cms, Graph, LabelSet, VertexId};
 use std::collections::VecDeque;
 use std::time::Duration;
 
-/// Default `k` from [19]'s experimental settings: `1250 + √|V|`.
+/// Default `k` from \[19\]'s experimental settings: `1250 + √|V|`.
 pub fn default_num_landmarks(num_vertices: usize) -> usize {
     (1250 + (num_vertices as f64).sqrt() as usize).min(num_vertices)
 }
 
-/// Default `b` from [19]: 20 shortcut entries per non-landmark vertex.
+/// Default `b` from \[19\]: 20 shortcut entries per non-landmark vertex.
 pub const DEFAULT_B: usize = 20;
 
 /// Configuration for [`LandmarkIndex::build`].

@@ -3,18 +3,18 @@
 //! The LCR methods the paper positions LSCR against (§3.2), rebuilt from
 //! scratch so the evaluation's comparators exist:
 //!
-//! * [`online`] — index-free BFS/DFS LCR search (Jin et al. [6]'s online
+//! * [`online`] — index-free BFS/DFS LCR search (Jin et al. \[6\]'s online
 //!   baseline);
 //! * [`tc`] — the full CMS transitive closure (`O(|V|²·2^|𝓛|)` space
 //!   strawman, and the ground-truth oracle for the index tests);
 //! * [`sampling_tree`] — spanning tree + partial closure in the spirit of
-//!   [6]; its indexing-time growth regenerates **Figure 5**;
+//!   \[6\]; its indexing-time growth regenerates **Figure 5**;
 //! * [`landmark`] — whole-graph landmark indexing in the spirit of Valstar
-//!   et al. [19] (`k = 1250+√|V|` highest-degree landmarks, `b = 20`
+//!   et al. \[19\] (`k = 1250+√|V|` highest-degree landmarks, `b = 20`
 //!   shortcut entries); its budget blow-ups regenerate **Table 2**'s
 //!   "Traditional" columns;
 //! * [`zou`] — SCC-decomposition indexing in the spirit of Zou et al.
-//!   [25];
+//!   \[25\];
 //! * [`budget`] — the wall-clock indexing caps (the paper's 8-hour rule).
 //!
 //! All index builders are budgeted and all query paths are exact; every

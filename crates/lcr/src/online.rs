@@ -1,4 +1,4 @@
-//! Online LCR search — the index-free baseline of Jin et al. [6].
+//! Online LCR search — the index-free baseline of Jin et al. \[6\].
 //!
 //! Label-constrained reachability by direct graph traversal, `O(|V|+|E|)`
 //! per query: the label constraint prunes edges as they are scanned.

@@ -1,7 +1,7 @@
-//! Sampling-tree index in the spirit of Jin et al. [6] — the Figure 5
+//! Sampling-tree index in the spirit of Jin et al. \[6\] — the Figure 5
 //! comparator.
 //!
-//! [6] reduces full-TC space with a spanning tree (or forest) plus a
+//! \[6\] reduces full-TC space with a spanning tree (or forest) plus a
 //! *partial* transitive closure: pairs whose minimal label sets are already
 //! witnessed by the unique tree path are not stored; everything else goes
 //! into the partial TC. Queries consult the tree path first, then the
@@ -12,7 +12,7 @@
 //! `|V|` at fixed density — which is exactly what per-source CMS
 //! computation over the whole graph produces. This implementation
 //! reproduces that cost shape faithfully (the tree only discounts storage,
-//! not computation — as in [6], where indexing cost is dominated by the
+//! not computation — as in \[6\], where indexing cost is dominated by the
 //! generalized transitive-closure computation).
 
 use crate::budget::{Budget, BudgetExceeded};

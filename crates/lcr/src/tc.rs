@@ -3,7 +3,7 @@
 //! Precomputes, for every vertex pair `(u, v)`, the collection of minimal
 //! sufficient path label sets `M(u, v)` (the paper's CMS), answering LCR
 //! queries in `O(|M|)`. This is the structure whose space/time blow-up
-//! motivates every indexing paper in the lineage ([6], [19], [25]) — it is
+//! motivates every indexing paper in the lineage (\[6\], \[19\], \[25\]) — it is
 //! implemented here both as the ground-truth oracle for index tests and as
 //! the worst-case comparator.
 

@@ -1,6 +1,6 @@
-//! SCC-decomposition LCR index in the spirit of Zou et al. [25].
+//! SCC-decomposition LCR index in the spirit of Zou et al. \[25\].
 //!
-//! [25] decomposes the graph into strongly connected components, computes a
+//! \[25\] decomposes the graph into strongly connected components, computes a
 //! *local* transitive closure (all-pairs CMS) inside each component, and
 //! stitches components together along the topological order of the
 //! condensation. The paper's §3.2 notes it "does not scale well on large
@@ -20,7 +20,7 @@ use kgreach_graph::{Cms, Graph, LabelSet, VertexId};
 use std::collections::VecDeque;
 use std::time::Duration;
 
-/// The [25]-style index: SCC decomposition + per-component local closures.
+/// The \[25\]-style index: SCC decomposition + per-component local closures.
 #[derive(Clone, Debug)]
 pub struct ZouIndex {
     scc: SccDecomposition,

@@ -9,7 +9,7 @@
 //! [`eval::satisfies`] (the paper's `SCck`) and [`eval::select_distinct`]
 //! (the paper's `V(S,G)`).
 //!
-//! The paper's engine ([20]) is approximate with exactness parameters; ours
+//! The paper's engine (\[20\]) is approximate with exactness parameters; ours
 //! is exact by construction (see DESIGN.md, substitution table).
 //!
 //! ```

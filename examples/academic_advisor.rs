@@ -10,7 +10,10 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
 pub(crate) fn main() {
-    let g = generate(&LubmConfig { universities: 3, departments: 6, seed: 2024 }).unwrap();
+    let engine = LscrEngine::new(
+        generate(&LubmConfig { universities: 3, departments: 6, seed: 2024 }).unwrap(),
+    );
+    let g = engine.graph();
     println!(
         "LUBM-style KG: {} vertices, {} edges, {} predicates, {} classes",
         g.num_vertices(),
@@ -19,8 +22,7 @@ pub(crate) fn main() {
         g.schema().num_classes()
     );
 
-    let mut engine = LscrEngine::new(&g);
-    // Force the index build up front so its cost is visible.
+    // Force the shared index build up front so its cost is visible.
     let stats = engine.local_index().stats().clone();
     println!(
         "local index: {} landmarks, {} II pairs, {} EIT pairs, {:.2} KiB, built in {:?}\n",
@@ -44,8 +46,8 @@ pub(crate) fn main() {
     ]);
 
     for (name, constraint) in all_lubm_constraints() {
-        let compiled = constraint.compile(&g).unwrap();
-        let vsg = compiled.satisfying_vertices(&g).len();
+        let compiled = constraint.compile(g).unwrap();
+        let vsg = compiled.satisfying_vertices(g).len();
         // A random student and a random university as endpoints.
         let s = g
             .vertex_id(&format!(
@@ -57,9 +59,17 @@ pub(crate) fn main() {
         let q = LscrQuery::new(s, t, labels, constraint);
         print!("{name} (|V(S,G)| = {vsg:>3}): ");
         let mut agreed = None;
-        for alg in Algorithm::ALL {
+        for alg in Algorithm::ALL.into_iter().chain([Algorithm::Auto]) {
             let out = engine.answer(&q, alg).unwrap();
-            print!("{}={} ({:?})  ", alg.name(), out.answer, out.elapsed);
+            match alg {
+                Algorithm::Auto => print!(
+                    "Auto→{}={} ({:?})  ",
+                    out.stats.algorithm.expect("recorded").name(),
+                    out.answer,
+                    out.elapsed
+                ),
+                _ => print!("{}={} ({:?})  ", alg.name(), out.answer, out.elapsed),
+            }
             if let Some(prev) = agreed {
                 assert_eq!(prev, out.answer, "{name}: algorithms disagree");
             }
@@ -68,5 +78,5 @@ pub(crate) fn main() {
         println!();
     }
 
-    println!("\nAll five constraints answered consistently by UIS, UIS* and INS.");
+    println!("\nAll five constraints answered consistently by UIS, UIS*, INS and Auto.");
 }

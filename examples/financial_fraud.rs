@@ -32,35 +32,30 @@ pub(crate) fn main() {
     b.add_triple("amy", "married-to", "personX");
     b.add_triple("mule3", "friend-of", "amy");
     b.add_triple("suspectC", "parent-of", "mule1");
-    let g = b.build().unwrap();
 
+    let engine = LscrEngine::new(b.build().unwrap());
+    let g = engine.graph();
     let c = g.vertex_id("suspectC").unwrap();
     let p = g.vertex_id("suspectP").unwrap();
     let married_to_amy =
         SubstructureConstraint::parse("SELECT ?x WHERE { ?x <married-to> <amy> . }").unwrap();
 
-    let mut engine = LscrEngine::new(&g);
-
     // The paper's query: April 2019 transfers only, middleman married to
     // Amy. True via C → m1 → X(married to Amy) → m2 → P.
     let april = LscrQuery::new(c, p, g.label_set(&["transfer:2019-04"]), married_to_amy.clone());
-    assert!(run_all_algorithms(&mut engine, "April 2019, middleman married to Amy", &april));
+    assert!(run_all_algorithms(&engine, "April 2019, middleman married to Amy", &april));
 
     // March transfers only: P is reachable, but not through Amy's spouse —
     // the substructure constraint correctly rejects the decoy chain.
     let march = LscrQuery::new(c, p, g.label_set(&["transfer:2019-03"]), married_to_amy.clone());
-    assert!(!run_all_algorithms(&mut engine, "March 2019 decoy chain", &march));
+    assert!(!run_all_algorithms(&engine, "March 2019 decoy chain", &march));
 
     // Friendship is not marriage: require `friend-of` instead and the
     // April chain fails while the March chain passes.
     let friend_of_amy =
         SubstructureConstraint::parse("SELECT ?x WHERE { ?x <friend-of> <amy> . }").unwrap();
     let march_friend = LscrQuery::new(c, p, g.label_set(&["transfer:2019-03"]), friend_of_amy);
-    assert!(run_all_algorithms(
-        &mut engine,
-        "March 2019, middleman friends with Amy",
-        &march_friend
-    ));
+    assert!(run_all_algorithms(&engine, "March 2019, middleman friends with Amy", &march_friend));
 
     println!("\nEconomic-criminal relationship between C and P: CONFIRMED (April chain).");
 }

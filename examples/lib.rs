@@ -2,13 +2,15 @@
 
 use kgreach::{Algorithm, LscrEngine, LscrQuery};
 
-/// Answers `query` with every practical algorithm and prints a comparison
-/// line per algorithm; panics if the algorithms disagree.
-pub fn run_all_algorithms(engine: &mut LscrEngine<'_>, label: &str, query: &LscrQuery) -> bool {
+/// Answers `query` with every practical algorithm (through one session on
+/// the shared engine) and prints a comparison line per algorithm; panics
+/// if the algorithms disagree.
+pub fn run_all_algorithms(engine: &LscrEngine, label: &str, query: &LscrQuery) -> bool {
     println!("── {label}");
+    let mut session = engine.session();
     let mut answers = Vec::new();
     for alg in Algorithm::ALL {
-        let outcome = engine.answer(query, alg).expect("query is valid");
+        let outcome = session.answer(query, alg).expect("query is valid");
         println!(
             "   {:<5} → {:<5} in {:>9.3?}  (passed {} vertices, scck {}, |V(S,G)| {})",
             alg.name(),

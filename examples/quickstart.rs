@@ -1,9 +1,9 @@
 //! Quickstart: build a small knowledge graph, pose an LSCR query, answer
-//! it with all three algorithms.
+//! it through the shared engine — one-shot, via a session, and prepared.
 //!
-//! Run with: `cargo run -p kgreach-examples --bin quickstart`
+//! Run with: `cargo run -p kgreach-examples --example quickstart`
 
-use kgreach::{Algorithm, LscrEngine, LscrQuery, SubstructureConstraint};
+use kgreach::{Algorithm, LscrEngine, LscrQuery, QueryOptions, SubstructureConstraint};
 use kgreach_graph::GraphBuilder;
 
 pub(crate) fn main() {
@@ -21,7 +21,11 @@ pub(crate) fn main() {
     ] {
         builder.add_triple(s, p, o);
     }
-    let graph = builder.build().expect("≤64 labels");
+
+    // The engine owns the graph (shared, Send + Sync, answers via &self);
+    // reach the graph through `engine.graph()`.
+    let engine = LscrEngine::new(builder.build().expect("≤64 labels"));
+    let graph = engine.graph();
     println!(
         "graph: {} vertices, {} edges, {} labels",
         graph.num_vertices(),
@@ -38,18 +42,32 @@ pub(crate) fn main() {
         SubstructureConstraint::parse("SELECT ?x WHERE { ?x <leads> ?lab . }").unwrap(),
     );
 
-    let mut engine = LscrEngine::new(&graph);
-    for alg in Algorithm::ALL {
-        let outcome = engine.answer(&query, alg).unwrap();
+    // A session reuses one scratch set across the whole loop — including
+    // `Auto`, where the engine picks the algorithm and records its choice.
+    let mut session = engine.session();
+    for alg in [Algorithm::Uis, Algorithm::UisStar, Algorithm::Ins, Algorithm::Auto] {
+        let outcome = session.answer(&query, alg).unwrap();
         println!(
-            "{:<5} answered {:<5} in {:?} (passed {} vertices)",
+            "{:<5} answered {:<5} in {:?} (ran {}, passed {} vertices)",
             alg.name(),
             outcome.answer,
             outcome.elapsed,
+            outcome.stats.algorithm.expect("recorded").name(),
             outcome.stats.passed_vertices
         );
         assert!(outcome.answer, "ada → grace → alan(leads lab) → kurt exists");
     }
+
+    // Prepared queries compile once and reuse the materialized V(S,G);
+    // options select extras like the witness path.
+    let prepared = engine.prepare(&query).unwrap();
+    let witness = engine
+        .answer_prepared(&prepared, Algorithm::UisStar, &QueryOptions::default().with_witness(true))
+        .witness
+        .expect("true answers yield a witness when requested");
+    let names: Vec<&str> = witness.vertices().iter().map(|&v| graph.vertex_name(v)).collect();
+    println!("witness path: {} (via {})", names.join(" → "), graph.vertex_name(witness.via));
+    assert_eq!(graph.vertex_name(witness.via), "alan");
 
     // Tighten the label constraint: without collaboration edges the lab
     // leader is unreachable.

@@ -1,7 +1,8 @@
 //! Random substructure constraints with controlled selectivity on a
-//! YAGO-style scale-free KG — the §6.2 experiment in miniature.
+//! YAGO-style scale-free KG — the §6.2 experiment in miniature, plus a
+//! multi-threaded batch pass over the same workload.
 //!
-//! Run with: `cargo run -p kgreach-examples --release --bin yago_explore`
+//! Run with: `cargo run -p kgreach-examples --release --example yago_explore`
 
 use kgreach::{Algorithm, LscrEngine, LscrQuery};
 use kgreach_datagen::random_constraint_with_magnitude;
@@ -10,29 +11,33 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
 pub(crate) fn main() {
-    let g = generate(&YagoConfig {
-        entities: 12_000,
-        edges_per_entity: 3,
-        num_labels: 20,
-        num_classes: 24,
-        seed: 99,
-    })
-    .unwrap();
+    let engine = LscrEngine::new(
+        generate(&YagoConfig {
+            entities: 12_000,
+            edges_per_entity: 3,
+            num_labels: 20,
+            num_classes: 24,
+            seed: 99,
+        })
+        .unwrap(),
+    );
+    let g = engine.graph();
     println!(
         "YAGO-style KG: {} vertices, {} edges, {} labels (scale-free: max degree {})",
         g.num_vertices(),
         g.num_edges(),
         g.num_labels(),
-        kgreach_graph::GraphStats::compute(&g).max_out_degree
+        kgreach_graph::GraphStats::compute(g).max_out_degree
     );
 
-    let mut engine = LscrEngine::new(&g);
+    let mut session = engine.session();
     let mut rng = SmallRng::seed_from_u64(41);
     let all = g.all_labels();
+    let mut batch: Vec<(LscrQuery, Algorithm)> = Vec::new();
 
     for magnitude in [10usize, 100, 1000] {
         let Some((constraint, count)) =
-            random_constraint_with_magnitude(&g, magnitude, 7 + magnitude as u64)
+            random_constraint_with_magnitude(g, magnitude, 7 + magnitude as u64)
         else {
             println!("magnitude {magnitude}: no constraint found");
             continue;
@@ -46,13 +51,30 @@ pub(crate) fn main() {
             let mut answers = Vec::new();
             print!("  {s}→{t}: ");
             for alg in Algorithm::ALL {
-                let out = engine.answer(&q, alg).unwrap();
+                let out = session.answer(&q, alg).unwrap();
                 print!("{}={} ({} passed)  ", alg.name(), out.answer, out.stats.passed_vertices);
                 answers.push(out.answer);
             }
             println!();
             assert!(answers.windows(2).all(|w| w[0] == w[1]), "disagreement");
+            batch.push((q, Algorithm::Auto));
         }
     }
-    println!("\nAll algorithms agreed on every query.");
+    drop(session);
+
+    // The same workload once more, fanned across 4 threads with the
+    // engine picking algorithms — answers must not change.
+    let start = std::time::Instant::now();
+    let results = engine.answer_batch(&batch, 4);
+    let trues = results.iter().filter(|r| r.as_ref().unwrap().answer).count();
+    println!(
+        "\nbatch: {} queries via Auto across 4 threads in {:?} ({trues} true)",
+        batch.len(),
+        start.elapsed()
+    );
+    for ((q, _), r) in batch.iter().zip(&results) {
+        let sequential = engine.answer(q, Algorithm::Oracle).unwrap().answer;
+        assert_eq!(r.as_ref().unwrap().answer, sequential, "batch answer drifted");
+    }
+    println!("All algorithms (and the threaded batch) agreed on every query.");
 }

@@ -3,7 +3,8 @@
 //! monotonicity properties from the problem definition.
 
 use kgreach::{
-    Algorithm, CloseMap, LocalIndex, LocalIndexConfig, LscrQuery, SubstructureConstraint,
+    Algorithm, LocalIndex, LocalIndexConfig, LscrQuery, QueryOptions, SearchScratch,
+    SubstructureConstraint,
 };
 use kgreach_graph::{LabelSet, VertexId};
 use kgreach_integration::random_typed_graph;
@@ -40,19 +41,67 @@ proptest! {
         let cq = q.compile(&g).unwrap();
 
         let expected = kgreach::oracle::answer(&g, &cq).answer;
-        let mut close = CloseMap::new(g.num_vertices());
-        prop_assert_eq!(kgreach::uis::answer_with(&g, &cq, &mut close).answer, expected, "UIS");
-        prop_assert_eq!(kgreach::uis_star::answer_with(&g, &cq, &mut close).answer, expected, "UIS*");
+        let mut scratch = SearchScratch::new(g.num_vertices());
+        let opts = QueryOptions::default();
         prop_assert_eq!(
-            kgreach::uis_star::answer_seeded(&g, &cq, &mut close, seed).answer,
+            kgreach::uis::answer_with(&g, &cq, &mut scratch, &opts).answer,
+            expected, "UIS"
+        );
+        prop_assert_eq!(
+            kgreach::uis_star::answer_with(&g, &cq, &mut scratch, &opts).answer,
+            expected, "UIS*"
+        );
+        prop_assert_eq!(
+            kgreach::uis_star::answer_seeded(&g, &cq, &mut scratch, seed).answer,
             expected, "UIS* shuffled"
         );
         for k in [1usize, 4, 16] {
             let idx = LocalIndex::build(&g, &LocalIndexConfig { num_landmarks: Some(k), seed });
             prop_assert_eq!(
-                kgreach::ins::answer_with(&g, &cq, &idx, &mut close).answer,
+                kgreach::ins::answer_with(&g, &cq, &idx, &mut scratch, &opts).answer,
                 expected,
                 "INS k={}", k
+            );
+        }
+    }
+
+    #[test]
+    fn auto_agrees_with_oracle(
+        seed in 0u64..5000,
+        n in 8usize..40,
+        density in 1usize..4,
+        s_raw in 0u32..40,
+        t_raw in 0u32..40,
+        label_bits in 0u64..256,
+        class in 0usize..3,
+        label in 0usize..4,
+        prebuild_raw in 0u8..2,
+    ) {
+        // The adaptive planner may pick any algorithm (varying with index
+        // availability) — the answer must always match the oracle, and
+        // the recorded choice must be a concrete algorithm.
+        let g = random_typed_graph(n, n * density, 4, 3, seed);
+        let s = VertexId(s_raw % n as u32);
+        let t = VertexId(t_raw % n as u32);
+        let labels = LabelSet::from_bits(label_bits).intersection(g.all_labels());
+        let q = LscrQuery::new(s, t, labels, constraint(class, label));
+        let prebuild = prebuild_raw == 1;
+        let engine = kgreach::LscrEngine::new(g);
+        if prebuild {
+            let _ = engine.local_index();
+        }
+        let expected = engine.answer(&q, Algorithm::Oracle).unwrap().answer;
+        let out = engine.answer(&q, Algorithm::Auto).unwrap();
+        prop_assert_eq!(out.answer, expected, "Auto disagrees with the oracle");
+        let ran = out.stats.algorithm.expect("Auto records its choice");
+        prop_assert!(
+            matches!(ran, Algorithm::Uis | Algorithm::UisStar | Algorithm::Ins),
+            "Auto resolved to {:?}", ran
+        );
+        if !prebuild {
+            prop_assert!(
+                engine.local_index_if_built().is_none() || ran == Algorithm::Ins,
+                "planning alone must not build the index"
             );
         }
     }
@@ -73,7 +122,7 @@ proptest! {
         let small = LabelSet::from_bits(label_bits).intersection(g.all_labels());
         let big = small.with(kgreach_graph::LabelId(extra_bit as u16)).intersection(g.all_labels());
         let c = constraint(0, 0);
-        let mut engine = kgreach::LscrEngine::new(&g);
+        let engine = kgreach::LscrEngine::new(g);
         let small_ans = engine.answer(&LscrQuery::new(s, t, small, c.clone()), Algorithm::Uis).unwrap().answer;
         let big_ans = engine.answer(&LscrQuery::new(s, t, big, c), Algorithm::Uis).unwrap().answer;
         prop_assert!(!small_ans || big_ans, "true under {:?} but false under {:?}", small, big);
@@ -119,22 +168,21 @@ proptest! {
         let s_name = base.vertex_name(VertexId(s_raw % n as u32));
         let t_name = base.vertex_name(VertexId(t_raw % n as u32));
 
-        let mut e1 = kgreach::LscrEngine::new(&base);
         let q1 = LscrQuery::new(
             base.vertex_id(s_name).unwrap(),
             base.vertex_id(t_name).unwrap(),
             labels_base,
             c.clone(),
         );
-        let before = e1.answer(&q1, Algorithm::Uis).unwrap().answer;
-
-        let mut e2 = kgreach::LscrEngine::new(&bigger);
         let q2 = LscrQuery::new(
             bigger.vertex_id(s_name).unwrap(),
             bigger.vertex_id(t_name).unwrap(),
             labels_big,
             c,
         );
+        let e1 = kgreach::LscrEngine::new(base);
+        let before = e1.answer(&q1, Algorithm::Uis).unwrap().answer;
+        let e2 = kgreach::LscrEngine::new(bigger);
         let after = e2.answer(&q2, Algorithm::Uis).unwrap().answer;
         prop_assert!(!before || after, "adding an edge turned a true query false");
     }

@@ -5,14 +5,16 @@ use kgreach::{Algorithm, LocalIndexConfig, LscrEngine, LscrQuery};
 use kgreach_datagen::constraints::{all_lubm_constraints, s1, s3};
 use kgreach_datagen::queries::{generate_workload, QueryGenConfig};
 use kgreach_integration::small_lubm;
+use std::sync::Arc;
 
 #[test]
 fn full_lubm_pipeline_s1_to_s5() {
-    let g = small_lubm(21);
-    let mut engine = LscrEngine::new(&g);
+    let engine = LscrEngine::new(small_lubm(21));
+    let g = engine.graph();
+    let mut session = engine.session();
     for (name, constraint) in all_lubm_constraints() {
         let w = generate_workload(
-            &g,
+            g,
             &constraint,
             &QueryGenConfig {
                 num_true: 3,
@@ -23,8 +25,14 @@ fn full_lubm_pipeline_s1_to_s5() {
             },
         );
         for gq in w.true_queries.iter().chain(&w.false_queries) {
-            for alg in [Algorithm::Uis, Algorithm::UisStar, Algorithm::Ins, Algorithm::Oracle] {
-                let out = engine.answer(&gq.query, alg).unwrap();
+            for alg in [
+                Algorithm::Uis,
+                Algorithm::UisStar,
+                Algorithm::Ins,
+                Algorithm::Oracle,
+                Algorithm::Auto,
+            ] {
+                let out = session.answer(&gq.query, alg).unwrap();
                 assert_eq!(
                     out.answer, gq.expected,
                     "{name}: {alg} wrong on {} → {}",
@@ -37,7 +45,7 @@ fn full_lubm_pipeline_s1_to_s5() {
 
 #[test]
 fn workload_is_reusable_across_engines() {
-    let g = small_lubm(22);
+    let g = Arc::new(small_lubm(22));
     let w = generate_workload(
         &g,
         &s3(),
@@ -49,11 +57,16 @@ fn workload_is_reusable_across_engines() {
             enforce_difficulty: false,
         },
     );
-    // Two engines with different index layouts must agree.
-    let mut e1 =
-        LscrEngine::with_index_config(&g, LocalIndexConfig { num_landmarks: Some(32), seed: 1 });
-    let mut e2 =
-        LscrEngine::with_index_config(&g, LocalIndexConfig { num_landmarks: Some(500), seed: 2 });
+    // Two engines sharing one graph, with different index layouts, must
+    // agree.
+    let e1 = LscrEngine::with_index_config(
+        Arc::clone(&g),
+        LocalIndexConfig { num_landmarks: Some(32), seed: 1 },
+    );
+    let e2 = LscrEngine::with_index_config(
+        Arc::clone(&g),
+        LocalIndexConfig { num_landmarks: Some(500), seed: 2 },
+    );
     for gq in w.true_queries.iter().chain(&w.false_queries) {
         let a = e1.answer(&gq.query, Algorithm::Ins).unwrap().answer;
         let b = e2.answer(&gq.query, Algorithm::Ins).unwrap().answer;
@@ -82,10 +95,10 @@ fn graph_io_roundtrip_preserves_answers() {
             c.clone(),
         )
     };
-    let mut e1 = LscrEngine::new(&g);
-    let mut e2 = LscrEngine::new(&g2);
-    let a = e1.answer(&make(&g), Algorithm::Uis).unwrap().answer;
-    let b = e2.answer(&make(&g2), Algorithm::Uis).unwrap().answer;
+    let e1 = LscrEngine::new(g);
+    let e2 = LscrEngine::new(g2);
+    let a = e1.answer(&make(e1.graph()), Algorithm::Uis).unwrap().answer;
+    let b = e2.answer(&make(e2.graph()), Algorithm::Uis).unwrap().answer;
     assert_eq!(a, b);
 }
 
@@ -146,12 +159,13 @@ fn passed_vertex_metric_ordering() {
             enforce_difficulty: false,
         },
     );
-    let mut engine = LscrEngine::new(&g);
+    let engine = LscrEngine::new(g);
+    let mut session = engine.session();
     let mut ins_total = 0usize;
     let mut uis_total = 0usize;
     for gq in &w.true_queries {
-        ins_total += engine.answer(&gq.query, Algorithm::Ins).unwrap().stats.passed_vertices;
-        uis_total += engine.answer(&gq.query, Algorithm::Uis).unwrap().stats.passed_vertices;
+        ins_total += session.answer(&gq.query, Algorithm::Ins).unwrap().stats.passed_vertices;
+        uis_total += session.answer(&gq.query, Algorithm::Uis).unwrap().stats.passed_vertices;
     }
     assert!(
         ins_total <= uis_total * 2,

@@ -22,11 +22,10 @@ fn too_many_labels_is_a_typed_error() {
 
 #[test]
 fn out_of_range_vertices_rejected_at_compile() {
-    let g = small_lubm(31);
+    let engine = LscrEngine::new(small_lubm(31));
     let c =
         SubstructureConstraint::parse("SELECT ?x WHERE { ?x <rdf:type> <ub:Course> . }").unwrap();
-    let q = LscrQuery::new(VertexId(u32::MAX - 1), VertexId(0), g.all_labels(), c);
-    let mut engine = LscrEngine::new(&g);
+    let q = LscrQuery::new(VertexId(u32::MAX - 1), VertexId(0), engine.graph().all_labels(), c);
     match engine.answer(&q, Algorithm::Uis) {
         Err(QueryError::Graph(GraphError::VertexOutOfRange { .. })) => {}
         other => panic!("expected VertexOutOfRange, got {other:?}"),
@@ -56,13 +55,12 @@ fn malformed_sparql_is_rejected() {
 
 #[test]
 fn unsatisfiable_constraint_answers_false_everywhere() {
-    let g = small_lubm(32);
+    let engine = LscrEngine::new(small_lubm(32));
     let c = SubstructureConstraint::parse(
         "SELECT ?x WHERE { ?x <no:such:predicate> <no:such:vertex> . }",
     )
     .unwrap();
-    let mut engine = LscrEngine::new(&g);
-    let q = LscrQuery::new(VertexId(0), VertexId(1), g.all_labels(), c);
+    let q = LscrQuery::new(VertexId(0), VertexId(1), engine.graph().all_labels(), c);
     for alg in [Algorithm::Uis, Algorithm::UisStar, Algorithm::Ins, Algorithm::Oracle] {
         let out = engine.answer(&q, alg).unwrap();
         assert!(!out.answer, "{alg} claimed an unsatisfiable constraint holds");
@@ -71,12 +69,12 @@ fn unsatisfiable_constraint_answers_false_everywhere() {
 
 #[test]
 fn source_equals_target_is_consistent_across_algorithms() {
-    let g = small_lubm(33);
+    let engine = LscrEngine::new(small_lubm(33));
+    let g = engine.graph();
     let c = SubstructureConstraint::parse(
         "SELECT ?x WHERE { ?x <rdf:type> <ub:UndergraduateStudent> . }",
     )
     .unwrap();
-    let mut engine = LscrEngine::new(&g);
     for raw in [0u32, 7, 100, 500] {
         let v = VertexId(raw % g.num_vertices() as u32);
         let q = LscrQuery::new(v, v, g.all_labels(), c.clone());
@@ -93,12 +91,12 @@ fn source_equals_target_is_consistent_across_algorithms() {
 
 #[test]
 fn empty_label_constraint_only_trivial_paths() {
-    let g = small_lubm(34);
+    let engine = LscrEngine::new(small_lubm(34));
+    let g = engine.graph();
     let c = SubstructureConstraint::parse(
         "SELECT ?x WHERE { ?x <rdf:type> <ub:UndergraduateStudent> . }",
     )
     .unwrap();
-    let mut engine = LscrEngine::new(&g);
     // Distinct endpoints, empty L: no path exists.
     let q = LscrQuery::new(VertexId(0), VertexId(1), LabelSet::EMPTY, c.clone());
     for alg in Algorithm::ALL {
@@ -118,10 +116,9 @@ fn graph_with_no_edges() {
     b.intern_vertex("lonely1");
     b.intern_vertex("lonely2");
     b.intern_label("p");
-    let g = b.build().unwrap();
+    let engine = LscrEngine::new(b.build().unwrap());
     let c = SubstructureConstraint::parse("SELECT ?x WHERE { ?x <p> ?y . }").unwrap();
-    let mut engine = LscrEngine::new(&g);
-    let q = LscrQuery::new(VertexId(0), VertexId(1), g.all_labels(), c);
+    let q = LscrQuery::new(VertexId(0), VertexId(1), engine.graph().all_labels(), c);
     for alg in [Algorithm::Uis, Algorithm::UisStar, Algorithm::Ins, Algorithm::Oracle] {
         assert!(!engine.answer(&q, alg).unwrap().answer, "{alg}");
     }

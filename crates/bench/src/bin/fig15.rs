@@ -26,14 +26,22 @@ fn main() {
     let max_mag: u32 = args.get("max-magnitude", 4);
     let per_mag: usize = args.get("constraints-per-magnitude", 4);
 
-    let g = kgreach_datagen::yago::generate(&YagoConfig {
-        entities,
-        edges_per_entity: 3,
-        num_labels: 24,
-        num_classes: 30,
-        seed: 0x1a60,
-    })
-    .expect("generation fits");
+    // Generated once, memoized as a binary snapshot under
+    // target/kg-snapshots (the key is derived from the config so editing
+    // any knob can never serve a stale cached graph).
+    let config =
+        YagoConfig { entities, edges_per_entity: 3, num_labels: 24, num_classes: 30, seed: 0x1a60 };
+    let key = format!(
+        "yago-{}-{}-{}-{}-{:x}",
+        config.entities,
+        config.edges_per_entity,
+        config.num_labels,
+        config.num_classes,
+        config.seed
+    );
+    let g = kgreach_bench::cached_graph(&key, || {
+        kgreach_datagen::yago::generate(&config).expect("generation fits")
+    });
     println!(
         "# YAGO-like graph: |V|={} |E|={} |L|={}",
         g.num_vertices(),

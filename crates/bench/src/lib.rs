@@ -23,7 +23,8 @@
 use kgreach::{Algorithm, LocalIndex, LocalIndexConfig, LscrEngine, QueryOptions, VsgOrder};
 use kgreach_datagen::lubm::{self, LubmConfig};
 use kgreach_datagen::queries::{GeneratedQuery, QueryGenConfig, Workload};
-use kgreach_graph::Graph;
+use kgreach_graph::{snapshot, Graph};
+use std::path::{Path, PathBuf};
 use std::time::{Duration, Instant};
 
 /// A named dataset specification (the paper's D0–D5, scaled).
@@ -51,10 +52,59 @@ pub fn lubm_datasets(scale: f64) -> Vec<DatasetSpec> {
     ]
 }
 
-/// Generates the LUBM replica for a spec.
+/// Where generated benchmark graphs are memoized as binary snapshots:
+/// `$KGREACH_SNAPSHOT_DIR` if set, else `target/kg-snapshots` at the
+/// workspace root — anchored via this crate's manifest dir, not the CWD,
+/// because cargo runs benches from the package dir but `cargo run` from
+/// wherever the user stands. CI caches this directory keyed by
+/// [`kgreach_datagen::DATAGEN_VERSION`].
+pub fn snapshot_cache_dir() -> PathBuf {
+    std::env::var_os("KGREACH_SNAPSHOT_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| Path::new(env!("CARGO_MANIFEST_DIR")).join("../../target/kg-snapshots"))
+}
+
+/// Loads the graph memoized under `key` in `dir`, or generates it with
+/// `build` and writes the snapshot through for the next run.
+///
+/// The cache is strictly best-effort: an unreadable/corrupt snapshot is
+/// discarded and regenerated, and a failed write never fails the caller.
+/// Files are written to a temp name and renamed so concurrently running
+/// experiment binaries cannot observe half-written snapshots. Keys embed
+/// [`kgreach_datagen::DATAGEN_VERSION`], so bumping a generator
+/// invalidates every cached graph.
+pub fn cached_graph_in(dir: &Path, key: &str, build: impl FnOnce() -> Graph) -> Graph {
+    let file = format!("{key}-dgv{}.kgsnap", kgreach_datagen::DATAGEN_VERSION);
+    let path = dir.join(&file);
+    match snapshot::load_graph_snapshot(&path) {
+        Ok(g) => return g,
+        Err(kgreach_graph::GraphError::Io(_)) => {} // cache miss
+        Err(e) => eprintln!("# discarding stale snapshot cache {}: {e}", path.display()),
+    }
+    let g = build();
+    if std::fs::create_dir_all(dir).is_ok() {
+        let tmp = dir.join(format!(".{file}.{}.tmp", std::process::id()));
+        if snapshot::save_graph_snapshot(&g, &tmp).is_ok() {
+            let _ = std::fs::rename(&tmp, &path);
+        } else {
+            let _ = std::fs::remove_file(&tmp);
+        }
+    }
+    g
+}
+
+/// [`cached_graph_in`] under the default [`snapshot_cache_dir`].
+pub fn cached_graph(key: &str, build: impl FnOnce() -> Graph) -> Graph {
+    cached_graph_in(&snapshot_cache_dir(), key, build)
+}
+
+/// Generates the LUBM replica for a spec — generated once, memoized on
+/// disk as a binary snapshot, loaded on every later run.
 pub fn build_lubm(spec: &DatasetSpec) -> Graph {
-    lubm::generate(&LubmConfig::sized(spec.target_vertices, spec.seed))
-        .expect("LUBM generation fits the label bitset")
+    cached_graph(&format!("lubm-{}-{}", spec.target_vertices, spec.seed), || {
+        lubm::generate(&LubmConfig::sized(spec.target_vertices, spec.seed))
+            .expect("LUBM generation fits the label bitset")
+    })
 }
 
 /// Measured performance of one algorithm over one query group.
@@ -216,6 +266,42 @@ mod tests {
         assert_eq!(d[1].target_vertices, 12_000);
         let half = lubm_datasets(0.5);
         assert_eq!(half[1].target_vertices, 6_000);
+    }
+
+    #[test]
+    fn cached_graph_memoizes_and_survives_corruption() {
+        let dir =
+            std::env::temp_dir().join(format!("kgreach-bench-cache-test-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let spec = DatasetSpec { name: "T".into(), target_vertices: 400, seed: 3 };
+        let make =
+            || lubm::generate(&LubmConfig::sized(spec.target_vertices, spec.seed)).expect("fits");
+        let mut builds = 0usize;
+        let g1 = cached_graph_in(&dir, "test-lubm", || {
+            builds += 1;
+            make()
+        });
+        let g2 = cached_graph_in(&dir, "test-lubm", || {
+            builds += 1;
+            make()
+        });
+        assert_eq!(builds, 1, "second call must load the memoized snapshot");
+        assert_eq!(g1.fingerprint(), g2.fingerprint());
+        // Corrupt the cached file: the cache regenerates instead of failing.
+        let cached: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().path())
+            .filter(|p| p.extension().is_some_and(|e| e == "kgsnap"))
+            .collect();
+        assert_eq!(cached.len(), 1);
+        std::fs::write(&cached[0], b"garbage").unwrap();
+        let g3 = cached_graph_in(&dir, "test-lubm", || {
+            builds += 1;
+            make()
+        });
+        assert_eq!(builds, 2, "corrupt snapshot must be regenerated");
+        assert_eq!(g3.fingerprint(), g1.fingerprint());
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

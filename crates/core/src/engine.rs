@@ -34,8 +34,14 @@ use crate::query::{
 };
 use crate::session::{SearchScratch, Session};
 use kgreach_graph::fxhash::FxHashMap;
-use kgreach_graph::{Graph, GraphStats};
-use std::sync::{Arc, Mutex, OnceLock, RwLock};
+use kgreach_graph::snapshot::{
+    self, ArtifactKind, PayloadBuf, PayloadCursor, SectionReader, SectionWriter,
+};
+use kgreach_graph::Graph;
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::path::Path;
+use std::sync::{Arc, Mutex, RwLock};
 
 /// The LSCR algorithms implemented by this crate.
 #[derive(Copy, Clone, PartialEq, Eq, Debug, Hash)]
@@ -83,18 +89,15 @@ impl std::fmt::Display for Algorithm {
 /// of recycled.
 const SCRATCH_POOL_CAP: usize = 64;
 
+/// Tag of the engine snapshot's index-presence section, between the
+/// graph sections (1–7) and the index sections (16–19).
+const TAG_ENGINE_HAS_INDEX: u16 = 15;
+
 /// Distinct constraint plans retained in the plan cache. Once full, new
 /// constraint texts compile per-query instead of being cached, bounding
 /// engine memory under workloads with unbounded distinct constraints
 /// (e.g. per-entity generated patterns).
 const PLAN_CACHE_CAP: usize = 4096;
-
-/// Graph-level statistics the `Auto` planner consults, computed once per
-/// engine on first use.
-#[derive(Debug)]
-struct PlannerStats {
-    label_histogram: Vec<usize>,
-}
 
 /// An owned, thread-shareable LSCR query engine bound to one graph.
 ///
@@ -117,7 +120,6 @@ pub struct LscrEngine {
     index: RwLock<Option<Arc<LocalIndex>>>,
     plan_cache: RwLock<FxHashMap<String, Arc<CompiledConstraint>>>,
     scratch_pool: Mutex<Vec<SearchScratch>>,
-    planner_stats: OnceLock<PlannerStats>,
 }
 
 impl LscrEngine {
@@ -140,7 +142,6 @@ impl LscrEngine {
             index: RwLock::new(None),
             plan_cache: RwLock::new(FxHashMap::default()),
             scratch_pool: Mutex::new(Vec::new()),
-            planner_stats: OnceLock::new(),
         }
     }
 
@@ -355,6 +356,70 @@ impl LscrEngine {
         results.into_iter().map(|r| r.expect("every batch slot filled")).collect()
     }
 
+    /// Writes an engine snapshot: the graph followed by the local index
+    /// if one has been built or installed. Restoring with
+    /// [`from_snapshot`](Self::from_snapshot) rebuilds *nothing* — both
+    /// the adjacency and the landmark index come back exactly as saved,
+    /// which is the cold-start path for serving processes (see the
+    /// `cold_start` bench: snapshot load vs text parse + index rebuild).
+    ///
+    /// The plan cache and scratch pool are warm-up state, not data; they
+    /// are intentionally not persisted.
+    pub fn save_snapshot<W: Write>(&self, writer: W) -> Result<(), QueryError> {
+        let mut w = SectionWriter::new(BufWriter::new(writer), ArtifactKind::Engine)?;
+        snapshot::write_graph_sections(&self.graph, &mut w)?;
+        let index = self.local_index_if_built();
+        let mut flag = PayloadBuf::new();
+        flag.put_u8(u8::from(index.is_some()));
+        w.section(TAG_ENGINE_HAS_INDEX, flag.as_slice())?;
+        if let Some(index) = index {
+            index.write_sections(&mut w)?;
+        }
+        w.finish().map_err(QueryError::from)?;
+        Ok(())
+    }
+
+    /// Restores an engine written by [`save_snapshot`](Self::save_snapshot):
+    /// graph and (when present) local index, without rebuilding either.
+    /// A snapshot whose embedded index does not match its own graph —
+    /// impossible to write through this API, but representable in a
+    /// corrupt file — is rejected through the
+    /// [`set_local_index`](Self::set_local_index) fingerprint check
+    /// ([`QueryError::IndexGraphMismatch`]). The restored engine uses the
+    /// default [`LocalIndexConfig`] for any future lazy build.
+    pub fn from_snapshot<R: Read>(reader: R) -> Result<LscrEngine, QueryError> {
+        let mut r = SectionReader::new(BufReader::new(reader)).map_err(QueryError::from)?;
+        r.expect_kind(ArtifactKind::Engine)?;
+        let graph = snapshot::read_graph_sections(&mut r)?;
+        let payload = r.section(TAG_ENGINE_HAS_INDEX, "engine-index-flag")?;
+        let mut flag = PayloadCursor::new(&payload, "engine-index-flag");
+        let has_index = match flag.get_u8()? {
+            0 => false,
+            1 => true,
+            byte => return Err(flag.corrupt(format!("index flag byte is {byte}")).into()),
+        };
+        flag.finish()?;
+        let index = if has_index { Some(LocalIndex::read_sections(&mut r)?) } else { None };
+        r.end().map_err(QueryError::from)?;
+        let engine = LscrEngine::new(graph);
+        if let Some(index) = index {
+            engine.set_local_index(index)?;
+        }
+        Ok(engine)
+    }
+
+    /// Saves an engine snapshot to a file path.
+    pub fn save_snapshot_file(&self, path: impl AsRef<Path>) -> Result<(), QueryError> {
+        let file = File::create(path).map_err(kgreach_graph::GraphError::from)?;
+        self.save_snapshot(file)
+    }
+
+    /// Restores an engine snapshot from a file path.
+    pub fn from_snapshot_file(path: impl AsRef<Path>) -> Result<LscrEngine, QueryError> {
+        let file = File::open(path).map_err(kgreach_graph::GraphError::from)?;
+        Self::from_snapshot(file)
+    }
+
     /// The adaptive planner behind [`Algorithm::Auto`]: picks a concrete
     /// algorithm for `query` from cheap statistics — estimated constraint
     /// selectivity (schema class sizes, adjacency degrees, per-label edge
@@ -376,12 +441,8 @@ impl LscrEngine {
         if query.constraint.is_unsatisfiable() {
             return Algorithm::UisStar;
         }
-        let estimate = vsg_hint.unwrap_or_else(|| {
-            let stats = self.planner_stats.get_or_init(|| PlannerStats {
-                label_histogram: GraphStats::compute(g).label_histogram,
-            });
-            query.constraint.estimate_candidates(g, &stats.label_histogram)
-        });
+        let estimate = vsg_hint
+            .unwrap_or_else(|| query.constraint.estimate_candidates(g, g.label_histogram()));
         if estimate == 0 {
             return Algorithm::UisStar;
         }
@@ -571,6 +632,58 @@ mod tests {
         assert!(matches!(
             out.stats.algorithm,
             Some(Algorithm::Uis | Algorithm::UisStar | Algorithm::Ins)
+        ));
+    }
+
+    #[test]
+    fn engine_snapshot_roundtrip() {
+        let engine = LscrEngine::with_index_config(
+            figure3(),
+            LocalIndexConfig { num_landmarks: Some(2), seed: 4 },
+        );
+        let q = all_labels_query(engine.graph(), "v0", "v4");
+
+        // Without an index built: snapshot restores graph only.
+        let mut bytes = Vec::new();
+        engine.save_snapshot(&mut bytes).unwrap();
+        let restored = LscrEngine::from_snapshot(&bytes[..]).unwrap();
+        assert!(restored.local_index_if_built().is_none());
+        assert_eq!(restored.graph().fingerprint(), engine.graph().fingerprint());
+        assert!(restored.answer(&q, Algorithm::Uis).unwrap().answer);
+
+        // With the index built: both come back, nothing is rebuilt.
+        let built = engine.local_index();
+        let mut bytes = Vec::new();
+        engine.save_snapshot(&mut bytes).unwrap();
+        let restored = LscrEngine::from_snapshot(&bytes[..]).unwrap();
+        let idx = restored.local_index_if_built().expect("index restored from snapshot");
+        assert_eq!(idx.stats().num_landmarks, built.stats().num_landmarks);
+        assert_eq!(idx.graph_fingerprint(), built.graph_fingerprint());
+        for alg in [Algorithm::Uis, Algorithm::UisStar, Algorithm::Ins, Algorithm::Auto] {
+            assert_eq!(
+                restored.answer(&q, alg).unwrap().answer,
+                engine.answer(&q, alg).unwrap().answer,
+                "{alg} disagrees after snapshot restore"
+            );
+        }
+    }
+
+    #[test]
+    fn engine_snapshot_file_roundtrip() {
+        let engine = LscrEngine::new(figure3());
+        let _ = engine.local_index();
+        let dir = std::env::temp_dir().join("kgreach_engine_snapshot_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("engine.kgsnap");
+        engine.save_snapshot_file(&path).unwrap();
+        let restored = LscrEngine::from_snapshot_file(&path).unwrap();
+        assert_eq!(restored.graph().fingerprint(), engine.graph().fingerprint());
+        assert!(restored.local_index_if_built().is_some());
+        std::fs::remove_file(&path).ok();
+        // Missing file surfaces as a typed graph/io error.
+        assert!(matches!(
+            LscrEngine::from_snapshot_file(dir.join("missing.kgsnap")),
+            Err(QueryError::Graph(kgreach_graph::GraphError::Io(_)))
         ));
     }
 

@@ -23,15 +23,29 @@
 //! indexing cost is bounded by `O(2^|𝓛|(|E| + |V| log 2^|𝓛|))`
 //! (Theorem 5.3) — independent of the number of landmarks, unlike the
 //! traditional whole-graph landmark indexing it replaces.
+//!
+//! Even so, a build is far too expensive to repeat on every process
+//! start: [`LocalIndex::save`]/[`LocalIndex::load`] persist the whole
+//! index — partition, CMS entries, correlation rows and the embedded
+//! [`GraphFingerprint`] — in the checksummed binary container of
+//! [`kgreach_graph::snapshot`], and installing a loaded index against
+//! the wrong graph is rejected through the engine's fingerprint check
+//! ([`QueryError::IndexGraphMismatch`](crate::QueryError::IndexGraphMismatch)).
 
 use crate::partition::{
     default_num_landmarks, partition_graph, select_landmarks, Partition, NO_PARTITION,
 };
 use kgreach_graph::fxhash::FxHashMap;
+use kgreach_graph::snapshot::{
+    ArtifactKind, PayloadBuf, PayloadCursor, SectionReader, SectionWriter,
+};
 use kgreach_graph::{Cms, Graph, GraphFingerprint, LabelSet, VertexId};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use std::collections::VecDeque;
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::path::Path;
 use std::time::{Duration, Instant};
 
 /// Configuration for [`LocalIndex::build`].
@@ -247,6 +261,276 @@ impl LocalIndex {
     }
 }
 
+/// Section order of a local-index artifact (snapshot format v1): meta,
+/// partition, landmark entries, correlation rows. Tags 1–7 belong to the
+/// graph artifact (see `kgreach_graph::snapshot`) and tag 15 to the
+/// engine container's index-presence flag (see `engine.rs`), so composite
+/// engine snapshots mix all three tag families without ambiguity.
+const TAG_INDEX_META: u16 = 16;
+const TAG_INDEX_PARTITION: u16 = 17;
+const TAG_INDEX_ENTRIES: u16 = 18;
+const TAG_INDEX_D: u16 = 19;
+
+impl LocalIndex {
+    /// Writes the index sections of snapshot format v1 into an open
+    /// container. Most callers want [`save`](Self::save); this entry
+    /// point exists so composite artifacts (engine snapshots) can embed
+    /// an index after a graph.
+    pub fn write_sections<W: Write>(&self, w: &mut SectionWriter<W>) -> kgreach_graph::Result<()> {
+        let fp = self.fingerprint;
+        let mut meta = PayloadBuf::with_capacity(80);
+        meta.put_usize(fp.num_vertices);
+        meta.put_usize(fp.num_edges);
+        meta.put_usize(fp.num_labels);
+        meta.put_u64(fp.edge_hash);
+        meta.put_usize(self.partition.num_landmarks());
+        meta.put_u64(self.stats.elapsed.as_nanos().min(u128::from(u64::MAX)) as u64);
+        meta.put_usize(self.stats.bytes);
+        meta.put_usize(self.stats.ii_pairs);
+        meta.put_usize(self.stats.eit_pairs);
+        meta.put_usize(self.stats.assigned_vertices);
+        w.section(TAG_INDEX_META, meta.as_slice())?;
+
+        let af = self.partition.af_slice();
+        let mut part = PayloadBuf::with_capacity(self.partition.num_landmarks() * 4 + af.len() * 4);
+        for &u in self.partition.landmarks() {
+            part.put_u32(u.0);
+        }
+        part.put_usize(af.len());
+        for &a in af {
+            part.put_u32(a);
+        }
+        w.section(TAG_INDEX_PARTITION, part.as_slice())?;
+
+        let mut entries = PayloadBuf::new();
+        for entry in &self.entries {
+            entries.put_usize(entry.ii.len());
+            for (v, cms) in &entry.ii {
+                entries.put_u32(v.0);
+                entries.put_u16(cms.len() as u16);
+                for set in cms.iter() {
+                    entries.put_u64(set.bits());
+                }
+            }
+            entries.put_usize(entry.eit.len());
+            for (set, vs) in &entry.eit {
+                entries.put_u64(set.bits());
+                entries.put_usize(vs.len());
+                for v in vs {
+                    entries.put_u32(v.0);
+                }
+            }
+        }
+        w.section(TAG_INDEX_ENTRIES, entries.as_slice())?;
+
+        let mut d = PayloadBuf::new();
+        for row in &self.d {
+            // Hash-map iteration order is unspecified; sort so equal
+            // indexes encode to identical bytes.
+            let mut pairs: Vec<(u32, u32)> = row.iter().map(|(&k, &v)| (k, v)).collect();
+            pairs.sort_unstable();
+            d.put_usize(pairs.len());
+            for (k, v) in pairs {
+                d.put_u32(k);
+                d.put_u32(v);
+            }
+        }
+        w.section(TAG_INDEX_D, d.as_slice())
+    }
+
+    /// Reads the index sections of snapshot format v1 from an open
+    /// container, revalidating every structural invariant the INS search
+    /// relies on. Counterpart of [`write_sections`](Self::write_sections).
+    pub fn read_sections<R: Read>(r: &mut SectionReader<R>) -> kgreach_graph::Result<LocalIndex> {
+        let meta_payload = r.section(TAG_INDEX_META, "index-meta")?;
+        let mut meta = PayloadCursor::new(&meta_payload, "index-meta");
+        let fingerprint = GraphFingerprint {
+            num_vertices: meta.get_usize()?,
+            num_edges: meta.get_usize()?,
+            num_labels: meta.get_usize()?,
+            edge_hash: meta.get_u64()?,
+        };
+        let num_landmarks = meta.get_usize()?;
+        let stats = IndexBuildStats {
+            elapsed: Duration::from_nanos(meta.get_u64()?),
+            bytes: meta.get_usize()?,
+            num_landmarks,
+            ii_pairs: meta.get_usize()?,
+            eit_pairs: meta.get_usize()?,
+            assigned_vertices: meta.get_usize()?,
+        };
+        let num_vertices = fingerprint.num_vertices;
+        let num_labels = fingerprint.num_labels;
+        if num_vertices > u32::MAX as usize || num_labels > kgreach_graph::MAX_LABELS {
+            return Err(meta.corrupt("fingerprint counts out of range"));
+        }
+        if num_landmarks > num_vertices {
+            return Err(
+                meta.corrupt(format!("{num_landmarks} landmarks exceed |V| = {num_vertices}"))
+            );
+        }
+        meta.finish()?;
+        let label_mask = LabelSet::all(num_labels).bits();
+
+        let part_payload = r.section(TAG_INDEX_PARTITION, "index-partition")?;
+        let mut part = PayloadCursor::new(&part_payload, "index-partition");
+        let mut landmarks = Vec::with_capacity(num_landmarks.min(1 << 20));
+        for _ in 0..num_landmarks {
+            let u = part.get_u32()?;
+            if u as usize >= num_vertices {
+                return Err(part.corrupt(format!("landmark id {u} out of range")));
+            }
+            landmarks.push(VertexId(u));
+        }
+        let af_len = part.get_usize()?;
+        if af_len != num_vertices {
+            return Err(part
+                .corrupt(format!("AF array has {af_len} entries, expected |V| = {num_vertices}")));
+        }
+        let mut af = Vec::with_capacity(af_len.min(1 << 24));
+        for i in 0..af_len {
+            let a = part.get_u32()?;
+            if a != NO_PARTITION && a as usize >= num_landmarks {
+                return Err(part.corrupt(format!("AF[{i}] = {a} names no landmark")));
+            }
+            af.push(a);
+        }
+        for (ord, u) in landmarks.iter().enumerate() {
+            if af[u.index()] != ord as u32 {
+                return Err(
+                    part.corrupt(format!("landmark {u} is not assigned to its own partition"))
+                );
+            }
+        }
+        let err = part.corrupt("duplicate landmark");
+        part.finish()?;
+        let partition = Partition::from_parts(landmarks, af).ok_or(err)?;
+
+        let entries_payload = r.section(TAG_INDEX_ENTRIES, "index-entries")?;
+        let mut cur = PayloadCursor::new(&entries_payload, "index-entries");
+        let mut entries = Vec::with_capacity(num_landmarks.min(1 << 20));
+        for _ in 0..num_landmarks {
+            let ii_len = cur.get_usize()?;
+            let mut ii = Vec::with_capacity(ii_len.min(1 << 20));
+            let mut prev: Option<VertexId> = None;
+            for _ in 0..ii_len {
+                let v = VertexId(cur.get_u32()?);
+                if v.index() >= num_vertices {
+                    return Err(cur.corrupt(format!("II vertex id {v} out of range")));
+                }
+                // ii_cms binary-searches this list — enforce the strictly
+                // sorted order it needs.
+                if prev.is_some_and(|p| p >= v) {
+                    return Err(cur.corrupt("II pairs are not sorted by vertex"));
+                }
+                prev = Some(v);
+                let num_sets = cur.get_u16()? as usize;
+                let mut sets = Vec::with_capacity(num_sets);
+                for _ in 0..num_sets {
+                    let bits = cur.get_u64()?;
+                    if bits & !label_mask != 0 {
+                        return Err(cur.corrupt("CMS label set uses labels outside 𝓛"));
+                    }
+                    sets.push(LabelSet::from_bits(bits));
+                }
+                let cms = Cms::from_canonical_sets(sets)
+                    .ok_or_else(|| cur.corrupt("stored CMS is not a canonical antichain"))?;
+                ii.push((v, cms));
+            }
+            let eit_len = cur.get_usize()?;
+            let mut eit = Vec::with_capacity(eit_len.min(1 << 20));
+            for _ in 0..eit_len {
+                let bits = cur.get_u64()?;
+                if bits & !label_mask != 0 {
+                    return Err(cur.corrupt("EIT label set uses labels outside 𝓛"));
+                }
+                let num_vs = cur.get_usize()?;
+                let mut vs = Vec::with_capacity(num_vs.min(1 << 20));
+                for _ in 0..num_vs {
+                    let v = VertexId(cur.get_u32()?);
+                    if v.index() >= num_vertices {
+                        return Err(cur.corrupt(format!("EIT vertex id {v} out of range")));
+                    }
+                    vs.push(v);
+                }
+                eit.push((LabelSet::from_bits(bits), vs));
+            }
+            entries.push(LandmarkEntry { ii, eit });
+        }
+        cur.finish()?;
+
+        let d_payload = r.section(TAG_INDEX_D, "index-d")?;
+        let mut cur = PayloadCursor::new(&d_payload, "index-d");
+        let mut d: Vec<FxHashMap<u32, u32>> = Vec::with_capacity(num_landmarks.min(1 << 20));
+        for _ in 0..num_landmarks {
+            let len = cur.get_usize()?;
+            let mut row = FxHashMap::default();
+            for _ in 0..len {
+                let k = cur.get_u32()?;
+                let v = cur.get_u32()?;
+                if k != NO_PARTITION && k as usize >= num_landmarks {
+                    return Err(cur.corrupt(format!("D row references partition {k}")));
+                }
+                if row.insert(k, v).is_some() {
+                    return Err(cur.corrupt(format!("D row repeats partition {k}")));
+                }
+            }
+            d.push(row);
+        }
+        cur.finish()?;
+
+        // The persisted pair totals double as an integrity check over the
+        // decoded entries.
+        let ii_pairs: usize = entries.iter().map(LandmarkEntry::num_ii).sum();
+        let eit_pairs: usize = entries.iter().map(LandmarkEntry::num_eit).sum();
+        if ii_pairs != stats.ii_pairs || eit_pairs != stats.eit_pairs {
+            return Err(kgreach_graph::GraphError::SnapshotCorrupt {
+                section: "index-entries",
+                message: format!(
+                    "entry totals ({ii_pairs} II, {eit_pairs} EIT) disagree with meta \
+                     ({} II, {} EIT)",
+                    stats.ii_pairs, stats.eit_pairs
+                ),
+            });
+        }
+        Ok(LocalIndex { partition, entries, d, stats, fingerprint })
+    }
+
+    /// Writes a complete local-index snapshot (header + sections + end
+    /// marker) — the persistent form of an Algorithm 3 build, so serving
+    /// processes restart without re-indexing. The embedded
+    /// [`GraphFingerprint`] travels with the index;
+    /// [`LscrEngine::set_local_index`](crate::LscrEngine::set_local_index)
+    /// rejects a loaded index whose fingerprint does not match the
+    /// engine's graph.
+    pub fn save<W: Write>(&self, writer: W) -> kgreach_graph::Result<()> {
+        let mut w = SectionWriter::new(BufWriter::new(writer), ArtifactKind::LocalIndex)?;
+        self.write_sections(&mut w)?;
+        w.finish()?;
+        Ok(())
+    }
+
+    /// Reads a complete local-index snapshot written by
+    /// [`save`](Self::save).
+    pub fn load<R: Read>(reader: R) -> kgreach_graph::Result<LocalIndex> {
+        let mut r = SectionReader::new(BufReader::new(reader))?;
+        r.expect_kind(ArtifactKind::LocalIndex)?;
+        let index = Self::read_sections(&mut r)?;
+        r.end()?;
+        Ok(index)
+    }
+
+    /// Saves a local-index snapshot to a file path.
+    pub fn save_file(&self, path: impl AsRef<Path>) -> kgreach_graph::Result<()> {
+        self.save(File::create(path)?)
+    }
+
+    /// Loads a local-index snapshot from a file path.
+    pub fn load_file(path: impl AsRef<Path>) -> kgreach_graph::Result<LocalIndex> {
+        Self::load(File::open(path)?)
+    }
+}
+
 /// `LocalFullIndex(u)` (Algorithm 3, lines 5-15): CMS BFS confined to the
 /// landmark's partition, producing its `II`/`EIT` entry and `D` row.
 fn local_full_index(
@@ -439,6 +723,63 @@ mod tests {
         assert!(idx.entry_of(lm).is_some());
         let non_lm = g.vertices().find(|v| !idx.partition().is_landmark(*v)).unwrap();
         assert!(idx.entry_of(non_lm).is_none());
+    }
+
+    #[test]
+    fn snapshot_roundtrip_is_identity() {
+        let g = figure3();
+        let idx = LocalIndex::build(&g, &LocalIndexConfig { num_landmarks: Some(2), seed: 42 });
+        let mut bytes = Vec::new();
+        idx.save(&mut bytes).unwrap();
+        let loaded = LocalIndex::load(&bytes[..]).unwrap();
+        assert_eq!(loaded.graph_fingerprint(), idx.graph_fingerprint());
+        assert_eq!(loaded.partition().landmarks(), idx.partition().landmarks());
+        assert_eq!(loaded.partition().num_assigned(), idx.partition().num_assigned());
+        assert_eq!(loaded.stats().ii_pairs, idx.stats().ii_pairs);
+        assert_eq!(loaded.stats().eit_pairs, idx.stats().eit_pairs);
+        assert_eq!(loaded.stats().elapsed, idx.stats().elapsed);
+        for ord in 0..idx.partition().num_landmarks() as u32 {
+            let (a, b) = (idx.entry(ord), loaded.entry(ord));
+            let a_ii: Vec<_> = a.ii_pairs().map(|(v, c)| (v, c.clone())).collect();
+            let b_ii: Vec<_> = b.ii_pairs().map(|(v, c)| (v, c.clone())).collect();
+            assert_eq!(a_ii, b_ii);
+            let a_eit: Vec<_> = a.eit_pairs().collect();
+            let b_eit: Vec<_> = b.eit_pairs().collect();
+            assert_eq!(a_eit, b_eit);
+        }
+        for a in 0..2 {
+            for b in 0..2 {
+                assert_eq!(loaded.correlation(a, b), idx.correlation(a, b));
+            }
+        }
+        // Serialization is canonical: saving the loaded index reproduces
+        // the same bytes.
+        let mut again = Vec::new();
+        loaded.save(&mut again).unwrap();
+        assert_eq!(again, bytes);
+    }
+
+    #[test]
+    fn snapshot_corruption_is_typed() {
+        use kgreach_graph::GraphError;
+        let g = figure3();
+        let idx = LocalIndex::build(&g, &LocalIndexConfig { num_landmarks: Some(2), seed: 42 });
+        let mut bytes = Vec::new();
+        idx.save(&mut bytes).unwrap();
+        // Every single-byte flip past the header is rejected, never a panic.
+        for i in 12..bytes.len() {
+            let mut mutated = bytes.clone();
+            mutated[i] ^= 0x01;
+            assert!(LocalIndex::load(&mutated[..]).is_err(), "flip at byte {i} undetected");
+        }
+        // Every truncation is rejected.
+        for len in 0..bytes.len() {
+            assert!(LocalIndex::load(&bytes[..len]).is_err(), "truncation to {len} undetected");
+        }
+        // A graph snapshot is not an index snapshot.
+        let mut graph_bytes = Vec::new();
+        kgreach_graph::snapshot::write_graph_snapshot(&g, &mut graph_bytes).unwrap();
+        assert!(matches!(LocalIndex::load(&graph_bytes[..]), Err(GraphError::SnapshotKind { .. })));
     }
 
     #[test]

@@ -34,6 +34,27 @@ pub struct Partition {
 }
 
 impl Partition {
+    /// Reassembles a partition from its landmark list and raw `AF` array
+    /// (snapshot decoding); the landmark flags are rederived. Returns
+    /// `None` if the landmark list holds duplicates or ids outside `af` —
+    /// corrupt data, since `partition_graph` can produce neither.
+    pub(crate) fn from_parts(landmarks: Vec<VertexId>, af: Vec<u32>) -> Option<Partition> {
+        let mut landmark_flag = vec![false; af.len()];
+        for &u in &landmarks {
+            let flag = landmark_flag.get_mut(u.index())?;
+            if std::mem::replace(flag, true) {
+                return None; // duplicate landmark
+            }
+        }
+        Some(Partition { landmarks, af, landmark_flag })
+    }
+
+    /// The raw per-vertex `AF` array, [`NO_PARTITION`] for unassigned
+    /// vertices (snapshot encoding).
+    pub(crate) fn af_slice(&self) -> &[u32] {
+        &self.af
+    }
+
     /// The landmark set `I`, by ordinal.
     pub fn landmarks(&self) -> &[VertexId] {
         &self.landmarks

@@ -20,6 +20,13 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+/// Version stamp of the generators' output. Bump whenever any generator
+/// changes the graph it emits for a fixed config: on-disk snapshot caches
+/// of generated graphs (the bench harness memoization, the CI cache) are
+/// keyed by this constant, so stale snapshots invalidate instead of
+/// silently benchmarking yesterday's generator.
+pub const DATAGEN_VERSION: u32 = 1;
+
 pub mod constraints;
 pub mod lubm;
 pub mod queries;

@@ -65,6 +65,23 @@ impl Csr {
         Csr { offsets, targets }
     }
 
+    /// Reassembles a CSR from its raw arrays (snapshot decoding). The
+    /// caller is responsible for having validated the offsets/targets
+    /// invariants (monotone offsets, ids in range).
+    pub(crate) fn from_parts(offsets: Vec<u32>, targets: Vec<LabeledTarget>) -> Csr {
+        Csr { offsets, targets }
+    }
+
+    /// The raw offset array, `|V| + 1` entries (snapshot encoding).
+    pub(crate) fn offsets(&self) -> &[u32] {
+        &self.offsets
+    }
+
+    /// The raw target array, `|E|` entries (snapshot encoding).
+    pub(crate) fn targets(&self) -> &[LabeledTarget] {
+        &self.targets
+    }
+
     /// The incident edges of `v` as a contiguous slice.
     #[inline(always)]
     pub fn neighbors(&self, v: VertexId) -> &[LabeledTarget] {

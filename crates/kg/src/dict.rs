@@ -3,8 +3,15 @@
 //! KGs are stored as RDF triples of strings; every algorithm in this
 //! repository works on dense integer ids. `Dict` provides the two-way
 //! mapping with O(1) amortized interning and O(1) reverse lookup.
+//!
+//! Both directions share one allocation per string (`Arc<str>`), so
+//! interning a fresh name costs a single allocation and rebuilding a
+//! dictionary from a binary snapshot costs one allocation plus a
+//! reference-count bump per name — the dictionary decode is the hottest
+//! part of a snapshot load.
 
 use crate::fxhash::FxHashMap;
+use std::sync::Arc;
 
 /// A two-way string ↔ dense-id dictionary.
 ///
@@ -12,8 +19,8 @@ use crate::fxhash::FxHashMap;
 /// directly as array indices.
 #[derive(Default, Clone, Debug)]
 pub struct Dict {
-    by_name: FxHashMap<Box<str>, u32>,
-    by_id: Vec<Box<str>>,
+    by_name: FxHashMap<Arc<str>, u32>,
+    by_id: Vec<Arc<str>>,
 }
 
 impl Dict {
@@ -27,15 +34,29 @@ impl Dict {
         Dict { by_name: crate::fxhash::fx_map_with_capacity(cap), by_id: Vec::with_capacity(cap) }
     }
 
+    /// Rebuilds a dictionary from its id-ordered name list (snapshot
+    /// decoding). Returns `None` if the list holds duplicate names — a
+    /// corrupt snapshot, since interning can never assign two ids to one
+    /// name.
+    pub(crate) fn from_names(names: Vec<Arc<str>>) -> Option<Dict> {
+        let mut by_name = crate::fxhash::fx_map_with_capacity(names.len());
+        for (id, name) in names.iter().enumerate() {
+            if by_name.insert(Arc::clone(name), id as u32).is_some() {
+                return None;
+            }
+        }
+        Some(Dict { by_name, by_id: names })
+    }
+
     /// Interns `name`, returning its id (existing or freshly assigned).
     pub fn intern(&mut self, name: &str) -> u32 {
         if let Some(&id) = self.by_name.get(name) {
             return id;
         }
         let id = self.by_id.len() as u32;
-        let boxed: Box<str> = name.into();
-        self.by_id.push(boxed.clone());
-        self.by_name.insert(boxed, id);
+        let shared: Arc<str> = name.into();
+        self.by_id.push(Arc::clone(&shared));
+        self.by_name.insert(shared, id);
         id
     }
 
@@ -74,13 +95,13 @@ impl Dict {
 
     /// Approximate heap footprint in bytes (for index-size reporting).
     pub fn heap_bytes(&self) -> usize {
-        let strings: usize = self.by_id.iter().map(|s| s.len()).sum();
-        // Two owning copies of every string (map key + vec entry), plus
-        // table overhead approximated by entry counts.
-        2 * strings
-            + self.by_id.capacity() * std::mem::size_of::<Box<str>>()
+        // One shared allocation per string (plus the Arc's two refcounts),
+        // referenced from both the map key and the vec entry.
+        let strings: usize = self.by_id.iter().map(|s| s.len() + 16).sum();
+        strings
+            + self.by_id.capacity() * std::mem::size_of::<Arc<str>>()
             + self.by_name.capacity()
-                * (std::mem::size_of::<Box<str>>() + std::mem::size_of::<u32>())
+                * (std::mem::size_of::<Arc<str>>() + std::mem::size_of::<u32>())
     }
 }
 
@@ -125,12 +146,23 @@ mod tests {
     }
 
     #[test]
+    fn from_names_rebuilds_and_rejects_duplicates() {
+        let names: Vec<Arc<str>> = ["a", "b", "c"].into_iter().map(Arc::from).collect();
+        let d = Dict::from_names(names).unwrap();
+        assert_eq!(d.len(), 3);
+        assert_eq!(d.get("b"), Some(1));
+        assert_eq!(d.name(2), "c");
+        let dup: Vec<Arc<str>> = ["a", "b", "a"].into_iter().map(Arc::from).collect();
+        assert!(Dict::from_names(dup).is_none());
+    }
+
+    #[test]
     fn empty_and_bytes() {
         let d = Dict::new();
         assert!(d.is_empty());
         let mut d = d;
         d.intern("abc");
         assert!(!d.is_empty());
-        assert!(d.heap_bytes() >= 6); // two copies of "abc"
+        assert!(d.heap_bytes() >= 3); // the shared copy of "abc"
     }
 }

@@ -36,6 +36,34 @@ pub enum GraphError {
     },
     /// An I/O error, stringified (keeps the error type `Clone + Eq`).
     Io(String),
+    /// A binary snapshot file does not start with the snapshot magic —
+    /// it is not a snapshot at all (or was mangled in transit).
+    SnapshotBadMagic,
+    /// A binary snapshot was written by a newer (or otherwise unknown)
+    /// format version than this build supports.
+    SnapshotVersion {
+        /// Version found in the file header.
+        found: u16,
+        /// Highest version this build reads.
+        supported: u16,
+    },
+    /// A binary snapshot holds a different artifact than the caller asked
+    /// for (e.g. a local-index snapshot fed to the graph loader).
+    SnapshotKind {
+        /// Artifact kind the caller expected (see `snapshot::ArtifactKind`).
+        expected: u8,
+        /// Artifact kind found in the file header.
+        found: u8,
+    },
+    /// A binary snapshot is corrupt: truncated, failed a section checksum,
+    /// or violated a structural invariant on decode. Never panics, never
+    /// yields a half-built value — the snapshot is rejected wholesale.
+    SnapshotCorrupt {
+        /// The section being decoded when corruption was detected.
+        section: &'static str,
+        /// Human-readable description of the failure.
+        message: String,
+    },
 }
 
 impl fmt::Display for GraphError {
@@ -55,6 +83,20 @@ impl fmt::Display for GraphError {
                 write!(f, "parse error at line {line}: {message}")
             }
             GraphError::Io(e) => write!(f, "i/o error: {e}"),
+            GraphError::SnapshotBadMagic => {
+                write!(f, "not a kgreach snapshot (bad magic bytes)")
+            }
+            GraphError::SnapshotVersion { found, supported } => write!(
+                f,
+                "snapshot format version {found} is not supported (this build reads up to \
+                 version {supported})"
+            ),
+            GraphError::SnapshotKind { expected, found } => {
+                write!(f, "snapshot holds artifact kind {found}, expected kind {expected}")
+            }
+            GraphError::SnapshotCorrupt { section, message } => {
+                write!(f, "corrupt snapshot ({section} section): {message}")
+            }
         }
     }
 }
@@ -85,6 +127,17 @@ mod tests {
 
         let e = GraphError::Parse { line: 12, message: "bad triple".into() };
         assert!(e.to_string().contains("line 12"));
+    }
+
+    #[test]
+    fn snapshot_errors_are_informative() {
+        assert!(GraphError::SnapshotBadMagic.to_string().contains("magic"));
+        let e = GraphError::SnapshotVersion { found: 9, supported: 1 };
+        assert!(e.to_string().contains('9') && e.to_string().contains('1'));
+        let e = GraphError::SnapshotKind { expected: 1, found: 2 };
+        assert!(e.to_string().contains("kind 2"));
+        let e = GraphError::SnapshotCorrupt { section: "meta", message: "checksum".into() };
+        assert!(e.to_string().contains("meta") && e.to_string().contains("checksum"));
     }
 
     #[test]

@@ -52,9 +52,44 @@ pub struct Graph {
     out: Csr,
     inn: Csr,
     schema: Schema,
+    label_histogram: Vec<usize>,
 }
 
 impl Graph {
+    /// Reassembles a graph from already-validated parts (snapshot
+    /// decoding); the builder path stays the only public way to construct
+    /// one.
+    pub(crate) fn from_parts(
+        vertex_dict: Dict,
+        label_dict: Dict,
+        out: Csr,
+        inn: Csr,
+        schema: Schema,
+        label_histogram: Vec<usize>,
+    ) -> Graph {
+        Graph { vertex_dict, label_dict, out, inn, schema, label_histogram }
+    }
+
+    /// The out-edge CSR (snapshot encoding).
+    pub(crate) fn out_csr(&self) -> &Csr {
+        &self.out
+    }
+
+    /// The in-edge CSR (snapshot encoding).
+    pub(crate) fn in_csr(&self) -> &Csr {
+        &self.inn
+    }
+
+    /// The vertex dictionary (snapshot encoding).
+    pub(crate) fn vertex_dict(&self) -> &Dict {
+        &self.vertex_dict
+    }
+
+    /// The label dictionary (snapshot encoding).
+    pub(crate) fn label_dict(&self) -> &Dict {
+        &self.label_dict
+    }
+
     /// Number of vertices `|V|`.
     #[inline]
     pub fn num_vertices(&self) -> usize {
@@ -151,6 +186,13 @@ impl Graph {
         &self.schema
     }
 
+    /// Per-label edge counts, indexed by label id — computed once when the
+    /// graph freezes and persisted in binary snapshots, so selectivity
+    /// estimation (the `Auto` planner) never rescans the edge list.
+    pub fn label_histogram(&self) -> &[usize] {
+        &self.label_histogram
+    }
+
     /// Resolves a vertex name to its id.
     pub fn vertex_id(&self, name: &str) -> Option<VertexId> {
         self.vertex_dict.get(name).map(VertexId)
@@ -228,6 +270,7 @@ impl Graph {
             + self.vertex_dict.heap_bytes()
             + self.label_dict.heap_bytes()
             + self.schema.heap_bytes()
+            + self.label_histogram.capacity() * std::mem::size_of::<usize>()
     }
 
     /// Serializes the graph back to triples (test/io helper).
@@ -354,7 +397,19 @@ impl GraphBuilder {
             }
         }
 
-        Ok(Graph { vertex_dict: self.vertex_dict, label_dict: self.label_dict, out, inn, schema })
+        let mut label_histogram = vec![0usize; self.label_dict.len()];
+        for e in &self.edges {
+            label_histogram[e.label.index()] += 1;
+        }
+
+        Ok(Graph {
+            vertex_dict: self.vertex_dict,
+            label_dict: self.label_dict,
+            out,
+            inn,
+            schema,
+            label_histogram,
+        })
     }
 }
 
@@ -494,6 +549,16 @@ mod tests {
         let ls = g.label_set(&["likes", "follows", "missing"]);
         assert_eq!(ls.len(), 2);
         assert!(ls.contains(g.label_id("likes").unwrap()));
+    }
+
+    #[test]
+    fn label_histogram_counts_edges_per_label() {
+        let g = figure3_graph();
+        let hist = g.label_histogram();
+        assert_eq!(hist.len(), g.num_labels());
+        assert_eq!(hist.iter().sum::<usize>(), g.num_edges());
+        let friend = g.label_id("friendOf").unwrap();
+        assert_eq!(hist[friend.index()], 3);
     }
 
     #[test]

@@ -108,6 +108,30 @@ mod tests {
     }
 
     #[test]
+    fn roundtrip_preserves_hostile_names() {
+        // Vertex/label names with spaces, angle brackets, quotes and line
+        // breaks must survive the text format losslessly (it is the
+        // fallback interchange path and has to be trustworthy).
+        let mut b = GraphBuilder::new();
+        b.add_triple("name with space", "label<with>brackets", "multi\nline\nname");
+        b.add_triple("quote\"and\\slash", "p", "name with space");
+        let g = b.build().unwrap();
+        let mut bytes = Vec::new();
+        write_graph(&g, &mut bytes).unwrap();
+        let g2 = read_graph(&bytes[..]).unwrap();
+        assert_eq!(g2.num_vertices(), g.num_vertices());
+        assert_eq!(g2.num_edges(), g.num_edges());
+        for v in g.vertices() {
+            let name = g.vertex_name(v);
+            assert!(g2.vertex_id(name).is_some(), "lost vertex {name:?}");
+        }
+        let s = g2.vertex_id("name with space").unwrap();
+        let l = g2.label_id("label<with>brackets").unwrap();
+        let t = g2.vertex_id("multi\nline\nname").unwrap();
+        assert!(g2.has_edge(s, l, t));
+    }
+
+    #[test]
     fn read_skips_comments() {
         let text = "# header\n<a> <p> <b> .\n\n<b> <p> <c> .\n";
         let g = read_graph(text.as_bytes()).unwrap();

@@ -224,6 +224,22 @@ impl Cms {
         Cms { sets: vec![set] }
     }
 
+    /// Reassembles a collection from its canonical serialized order —
+    /// ascending `(len, bits)`, exactly what [`iter`](Self::iter) yields —
+    /// without paying per-set [`insert`](Self::insert) scans (snapshot
+    /// decoding). Returns `None` unless the sets are canonically ordered
+    /// and form an antichain, so corrupt data cannot smuggle in a
+    /// non-minimal collection.
+    pub fn from_canonical_sets(sets: Vec<LabelSet>) -> Option<Cms> {
+        let ordered =
+            sets.windows(2).all(|w| (w[0].len(), w[0].bits()) < (w[1].len(), w[1].bits()));
+        if !ordered {
+            return None;
+        }
+        let cms = Cms { sets };
+        cms.is_antichain().then_some(cms)
+    }
+
     /// The paper's `Insert(v, L, index[u])` label-set update: returns `true`
     /// iff the collection changed (i.e. `L` was *not* already covered).
     ///

@@ -12,6 +12,8 @@
 //!   visited masks shared by all query algorithms;
 //! * [`scc`] — iterative Tarjan decomposition (used by LCR baselines);
 //! * [`triples`] / [`io`] — an N-Triples-like text format for datasets;
+//! * [`snapshot`] — versioned, checksummed binary snapshots for
+//!   restart-without-rebuild persistence;
 //! * [`stats`] — dataset summary statistics;
 //! * [`fxhash`] — a vendored fast hasher (dependency policy: no external
 //!   hashing crates).
@@ -46,6 +48,7 @@ pub mod io;
 pub mod labelset;
 pub mod scc;
 pub mod schema;
+pub mod snapshot;
 pub mod stats;
 pub mod traverse;
 pub mod triples;

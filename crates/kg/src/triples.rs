@@ -91,11 +91,27 @@ impl fmt::Display for Triple {
     }
 }
 
-/// Serializes a term: IRIs in angle brackets, anything with spaces or quotes
-/// as a quoted literal.
+/// Serializes a term: IRIs in angle brackets, anything the bracket form
+/// cannot carry losslessly — spaces, quotes, angle brackets (which would
+/// terminate or nest the bracket form) and line breaks (which would break
+/// the line framing) — as a quoted literal with `\\`, `\"`, `\n`, `\r`
+/// escapes. Together with [`parse_line`], every vertex/label name
+/// round-trips exactly.
 fn escape_term(t: &str) -> String {
-    if t.contains(' ') || t.contains('"') {
-        format!("\"{}\"", t.replace('\\', "\\\\").replace('"', "\\\""))
+    if t.contains([' ', '"', '<', '>', '\n', '\r']) {
+        let mut out = String::with_capacity(t.len() + 2);
+        out.push('"');
+        for c in t.chars() {
+            match c {
+                '\\' => out.push_str("\\\\"),
+                '"' => out.push_str("\\\""),
+                '\n' => out.push_str("\\n"),
+                '\r' => out.push_str("\\r"),
+                _ => out.push(c),
+            }
+        }
+        out.push('"');
+        out
     } else {
         format!("<{t}>")
     }
@@ -118,7 +134,16 @@ fn parse_term(input: &str, line: usize) -> Result<(String, &str)> {
             let mut escaped = false;
             for (i, c) in chars {
                 if escaped {
-                    out.push(c);
+                    // `\n`/`\r`/`\t` decode to their control characters
+                    // (the writer emits the first two); any other escaped
+                    // character stands for itself, so pre-escaping files
+                    // (`\\`, `\"` only) parse unchanged.
+                    out.push(match c {
+                        'n' => '\n',
+                        'r' => '\r',
+                        't' => '\t',
+                        _ => c,
+                    });
                     escaped = false;
                 } else if c == '\\' {
                     escaped = true;
@@ -180,6 +205,31 @@ mod tests {
         let line = t.to_string();
         let back = parse_line(&line, 1).unwrap().unwrap();
         assert_eq!(back, t);
+    }
+
+    #[test]
+    fn hostile_terms_roundtrip() {
+        // Spaces, quotes, angle brackets, backslashes and line breaks all
+        // survive one serialize/parse cycle exactly.
+        for term in [
+            "has space",
+            "angle<bracket",
+            "closing>bracket",
+            "<both>",
+            "quote\"inside",
+            "back\\slash",
+            "line\nbreak",
+            "carriage\rreturn",
+            "tab\tand space",
+            "mix <\"\\\n> all",
+            "",
+        ] {
+            let t = Triple::new(term, term, term);
+            let line = t.to_string();
+            assert!(!line.contains('\n'), "line framing broken for {term:?}: {line:?}");
+            let back = parse_line(&line, 1).unwrap().unwrap();
+            assert_eq!(back, t, "term {term:?} did not round-trip via {line:?}");
+        }
     }
 
     #[test]

@@ -1,0 +1,76 @@
+//! Persistence: build a serving engine once, snapshot it, restart
+//! without rebuilding anything.
+//!
+//! The scenario: a nightly job generates a LUBM-like KG, builds the local
+//! index (the expensive Algorithm 3 step) and writes one binary engine
+//! snapshot. Serving processes then cold-start from that file — graph,
+//! dictionaries, CSR adjacency and index all restored and verified
+//! (checksums + fingerprint) — and answer exactly as the original engine
+//! did. Run with `cargo run --example persistence`.
+
+use kgreach::{Algorithm, LocalIndexConfig, LscrEngine, LscrQuery, SubstructureConstraint};
+use kgreach_datagen::lubm::{generate, LubmConfig};
+use std::time::Instant;
+
+pub(crate) fn main() {
+    // ---- the nightly build ------------------------------------------------
+    let graph = generate(&LubmConfig { universities: 1, departments: 3, seed: 42 })
+        .expect("LUBM fits the label bitset");
+    println!(
+        "built graph: |V|={} |E|={} |L|={}",
+        graph.num_vertices(),
+        graph.num_edges(),
+        graph.num_labels()
+    );
+    let build_started = Instant::now();
+    let engine = LscrEngine::with_index_config(
+        graph,
+        LocalIndexConfig { num_landmarks: Some(40), seed: 42 },
+    );
+    let index = engine.local_index(); // the expensive step, done once
+    println!(
+        "built local index: {} landmarks, {} II pairs, in {:?}",
+        index.stats().num_landmarks,
+        index.stats().ii_pairs,
+        build_started.elapsed()
+    );
+
+    let dir = std::env::temp_dir().join(format!("kgreach-persistence-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("engine.kgsnap");
+    engine.save_snapshot_file(&path).expect("snapshot writes");
+    println!(
+        "snapshot written: {} ({} bytes)",
+        path.display(),
+        std::fs::metadata(&path).expect("snapshot exists").len()
+    );
+
+    // ---- the serving cold start -------------------------------------------
+    let restart_started = Instant::now();
+    let restored = LscrEngine::from_snapshot_file(&path).expect("snapshot loads");
+    println!("cold start from snapshot in {:?} (no rebuild)", restart_started.elapsed());
+    assert_eq!(restored.graph().fingerprint(), engine.graph().fingerprint());
+    assert!(restored.local_index_if_built().is_some(), "index restored, not rebuilt");
+
+    // The restored engine serves identically — same ids, same answers.
+    let g = restored.graph();
+    let student =
+        g.vertex_id("GraduateStudentV0.Department0.University0").expect("generated entity exists");
+    let professor = g.vertex_id("FullProfessor0.Department0.University0").expect("entity exists");
+    let q = LscrQuery::new(
+        student,
+        professor,
+        g.all_labels(),
+        SubstructureConstraint::parse("SELECT ?x WHERE { ?x <rdf:type> <ub:FullProfessor> . }")
+            .expect("constraint parses"),
+    );
+    for alg in [Algorithm::Uis, Algorithm::UisStar, Algorithm::Ins, Algorithm::Auto] {
+        let original = engine.answer(&q, alg).expect("query compiles").answer;
+        let after_restart = restored.answer(&q, alg).expect("query compiles").answer;
+        assert_eq!(original, after_restart, "{alg} must not change across a restart");
+        println!("{alg:>5}: {after_restart} (same before and after restart)");
+    }
+
+    std::fs::remove_dir_all(&dir).ok();
+    println!("persistence scenario OK");
+}

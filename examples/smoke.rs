@@ -10,6 +10,8 @@
 mod academic_advisor;
 #[path = "financial_fraud.rs"]
 mod financial_fraud;
+#[path = "persistence.rs"]
+mod persistence;
 #[path = "quickstart.rs"]
 mod quickstart;
 #[path = "yago_explore.rs"]
@@ -33,4 +35,9 @@ fn academic_advisor_scenario() {
 #[test]
 fn yago_explore_scenario() {
     yago_explore::main();
+}
+
+#[test]
+fn persistence_scenario() {
+    persistence::main();
 }

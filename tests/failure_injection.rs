@@ -1,9 +1,16 @@
 //! Failure injection and edge cases: oversized alphabets, out-of-range
-//! ids, malformed SPARQL, unsatisfiable constraints, degenerate queries.
+//! ids, malformed SPARQL, unsatisfiable constraints, degenerate queries,
+//! and the binary-snapshot corruption battery — truncations, bit flips,
+//! wrong magic, future versions, mismatched artifacts. Every failure is
+//! a typed error; none panics, none yields a silently wrong artifact.
 
-use kgreach::{Algorithm, LscrEngine, LscrQuery, QueryError, SubstructureConstraint};
-use kgreach_graph::{GraphBuilder, GraphError, LabelSet, VertexId, MAX_LABELS};
-use kgreach_integration::small_lubm;
+use kgreach::{
+    Algorithm, LocalIndex, LocalIndexConfig, LscrEngine, LscrQuery, QueryError,
+    SubstructureConstraint,
+};
+use kgreach_graph::snapshot::{self, ArtifactKind, FORMAT_VERSION, MAGIC};
+use kgreach_graph::{Graph, GraphBuilder, GraphError, LabelSet, VertexId, MAX_LABELS};
+use kgreach_integration::{random_typed_graph, small_lubm};
 
 #[test]
 fn too_many_labels_is_a_typed_error() {
@@ -136,6 +143,127 @@ fn triple_parser_rejects_garbage() {
             other => panic!("expected parse error, got {other:?}"),
         }
     }
+}
+
+/// A small graph whose engine snapshot (graph + index) is a few KiB, so
+/// exhaustive per-byte corruption sweeps stay fast.
+fn snapshot_fixture() -> (Graph, Vec<u8>) {
+    let g = random_typed_graph(14, 30, 3, 2, 0xBAD);
+    let engine =
+        LscrEngine::with_index_config(g, LocalIndexConfig { num_landmarks: Some(3), seed: 0xBAD });
+    let _ = engine.local_index();
+    let mut bytes = Vec::new();
+    engine.save_snapshot(&mut bytes).unwrap();
+    (engine.shared_graph().as_ref().clone(), bytes)
+}
+
+#[test]
+fn snapshot_wrong_magic_is_typed() {
+    let (_, mut bytes) = snapshot_fixture();
+    bytes[..8].copy_from_slice(b"NOTSNAP!");
+    assert!(matches!(
+        LscrEngine::from_snapshot(&bytes[..]),
+        Err(QueryError::Graph(GraphError::SnapshotBadMagic))
+    ));
+    // An arbitrary non-snapshot file is bad magic too, even a tiny one.
+    assert!(matches!(
+        snapshot::read_graph_snapshot(&b"<a> <p> <b> .\n"[..]),
+        Err(GraphError::SnapshotBadMagic)
+    ));
+    assert!(matches!(snapshot::read_graph_snapshot(&b"KG"[..]), Err(GraphError::SnapshotBadMagic)));
+}
+
+#[test]
+fn snapshot_future_version_is_typed() {
+    let (_, mut bytes) = snapshot_fixture();
+    let future = (FORMAT_VERSION + 1).to_le_bytes();
+    bytes[8..10].copy_from_slice(&future);
+    match LscrEngine::from_snapshot(&bytes[..]) {
+        Err(QueryError::Graph(GraphError::SnapshotVersion { found, supported })) => {
+            assert_eq!(found, FORMAT_VERSION + 1);
+            assert_eq!(supported, FORMAT_VERSION);
+        }
+        other => panic!("expected SnapshotVersion, got {other:?}"),
+    }
+}
+
+#[test]
+fn snapshot_artifact_kind_mismatch_is_typed() {
+    let (g, engine_bytes) = snapshot_fixture();
+    // A graph snapshot fed to the engine loader, and vice versa.
+    let mut graph_bytes = Vec::new();
+    snapshot::write_graph_snapshot(&g, &mut graph_bytes).unwrap();
+    assert!(matches!(
+        LscrEngine::from_snapshot(&graph_bytes[..]),
+        Err(QueryError::Graph(GraphError::SnapshotKind { .. }))
+    ));
+    assert!(matches!(
+        snapshot::read_graph_snapshot(&engine_bytes[..]),
+        Err(GraphError::SnapshotKind { expected, found })
+            if expected == ArtifactKind::Graph as u8 && found == ArtifactKind::Engine as u8
+    ));
+    assert!(matches!(LocalIndex::load(&engine_bytes[..]), Err(GraphError::SnapshotKind { .. })));
+}
+
+#[test]
+fn snapshot_every_truncation_is_typed() {
+    let (_, bytes) = snapshot_fixture();
+    assert_eq!(&bytes[..8], &MAGIC, "fixture sanity");
+    for len in 0..bytes.len() {
+        match LscrEngine::from_snapshot(&bytes[..len]) {
+            Err(QueryError::Graph(
+                GraphError::SnapshotBadMagic
+                | GraphError::SnapshotCorrupt { .. }
+                | GraphError::SnapshotVersion { .. },
+            )) => {}
+            other => panic!("truncation to {len} bytes: expected a typed error, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn snapshot_every_bit_flip_is_typed() {
+    let (_, bytes) = snapshot_fixture();
+    // Flip every bit of every byte past the 12-byte header (header flips
+    // are covered by the magic/version/kind tests above). Checksums must
+    // catch each one; no panic, no silent acceptance.
+    for i in 12..bytes.len() {
+        for bit in 0..8 {
+            let mut mutated = bytes.clone();
+            mutated[i] ^= 1 << bit;
+            assert!(
+                LscrEngine::from_snapshot(&mutated[..]).is_err(),
+                "flip of bit {bit} in byte {i} went undetected"
+            );
+        }
+    }
+}
+
+#[test]
+fn index_snapshot_from_different_graph_is_rejected() {
+    // Persist an index for graph A, restart against graph B: the embedded
+    // fingerprint must trip the existing IndexGraphMismatch path.
+    let a = random_typed_graph(14, 30, 3, 2, 0xA);
+    let index_a = LocalIndex::build(&a, &LocalIndexConfig { num_landmarks: Some(3), seed: 1 });
+    let mut bytes = Vec::new();
+    index_a.save(&mut bytes).unwrap();
+    let loaded = LocalIndex::load(&bytes[..]).unwrap();
+
+    let b = random_typed_graph(14, 30, 3, 2, 0xB);
+    let engine_b = LscrEngine::new(b);
+    match engine_b.set_local_index(loaded) {
+        Err(QueryError::IndexGraphMismatch { expected, found }) => {
+            assert_eq!(expected, engine_b.graph().fingerprint());
+            assert_eq!(found, index_a.graph_fingerprint());
+        }
+        other => panic!("expected IndexGraphMismatch, got {other:?}"),
+    }
+    assert!(engine_b.local_index_if_built().is_none(), "foreign index must not be installed");
+
+    // The same index loads fine against its own graph.
+    let engine_a = LscrEngine::new(a);
+    engine_a.set_local_index(LocalIndex::load(&bytes[..]).unwrap()).unwrap();
+    assert!(engine_a.local_index_if_built().is_some());
 }
 
 #[test]

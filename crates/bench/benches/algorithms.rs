@@ -17,6 +17,13 @@ fn bench_algorithms(c: &mut Criterion) {
     let mut scratch = SearchScratch::new(g.num_vertices());
     let opts = QueryOptions::default();
 
+    // The three most frequent predicates — the label-selective `L` used by
+    // the `-narrowL` groups below. High-frequency labels keep the search
+    // region meaningful while the label filter rejects most of each
+    // vertex's adjacency, which is the workload label-run expansion
+    // targets.
+    let narrow = kgreach_datagen::top_label_set(g, 3);
+
     for (cname, constraint) in [("S1", s1()), ("S3", s3())] {
         let w = generate_workload(
             g,
@@ -35,6 +42,41 @@ fn bench_algorithms(c: &mut Criterion) {
             .chain(&w.false_queries)
             .map(|gq| gq.query.compile(g).unwrap())
             .collect();
+
+        // Same endpoints and substructure constraints with `L` narrowed to
+        // the three hot labels: the label-selective S-workload.
+        let narrow_queries: Vec<_> = queries
+            .iter()
+            .map(|q| {
+                let mut q = q.clone();
+                q.label_constraint = narrow;
+                q
+            })
+            .collect();
+        let mut group = c.benchmark_group(format!("lscr/{cname}-narrowL"));
+        group.sample_size(10);
+        group.bench_function(BenchmarkId::new("UIS", narrow_queries.len()), |b| {
+            b.iter(|| {
+                for q in &narrow_queries {
+                    black_box(kgreach::uis::answer_with(g, q, &mut scratch, &opts).answer);
+                }
+            })
+        });
+        group.bench_function(BenchmarkId::new("UIS*", narrow_queries.len()), |b| {
+            b.iter(|| {
+                for q in &narrow_queries {
+                    black_box(kgreach::uis_star::answer_with(g, q, &mut scratch, &opts).answer);
+                }
+            })
+        });
+        group.bench_function(BenchmarkId::new("INS", narrow_queries.len()), |b| {
+            b.iter(|| {
+                for q in &narrow_queries {
+                    black_box(kgreach::ins::answer_with(g, q, &index, &mut scratch, &opts).answer);
+                }
+            })
+        });
+        group.finish();
 
         let mut group = c.benchmark_group(format!("lscr/{cname}"));
         group.sample_size(10);

@@ -101,6 +101,12 @@ impl CloseMap {
         self.stamps.len()
     }
 
+    /// Forces the epoch counter (wraparound regression tests only).
+    #[doc(hidden)]
+    pub fn force_epoch(&mut self, epoch: u32) {
+        self.epoch = epoch;
+    }
+
     /// Whether the map covers zero vertices.
     pub fn is_empty(&self) -> bool {
         self.stamps.is_empty()
@@ -162,6 +168,27 @@ mod tests {
             m.set(VertexId(0), CloseState::T);
             assert!(m.is_t(VertexId(0)));
         }
+    }
+
+    #[test]
+    fn epoch_wraparound_at_u32_max_clears_stale_stamps() {
+        // Regression: when the epoch wraps past u32::MAX the reset must
+        // clear the stamp array for real — otherwise every slot stamped in
+        // some ancient epoch that collides with the restarted counter
+        // would resurrect as F/T instead of N.
+        let mut m = CloseMap::new(4);
+        m.force_epoch(u32::MAX);
+        m.set(VertexId(0), CloseState::T);
+        m.set(VertexId(3), CloseState::F);
+        assert!(m.is_t(VertexId(0)));
+        m.reset(); // wraps: u32::MAX + 1 == 0 → full clear, epoch restarts at 1
+        for i in 0..4 {
+            assert!(m.is_n(VertexId(i)), "slot {i} survived the wraparound reset");
+        }
+        assert_eq!(m.passed_vertices(), 0);
+        m.set(VertexId(0), CloseState::F);
+        assert_eq!(m.get(VertexId(0)), CloseState::F);
+        assert_eq!(m.passed_vertices(), 1);
     }
 
     #[test]

@@ -424,9 +424,10 @@ impl LscrEngine {
     /// algorithm for `query` from cheap statistics — estimated constraint
     /// selectivity (schema class sizes, adjacency degrees, per-label edge
     /// counts; or the exact `|V(S,G)|` via `vsg_hint` when a prepared
-    /// query already materialized it), `|L|` relative to `𝓛`, and whether
-    /// the local index is already available (planning never triggers an
-    /// index build).
+    /// query already materialized it), the label-mask-derived expansion
+    /// region (how many vertices have *any* out-edge usable under `L` —
+    /// see [`Graph::label_vertex_counts`]), and whether the local index is
+    /// already available (planning never triggers an index build).
     ///
     /// Heuristics follow the paper's §6 findings: INS dominates when
     /// `V(S,G)` is small and selective; UIS wins when the constraint is
@@ -446,9 +447,20 @@ impl LscrEngine {
         if estimate == 0 {
             return Algorithm::UisStar;
         }
+        // The source's incident-label mask misses L entirely: the
+        // uninformed search inspects s and stops — nothing can beat that
+        // (UIS*/INS would still pay the V(S,G) materialization).
+        if g.out_label_mask(query.source).intersection(query.label_constraint).is_empty() {
+            return Algorithm::Uis;
+        }
         let index_ready = self.local_index_if_built().is_some();
         let selectivity = estimate as f64 / n as f64;
-        let label_frac = query.label_constraint.len() as f64 / g.num_labels().max(1) as f64;
+        // Expansion-region bound from the label-mask summary: a vertex can
+        // only be *expanded* under L if some out-edge label is in L, so
+        // the mask-derived region bounds the label-feasible region far
+        // more sharply than the old |L| / |𝓛| alphabet fraction (a rare
+        // label inflates |L| without enlarging the region).
+        let region_frac = g.expandable_region(query.label_constraint) as f64 / n as f64;
 
         // Tiny candidate sets: the V(S,G)-driven informed search touches
         // almost nothing when the index can prune for it. The absolute
@@ -463,8 +475,9 @@ impl LscrEngine {
             return Algorithm::Uis;
         }
         // Narrow label constraints confine the uninformed search to a
-        // small label-feasible region.
-        if label_frac <= 0.25 {
+        // small label-feasible region, and the label-run expansion skips
+        // the rest of each vertex's adjacency.
+        if region_frac <= 0.25 {
             return Algorithm::Uis;
         }
         // Mid-selectivity, broad labels: informed search if possible,

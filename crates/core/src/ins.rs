@@ -86,6 +86,8 @@ fn run(
         g,
         index,
         labels: q.label_constraint,
+        // One strategy decision for every LCS invocation of this query.
+        selective: g.expansion_selective(q.label_constraint),
         close,
         queue,
         stats: SearchStats {
@@ -141,6 +143,8 @@ struct Ins<'a> {
     g: &'a Graph,
     index: &'a LocalIndex,
     labels: LabelSet,
+    /// Whether mask-guided expansion pays for this query's `L`.
+    selective: bool,
     close: &'a mut CloseMap,
     queue: &'a mut GlobalQueue,
     stats: SearchStats,
@@ -195,11 +199,18 @@ impl Ins<'_> {
             let u_state = self.close.get(u);
             debug_assert!(u_state != CloseState::N, "queued vertices are explored");
 
-            for e in self.g.out_neighbors(u) {
+            // Flat expansion: one slice scan; under a selective L the
+            // incident-label mask skips the vertex outright (empty
+            // slice), and the accounting keeps skipped = degree −
+            // scanned exact either way.
+            let exp = self.g.out_expansion(u, self.labels, self.selective);
+            self.stats.edges_skipped += exp.degree;
+            for e in exp.edges {
                 if !self.labels.contains(e.label) {
                     continue;
                 }
                 self.stats.edges_scanned += 1;
+                self.stats.edges_skipped -= 1;
                 let w = e.vertex;
 
                 // Reaching t* directly decides this invocation regardless

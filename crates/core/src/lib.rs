@@ -90,7 +90,7 @@ pub mod uis_star;
 pub mod witness;
 
 pub use close::{CloseMap, CloseState};
-pub use constraint::{CompiledConstraint, ConstraintBuilder, SubstructureConstraint};
+pub use constraint::{CompiledConstraint, ConstraintBuilder, ScckCache, SubstructureConstraint};
 pub use engine::{Algorithm, LscrEngine};
 pub use local_index::{IndexBuildStats, LandmarkEntry, LocalIndex, LocalIndexConfig};
 pub use partition::{

@@ -551,13 +551,18 @@ fn local_full_index(
         if !fresh {
             continue;
         }
-        for e in g.out_neighbors(v) {
-            let w = e.vertex;
-            let l2 = l.with(e.label);
-            if partition.af(w) == Some(ord) {
-                queue.push_back((w, l2));
-            } else {
-                ei.entry(w).or_default().insert(l2);
+        // Expand by label runs: all edges of a run share a label, so the
+        // path label set `L(p) ∪ {l}` is computed once per run instead of
+        // once per edge.
+        for (label, run) in g.out_label_runs(v) {
+            let l2 = l.with(label);
+            for e in run {
+                let w = e.vertex;
+                if partition.af(w) == Some(ord) {
+                    queue.push_back((w, l2));
+                } else {
+                    ei.entry(w).or_default().insert(l2);
+                }
             }
         }
     }

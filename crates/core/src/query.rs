@@ -288,8 +288,21 @@ pub struct SearchStats {
     pub passed_vertices: usize,
     /// Invocations of `SCck` (UIS only; UIS\*/INS use `V(S,G)` instead).
     pub scck_calls: usize,
+    /// `SCck` invocations answered from the per-constraint result cache
+    /// without re-running the SPARQL-pattern embedding (a subset of
+    /// `scck_calls`).
+    pub scck_cache_hits: usize,
     /// Edges scanned across all traversals.
     pub edges_scanned: usize,
+    /// Incident edges of expanded vertices that did **not** enter the
+    /// search: `Σ degree − edges_scanned` over expanded vertices. This
+    /// covers both edges rejected by the per-edge label filter and whole
+    /// adjacencies the incident-label mask pruned without loading (the
+    /// two are not distinguished — under a selective `L` the mask turns
+    /// most of this count into work that never happened), plus any
+    /// matched edges made moot by an early termination of the expanding
+    /// scan.
+    pub edges_skipped: usize,
     /// Stack/queue pushes.
     pub pushes: usize,
     /// `LCS` invocations (UIS\*/INS).

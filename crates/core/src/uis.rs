@@ -36,12 +36,17 @@ pub fn answer_with(
     let s = q.source;
     let t = q.target;
     let labels = q.label_constraint;
+    // One strategy decision for the whole search: mask-guided expansion
+    // only when L is selective enough to skip vertices/runs.
+    let selective = g.expansion_selective(labels);
 
     // Line 1-2: stack with s; close[s] ← SCck(s, S).
     stack.push(s);
     stats.pushes += 1;
     stats.scck_calls += 1;
-    let s_state = if q.constraint.satisfies(g, s) { CloseState::T } else { CloseState::F };
+    let (s_sat, s_hit) = q.constraint.satisfies_cached(g, s);
+    stats.scck_cache_hits += usize::from(s_hit);
+    let s_state = if s_sat { CloseState::T } else { CloseState::F };
     close.set(s, s_state);
 
     // s = t: the zero-edge path answers immediately when s satisfies S;
@@ -50,7 +55,9 @@ pub fn answer_with(
         return finish(true, stats, close, start);
     }
 
-    // Lines 3-11.
+    // Lines 3-11, expanding by candidate label runs: vertices with no
+    // usable label are skipped in one mask test, hub adjacencies in whole
+    // runs; the per-edge test below only filters whole-slice runs.
     while let Some(u) = stack.pop() {
         if limits.exceeded(stats.edges_scanned) {
             let mut out = finish(false, stats, close, start);
@@ -58,11 +65,18 @@ pub fn answer_with(
             return out;
         }
         let u_is_t = close.is_t(u);
-        for e in g.out_neighbors(u) {
+        // Flat expansion: one slice scan; under a selective L the
+        // incident-label mask skips the vertex outright (empty slice),
+        // and the accounting keeps skipped = degree − scanned exact
+        // either way.
+        let exp = g.out_expansion(u, labels, selective);
+        stats.edges_skipped += exp.degree;
+        for e in exp.edges {
             if !labels.contains(e.label) {
                 continue;
             }
             stats.edges_scanned += 1;
+            stats.edges_skipped -= 1;
             let v = e.vertex;
             let v_state = close.get(v);
             let explored = if u_is_t && v_state != CloseState::T {
@@ -74,8 +88,9 @@ pub fn answer_with(
             } else if v_state == CloseState::N {
                 // Case 2: first contact — close[v] ← SCck(v, S).
                 stats.scck_calls += 1;
-                let st = if q.constraint.satisfies(g, v) { CloseState::T } else { CloseState::F };
-                close.set(v, st);
+                let (sat, hit) = q.constraint.satisfies_cached(g, v);
+                stats.scck_cache_hits += usize::from(hit);
+                close.set(v, if sat { CloseState::T } else { CloseState::F });
                 stack.push(v);
                 stats.pushes += 1;
                 true

@@ -102,6 +102,8 @@ fn run(
     let mut state = UisStar {
         g,
         labels: q.label_constraint,
+        // One strategy decision for every LCS invocation of this query.
+        selective: g.expansion_selective(q.label_constraint),
         close,
         stack,
         stats: SearchStats {
@@ -158,6 +160,8 @@ fn run(
 struct UisStar<'a> {
     g: &'a Graph,
     labels: LabelSet,
+    /// Whether mask-guided expansion pays for this query's `L`.
+    selective: bool,
     close: &'a mut CloseMap,
     stack: &'a mut Vec<VertexId>,
     stats: SearchStats,
@@ -196,11 +200,18 @@ impl UisStar<'_> {
                 }
                 _ => break,
             };
-            for e in self.g.out_neighbors(u) {
+            // Flat expansion: one slice scan; under a selective L the
+            // incident-label mask skips the vertex outright (empty
+            // slice), and the accounting keeps skipped = degree −
+            // scanned exact either way.
+            let exp = self.g.out_expansion(u, self.labels, self.selective);
+            self.stats.edges_skipped += exp.degree;
+            for e in exp.edges {
                 if !self.labels.contains(e.label) {
                     continue;
                 }
                 self.stats.edges_scanned += 1;
+                self.stats.edges_skipped -= 1;
                 let w = e.vertex;
                 // Line 20: case 1 (B=T ∧ close[w]≠T), case 2 (B=F ∧ close[w]=N).
                 let explore = if b { !self.close.is_t(w) } else { self.close.is_n(w) };

@@ -32,6 +32,18 @@ pub mod lubm;
 pub mod queries;
 pub mod yago;
 
+/// The `k` most frequent predicates of `g` (by edge count, ties broken
+/// toward the higher label id) as a [`kgreach_graph::LabelSet`] — the
+/// label-selective `L` of the `-narrowL` benchmark workloads and of the
+/// regression tests that track them. Living here keeps the bench harness
+/// and the test suite pinned to one definition of "narrow".
+pub fn top_label_set(g: &kgreach_graph::Graph, k: usize) -> kgreach_graph::LabelSet {
+    let mut by_count: Vec<(usize, usize)> =
+        g.label_histogram().iter().copied().enumerate().map(|(i, n)| (n, i)).collect();
+    by_count.sort_unstable_by(|a, b| b.cmp(a));
+    by_count.iter().take(k).map(|&(_, i)| kgreach_graph::LabelId(i as u16)).collect()
+}
+
 pub use constraints::{all_lubm_constraints, random_constraint_with_magnitude};
 pub use lubm::LubmConfig;
 pub use queries::{FalseKind, GeneratedQuery, QueryGenConfig, Workload};

@@ -1,12 +1,39 @@
-//! Compressed sparse row (CSR) adjacency storage.
+//! Compressed sparse row (CSR) adjacency storage with label-run cursors.
 //!
 //! Every search algorithm in the paper is dominated by the inner loop
-//! "for each edge `(u, l, v)` incident to `u`". CSR stores all edges in two
-//! flat arrays (offsets + targets), so that loop is a contiguous slice scan
-//! with no pointer chasing. We keep one CSR for out-edges and, because the
-//! SPARQL evaluator also matches patterns by object, one for in-edges.
+//! "for each edge `(u, l, v)` with `l ∈ L` incident to `u`". CSR stores all
+//! edges in two flat arrays (offsets + targets), so that loop is a
+//! contiguous slice scan with no pointer chasing. We keep one CSR for
+//! out-edges and, because the SPARQL evaluator also matches patterns by
+//! object, one for in-edges.
+//!
+//! # Hot-path layout: label runs and incident-label masks
+//!
+//! Within each vertex the targets are sorted by `(label, vertex)`, so the
+//! edges carrying one label form a contiguous **run**. Two derived arrays
+//! exploit that for label-constrained expansion (the standard lever in the
+//! reachability-indexing literature — BitPath's label-order bitmaps, the
+//! Zhang/Bonifati/Özsu survey):
+//!
+//! * a per-vertex **incident-label mask** (`LabelSet` of the labels on the
+//!   vertex's edges) lets [`labeled_neighbors`](Csr::labeled_neighbors)
+//!   skip a whole vertex in one `u64` AND when none of its edges can match
+//!   the constraint — the dominant case under selective constraints;
+//! * vertices that cannot be skipped are yielded adaptively: short or
+//!   fully-matching adjacencies come back as one whole-slice run (the
+//!   caller's inline label test filters — on scale-free short slices that
+//!   beats any search), while hub-sized mixed adjacencies are
+//!   binary-searched per label in `mask ∩ L` so edges with labels outside
+//!   `L` are never touched (see [`LABEL_SEARCH_CUTOFF`]).
+//!
+//! Both arrays are derived from the targets, never persisted: snapshot
+//! decoding rebuilds them (in the crate-internal `Csr::from_parts`) with
+//! one pass over the already-validated adjacency (cheaper than the
+//! checksum pass that precedes it), so the snapshot format needs no bump
+//! and cannot carry a mask that disagrees with the edges.
 
 use crate::ids::{LabelId, VertexId};
+use crate::labelset::LabelSet;
 
 /// A `(label, neighbor)` pair stored in the adjacency arrays.
 ///
@@ -20,11 +47,13 @@ pub struct LabeledTarget {
 }
 
 /// Compressed sparse row adjacency: `offsets[v]..offsets[v+1]` indexes the
-/// slice of `targets` holding vertex `v`'s incident edges.
+/// slice of `targets` holding vertex `v`'s incident edges. `masks[v]` is
+/// the union of the labels on that slice (see the module docs).
 #[derive(Clone, Debug, Default)]
 pub struct Csr {
     offsets: Vec<u32>,
     targets: Vec<LabeledTarget>,
+    masks: Vec<LabelSet>,
 }
 
 impl Csr {
@@ -32,44 +61,67 @@ impl Csr {
     /// `(key_vertex, label, other_vertex)` triples, where `key_vertex` is
     /// the vertex the adjacency is indexed by.
     ///
-    /// Uses a counting-sort placement: O(|V| + |E|), no comparison sort.
-    /// Within each vertex, edges are ordered by `(label, vertex)` to make
-    /// per-label scans cache-friendly and deterministic.
+    /// The source iterator is consumed in a **single pass** (it may be
+    /// expensive — a parse stream, a mapped snapshot); counting-sort
+    /// placement then runs over the in-memory buffer: O(|V| + |E|) total,
+    /// no comparison sort across vertices. Within each vertex, edges are
+    /// ordered by `(label, vertex)` to make per-label runs contiguous and
+    /// deterministic; per-vertex slices that arrive already sorted (the
+    /// common case — `GraphBuilder` pre-sorts its edge list) skip the
+    /// sort entirely.
     pub fn build(
         num_vertices: usize,
-        edges: impl Iterator<Item = (VertexId, LabelId, VertexId)> + Clone,
+        edges: impl Iterator<Item = (VertexId, LabelId, VertexId)>,
     ) -> Self {
         let mut counts = vec![0u32; num_vertices + 1];
-        let mut num_edges = 0usize;
-        for (k, _, _) in edges.clone() {
+        let mut buf: Vec<(VertexId, LabeledTarget)> = Vec::with_capacity(edges.size_hint().0);
+        for (k, l, v) in edges {
             counts[k.index() + 1] += 1;
-            num_edges += 1;
+            buf.push((k, LabeledTarget { label: l, vertex: v }));
         }
         for i in 1..counts.len() {
             counts[i] += counts[i - 1];
         }
         let offsets = counts.clone();
         let mut cursor = counts;
-        let mut targets = vec![LabeledTarget { label: LabelId(0), vertex: VertexId(0) }; num_edges];
-        for (k, l, v) in edges {
+        let mut targets = vec![LabeledTarget { label: LabelId(0), vertex: VertexId(0) }; buf.len()];
+        let mut masks = vec![LabelSet::EMPTY; num_vertices];
+        for &(k, t) in &buf {
             let pos = cursor[k.index()] as usize;
-            targets[pos] = LabeledTarget { label: l, vertex: v };
+            targets[pos] = t;
             cursor[k.index()] += 1;
+            masks[k.index()].insert(t.label);
         }
-        // Sort each vertex's slice by (label, vertex) for determinism.
+        drop(buf);
+        // Sort each vertex's slice by (label, vertex) for determinism and
+        // label-run contiguity; skip slices that are already sorted.
         for v in 0..num_vertices {
             let lo = offsets[v] as usize;
             let hi = offsets[v + 1] as usize;
-            targets[lo..hi].sort_unstable_by_key(|t| (t.label, t.vertex));
+            let slice = &mut targets[lo..hi];
+            if slice.windows(2).any(|w| (w[0].label, w[0].vertex) > (w[1].label, w[1].vertex)) {
+                slice.sort_unstable_by_key(|t| (t.label, t.vertex));
+            }
         }
-        Csr { offsets, targets }
+        Csr { offsets, targets, masks }
     }
 
     /// Reassembles a CSR from its raw arrays (snapshot decoding). The
     /// caller is responsible for having validated the offsets/targets
-    /// invariants (monotone offsets, ids in range).
+    /// invariants (monotone offsets, ids in range, per-vertex label
+    /// ordering); the derived incident-label masks are recomputed here, so
+    /// they can never disagree with the stored adjacency.
     pub(crate) fn from_parts(offsets: Vec<u32>, targets: Vec<LabeledTarget>) -> Csr {
-        Csr { offsets, targets }
+        let num_vertices = offsets.len().saturating_sub(1);
+        let mut masks = vec![LabelSet::EMPTY; num_vertices];
+        for v in 0..num_vertices {
+            let lo = offsets[v] as usize;
+            let hi = offsets[v + 1] as usize;
+            for t in &targets[lo..hi] {
+                masks[v].insert(t.label);
+            }
+        }
+        Csr { offsets, targets, masks }
     }
 
     /// The raw offset array, `|V| + 1` entries (snapshot encoding).
@@ -90,12 +142,101 @@ impl Csr {
         &self.targets[lo..hi]
     }
 
+    /// The union of the labels on `v`'s incident edges, in one load.
+    #[inline(always)]
+    pub fn label_mask(&self, v: VertexId) -> LabelSet {
+        self.masks[v.index()]
+    }
+
+    /// The per-vertex incident-label masks (derived array; see module
+    /// docs).
+    pub(crate) fn label_masks(&self) -> &[LabelSet] {
+        &self.masks
+    }
+
+    /// The incident edges of `v` that can match `constraint`, yielded as
+    /// contiguous candidate runs — the hot-path replacement for always
+    /// scanning the full [`neighbors`](Self::neighbors) slice.
+    ///
+    /// Three regimes, picked per vertex from the incident-label mask and
+    /// the degree:
+    ///
+    /// * `mask ∩ L = ∅` — the vertex is skipped whole: the iterator is
+    ///   immediately empty, no edge is touched;
+    /// * small degree, or `mask ⊆ L` — one run covering the full slice.
+    ///   On the short adjacency lists that dominate scale-free KGs an
+    ///   inline per-edge label test is cheaper than any search, so the
+    ///   caller keeps filtering — which costs nothing extra in the
+    ///   `mask ⊆ L` case, where the test always passes;
+    /// * mixed labels and degree above [`LABEL_SEARCH_CUTOFF`] — one
+    ///   binary-searched run per label in `mask ∩ L`, each search
+    ///   confined to the yet-unvisited suffix (labels ascend within a
+    ///   vertex); on hub vertices this touches `O(|mask ∩ L| log deg)`
+    ///   entries instead of the whole slice.
+    ///
+    /// Contract: every incident edge with label in `constraint` appears
+    /// in exactly one yielded run; edges with labels outside `constraint`
+    /// appear **at most** once (full-slice regime) — callers apply the
+    /// per-edge label test to the runs. The iterator never yields any
+    /// edge twice and never allocates.
+    #[inline]
+    pub fn labeled_neighbors(&self, v: VertexId, constraint: LabelSet) -> LabelRuns<'_> {
+        let slice = self.neighbors(v);
+        let mask = self.masks[v.index()];
+        let wanted = mask.intersection(constraint);
+        let mode = if wanted.is_empty() || slice.is_empty() {
+            RunMode::Done
+        } else if wanted == mask || slice.len() <= LABEL_SEARCH_CUTOFF {
+            RunMode::Full
+        } else {
+            RunMode::Search
+        };
+        LabelRuns { slice, degree: slice.len(), pending: wanted.bits(), mode }
+    }
+
+    /// The expansion view of `v` under `constraint` — the shape the
+    /// search hot loops consume. Unlike
+    /// [`labeled_neighbors`](Self::labeled_neighbors) this is not an
+    /// iterator: it returns one plain slice so the caller's loop stays a
+    /// flat, LLVM-friendly scan (measured: routing the same slice
+    /// through a stateful run iterator cost UIS\*'s broad-`L` searches
+    /// ~50%).
+    ///
+    /// * `selective` and `mask ∩ L = ∅` — the whole vertex is skipped:
+    ///   `edges` is empty while `degree` still reports the adjacency
+    ///   size, so skipped-edge accounting stays exact;
+    /// * otherwise `edges` is the full adjacency slice and the caller's
+    ///   per-edge label test filters (callers pass `selective = false`
+    ///   for broad constraints to not even pay the mask load — see
+    ///   `Graph::expansion_selective`).
+    #[inline(always)]
+    pub fn expansion(&self, v: VertexId, constraint: LabelSet, selective: bool) -> Expansion<'_> {
+        let slice = self.neighbors(v);
+        if selective && self.masks[v.index()].intersection(constraint).is_empty() {
+            Expansion { edges: &[], degree: slice.len() }
+        } else {
+            Expansion { edges: slice, degree: slice.len() }
+        }
+    }
+
+    /// The incident edges of `v` grouped into per-label runs, without a
+    /// constraint — a linear grouping pass used by index construction,
+    /// which wants the label hoisted out of the per-edge loop.
+    #[inline]
+    pub fn label_runs(&self, v: VertexId) -> PerLabelRuns<'_> {
+        PerLabelRuns { slice: self.neighbors(v) }
+    }
+
     /// The incident edges of `v` with label `l` (binary search on the
-    /// label-sorted slice).
+    /// label-sorted slice). The incident-label mask short-circuits misses
+    /// without touching the target array.
     pub fn neighbors_with_label(&self, v: VertexId, l: LabelId) -> &[LabeledTarget] {
+        if !self.masks[v.index()].contains(l) {
+            return &[];
+        }
         let slice = self.neighbors(v);
         let lo = slice.partition_point(|t| t.label < l);
-        let hi = slice.partition_point(|t| t.label <= l);
+        let hi = lo + slice[lo..].partition_point(|t| t.label <= l);
         &slice[lo..hi]
     }
 
@@ -119,6 +260,117 @@ impl Csr {
     pub fn heap_bytes(&self) -> usize {
         self.offsets.capacity() * std::mem::size_of::<u32>()
             + self.targets.capacity() * std::mem::size_of::<LabeledTarget>()
+            + self.masks.capacity() * std::mem::size_of::<LabelSet>()
+    }
+}
+
+/// One vertex's adjacency as the search hot loops consume it; created by
+/// [`Csr::expansion`]. `edges` is either the full adjacency slice (the
+/// caller's per-edge label test filters) or empty when the incident-label
+/// mask proved nothing can match; `degree` always reports the full
+/// adjacency size for skipped-edge accounting.
+#[derive(Debug)]
+pub struct Expansion<'a> {
+    /// The candidate edges (full slice, or empty on a whole-vertex skip).
+    pub edges: &'a [LabeledTarget],
+    /// The vertex's full degree in this direction.
+    pub degree: usize,
+}
+
+/// Above this degree a mixed-label adjacency is binary-searched per label
+/// by [`Csr::labeled_neighbors`] instead of being yielded whole for the
+/// caller's inline filter. Short slices are cheaper to walk than to
+/// search (a well-predicted test per edge beats `log deg` probes per
+/// label); hub-sized slices are the other way around. 64 targets keep
+/// the walked case within a few cache lines.
+pub const LABEL_SEARCH_CUTOFF: usize = 64;
+
+/// How a [`LabelRuns`] iterator extracts the candidate edges.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+enum RunMode {
+    /// Exhausted (or nothing can match).
+    Done,
+    /// Yield the whole slice once; the caller's per-edge test filters.
+    Full,
+    /// Per-label binary search over a hub-sized slice.
+    Search,
+}
+
+/// Iterator over the candidate runs of one vertex's adjacency under a
+/// label constraint; created by [`Csr::labeled_neighbors`] — see its
+/// contract for what the runs contain per regime.
+#[derive(Debug)]
+pub struct LabelRuns<'a> {
+    /// Unvisited suffix of the vertex's adjacency slice.
+    slice: &'a [LabeledTarget],
+    /// Full degree of the vertex (for skip accounting).
+    degree: usize,
+    /// Labels still to extract in search mode, as raw bits of `mask ∩ L`.
+    pending: u64,
+    /// Extraction strategy, picked at construction.
+    mode: RunMode,
+}
+
+impl LabelRuns<'_> {
+    /// The vertex's full degree in this direction — candidate edges plus
+    /// the ones the constraint skips outright. Callers that track a
+    /// skipped-edge counter charge this up front and credit back each
+    /// edge that passes their label test.
+    #[inline]
+    pub fn degree(&self) -> usize {
+        self.degree
+    }
+}
+
+impl<'a> Iterator for LabelRuns<'a> {
+    type Item = &'a [LabeledTarget];
+
+    #[inline]
+    fn next(&mut self) -> Option<&'a [LabeledTarget]> {
+        match self.mode {
+            RunMode::Done => None,
+            RunMode::Full => {
+                self.mode = RunMode::Done;
+                Some(std::mem::take(&mut self.slice))
+            }
+            RunMode::Search => {
+                if self.pending == 0 {
+                    self.mode = RunMode::Done;
+                    return None;
+                }
+                let tz = self.pending.trailing_zeros();
+                self.pending &= self.pending - 1;
+                let l = LabelId(tz as u16);
+                let lo = self.slice.partition_point(|t| t.label < l);
+                let hi = lo + self.slice[lo..].partition_point(|t| t.label <= l);
+                let run = &self.slice[lo..hi];
+                self.slice = &self.slice[hi..];
+                debug_assert!(!run.is_empty(), "mask bit set without a matching run");
+                Some(run)
+            }
+        }
+    }
+}
+
+/// Iterator over all label runs of one vertex's adjacency (no
+/// constraint); created by [`Csr::label_runs`]. Yields `(label, run)`
+/// pairs in ascending label order by linear grouping — no searches.
+#[derive(Debug)]
+pub struct PerLabelRuns<'a> {
+    slice: &'a [LabeledTarget],
+}
+
+impl<'a> Iterator for PerLabelRuns<'a> {
+    type Item = (LabelId, &'a [LabeledTarget]);
+
+    #[inline]
+    fn next(&mut self) -> Option<(LabelId, &'a [LabeledTarget])> {
+        let first = self.slice.first()?;
+        let label = first.label;
+        let len = self.slice.iter().position(|t| t.label != label).unwrap_or(self.slice.len());
+        let (run, rest) = self.slice.split_at(len);
+        self.slice = rest;
+        Some((label, run))
     }
 }
 
@@ -136,6 +388,10 @@ mod tests {
         Csr::build(4, edges.into_iter())
     }
 
+    fn ls(ids: &[u16]) -> LabelSet {
+        ids.iter().map(|&i| LabelId(i)).collect()
+    }
+
     #[test]
     fn neighbors_sorted_by_label() {
         let csr = sample();
@@ -149,6 +405,7 @@ mod tests {
         let csr = sample();
         assert!(csr.neighbors(VertexId(3)).is_empty());
         assert_eq!(csr.degree(VertexId(3)), 0);
+        assert!(csr.label_mask(VertexId(3)).is_empty());
     }
 
     #[test]
@@ -170,6 +427,104 @@ mod tests {
     }
 
     #[test]
+    fn label_masks_cover_incident_labels() {
+        let csr = sample();
+        assert_eq!(csr.label_mask(VertexId(0)), ls(&[0, 1]));
+        assert_eq!(csr.label_mask(VertexId(1)), ls(&[1]));
+        assert_eq!(csr.label_mask(VertexId(2)), LabelSet::EMPTY);
+    }
+
+    /// Reference semantics for `labeled_neighbors`: the filtered full
+    /// scan.
+    fn filtered(csr: &Csr, v: VertexId, l: LabelSet) -> Vec<LabeledTarget> {
+        csr.neighbors(v).iter().copied().filter(|t| l.contains(t.label)).collect()
+    }
+
+    /// The caller-side view of `labeled_neighbors`: yielded runs with the
+    /// per-edge label test the contract prescribes.
+    fn via_runs(csr: &Csr, v: VertexId, l: LabelSet) -> Vec<LabeledTarget> {
+        csr.labeled_neighbors(v, l)
+            .flat_map(|run| run.iter().copied())
+            .filter(|t| l.contains(t.label))
+            .collect()
+    }
+
+    #[test]
+    fn labeled_neighbors_matches_filtered_scan() {
+        let csr = sample();
+        for v in 0..4 {
+            for bits in 0..8u64 {
+                let l = LabelSet::from_bits(bits);
+                assert_eq!(
+                    via_runs(&csr, VertexId(v), l),
+                    filtered(&csr, VertexId(v), l),
+                    "vertex {v}, constraint {l:?}"
+                );
+                // No edge is ever yielded twice, and candidates never
+                // exceed the degree.
+                let yielded: usize =
+                    csr.labeled_neighbors(VertexId(v), l).map(<[LabeledTarget]>::len).sum();
+                assert!(yielded <= csr.degree(VertexId(v)));
+            }
+        }
+    }
+
+    #[test]
+    fn labeled_neighbors_regimes() {
+        let csr = sample();
+        // Disjoint mask: whole vertex skipped, zero runs, no edge touched.
+        assert_eq!(csr.labeled_neighbors(VertexId(0), ls(&[5])).count(), 0);
+        // Full-cover: one run spanning the whole slice.
+        let runs: Vec<_> = csr.labeled_neighbors(VertexId(0), ls(&[0, 1, 5])).collect();
+        assert_eq!(runs.len(), 1);
+        assert_eq!(runs[0].len(), 2);
+        // Mixed + small degree: still one whole-slice run — the caller's
+        // inline test filters (cheaper than searching a 2-edge slice).
+        let runs: Vec<_> = csr.labeled_neighbors(VertexId(0), ls(&[1])).collect();
+        assert_eq!(runs.len(), 1);
+        assert_eq!(runs[0].len(), 2);
+        // Degree reports the full adjacency regardless of the constraint.
+        assert_eq!(csr.labeled_neighbors(VertexId(0), ls(&[1])).degree(), 2);
+        assert_eq!(csr.labeled_neighbors(VertexId(0), LabelSet::EMPTY).degree(), 2);
+    }
+
+    #[test]
+    fn labeled_neighbors_searches_hub_vertices() {
+        // A hub past the cutoff with interleaved labels: the mixed regime
+        // binary-searches one run per wanted label, skipping the rest.
+        let mut edges = Vec::new();
+        for i in 0..((LABEL_SEARCH_CUTOFF as u32) * 2) {
+            edges.push((VertexId(0), LabelId((i % 8) as u16), VertexId(i + 1)));
+        }
+        let n = edges.len() + 1;
+        let csr = Csr::build(n, edges.into_iter());
+        let l = ls(&[2, 5]);
+        let runs: Vec<_> = csr.labeled_neighbors(VertexId(0), l).collect();
+        assert_eq!(runs.len(), 2, "one searched run per wanted label");
+        for run in &runs {
+            assert!(run.iter().all(|t| l.contains(t.label)), "searched runs are pre-filtered");
+        }
+        assert_eq!(via_runs(&csr, VertexId(0), l), filtered(&csr, VertexId(0), l));
+        // Whole-vertex skip still applies to hubs.
+        assert_eq!(csr.labeled_neighbors(VertexId(0), ls(&[9])).count(), 0);
+    }
+
+    #[test]
+    fn per_label_runs_group_contiguously() {
+        let edges = vec![
+            (VertexId(0), LabelId(2), VertexId(1)),
+            (VertexId(0), LabelId(0), VertexId(3)),
+            (VertexId(0), LabelId(2), VertexId(2)),
+            (VertexId(0), LabelId(0), VertexId(1)),
+        ];
+        let csr = Csr::build(4, edges.into_iter());
+        let runs: Vec<(u16, usize)> =
+            csr.label_runs(VertexId(0)).map(|(l, r)| (l.0, r.len())).collect();
+        assert_eq!(runs, vec![(0, 2), (2, 2)]);
+        assert_eq!(csr.label_runs(VertexId(1)).count(), 0);
+    }
+
+    #[test]
     fn parallel_and_multi_label_edges() {
         // Two parallel edges with different labels plus a duplicate edge.
         let edges = vec![
@@ -180,6 +535,7 @@ mod tests {
         let csr = Csr::build(2, edges.into_iter());
         assert_eq!(csr.degree(VertexId(0)), 3);
         assert_eq!(csr.neighbors_with_label(VertexId(0), LabelId(1)).len(), 2);
+        assert_eq!(csr.label_mask(VertexId(0)), ls(&[1, 2]));
     }
 
     #[test]
@@ -187,6 +543,13 @@ mod tests {
         let csr = Csr::build(0, std::iter::empty());
         assert_eq!(csr.num_vertices(), 0);
         assert_eq!(csr.num_edges(), 0);
+    }
+
+    #[test]
+    fn from_parts_recomputes_masks() {
+        let built = sample();
+        let rebuilt = Csr::from_parts(built.offsets.clone(), built.targets.clone());
+        assert_eq!(rebuilt.label_masks(), built.label_masks());
     }
 
     #[test]

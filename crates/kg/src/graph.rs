@@ -5,7 +5,7 @@
 //! [`Schema`] layer. [`GraphBuilder`] accumulates triples (string-level or
 //! pre-interned) and freezes them into a `Graph`.
 
-use crate::csr::{Csr, LabeledTarget};
+use crate::csr::{Csr, Expansion, LabelRuns, LabeledTarget, PerLabelRuns};
 use crate::dict::Dict;
 use crate::error::{GraphError, Result};
 use crate::ids::{Edge, LabelId, VertexId};
@@ -53,12 +53,24 @@ pub struct Graph {
     inn: Csr,
     schema: Schema,
     label_histogram: Vec<usize>,
+    /// Per label, the number of vertices with at least one *out*-edge
+    /// carrying it — derived from the CSR incident-label masks at freeze
+    /// and on snapshot load (never persisted), consumed by the `Auto`
+    /// planner's expansion-region estimate.
+    label_vertex_counts: Vec<usize>,
+    /// Vertices with a non-empty out-adjacency (non-sinks) — the baseline
+    /// the expansion-selectivity test compares the expandable region
+    /// against (KGs are full of sink literals that no constraint could
+    /// ever expand, so `|V|` would be the wrong denominator).
+    non_sink_vertices: usize,
 }
 
 impl Graph {
     /// Reassembles a graph from already-validated parts (snapshot
     /// decoding); the builder path stays the only public way to construct
-    /// one.
+    /// one. Derived arrays (per-vertex label masks inside the CSRs, the
+    /// per-label vertex counts here) are recomputed, not trusted from the
+    /// input.
     pub(crate) fn from_parts(
         vertex_dict: Dict,
         label_dict: Dict,
@@ -67,7 +79,24 @@ impl Graph {
         schema: Schema,
         label_histogram: Vec<usize>,
     ) -> Graph {
-        Graph { vertex_dict, label_dict, out, inn, schema, label_histogram }
+        let mut label_vertex_counts = vec![0usize; label_dict.len()];
+        let mut non_sink_vertices = 0usize;
+        for mask in out.label_masks() {
+            non_sink_vertices += usize::from(!mask.is_empty());
+            for l in mask.iter() {
+                label_vertex_counts[l.index()] += 1;
+            }
+        }
+        Graph {
+            vertex_dict,
+            label_dict,
+            out,
+            inn,
+            schema,
+            label_histogram,
+            label_vertex_counts,
+            non_sink_vertices,
+        }
     }
 
     /// The out-edge CSR (snapshot encoding).
@@ -139,6 +168,89 @@ impl Graph {
         self.inn.neighbors(v)
     }
 
+    /// Out-edges of `v` whose label is in `constraint`, as contiguous
+    /// label runs — the allocation-free hot path of every label-
+    /// constrained search (see [`Csr::labeled_neighbors`] for the
+    /// per-vertex skip/full/mixed regimes).
+    #[inline(always)]
+    pub fn labeled_out_neighbors(&self, v: VertexId, constraint: LabelSet) -> LabelRuns<'_> {
+        self.out.labeled_neighbors(v, constraint)
+    }
+
+    /// In-edges of `v` whose label is in `constraint`, as contiguous
+    /// label runs.
+    #[inline(always)]
+    pub fn labeled_in_neighbors(&self, v: VertexId, constraint: LabelSet) -> LabelRuns<'_> {
+        self.inn.labeled_neighbors(v, constraint)
+    }
+
+    /// The out-expansion of `v` under `constraint` — the flat-slice view
+    /// the search hot loops consume (see [`Csr::expansion`]). With
+    /// `selective = true` the incident-label mask can skip the whole
+    /// vertex; with `false` the mask is never even loaded, so broad-`L`
+    /// searches pay nothing for the machinery. Search algorithms compute
+    /// `selective` once per query via
+    /// [`expansion_selective`](Self::expansion_selective) instead of a
+    /// mask cache miss on every expanded vertex of a search that could
+    /// never skip anything.
+    #[inline(always)]
+    pub fn out_expansion(
+        &self,
+        v: VertexId,
+        constraint: LabelSet,
+        selective: bool,
+    ) -> Expansion<'_> {
+        self.out.expansion(v, constraint, selective)
+    }
+
+    /// Upper bound on the number of vertices a search can *expand* under
+    /// `constraint`: Σ over `l ∈ L` of
+    /// [`label_vertex_counts`](Self::label_vertex_counts)`[l]`, capped at
+    /// `|V|`. O(|L|), no per-vertex work — the shared estimate behind
+    /// [`expansion_selective`](Self::expansion_selective) and the query
+    /// engine's `Auto` planner.
+    pub fn expandable_region(&self, constraint: LabelSet) -> usize {
+        constraint
+            .iter()
+            .map(|l| self.label_vertex_counts.get(l.index()).copied().unwrap_or(0))
+            .sum::<usize>()
+            .min(self.num_vertices())
+    }
+
+    /// Whether `constraint` is selective enough that mask-guided
+    /// expansion (whole-vertex skips, hub binary search) is expected to
+    /// pay for its extra per-vertex mask load: either the
+    /// [`expandable_region`](Self::expandable_region) covers at most half
+    /// of the *non-sink* vertices — the only ones a search can expand —
+    /// or `L` uses at most a quarter of the alphabet.
+    pub fn expansion_selective(&self, constraint: LabelSet) -> bool {
+        if self.non_sink_vertices == 0 {
+            return false;
+        }
+        let expandable = self.expandable_region(constraint).min(self.non_sink_vertices);
+        2 * expandable <= self.non_sink_vertices || 4 * constraint.len() <= self.num_labels()
+    }
+
+    /// Out-edges of `v` grouped into `(label, run)` pairs (no constraint)
+    /// — lets per-label work be hoisted out of the per-edge loop, e.g. by
+    /// the local-index BFS.
+    #[inline]
+    pub fn out_label_runs(&self, v: VertexId) -> PerLabelRuns<'_> {
+        self.out.label_runs(v)
+    }
+
+    /// The union of the labels on `v`'s out-edges, in one load.
+    #[inline(always)]
+    pub fn out_label_mask(&self, v: VertexId) -> LabelSet {
+        self.out.label_mask(v)
+    }
+
+    /// The union of the labels on `v`'s in-edges, in one load.
+    #[inline(always)]
+    pub fn in_label_mask(&self, v: VertexId) -> LabelSet {
+        self.inn.label_mask(v)
+    }
+
     /// Out-edges of `v` with label `l`.
     #[inline]
     pub fn out_neighbors_with_label(&self, v: VertexId, l: LabelId) -> &[LabeledTarget] {
@@ -191,6 +303,16 @@ impl Graph {
     /// estimation (the `Auto` planner) never rescans the edge list.
     pub fn label_histogram(&self) -> &[usize] {
         &self.label_histogram
+    }
+
+    /// Per-label count of vertices with at least one out-edge carrying
+    /// that label, indexed by label id — derived from the incident-label
+    /// masks when the graph freezes (or a snapshot loads). Summed over a
+    /// query's label constraint `L`, it upper-bounds the number of
+    /// vertices a search can *expand* under `L`, which is a sharper
+    /// selectivity signal than `|L| / |𝓛|`.
+    pub fn label_vertex_counts(&self) -> &[usize] {
+        &self.label_vertex_counts
     }
 
     /// Resolves a vertex name to its id.
@@ -271,6 +393,7 @@ impl Graph {
             + self.label_dict.heap_bytes()
             + self.schema.heap_bytes()
             + self.label_histogram.capacity() * std::mem::size_of::<usize>()
+            + self.label_vertex_counts.capacity() * std::mem::size_of::<usize>()
     }
 
     /// Serializes the graph back to triples (test/io helper).
@@ -402,14 +525,7 @@ impl GraphBuilder {
             label_histogram[e.label.index()] += 1;
         }
 
-        Ok(Graph {
-            vertex_dict: self.vertex_dict,
-            label_dict: self.label_dict,
-            out,
-            inn,
-            schema,
-            label_histogram,
-        })
+        Ok(Graph::from_parts(self.vertex_dict, self.label_dict, out, inn, schema, label_histogram))
     }
 }
 
@@ -565,6 +681,64 @@ mod tests {
     fn heap_bytes_positive() {
         let g = figure3_graph();
         assert!(g.heap_bytes() > 0);
+    }
+
+    #[test]
+    fn labeled_neighbors_equal_filtered_scan() {
+        let g = figure3_graph();
+        let sets = [
+            g.label_set(&["likes"]),
+            g.label_set(&["likes", "follows"]),
+            g.all_labels(),
+            crate::LabelSet::EMPTY,
+        ];
+        for v in g.vertices() {
+            for &l in &sets {
+                // Candidate runs plus the caller-side label test — the
+                // contract of `labeled_neighbors` — reproduce the
+                // filtered scan exactly.
+                let via_runs: Vec<_> = g
+                    .labeled_out_neighbors(v, l)
+                    .flat_map(|run| run.iter().copied())
+                    .filter(|t| l.contains(t.label))
+                    .collect();
+                let filtered: Vec<_> =
+                    g.out_neighbors(v).iter().copied().filter(|t| l.contains(t.label)).collect();
+                assert_eq!(via_runs, filtered, "out of {v} under {l:?}");
+                let via_runs: Vec<_> = g
+                    .labeled_in_neighbors(v, l)
+                    .flat_map(|run| run.iter().copied())
+                    .filter(|t| l.contains(t.label))
+                    .collect();
+                let filtered: Vec<_> =
+                    g.in_neighbors(v).iter().copied().filter(|t| l.contains(t.label)).collect();
+                assert_eq!(via_runs, filtered, "in of {v} under {l:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn label_masks_and_vertex_counts() {
+        let g = figure3_graph();
+        let v0 = g.vertex_id("v0").unwrap();
+        assert_eq!(g.out_label_mask(v0), g.label_set(&["friendOf", "likes", "advisorOf"]));
+        assert_eq!(g.in_label_mask(v0), crate::LabelSet::EMPTY);
+        // friendOf is on the out-edges of v0, v1 and v2.
+        let friend = g.label_id("friendOf").unwrap();
+        assert_eq!(g.label_vertex_counts()[friend.index()], 3);
+        // Each count is bounded by the histogram (a vertex counts once per
+        // label however many such edges it has).
+        for (c, h) in g.label_vertex_counts().iter().zip(g.label_histogram()) {
+            assert!(c <= h);
+        }
+        // expandable_region sums the counts, capped at |V|.
+        let friend_only = g.label_set(&["friendOf"]);
+        assert_eq!(g.expandable_region(friend_only), 3);
+        assert_eq!(g.expandable_region(crate::LabelSet::EMPTY), 0);
+        assert!(g.expandable_region(g.all_labels()) <= g.num_vertices());
+        // friendOf reaches only 3 of 4 non-sink vertices... selective
+        // decisions stay consistent with the region estimate.
+        assert!(g.expansion_selective(crate::LabelSet::EMPTY));
     }
 
     #[test]

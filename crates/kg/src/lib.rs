@@ -55,7 +55,7 @@ pub mod triples;
 
 mod graph;
 
-pub use csr::LabeledTarget;
+pub use csr::{Expansion, LabelRuns, LabeledTarget, PerLabelRuns};
 pub use error::{GraphError, Result};
 pub use graph::{Graph, GraphBuilder, GraphFingerprint};
 pub use ids::{Edge, LabelId, VertexId};

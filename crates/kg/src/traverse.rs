@@ -87,7 +87,9 @@ pub fn reachable_set(g: &Graph, s: VertexId) -> Vec<VertexId> {
 
 /// Label-constrained BFS reachability: does `s ⇝ t` hold using only edges
 /// labeled within `constraint`? This is the classic online LCR check
-/// (paper §3, `O(|V| + |E|)`).
+/// (paper §3, `O(|V| + |E|)`). Frontier expansion goes through the
+/// label-run iterator, so vertices with no usable label are skipped from
+/// their incident-label mask alone.
 pub fn lcr_reachable(g: &Graph, s: VertexId, t: VertexId, constraint: LabelSet) -> bool {
     if s == t {
         return true;
@@ -97,12 +99,14 @@ pub fn lcr_reachable(g: &Graph, s: VertexId, t: VertexId, constraint: LabelSet) 
     mask.insert(s);
     queue.push_back(s);
     while let Some(u) = queue.pop_front() {
-        for e in g.out_neighbors(u) {
-            if constraint.contains(e.label) && mask.insert(e.vertex) {
-                if e.vertex == t {
-                    return true;
+        for run in g.labeled_out_neighbors(u, constraint) {
+            for e in run {
+                if constraint.contains(e.label) && mask.insert(e.vertex) {
+                    if e.vertex == t {
+                        return true;
+                    }
+                    queue.push_back(e.vertex);
                 }
-                queue.push_back(e.vertex);
             }
         }
     }
@@ -118,10 +122,12 @@ pub fn lcr_reachable_set(g: &Graph, s: VertexId, constraint: LabelSet) -> Vec<Ve
     queue.push_back(s);
     out.push(s);
     while let Some(u) = queue.pop_front() {
-        for e in g.out_neighbors(u) {
-            if constraint.contains(e.label) && mask.insert(e.vertex) {
-                queue.push_back(e.vertex);
-                out.push(e.vertex);
+        for run in g.labeled_out_neighbors(u, constraint) {
+            for e in run {
+                if constraint.contains(e.label) && mask.insert(e.vertex) {
+                    queue.push_back(e.vertex);
+                    out.push(e.vertex);
+                }
             }
         }
     }

@@ -7,10 +7,23 @@
 //! CLI accepts the flags our CI and docs use (`--test`, `--quick`,
 //! `--bench`, a substring filter) and ignores the rest, so `cargo bench`
 //! and `cargo bench -- --quick` behave as with the real crate.
+//!
+//! One extension the real crate does not have: when the `CRITERION_JSON`
+//! environment variable names a file, every measured benchmark appends a
+//! machine-readable result and the file is rewritten as a complete JSON
+//! array after each benchmark, so even an interrupted run leaves valid
+//! JSON behind. Entries already in the file from a *previous process*
+//! (e.g. the other bench binaries of a whole-workspace `cargo bench`
+//! run) are preserved, except that re-measured benchmark names replace
+//! their stale entries — so one file accumulates a full suite and stays
+//! fresh across re-runs. This feeds the repository's perf-trajectory
+//! artifacts (`BENCH_*.json`); `--test` mode emits nothing (it does not
+//! measure).
 
 #![warn(missing_docs)]
 
 pub use std::hint::black_box;
+use std::sync::{Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
 /// How a benchmark binary was asked to run.
@@ -207,6 +220,121 @@ fn run_one<F: FnMut(&mut Bencher)>(name: &str, mode: Mode, samples: usize, mut f
         fmt_time(med),
         fmt_time(max),
     );
+    record_json(JsonEntry {
+        name: name.to_string(),
+        median_ns: med * 1e9,
+        min_ns: min * 1e9,
+        max_ns: max * 1e9,
+        samples,
+        iters,
+    });
+}
+
+/// One measured benchmark in the `CRITERION_JSON` output.
+struct JsonEntry {
+    name: String,
+    median_ns: f64,
+    min_ns: f64,
+    max_ns: f64,
+    samples: usize,
+    iters: u64,
+}
+
+fn json_results() -> &'static Mutex<Vec<JsonEntry>> {
+    static RESULTS: OnceLock<Mutex<Vec<JsonEntry>>> = OnceLock::new();
+    RESULTS.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+/// Pre-existing entry lines from a previous process, as
+/// `(benchmark name, raw line)` pairs — loaded once per process so a
+/// whole-workspace `cargo bench` run (six bench binaries, one file)
+/// accumulates instead of each binary clobbering the others. Only lines
+/// this emitter itself wrote (one `  {"name": "...", ...}` object per
+/// line) are recognized; anything else is treated as no prior entries.
+fn prior_entries(path: &std::ffi::OsStr) -> &'static Vec<(String, String)> {
+    static PRIOR: OnceLock<Vec<(String, String)>> = OnceLock::new();
+    PRIOR.get_or_init(|| {
+        let Ok(text) = std::fs::read_to_string(path) else { return Vec::new() };
+        let mut prior = Vec::new();
+        for line in text.lines() {
+            let Some(rest) = line.strip_prefix("  {\"name\": \"") else { continue };
+            // Names are written with `escape_json`, so the first
+            // unescaped quote terminates the name.
+            let mut name = String::new();
+            let mut chars = rest.chars();
+            while let Some(c) = chars.next() {
+                match c {
+                    '"' => break,
+                    '\\' => {
+                        name.push('\\');
+                        name.extend(chars.next());
+                    }
+                    c => name.push(c),
+                }
+            }
+            prior.push((name, line.trim_end_matches(',').to_string()));
+        }
+        prior
+    })
+}
+
+/// Appends `entry` to the in-process result list and rewrites the file
+/// named by `CRITERION_JSON` as a complete JSON array: entries carried
+/// over from previous processes (minus any re-measured in this one)
+/// first, then this process's results. Rewriting per benchmark keeps the
+/// file valid JSON at every point of a run; failures to write are
+/// reported on stderr but never fail the benchmark.
+fn record_json(entry: JsonEntry) {
+    let Some(path) = std::env::var_os("CRITERION_JSON") else { return };
+    let mut results = json_results().lock().expect("json results lock");
+    let prior = prior_entries(&path);
+    results.push(entry);
+    let mut lines: Vec<String> = prior
+        .iter()
+        .filter(|(name, _)| !results.iter().any(|e| escape_json(&e.name) == *name))
+        .map(|(_, line)| line.clone())
+        .collect();
+    for e in results.iter() {
+        lines.push(format!(
+            "  {{\"name\": \"{}\", \"median_ns\": {:.1}, \"min_ns\": {:.1}, \
+             \"max_ns\": {:.1}, \"samples\": {}, \"iters\": {}}}",
+            escape_json(&e.name),
+            e.median_ns,
+            e.min_ns,
+            e.max_ns,
+            e.samples,
+            e.iters
+        ));
+    }
+    let out = format!("[\n{}\n]\n", lines.join(",\n"));
+    // Write-then-rename so a kill mid-write cannot leave truncated JSON
+    // behind — the file is always either the previous complete array or
+    // the new one.
+    let mut tmp = std::path::PathBuf::from(&path);
+    let mut name = tmp.file_name().map(|n| n.to_os_string()).unwrap_or_default();
+    name.push(format!(".tmp.{}", std::process::id()));
+    tmp.set_file_name(name);
+    let result = std::fs::write(&tmp, out).and_then(|()| std::fs::rename(&tmp, &path));
+    if let Err(err) = result {
+        let _ = std::fs::remove_file(&tmp);
+        eprintln!("criterion: failed to write {}: {err}", path.to_string_lossy());
+    }
+}
+
+/// Escapes the characters JSON strings cannot carry raw. Benchmark names
+/// are plain ASCII identifiers in practice; this keeps the emitter honest
+/// anyway.
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
 }
 
 /// Formats seconds with criterion-style units.
@@ -285,6 +413,12 @@ mod tests {
         });
         // At least one warm-up call plus three samples.
         assert!(samples >= 4);
+    }
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(escape_json("lscr/S1/UIS/10"), "lscr/S1/UIS/10");
+        assert_eq!(escape_json("a\"b\\c\n"), "a\\\"b\\\\c\\u000a");
     }
 
     #[test]

@@ -12,7 +12,8 @@ fn bench_algorithms(c: &mut Criterion) {
     let engine = LscrEngine::new(
         generate(&LubmConfig { universities: 2, departments: 6, seed: 77 }).unwrap(),
     );
-    let g = engine.graph();
+    let graph = engine.graph();
+    let g = &*graph;
     let index = engine.local_index();
     let mut scratch = SearchScratch::new(g.num_vertices());
     let opts = QueryOptions::default();

@@ -23,7 +23,7 @@ fn bench_batch_throughput(c: &mut Criterion) {
     let mut queries: Vec<(LscrQuery, Algorithm)> = Vec::new();
     for (ci, constraint) in [s1(), s3()].into_iter().enumerate() {
         let w = generate_workload(
-            engine.graph(),
+            &engine.graph(),
             &constraint,
             &QueryGenConfig {
                 num_true: 8,

@@ -16,7 +16,7 @@ use kgreach_graph::io;
 fn bench_cold_start(c: &mut Criterion) {
     let spec = kgreach_bench::lubm_datasets(1.0).pop().expect("datasets are non-empty");
     let g = kgreach_bench::build_lubm(&spec);
-    let config = LocalIndexConfig { num_landmarks: None, seed: spec.seed };
+    let config = LocalIndexConfig { num_landmarks: None, seed: spec.seed, ..Default::default() };
 
     let dir = std::env::temp_dir().join(format!("kgreach-cold-start-{}", std::process::id()));
     std::fs::create_dir_all(&dir).expect("bench temp dir");

@@ -22,7 +22,11 @@ fn bench_local_index_build(c: &mut Criterion) {
             b.iter(|| {
                 let idx = LocalIndex::build(
                     &g,
-                    &LocalIndexConfig { num_landmarks: Some(count.max(1)), seed: 5 },
+                    &LocalIndexConfig {
+                        num_landmarks: Some(count.max(1)),
+                        seed: 5,
+                        ..Default::default()
+                    },
                 );
                 black_box(idx.stats().ii_pairs)
             })
@@ -39,7 +43,10 @@ fn bench_landmark_selection_ablation(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("schema_guided", |b| {
         b.iter(|| {
-            let idx = LocalIndex::build(&g, &LocalIndexConfig { num_landmarks: Some(k), seed: 6 });
+            let idx = LocalIndex::build(
+                &g,
+                &LocalIndexConfig { num_landmarks: Some(k), seed: 6, ..Default::default() },
+            );
             black_box(idx.stats().ii_pairs)
         })
     });

@@ -1,0 +1,113 @@
+//! Audits the generated rustdoc HTML for broken relative links.
+//!
+//! `cargo doc` with `RUSTDOCFLAGS=-D warnings` already rejects broken
+//! *intra-doc* links at the source level, but it cannot see a second
+//! failure class: `href`s in the generated HTML that point at files
+//! which were never emitted (classic causes: items referenced across
+//! crates that are not documented together, stale `--no-deps` seams,
+//! hand-written anchors in doc comments). This tool walks every `.html`
+//! file under the given doc root, extracts relative link and script
+//! targets, resolves them against the file's directory and fails —
+//! listing each offender — if the target file does not exist.
+//!
+//! Usage: `check_doc_links target/doc` (CI runs it right after
+//! `cargo doc`). External (`http…`), in-page (`#…`) and absolute links
+//! are out of scope.
+
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
+
+fn main() {
+    let root = std::env::args().nth(1).unwrap_or_else(|| "target/doc".into());
+    let root = PathBuf::from(root);
+    if !root.is_dir() {
+        eprintln!("check_doc_links: doc root {} does not exist", root.display());
+        std::process::exit(2);
+    }
+    let mut html_files = Vec::new();
+    collect_html(&root, &mut html_files);
+    if html_files.is_empty() {
+        eprintln!("check_doc_links: no HTML under {}", root.display());
+        std::process::exit(2);
+    }
+    let mut broken: BTreeSet<String> = BTreeSet::new();
+    let mut checked = 0usize;
+    for file in &html_files {
+        // Rustdoc's chrome pages (settings/help) reference a doc-root
+        // index.html that `--no-deps` builds do not emit; only item pages
+        // are audited.
+        if file.file_name().is_some_and(|n| n == "settings.html" || n == "help.html") {
+            continue;
+        }
+        let Ok(content) = std::fs::read_to_string(file) else { continue };
+        let dir = file.parent().expect("html files have parents");
+        for target in extract_targets(&content) {
+            checked += 1;
+            let resolved = dir.join(&target);
+            if !resolved.exists() {
+                broken.insert(format!("{} -> {}", file.display(), target));
+            }
+        }
+    }
+    if broken.is_empty() {
+        println!(
+            "check_doc_links: {} link targets across {} pages all resolve",
+            checked,
+            html_files.len()
+        );
+    } else {
+        eprintln!("check_doc_links: {} broken links:", broken.len());
+        for b in &broken {
+            eprintln!("  {b}");
+        }
+        std::process::exit(1);
+    }
+}
+
+fn collect_html(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else { return };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.is_dir() {
+            collect_html(&path, out);
+        } else if path.extension().is_some_and(|e| e == "html") {
+            out.push(path);
+        }
+    }
+}
+
+/// Pulls every local-file link/script target out of one HTML page:
+/// fragment and query stripped, externals and in-page anchors skipped.
+/// A hand-rolled scan, matching the repo's no-new-dependencies policy
+/// (same spirit as `check_bench_json`).
+fn extract_targets(html: &str) -> Vec<String> {
+    let mut targets = Vec::new();
+    for attr in ["href=\"", "src=\""] {
+        let mut rest = html;
+        while let Some(pos) = rest.find(attr) {
+            rest = &rest[pos + attr.len()..];
+            let Some(end) = rest.find('"') else { break };
+            let raw = &rest[..end];
+            rest = &rest[end..];
+            let target = raw.split(['#', '?']).next().unwrap_or("");
+            if target.is_empty()
+                || target.contains("://")
+                || target.starts_with("mailto:")
+                || target.starts_with("javascript:")
+                || target.starts_with('/')
+                || target.contains("${")
+            // JS template literals in rustdoc's loader script
+            {
+                continue;
+            }
+            // Rustdoc escapes nothing we need to unescape for file names
+            // it generates itself; skip anything percent-encoded rather
+            // than mis-resolving it.
+            if target.contains('%') {
+                continue;
+            }
+            targets.push(target.to_string());
+        }
+    }
+    targets
+}

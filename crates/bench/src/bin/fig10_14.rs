@@ -65,7 +65,8 @@ fn main() {
                 constraint.compile(&g).expect("constraint compiles").satisfying_vertices(&g).len();
             let w = build_workload(&g, constraint, queries, spec.seed ^ 0x51);
             let engine = engine_with_index(g, index);
-            let g = engine.graph();
+            let graph = engine.graph();
+            let g = &*graph;
             for (group_name, group) in [("true", &w.true_queries), ("false", &w.false_queries)] {
                 for alg in Algorithm::ALL.into_iter().chain([Algorithm::Auto]) {
                     let r = run_group(&engine, group, alg);

@@ -169,7 +169,8 @@ pub fn engine_with_index(g: Graph, index: LocalIndex) -> LscrEngine {
 /// Builds a local index for a dataset, returning it with its build time.
 pub fn build_local_index(g: &Graph, seed: u64) -> (LocalIndex, Duration) {
     let start = Instant::now();
-    let index = LocalIndex::build(g, &LocalIndexConfig { num_landmarks: None, seed });
+    let index =
+        LocalIndex::build(g, &LocalIndexConfig { num_landmarks: None, seed, ..Default::default() });
     let elapsed = start.elapsed();
     (index, elapsed)
 }

@@ -13,6 +13,18 @@
 //! touched-slot counter that yields the paper's second evaluation metric —
 //! "the average number of the vertices whose states in `close` are not `N`"
 //! (§6, *passed-vertex number*).
+//!
+//! ```
+//! use kgreach::{CloseMap, CloseState};
+//! use kgreach_graph::VertexId;
+//!
+//! let mut close = CloseMap::new(4);
+//! close.set(VertexId(1), CloseState::T);
+//! assert!(close.is_t(VertexId(1)));
+//! assert_eq!(close.passed_vertices(), 1);
+//! close.reset(); // O(1): every vertex back to N
+//! assert!(close.is_n(VertexId(1)));
+//! ```
 
 use kgreach_graph::VertexId;
 
@@ -40,6 +52,16 @@ impl CloseMap {
     /// Creates a map over `n` vertices, all `N`.
     pub fn new(n: usize) -> Self {
         CloseMap { stamps: vec![0; n], states: vec![0; n], epoch: 1, touched: 0 }
+    }
+
+    /// Grows the map to cover at least `n` vertices (dynamic graphs grow
+    /// `|V|` between queries; fresh slots start `N` because their stamp
+    /// can never equal the running epoch). Never shrinks.
+    pub fn ensure_len(&mut self, n: usize) {
+        if n > self.stamps.len() {
+            self.stamps.resize(n, 0);
+            self.states.resize(n, 0);
+        }
     }
 
     /// Resets every vertex to `N` in O(1).

@@ -16,8 +16,9 @@
 //!
 //! # Hot-path layout: the SCck result cache
 //!
-//! `SCck(v, S)` is a pure function of the (immutable) graph, so its
-//! results are memoized per compiled constraint in an [`ScckCache`] — a
+//! `SCck(v, S)` is a pure function of the graph *content at one epoch*,
+//! so its results are memoized per compiled constraint in an
+//! [`ScckCache`] — a
 //! tri-state (*unknown / sat / unsat*) array designed like
 //! [`CloseMap`](crate::close::CloseMap): per-slot epoch stamps give O(1)
 //! whole-cache invalidation, and the slots are atomics so the cache is
@@ -28,7 +29,22 @@
 //! cost of UIS (Theorem 3.3) drops to one array probe after warm-up. The
 //! cache allocates lazily (5 bytes per vertex) on the first
 //! [`satisfies_cached`](CompiledConstraint::satisfies_cached) call, so
-//! constraints that only ever materialize `V(S,G)` pay nothing.
+//! constraints that only ever materialize `V(S,G)` pay nothing. Dynamic
+//! updates never poison the memo: a compiled constraint records the
+//! [`Graph::epoch`] it was bound to, `satisfies_cached` falls back to
+//! direct evaluation on mismatch, and the engine recompiles stale plans
+//! (see `LscrEngine::apply_update`).
+//!
+//! ```
+//! use kgreach::SubstructureConstraint;
+//! use kgreach::fixtures::figure3;
+//!
+//! let g = figure3();
+//! let s0 = SubstructureConstraint::parse(
+//!     "SELECT ?x WHERE { ?x <friendOf> <v3> . <v3> <likes> ?y . }").unwrap();
+//! let compiled = s0.compile(&g).unwrap();
+//! assert_eq!(compiled.satisfying_vertices(&g).len(), 2); // V(S0, G0) = {v1, v2}
+//! ```
 
 use kgreach_graph::{Graph, VertexId};
 use kgreach_sparql::{eval, parse, Plan, SelectQuery, SparqlError, Term, TriplePattern};
@@ -85,10 +101,20 @@ impl SubstructureConstraint {
     }
 
     /// Compiles the constraint against a graph for repeated evaluation.
+    ///
+    /// The compiled plan is **bound to the graph's content epoch**: plan
+    /// compilation resolves constant names to ids and decides
+    /// satisfiability from the edges present *now*, so after a dynamic
+    /// update (which can intern a previously unresolvable constant) the
+    /// plan may be stale. [`graph_epoch`](CompiledConstraint::graph_epoch)
+    /// records the binding; the engine recompiles stale plans via the
+    /// retained [`sparql_text`](CompiledConstraint::sparql_text).
     pub fn compile(&self, g: &Graph) -> Result<CompiledConstraint, SparqlError> {
         Ok(CompiledConstraint {
             plan: Plan::compile(g, &self.query)?,
             scck: Arc::new(OnceLock::new()),
+            text: Arc::from(self.text.as_str()),
+            graph_epoch: g.epoch(),
         })
     }
 
@@ -189,13 +215,19 @@ impl ScckCache {
     }
 }
 
-/// A constraint resolved against one graph.
+/// A constraint resolved against one graph **at one content epoch**.
 #[derive(Clone, Debug)]
 pub struct CompiledConstraint {
     plan: Plan,
     /// Lazily allocated SCck memo, shared by every clone of this compiled
     /// constraint (engine plan-cache entries hand out clones/`Arc`s).
     scck: Arc<OnceLock<ScckCache>>,
+    /// Canonical SPARQL text, retained so the engine can recompile a
+    /// stale plan after a graph update without the original
+    /// [`SubstructureConstraint`] in hand.
+    text: Arc<str>,
+    /// The [`Graph::epoch`] the plan was compiled at.
+    graph_epoch: u64,
 }
 
 impl CompiledConstraint {
@@ -216,6 +248,13 @@ impl CompiledConstraint {
     /// an out-of-bounds probe).
     #[inline]
     pub fn satisfies_cached(&self, g: &Graph, v: VertexId) -> (bool, bool) {
+        if self.graph_epoch != g.epoch() {
+            // The memo was filled against other graph content; evaluate
+            // uncached rather than serve stale bits. (The engine
+            // recompiles stale plans before searching, so this guard only
+            // fires for callers driving algorithm modules directly.)
+            return (self.satisfies(g, v), false);
+        }
         let cache = self.scck.get_or_init(|| ScckCache::new(g.num_vertices()));
         if cache.len() != g.num_vertices() {
             return (self.satisfies(g, v), false);
@@ -232,6 +271,20 @@ impl CompiledConstraint {
     /// (diagnostics/tests).
     pub fn scck_cache(&self) -> Option<&ScckCache> {
         self.scck.get()
+    }
+
+    /// The canonical SPARQL text this plan was compiled from — the
+    /// engine's plan-cache key and the recompile source after a graph
+    /// update.
+    pub fn sparql_text(&self) -> &str {
+        &self.text
+    }
+
+    /// The [`Graph::epoch`] this plan was compiled at. A plan is valid
+    /// only for graph content of that epoch; the engine recompiles on
+    /// mismatch (see `LscrEngine::apply_update`).
+    pub fn graph_epoch(&self) -> u64 {
+        self.graph_epoch
     }
 
     /// The paper's `V(S,G)`: every vertex satisfying the constraint, in

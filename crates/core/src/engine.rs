@@ -1,13 +1,26 @@
 //! The shared, concurrency-ready LSCR engine.
 //!
-//! [`LscrEngine`] owns the *immutable-after-build* serving state — the
-//! graph behind an [`Arc`], the lazily built [`LocalIndex`], a
-//! constraint-plan cache keyed by SPARQL text — and exposes every query
-//! entry point through `&self`, so one engine instance is shared across
-//! threads (`LscrEngine: Send + Sync`). All mutable per-query state lives
-//! in per-thread [`Session`]s; the engine only synchronizes constant-time
-//! bookkeeping (plan-cache lookups, the scratch pool, the index handle),
-//! never the searches themselves.
+//! [`LscrEngine`] owns the shared serving state — the graph behind an
+//! [`Arc`], the lazily built [`LocalIndex`], a constraint-plan cache
+//! keyed by SPARQL text — and exposes every query entry point through
+//! `&self`, so one engine instance is shared across threads
+//! (`LscrEngine: Send + Sync`). All mutable per-query state lives in
+//! per-thread [`Session`]s; the engine only synchronizes constant-time
+//! bookkeeping (plan-cache lookups, the scratch pool, the state
+//! snapshot), never the searches themselves.
+//!
+//! # Dynamic graphs: epochs and invalidation
+//!
+//! The served graph is not frozen: [`LscrEngine::apply_update`] applies
+//! an [`UpdateBatch`] as a delta overlay (see
+//! [`kgreach_graph::delta`]), swaps the new graph in atomically, and
+//! maintains the index incrementally. Every content-changing batch bumps
+//! the graph **epoch**; compiled constraint plans, their embedded `SCck`
+//! memo caches, and [`PreparedQuery`] `V(S,G)` memos all record the
+//! epoch they bind to and rebind transparently on mismatch. Queries pin
+//! one `(graph, index)` snapshot per execution, so an update never
+//! changes the graph under a running search — in-flight queries finish
+//! against the pre-update state, subsequent ones see the new one.
 //!
 //! ```
 //! use kgreach::{Algorithm, LscrEngine, LscrQuery, SubstructureConstraint};
@@ -27,7 +40,7 @@
 //! assert!(outcome.answer);
 //! ```
 
-use crate::constraint::CompiledConstraint;
+use crate::constraint::{CompiledConstraint, SubstructureConstraint};
 use crate::local_index::{LocalIndex, LocalIndexConfig};
 use crate::query::{
     CompiledLscrQuery, LscrQuery, PreparedQuery, QueryError, QueryOptions, QueryOutcome,
@@ -37,7 +50,7 @@ use kgreach_graph::fxhash::FxHashMap;
 use kgreach_graph::snapshot::{
     self, ArtifactKind, PayloadBuf, PayloadCursor, SectionReader, SectionWriter,
 };
-use kgreach_graph::Graph;
+use kgreach_graph::{Graph, UpdateBatch, UpdateSummary};
 use std::fs::File;
 use std::io::{BufReader, BufWriter, Read, Write};
 use std::path::Path;
@@ -115,12 +128,68 @@ const PLAN_CACHE_CAP: usize = 4096;
 ///   scoped threads.
 #[derive(Debug)]
 pub struct LscrEngine {
-    graph: Arc<Graph>,
+    /// The serving state both halves of a query snapshot together: the
+    /// graph and the index built for exactly that graph. One lock, so a
+    /// concurrent [`apply_update`](Self::apply_update) can never be
+    /// observed half-swapped (a new graph with an index sized for the
+    /// old `|V|` would read out of bounds).
+    state: RwLock<EngineState>,
     index_config: LocalIndexConfig,
-    index: RwLock<Option<Arc<LocalIndex>>>,
     plan_cache: RwLock<FxHashMap<String, Arc<CompiledConstraint>>>,
     scratch_pool: Mutex<Vec<SearchScratch>>,
+    /// Serializes writers (updates, compaction, index builds) without
+    /// blocking readers: heavy work happens under this lock while
+    /// queries keep serving the previous state; only the final swap
+    /// takes the state write lock.
+    update_lock: Mutex<()>,
 }
+
+#[derive(Clone, Debug)]
+struct EngineState {
+    graph: Arc<Graph>,
+    index: Option<Arc<LocalIndex>>,
+}
+
+/// What [`LscrEngine::apply_update`] did to the local index.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum IndexMaintenance {
+    /// No index was built yet, so there was nothing to maintain (the next
+    /// INS query builds one against the updated graph).
+    NotBuilt,
+    /// Partition-local repair: the entries of this many partitions were
+    /// recomputed; everything else was reused.
+    Patched {
+        /// Number of partitions whose `II`/`EIT`/`D` were recomputed.
+        partitions_repaired: usize,
+    },
+    /// The batch exceeded the staleness budget (or compaction kicked in):
+    /// the index was rebuilt from scratch, including fresh landmark
+    /// selection and partitioning.
+    Rebuilt,
+}
+
+/// The result of one [`LscrEngine::apply_update`] call.
+#[derive(Clone, Debug)]
+#[non_exhaustive]
+pub struct UpdateOutcome {
+    /// What the batch changed in the graph.
+    pub summary: UpdateSummary,
+    /// How the local index was maintained.
+    pub index: IndexMaintenance,
+    /// The graph's content epoch after the batch.
+    pub epoch: u64,
+    /// Whether the engine compacted the overlay into a fresh CSR as part
+    /// of this update (see [`DELTA_COMPACT_THRESHOLD`]).
+    pub compacted: bool,
+}
+
+/// When the overlay's changed-edge fraction
+/// (`DeltaStats::delta_fraction`)
+/// exceeds this threshold after an update, [`LscrEngine::apply_update`]
+/// re-freezes the graph via [`Graph::compact`] and rebuilds the index so
+/// the partition shape catches up with the drifted graph.
+pub const DELTA_COMPACT_THRESHOLD: f64 = 0.5;
 
 impl LscrEngine {
     /// Creates an engine with the default index configuration. The local
@@ -137,38 +206,69 @@ impl LscrEngine {
     /// Creates an engine with a custom index configuration.
     pub fn with_index_config(graph: impl Into<Arc<Graph>>, config: LocalIndexConfig) -> Self {
         LscrEngine {
-            graph: graph.into(),
+            state: RwLock::new(EngineState { graph: graph.into(), index: None }),
             index_config: config,
-            index: RwLock::new(None),
             plan_cache: RwLock::new(FxHashMap::default()),
             scratch_pool: Mutex::new(Vec::new()),
+            update_lock: Mutex::new(()),
         }
     }
 
-    /// The underlying graph.
-    pub fn graph(&self) -> &Graph {
-        &self.graph
+    /// The current graph, as a shared handle. Queries in flight keep the
+    /// handle they started with, so a concurrent
+    /// [`apply_update`](Self::apply_update) never changes the graph under
+    /// a running search — it swaps a new one in for *subsequent* queries.
+    pub fn graph(&self) -> Arc<Graph> {
+        Arc::clone(&self.state.read().expect("state lock").graph)
     }
 
-    /// A shared handle to the graph (for callers that outlive the
-    /// engine or feed the same graph elsewhere).
+    /// A shared handle to the graph (alias of [`graph`](Self::graph),
+    /// kept for source compatibility with the pre-dynamic API).
     pub fn shared_graph(&self) -> Arc<Graph> {
-        Arc::clone(&self.graph)
+        self.graph()
     }
 
-    /// Builds (or returns) the shared local index. The build happens at
-    /// most once; concurrent callers block until it is available.
+    /// The current graph's content epoch — bumped by every
+    /// content-changing [`apply_update`](Self::apply_update).
+    pub fn graph_epoch(&self) -> u64 {
+        self.state.read().expect("state lock").graph.epoch()
+    }
+
+    /// One consistent `(graph, index)` pair for a query to run against.
+    pub(crate) fn state_snapshot(&self) -> (Arc<Graph>, Option<Arc<LocalIndex>>) {
+        let st = self.state.read().expect("state lock");
+        (Arc::clone(&st.graph), st.index.clone())
+    }
+
+    /// Builds (or returns) the shared local index for the **current**
+    /// graph. Builds are serialized on the update lock and run without
+    /// blocking concurrent queries; if an update swaps the graph
+    /// mid-build, the stale build is discarded and retried.
     pub fn local_index(&self) -> Arc<LocalIndex> {
-        if let Some(index) = self.index.read().expect("index lock").clone() {
-            return index;
+        loop {
+            let (graph, index) = self.state_snapshot();
+            if let Some(index) = index {
+                return index;
+            }
+            let _build = self.update_lock.lock().expect("update lock");
+            // Re-check under the lock: a racing builder may have won, or
+            // an update may have swapped the graph while we waited.
+            let (current, index) = self.state_snapshot();
+            if let Some(index) = index {
+                return index;
+            }
+            if !Arc::ptr_eq(&current, &graph) {
+                continue; // graph moved on; start over against the new one
+            }
+            let built = Arc::new(LocalIndex::build(&graph, &self.index_config));
+            let mut st = self.state.write().expect("state lock");
+            if Arc::ptr_eq(&st.graph, &graph) {
+                st.index = Some(Arc::clone(&built));
+                return built;
+            }
+            // An update cannot have happened (we hold the update lock),
+            // but stay defensive: retry rather than install a mismatch.
         }
-        let mut slot = self.index.write().expect("index lock");
-        if let Some(index) = slot.clone() {
-            return index; // another thread won the build race
-        }
-        let built = Arc::new(LocalIndex::build(&self.graph, &self.index_config));
-        *slot = Some(Arc::clone(&built));
-        built
     }
 
     pub(crate) fn local_index_arc(&self) -> Arc<LocalIndex> {
@@ -178,7 +278,7 @@ impl LscrEngine {
     /// The local index if some caller has already built or installed it —
     /// what the `Auto` planner consults (it never triggers a build).
     pub fn local_index_if_built(&self) -> Option<Arc<LocalIndex>> {
-        self.index.read().expect("index lock").clone()
+        self.state.read().expect("state lock").index.clone()
     }
 
     /// Installs a prebuilt index (e.g. shared across engines or loaded
@@ -191,31 +291,145 @@ impl LscrEngine {
     /// answers).
     pub fn set_local_index(&self, index: impl Into<Arc<LocalIndex>>) -> Result<(), QueryError> {
         let index = index.into();
-        let expected = self.graph.fingerprint();
+        let mut st = self.state.write().expect("state lock");
+        let expected = st.graph.fingerprint();
         let found = index.graph_fingerprint();
         if expected != found {
             return Err(QueryError::IndexGraphMismatch { expected, found });
         }
-        *self.index.write().expect("index lock") = Some(index);
+        st.index = Some(index);
         Ok(())
     }
 
+    /// Applies an [`UpdateBatch`] to the served graph: the overlay-merged
+    /// graph is swapped in atomically, the content epoch advances, every
+    /// content-derived cache (constraint-plan cache with its embedded
+    /// `SCck` memos, [`PreparedQuery`] plans and `V(S,G)` memos) is
+    /// invalidated, and the local index — when one exists — is repaired
+    /// partition-locally or rebuilt past the staleness budget (see
+    /// [`LocalIndex::patched`]).
+    ///
+    /// Queries running concurrently finish against the pre-update state
+    /// (crash-consistent snapshot semantics); queries started after this
+    /// returns see the updated graph. Updates are serialized with each
+    /// other, with compaction and with index builds, but never block
+    /// readers while the heavy work runs.
+    ///
+    /// When the accumulated overlay exceeds [`DELTA_COMPACT_THRESHOLD`],
+    /// the graph is re-frozen ([`Graph::compact`]) and the index rebuilt,
+    /// so long-running update streams cannot degrade query performance
+    /// unboundedly.
+    ///
+    /// ```
+    /// use kgreach::{Algorithm, LscrEngine, LscrQuery};
+    /// use kgreach::fixtures::{figure3, s0};
+    /// use kgreach_graph::UpdateBatch;
+    ///
+    /// let engine = LscrEngine::new(figure3());
+    /// let q = LscrQuery::new(
+    ///     engine.graph().vertex_id("v0").unwrap(),
+    ///     engine.graph().vertex_id("v4").unwrap(),
+    ///     engine.graph().label_set(&["likes", "follows"]),
+    ///     s0(),
+    /// );
+    /// assert!(engine.answer(&q, Algorithm::Auto).unwrap().answer);
+    ///
+    /// // Sever the v2 → v4 hop: the same query now answers false.
+    /// let mut batch = UpdateBatch::new();
+    /// batch.delete("v2", "follows", "v4");
+    /// let outcome = engine.apply_update(&batch).unwrap();
+    /// assert_eq!(outcome.summary.edges_deleted, 1);
+    /// assert!(!engine.answer(&q, Algorithm::Auto).unwrap().answer);
+    /// ```
+    pub fn apply_update(&self, batch: &UpdateBatch) -> Result<UpdateOutcome, QueryError> {
+        let _updates = self.update_lock.lock().expect("update lock");
+        let (old_graph, old_index) = self.state_snapshot();
+        let mut graph = (*old_graph).clone();
+        let summary = graph.apply_update(batch)?;
+        if !summary.changed() {
+            return Ok(UpdateOutcome {
+                summary,
+                index: match old_index {
+                    Some(_) => IndexMaintenance::Patched { partitions_repaired: 0 },
+                    None => IndexMaintenance::NotBuilt,
+                },
+                epoch: graph.epoch(),
+                compacted: false,
+            });
+        }
+        let compacted = graph
+            .delta_stats()
+            .is_some_and(|d| d.delta_fraction(graph.num_edges()) > DELTA_COMPACT_THRESHOLD);
+        if compacted {
+            graph.compact();
+        }
+        let graph = Arc::new(graph);
+        let budget = self.index_config.staleness_budget;
+        let (index, maintenance) = match &old_index {
+            None => (None, IndexMaintenance::NotBuilt),
+            // Compaction means the partition shape is worth refreshing
+            // too: rebuild instead of patching.
+            Some(old) if !compacted => {
+                match old.patched(&graph, &summary.touched_sources, budget) {
+                    Some((patched, repaired)) => (
+                        Some(Arc::new(patched)),
+                        IndexMaintenance::Patched { partitions_repaired: repaired },
+                    ),
+                    None => (
+                        Some(Arc::new(LocalIndex::build(&graph, &self.index_config))),
+                        IndexMaintenance::Rebuilt,
+                    ),
+                }
+            }
+            Some(_) => (
+                Some(Arc::new(LocalIndex::build(&graph, &self.index_config))),
+                IndexMaintenance::Rebuilt,
+            ),
+        };
+        let epoch = graph.epoch();
+        {
+            let mut st = self.state.write().expect("state lock");
+            st.graph = graph;
+            st.index = index;
+        }
+        // Compiled plans are bound to the old epoch (constants resolved
+        // against old content); drop them so future compiles bind fresh.
+        self.plan_cache.write().expect("plan cache lock").clear();
+        Ok(UpdateOutcome { summary, index: maintenance, epoch, compacted })
+    }
+
+    /// Re-freezes the served graph's overlay into a clean CSR now (see
+    /// [`Graph::compact`]); content, ids and epoch are unchanged, so the
+    /// installed index and all caches stay valid. No-op when the graph is
+    /// already compact.
+    pub fn compact(&self) {
+        let _updates = self.update_lock.lock().expect("update lock");
+        let (graph, _) = self.state_snapshot();
+        if !graph.has_overlay() {
+            return;
+        }
+        let compacted = Arc::new(graph.compacted());
+        let mut st = self.state.write().expect("state lock");
+        st.graph = compacted;
+    }
+
     /// Opens a per-thread [`Session`], recycling pooled scratch if
-    /// available.
+    /// available. Sessions observe graph updates: each query pins the
+    /// engine's current `(graph, index)` snapshot and grows its scratch
+    /// to the current `|V|` on demand.
     pub fn session(&self) -> Session<'_> {
         let scratch = self
             .scratch_pool
             .lock()
             .expect("scratch pool lock")
             .pop()
-            .unwrap_or_else(|| SearchScratch::new(self.graph.num_vertices()));
+            .unwrap_or_else(|| SearchScratch::new(self.graph().num_vertices()));
         Session::new(self, scratch)
     }
 
     pub(crate) fn recycle_scratch(&self, scratch: SearchScratch) {
-        if scratch.num_vertices() != self.graph.num_vertices() {
-            return; // foreign scratch; never poison the pool
-        }
+        // Scratch sized for an older (smaller) graph is still recyclable:
+        // sessions grow it on demand per query.
         let mut pool = self.scratch_pool.lock().expect("scratch pool lock");
         if pool.len() < SCRATCH_POOL_CAP {
             pool.push(scratch);
@@ -234,16 +448,27 @@ impl LscrEngine {
     /// the cache holds at most 4096 plans — beyond that,
     /// new texts compile per-query without being retained.
     pub fn compile(&self, query: &LscrQuery) -> Result<CompiledLscrQuery, QueryError> {
-        self.graph.check_vertex(query.source)?;
-        self.graph.check_vertex(query.target)?;
+        let graph = self.graph();
+        graph.check_vertex(query.source)?;
+        graph.check_vertex(query.target)?;
         let key = query.constraint.sparql_text();
         if let Some(cached) = self.plan_cache.read().expect("plan cache lock").get(key) {
-            return Ok(query.with_constraint(Arc::clone(cached)));
+            // Entries compiled before a graph update are purged by
+            // `apply_update`, but a hit can still race the purge — guard
+            // on the epoch the plan was bound to.
+            if cached.graph_epoch() == graph.epoch() {
+                return Ok(query.with_constraint(Arc::clone(cached)));
+            }
         }
-        let compiled = Arc::new(query.constraint.compile(&self.graph)?);
+        let compiled = Arc::new(query.constraint.compile(&graph)?);
         let mut cache = self.plan_cache.write().expect("plan cache lock");
         let shared = match cache.get(key) {
-            Some(winner) => Arc::clone(winner), // a racing compiler won; keep its plan
+            // A racing compiler won; keep its plan (same-epoch only).
+            Some(winner) if winner.graph_epoch() == compiled.graph_epoch() => Arc::clone(winner),
+            Some(_) => {
+                cache.insert(key.to_owned(), Arc::clone(&compiled));
+                compiled
+            }
             None if cache.len() < PLAN_CACHE_CAP => {
                 cache.insert(key.to_owned(), Arc::clone(&compiled));
                 compiled
@@ -254,6 +479,19 @@ impl LscrEngine {
         Ok(query.with_constraint(shared))
     }
 
+    /// Recompiles a compiled query whose plan is bound to an older graph
+    /// epoch, using the canonical SPARQL text the plan retains. Sessions
+    /// call this when a caller-held [`CompiledLscrQuery`] outlives an
+    /// [`apply_update`](Self::apply_update).
+    pub(crate) fn recompile(
+        &self,
+        query: &CompiledLscrQuery,
+    ) -> Result<CompiledLscrQuery, QueryError> {
+        let constraint = SubstructureConstraint::parse(query.constraint.sparql_text())?;
+        let q = LscrQuery::new(query.source, query.target, query.label_constraint, constraint);
+        self.compile(&q)
+    }
+
     /// Number of distinct constraint plans currently cached.
     pub fn cached_plans(&self) -> usize {
         self.plan_cache.read().expect("plan cache lock").len()
@@ -262,7 +500,7 @@ impl LscrEngine {
     /// Compiles and validates `query` once for repeated execution; see
     /// [`PreparedQuery`].
     pub fn prepare(&self, query: &LscrQuery) -> Result<PreparedQuery, QueryError> {
-        Ok(PreparedQuery::new(self.compile(query)?))
+        Ok(PreparedQuery::new(query.clone(), self.compile(query)?))
     }
 
     /// Compiles and answers `query` with `algorithm`, using pooled
@@ -366,9 +604,11 @@ impl LscrEngine {
     /// The plan cache and scratch pool are warm-up state, not data; they
     /// are intentionally not persisted.
     pub fn save_snapshot<W: Write>(&self, writer: W) -> Result<(), QueryError> {
+        let (graph, index) = self.state_snapshot();
         let mut w = SectionWriter::new(BufWriter::new(writer), ArtifactKind::Engine)?;
-        snapshot::write_graph_sections(&self.graph, &mut w)?;
-        let index = self.local_index_if_built();
+        // A live graph is compacted on the fly by the encoder; the index
+        // stays valid because compaction preserves the fingerprint.
+        snapshot::write_graph_sections(&graph, &mut w)?;
         let mut flag = PayloadBuf::new();
         flag.put_u8(u8::from(index.is_some()));
         w.section(TAG_ENGINE_HAS_INDEX, flag.as_slice())?;
@@ -435,7 +675,8 @@ impl LscrEngine {
     /// constraint confines the search to a small region; UIS\* handles
     /// the degenerate empty-`V(S,G)` case for free.
     pub fn plan_algorithm(&self, query: &CompiledLscrQuery, vsg_hint: Option<usize>) -> Algorithm {
-        let g: &Graph = &self.graph;
+        let (graph, index) = self.state_snapshot();
+        let g: &Graph = &graph;
         let n = g.num_vertices().max(1);
         // Provably empty V(S,G): UIS* inspects the empty candidate list
         // and answers false immediately — no traversal at all.
@@ -453,7 +694,17 @@ impl LscrEngine {
         if g.out_label_mask(query.source).intersection(query.label_constraint).is_empty() {
             return Algorithm::Uis;
         }
-        let index_ready = self.local_index_if_built().is_some();
+        // Overlay drift discounts the index: updates applied since the
+        // index was patched leave freshly interned vertices unassigned
+        // and the partition shape stale, so past a drift threshold INS's
+        // pruning surface is too thin to justify its V(S,G)-driven setup
+        // — plan as if no index existed. (The entries themselves are
+        // repaired and always *correct*; this is purely a cost call.)
+        let index_ready = index.is_some()
+            && g.delta_stats().map_or(true, |d| {
+                d.delta_fraction(g.num_edges()) <= 0.3
+                    && d.added_vertices * 10 <= g.num_vertices().max(10)
+            });
         let selectivity = estimate as f64 / n as f64;
         // Expansion-region bound from the label-mask summary: a vertex can
         // only be *expanded* under L if some out-edge label is in L, so
@@ -534,7 +785,7 @@ mod tests {
     fn engine_reuses_index() {
         let engine = LscrEngine::with_index_config(
             figure3(),
-            LocalIndexConfig { num_landmarks: Some(2), seed: 4 },
+            LocalIndexConfig { num_landmarks: Some(2), seed: 4, ..Default::default() },
         );
         let first = engine.local_index();
         assert_eq!(first.stats().num_landmarks, 2);
@@ -546,7 +797,10 @@ mod tests {
     #[test]
     fn set_prebuilt_index() {
         let g = Arc::new(figure3());
-        let idx = LocalIndex::build(&g, &LocalIndexConfig { num_landmarks: Some(3), seed: 9 });
+        let idx = LocalIndex::build(
+            &g,
+            &LocalIndexConfig { num_landmarks: Some(3), seed: 9, ..Default::default() },
+        );
         let engine = LscrEngine::new(Arc::clone(&g));
         engine.set_local_index(idx).unwrap();
         assert_eq!(engine.local_index().stats().num_landmarks, 3);
@@ -576,8 +830,8 @@ mod tests {
         let engine = LscrEngine::new(figure3());
         let g = engine.graph();
         assert_eq!(engine.cached_plans(), 0);
-        let q1 = all_labels_query(g, "v0", "v4");
-        let q2 = all_labels_query(g, "v3", "v4"); // same constraint text
+        let q1 = all_labels_query(&g, "v0", "v4");
+        let q2 = all_labels_query(&g, "v3", "v4"); // same constraint text
         let c1 = engine.compile(&q1).unwrap();
         let c2 = engine.compile(&q2).unwrap();
         assert_eq!(engine.cached_plans(), 1);
@@ -597,7 +851,7 @@ mod tests {
     fn prepared_query_memoizes_vsg() {
         let engine = LscrEngine::new(figure3());
         let g = engine.graph();
-        let prepared = engine.prepare(&all_labels_query(g, "v0", "v4")).unwrap();
+        let prepared = engine.prepare(&all_labels_query(&g, "v0", "v4")).unwrap();
         assert_eq!(prepared.vsg_len_if_materialized(), None);
         let out = engine.answer_prepared(&prepared, Algorithm::UisStar, &QueryOptions::default());
         assert!(out.answer);
@@ -625,7 +879,7 @@ mod tests {
 
         // No index built: the planner must not pick INS (and must not
         // trigger a build as a side effect).
-        let q = engine.compile(&all_labels_query(g, "v0", "v4")).unwrap();
+        let q = engine.compile(&all_labels_query(&g, "v0", "v4")).unwrap();
         let chosen = engine.plan_algorithm(&q, None);
         assert_ne!(chosen, Algorithm::Ins);
         assert!(engine.local_index_if_built().is_none(), "planning must not build");
@@ -639,8 +893,8 @@ mod tests {
 
         // Whatever Auto picks, the recorded choice is a concrete
         // algorithm and the answer matches the oracle.
-        let out = engine.answer(&all_labels_query(g, "v0", "v4"), Algorithm::Auto).unwrap();
-        let expected = engine.answer(&all_labels_query(g, "v0", "v4"), Algorithm::Oracle).unwrap();
+        let out = engine.answer(&all_labels_query(&g, "v0", "v4"), Algorithm::Auto).unwrap();
+        let expected = engine.answer(&all_labels_query(&g, "v0", "v4"), Algorithm::Oracle).unwrap();
         assert_eq!(out.answer, expected.answer);
         assert!(matches!(
             out.stats.algorithm,
@@ -652,9 +906,9 @@ mod tests {
     fn engine_snapshot_roundtrip() {
         let engine = LscrEngine::with_index_config(
             figure3(),
-            LocalIndexConfig { num_landmarks: Some(2), seed: 4 },
+            LocalIndexConfig { num_landmarks: Some(2), seed: 4, ..Default::default() },
         );
-        let q = all_labels_query(engine.graph(), "v0", "v4");
+        let q = all_labels_query(&engine.graph(), "v0", "v4");
 
         // Without an index built: snapshot restores graph only.
         let mut bytes = Vec::new();
@@ -709,7 +963,7 @@ mod tests {
         let names = ["v0", "v1", "v2", "v3", "v4"];
         for (i, s) in names.iter().enumerate() {
             for t in names {
-                queries.push((all_labels_query(g, s, t), algs[i % algs.len()]));
+                queries.push((all_labels_query(&g, s, t), algs[i % algs.len()]));
             }
         }
         let sequential: Vec<bool> = queries
@@ -741,10 +995,181 @@ mod tests {
         );
         assert!(engine.answer(&q, Algorithm::Uis).is_err());
         // Batch surfaces per-query errors without failing the batch.
-        let ok = all_labels_query(engine.graph(), "v0", "v4");
+        let ok = all_labels_query(&engine.graph(), "v0", "v4");
         let results = engine.answer_batch(&[(q, Algorithm::Uis), (ok, Algorithm::Uis)], 2);
         assert!(results[0].is_err());
         assert!(results[1].as_ref().unwrap().answer);
+    }
+
+    #[test]
+    fn apply_update_changes_answers_and_invalidates_caches() {
+        let engine = LscrEngine::new(figure3());
+        let q = {
+            let g = engine.graph();
+            LscrQuery::new(
+                g.vertex_id("v0").unwrap(),
+                g.vertex_id("v4").unwrap(),
+                g.label_set(&["likes", "follows"]),
+                s0(),
+            )
+        };
+        assert!(engine.answer(&q, Algorithm::Uis).unwrap().answer);
+        assert_eq!(engine.graph_epoch(), 0);
+        assert_eq!(engine.cached_plans(), 1);
+
+        // Sever the only satisfying route under {likes, follows}.
+        let mut batch = kgreach_graph::UpdateBatch::new();
+        batch.delete("v2", "follows", "v4");
+        let out = engine.apply_update(&batch).unwrap();
+        assert_eq!(out.summary.edges_deleted, 1);
+        assert_eq!(out.epoch, 1);
+        assert_eq!(out.index, IndexMaintenance::NotBuilt);
+        assert_eq!(engine.graph_epoch(), 1);
+        assert_eq!(engine.cached_plans(), 0, "plan cache invalidated");
+        for alg in [Algorithm::Uis, Algorithm::UisStar, Algorithm::Ins, Algorithm::Auto] {
+            assert!(!engine.answer(&q, alg).unwrap().answer, "{alg} must see the delete");
+        }
+
+        // Re-create a route through a brand-new vertex; old compiled
+        // queries keep working (recompiled transparently).
+        let compiled = engine.compile(&q).unwrap();
+        let mut batch = kgreach_graph::UpdateBatch::new();
+        batch.insert("v2", "follows", "bridge").insert("bridge", "likes", "v4");
+        let out = engine.apply_update(&batch).unwrap();
+        assert_eq!(out.summary.vertices_added, 1);
+        for alg in [Algorithm::Uis, Algorithm::UisStar, Algorithm::Ins, Algorithm::Auto] {
+            assert!(engine.answer(&q, alg).unwrap().answer, "{alg} must see the insert");
+        }
+        // Stale compiled query (epoch 1) against epoch-2 graph.
+        assert!(engine.answer_compiled(&compiled, Algorithm::Uis).answer);
+    }
+
+    #[test]
+    fn apply_update_patches_or_rebuilds_the_index() {
+        let engine = LscrEngine::with_index_config(
+            figure3(),
+            LocalIndexConfig { num_landmarks: Some(3), seed: 7, ..Default::default() },
+        );
+        let _ = engine.local_index();
+        let fp_before = engine.local_index().graph_fingerprint();
+
+        // A one-edge batch stays within the staleness budget → patched.
+        let mut batch = kgreach_graph::UpdateBatch::new();
+        batch.insert("v4", "likes", "v0");
+        let out = engine.apply_update(&batch).unwrap();
+        assert!(
+            matches!(out.index, IndexMaintenance::Patched { partitions_repaired: 0..=1 }),
+            "one touched source repairs at most one partition, got {:?}",
+            out.index
+        );
+        let idx = engine.local_index_if_built().expect("index maintained, not dropped");
+        assert_eq!(idx.graph_fingerprint(), engine.graph().fingerprint());
+        assert_ne!(idx.graph_fingerprint(), fp_before);
+
+        // INS answers correctly against the maintained index.
+        let g = engine.graph();
+        let q = LscrQuery::new(
+            g.vertex_id("v4").unwrap(),
+            g.vertex_id("v2").unwrap(),
+            g.label_set(&["likes"]),
+            s0(),
+        );
+        let want = engine.answer(&q, Algorithm::Oracle).unwrap().answer;
+        assert_eq!(engine.answer(&q, Algorithm::Ins).unwrap().answer, want);
+
+        // A huge batch (relative to the graph) blows the delta threshold:
+        // compaction + index rebuild.
+        let mut big = kgreach_graph::UpdateBatch::new();
+        for i in 0..20 {
+            big.insert(&format!("bulk{i}"), "likes", &format!("bulk{}", i + 1));
+        }
+        let out = engine.apply_update(&big).unwrap();
+        assert!(out.compacted, "20 edges on a 9-edge graph must trigger compaction");
+        assert_eq!(out.index, IndexMaintenance::Rebuilt);
+        assert!(!engine.graph().has_overlay());
+        let idx = engine.local_index_if_built().unwrap();
+        assert_eq!(idx.graph_fingerprint(), engine.graph().fingerprint());
+    }
+
+    #[test]
+    fn noop_update_keeps_state() {
+        let engine = LscrEngine::new(figure3());
+        let g_before = engine.graph();
+        let mut batch = kgreach_graph::UpdateBatch::new();
+        batch.insert("v0", "likes", "v2"); // already present
+        let out = engine.apply_update(&batch).unwrap();
+        assert!(!out.summary.changed());
+        assert!(!out.compacted);
+        assert_eq!(out.epoch, 0);
+        assert!(Arc::ptr_eq(&g_before, &engine.graph()), "no-op update must not swap the graph");
+    }
+
+    #[test]
+    fn failed_update_leaves_engine_untouched() {
+        let engine = LscrEngine::new(figure3());
+        let mut batch = kgreach_graph::UpdateBatch::new();
+        for i in 0..kgreach_graph::MAX_LABELS {
+            batch.insert("a", &format!("p{i}"), "b");
+        }
+        assert!(matches!(
+            engine.apply_update(&batch),
+            Err(QueryError::Graph(kgreach_graph::GraphError::TooManyLabels { .. }))
+        ));
+        assert_eq!(engine.graph_epoch(), 0);
+        assert_eq!(engine.graph().num_edges(), 8);
+    }
+
+    #[test]
+    fn explicit_compact_preserves_served_answers() {
+        let engine = LscrEngine::new(figure3());
+        let mut batch = kgreach_graph::UpdateBatch::new();
+        batch.insert("v4", "likes", "v0").delete("v0", "likes", "v2");
+        engine.apply_update(&batch).unwrap();
+        assert!(engine.graph().has_overlay());
+        let q = all_labels_query(&engine.graph(), "v3", "v0");
+        let before = engine.answer(&q, Algorithm::Uis).unwrap().answer;
+        let epoch = engine.graph_epoch();
+        engine.compact();
+        assert!(!engine.graph().has_overlay());
+        assert_eq!(engine.graph_epoch(), epoch, "compaction is content-preserving");
+        assert_eq!(engine.answer(&q, Algorithm::Uis).unwrap().answer, before);
+        engine.compact(); // idempotent
+    }
+
+    #[test]
+    fn prepared_queries_track_updates() {
+        let engine = LscrEngine::new(figure3());
+        let q = {
+            let g = engine.graph();
+            LscrQuery::new(
+                g.vertex_id("v0").unwrap(),
+                g.vertex_id("v4").unwrap(),
+                g.label_set(&["likes", "follows"]),
+                s0(),
+            )
+        };
+        let prepared = engine.prepare(&q).unwrap();
+        let out = engine.answer_prepared(&prepared, Algorithm::UisStar, &QueryOptions::default());
+        assert!(out.answer);
+        assert_eq!(prepared.vsg_len_if_materialized(), Some(2));
+
+        // Delete one of the two satisfying vertices' qualifying edges:
+        // V(S0,G) shrinks, the memo re-materializes, answers update.
+        let mut batch = kgreach_graph::UpdateBatch::new();
+        batch.delete("v1", "friendOf", "v3");
+        engine.apply_update(&batch).unwrap();
+        let out = engine.answer_prepared(&prepared, Algorithm::UisStar, &QueryOptions::default());
+        assert!(out.answer, "v2 still satisfies S0 and routes v0 to v4");
+        assert_eq!(
+            prepared.vsg_len_if_materialized(),
+            Some(1),
+            "stale memo re-materialized against the updated graph"
+        );
+        assert_eq!(out.stats.vsg_size, Some(1));
+        // INS re-executes against the same refreshed memo.
+        let out = engine.answer_prepared(&prepared, Algorithm::Ins, &QueryOptions::default());
+        assert!(out.answer);
+        assert_eq!(out.stats.vsg_size, Some(1));
     }
 
     #[test]

@@ -18,6 +18,21 @@
 //!      `L` without touching its edges (line 25);
 //!    * `Push(EIT[w])` enqueues the partition's exit frontier under `L`
 //!      (line 25) — landmarks themselves are never enqueued.
+//!
+//! ```
+//! use kgreach::{LocalIndex, LscrQuery};
+//! use kgreach::fixtures::{figure3, s0};
+//!
+//! let g = figure3();
+//! let index = LocalIndex::build_default(&g);
+//! let q = LscrQuery::new(
+//!     g.vertex_id("v0").unwrap(),
+//!     g.vertex_id("v4").unwrap(),
+//!     g.label_set(&["likes", "follows"]),
+//!     s0(),
+//! );
+//! assert!(kgreach::ins::answer(&g, &q.compile(&g).unwrap(), &index).answer);
+//! ```
 
 use crate::close::{CloseMap, CloseState};
 use crate::local_index::LocalIndex;
@@ -227,23 +242,31 @@ impl Ins<'_> {
                     return true;
                 }
 
-                // Line 22: t* lives in w's partition and w is its landmark
-                // — the precomputed CMS answers w ⇝_L t*.
-                if self.index.partition().is_landmark(w)
-                    && self.index.partition().af(t_star) == self.index.partition().af(w)
-                {
-                    self.stats.index_hits += 1;
-                    if self.index.entry_of(w).is_some_and(|entry| entry.check(t_star, self.labels))
-                    {
-                        self.mark(w, b);
-                        if !b {
-                            self.push(u, t_star);
-                        }
-                        return true;
-                    }
-                }
-
                 if self.index.partition().is_landmark(w) {
+                    // Line 22: t* lives in w's partition and w is its
+                    // landmark — the precomputed CMS answers w ⇝_L t*.
+                    if self.index.partition().af(t_star) == self.index.partition().af(w) {
+                        self.stats.index_hits += 1;
+                        if self
+                            .index
+                            .entry_of(w)
+                            .is_some_and(|entry| entry.check(t_star, self.labels))
+                        {
+                            // w is deliberately left UNMARKED here: the
+                            // `already`-marked idempotence guard below
+                            // assumes a marked landmark had its region
+                            // Cut/Push-processed, and this shortcut does
+                            // not process it. (Regression: marking w here
+                            // stranded every candidate reachable only
+                            // through F(w)'s exits — a later resumed B=F
+                            // traversal skipped the region forever.)
+                            if !b {
+                                self.push(u, t_star);
+                            }
+                            return true;
+                        }
+                    }
+
                     // Lines 24-25: prune F(w) with the local index. Skip
                     // when this landmark was already pruned at this state —
                     // Cut/Push are idempotent per state.
@@ -333,7 +356,10 @@ mod tests {
     const ALL: [&str; 5] = ["friendOf", "likes", "advisorOf", "follows", "hates"];
 
     fn build_index(g: &Graph, k: usize, seed: u64) -> LocalIndex {
-        LocalIndex::build(g, &LocalIndexConfig { num_landmarks: Some(k), seed })
+        LocalIndex::build(
+            g,
+            &LocalIndexConfig { num_landmarks: Some(k), seed, ..Default::default() },
+        )
     }
 
     fn run(g: &Graph, idx: &LocalIndex, s: &str, t: &str, labels: &[&str]) -> QueryOutcome {
@@ -436,6 +462,60 @@ mod tests {
         // The intermediate vertex `a` was skipped entirely: the edge walk
         // stopped at lm and the index answered for the rest.
         assert!(out.stats.edges_scanned <= 2, "scanned {}", out.stats.edges_scanned);
+    }
+
+    #[test]
+    fn check_shortcut_does_not_strand_the_partition() {
+        // Regression for an incompleteness bug: when a B=F search
+        // returned through the line-22 Check shortcut, the landmark was
+        // marked without Cut/Push, and the `already`-marked idempotence
+        // guard then skipped its region forever — candidates reachable
+        // only through that partition's exits became undiscoverable when
+        // the suspended traversal resumed.
+        //
+        // Layout: s → w → a → {c1, c2}, c2 → t, partition F(w) =
+        // {w, a, c1} and F(z) = {z, c2, t}. Candidates (marker edges to
+        // `anchor`): c1 (a dead end, popped first by id order) and c2
+        // (the true connector). The c1 probe returns through Check on w;
+        // the c2 probe then needs F(w)'s exit a → c2, which only exists
+        // in the traversal if the Check path ran Cut/Push.
+        let mut b = kgreach_graph::GraphBuilder::new();
+        for (s, p, o) in [
+            ("s", "p", "w"),
+            ("w", "p", "a"),
+            ("a", "p", "c1"),
+            ("c1", "m", "anchor"),
+            ("a", "p", "c2"),
+            ("z", "p", "c2"),
+            ("c2", "p", "t"),
+            ("c2", "m", "anchor"),
+        ] {
+            b.add_triple(s, p, o);
+        }
+        let g = b.build().unwrap();
+        let idx = LocalIndex::build_with_landmarks(
+            &g,
+            vec![g.vertex_id("w").unwrap(), g.vertex_id("z").unwrap()],
+        );
+        // The layout assumptions behind the regression: c1 sits in w's
+        // partition (Check can fire for it), c2 does not.
+        let part = idx.partition();
+        assert_eq!(part.af(g.vertex_id("c1").unwrap()), part.af(g.vertex_id("w").unwrap()));
+        assert_ne!(part.af(g.vertex_id("c2").unwrap()), part.af(g.vertex_id("w").unwrap()));
+
+        let c = crate::constraint::SubstructureConstraint::parse(
+            "SELECT ?x WHERE { ?x <m> <anchor> . }",
+        )
+        .unwrap();
+        let q = LscrQuery::new(
+            g.vertex_id("s").unwrap(),
+            g.vertex_id("t").unwrap(),
+            g.label_set(&["p"]),
+            c,
+        );
+        let cq = q.compile(&g).unwrap();
+        assert!(oracle::answer(&g, &cq).answer, "fixture must be reachable via c2");
+        assert!(answer(&g, &cq, &idx).answer, "INS must find the path through F(w)'s exit");
     }
 
     #[test]

@@ -91,7 +91,7 @@ pub mod witness;
 
 pub use close::{CloseMap, CloseState};
 pub use constraint::{CompiledConstraint, ConstraintBuilder, ScckCache, SubstructureConstraint};
-pub use engine::{Algorithm, LscrEngine};
+pub use engine::{Algorithm, IndexMaintenance, LscrEngine, UpdateOutcome, DELTA_COMPACT_THRESHOLD};
 pub use local_index::{IndexBuildStats, LandmarkEntry, LocalIndex, LocalIndexConfig};
 pub use partition::{
     default_num_landmarks, select_landmarks, select_landmarks_by_degree, Partition,
@@ -104,4 +104,7 @@ pub use session::{SearchScratch, Session};
 pub use witness::{find_witness, Witness};
 
 // Re-export the substrate types callers need to assemble queries.
-pub use kgreach_graph::{Graph, GraphBuilder, GraphFingerprint, LabelId, LabelSet, VertexId};
+pub use kgreach_graph::{
+    Graph, GraphBuilder, GraphFingerprint, LabelId, LabelSet, UpdateBatch, UpdateOp, UpdateSummary,
+    VertexId,
+};

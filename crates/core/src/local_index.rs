@@ -31,6 +31,17 @@
 //! [`kgreach_graph::snapshot`], and installing a loaded index against
 //! the wrong graph is rejected through the engine's fingerprint check
 //! ([`QueryError::IndexGraphMismatch`](crate::QueryError::IndexGraphMismatch)).
+//!
+//! ```
+//! use kgreach::{LocalIndex, LocalIndexConfig};
+//! use kgreach::fixtures::figure3;
+//!
+//! let g = figure3();
+//! let config = LocalIndexConfig { num_landmarks: Some(2), seed: 7, ..Default::default() };
+//! let index = LocalIndex::build(&g, &config);
+//! assert_eq!(index.stats().num_landmarks, 2);
+//! assert_eq!(index.graph_fingerprint(), g.fingerprint());
+//! ```
 
 use crate::partition::{
     default_num_landmarks, partition_graph, select_landmarks, Partition, NO_PARTITION,
@@ -46,6 +57,7 @@ use std::collections::VecDeque;
 use std::fs::File;
 use std::io::{BufReader, BufWriter, Read, Write};
 use std::path::Path;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Configuration for [`LocalIndex::build`].
@@ -57,11 +69,18 @@ pub struct LocalIndexConfig {
     /// RNG seed for class/landmark sampling (builds are deterministic
     /// given the seed).
     pub seed: u64,
+    /// Incremental-maintenance staleness budget: an update batch whose
+    /// touched partitions exceed this fraction of `|I|` triggers a full
+    /// rebuild (fresh landmark selection + partitioning) instead of
+    /// partition-local repair — repairing most of the index costs more
+    /// than rebuilding it and keeps a drifted partition shape alive.
+    /// See [`LocalIndex::patched`].
+    pub staleness_budget: f64,
 }
 
 impl Default for LocalIndexConfig {
     fn default() -> Self {
-        LocalIndexConfig { num_landmarks: None, seed: 0x5ca1ab1e }
+        LocalIndexConfig { num_landmarks: None, seed: 0x5ca1ab1e, staleness_budget: 0.5 }
     }
 }
 
@@ -147,7 +166,11 @@ pub struct IndexBuildStats {
 #[derive(Clone, Debug)]
 pub struct LocalIndex {
     partition: Partition,
-    entries: Vec<LandmarkEntry>,
+    /// One shared entry per landmark. `Arc` so incremental maintenance
+    /// ([`patched`](Self::patched)) shares every untouched entry between
+    /// the old and new index instead of deep-cloning the whole index per
+    /// update batch.
+    entries: Vec<Arc<LandmarkEntry>>,
     d: Vec<FxHashMap<u32, u32>>,
     stats: IndexBuildStats,
     fingerprint: GraphFingerprint,
@@ -175,13 +198,13 @@ impl LocalIndex {
         let mut d: Vec<FxHashMap<u32, u32>> = Vec::with_capacity(partition.num_landmarks());
         for ord in 0..partition.num_landmarks() as u32 {
             let (entry, d_row) = local_full_index(g, &partition, ord);
-            entries.push(entry);
+            entries.push(Arc::new(entry));
             d.push(d_row);
         }
 
-        let ii_pairs = entries.iter().map(LandmarkEntry::num_ii).sum();
-        let eit_pairs = entries.iter().map(LandmarkEntry::num_eit).sum();
-        let bytes = entries.iter().map(LandmarkEntry::heap_bytes).sum::<usize>()
+        let ii_pairs = entries.iter().map(|e| e.num_ii()).sum();
+        let eit_pairs = entries.iter().map(|e| e.num_eit()).sum();
+        let bytes = entries.iter().map(|e| e.heap_bytes()).sum::<usize>()
             + partition.heap_bytes()
             + d.iter().map(|m| m.len() * 8 + 16).sum::<usize>();
         let stats = IndexBuildStats {
@@ -258,6 +281,72 @@ impl LocalIndex {
     /// graph (see [`LscrEngine::set_local_index`](crate::LscrEngine::set_local_index)).
     pub fn graph_fingerprint(&self) -> GraphFingerprint {
         self.fingerprint
+    }
+
+    /// Incrementally repairs the index for an updated graph, returning a
+    /// patched copy — or `None` when the batch is too large for repair to
+    /// beat a rebuild (the caller then runs [`build`](Self::build)).
+    ///
+    /// `touched_sources` are the vertices whose *out*-adjacency changed
+    /// (`UpdateSummary::touched_sources`). A landmark's local BFS only
+    /// ever traverses out-edges of its own partition members, so the set
+    /// of landmark entries a batch can invalidate is exactly
+    /// `{AF(v) : v ∈ touched_sources}` — each such partition gets its
+    /// `II`/`EIT`/`D` recomputed from scratch by the same
+    /// `LocalFullIndex` routine a full build runs, confined to the
+    /// *existing* partition shape. Vertices interned after the partition
+    /// was computed stay unassigned (sound: INS expands them through
+    /// ordinary frontier traversal) until a rebuild re-partitions.
+    ///
+    /// Repair gives bit-identical entries to a fresh build **over the
+    /// same partition**; the fallback exists because the partition shape
+    /// itself (assignment, balance, landmark choice) drifts from what a
+    /// fresh build would pick, and repairing more than
+    /// `staleness_budget · |I|` partitions costs more than rebuilding.
+    pub fn patched(
+        &self,
+        g: &Graph,
+        touched_sources: &[VertexId],
+        staleness_budget: f64,
+    ) -> Option<(LocalIndex, usize)> {
+        let k = self.partition.num_landmarks();
+        let mut partition = self.partition.clone();
+        partition.extend_to(g.num_vertices());
+        let mut touched: Vec<u32> = touched_sources
+            .iter()
+            .filter_map(|&v| self.partition.af_slice().get(v.index()).copied())
+            .filter(|&a| a != NO_PARTITION)
+            .collect();
+        touched.sort_unstable();
+        touched.dedup();
+        if touched.len() as f64 > staleness_budget * k as f64 {
+            return None;
+        }
+        // Untouched entries are shared with `self` (refcount bumps, no
+        // deep copy): patching cost scales with the touched partitions,
+        // not with the index size.
+        let mut entries = self.entries.clone();
+        let mut d = self.d.clone();
+        for &ord in &touched {
+            let (entry, row) = local_full_index(g, &partition, ord);
+            entries[ord as usize] = Arc::new(entry);
+            d[ord as usize] = row;
+        }
+        let ii_pairs = entries.iter().map(|e| e.num_ii()).sum();
+        let eit_pairs = entries.iter().map(|e| e.num_eit()).sum();
+        let bytes = entries.iter().map(|e| e.heap_bytes()).sum::<usize>()
+            + partition.heap_bytes()
+            + d.iter().map(|m| m.len() * 8 + 16).sum::<usize>();
+        let stats = IndexBuildStats {
+            elapsed: self.stats.elapsed,
+            bytes,
+            num_landmarks: k,
+            ii_pairs,
+            eit_pairs,
+            assigned_vertices: partition.num_assigned(),
+        };
+        let repaired = touched.len();
+        Some((LocalIndex { partition, entries, d, stats, fingerprint: g.fingerprint() }, repaired))
     }
 }
 
@@ -455,7 +544,7 @@ impl LocalIndex {
                 }
                 eit.push((LabelSet::from_bits(bits), vs));
             }
-            entries.push(LandmarkEntry { ii, eit });
+            entries.push(Arc::new(LandmarkEntry { ii, eit }));
         }
         cur.finish()?;
 
@@ -481,8 +570,8 @@ impl LocalIndex {
 
         // The persisted pair totals double as an integrity check over the
         // decoded entries.
-        let ii_pairs: usize = entries.iter().map(LandmarkEntry::num_ii).sum();
-        let eit_pairs: usize = entries.iter().map(LandmarkEntry::num_eit).sum();
+        let ii_pairs: usize = entries.iter().map(|e| e.num_ii()).sum();
+        let eit_pairs: usize = entries.iter().map(|e| e.num_eit()).sum();
         if ii_pairs != stats.ii_pairs || eit_pairs != stats.eit_pairs {
             return Err(kgreach_graph::GraphError::SnapshotCorrupt {
                 section: "index-entries",
@@ -603,15 +692,15 @@ mod tests {
         let mut d = Vec::new();
         for ord in 0..partition.num_landmarks() as u32 {
             let (e, row) = local_full_index(g, &partition, ord);
-            entries.push(e);
+            entries.push(Arc::new(e));
             d.push(row);
         }
         let stats = IndexBuildStats {
             elapsed: Duration::ZERO,
             bytes: 0,
             num_landmarks: partition.num_landmarks(),
-            ii_pairs: entries.iter().map(LandmarkEntry::num_ii).sum(),
-            eit_pairs: entries.iter().map(LandmarkEntry::num_eit).sum(),
+            ii_pairs: entries.iter().map(|e| e.num_ii()).sum(),
+            eit_pairs: entries.iter().map(|e| e.num_eit()).sum(),
             assigned_vertices: partition.num_assigned(),
         };
         LocalIndex { partition, entries, d, stats, fingerprint: g.fingerprint() }
@@ -718,7 +807,10 @@ mod tests {
     #[test]
     fn build_full_pipeline() {
         let g = figure3();
-        let idx = LocalIndex::build(&g, &LocalIndexConfig { num_landmarks: Some(2), seed: 42 });
+        let idx = LocalIndex::build(
+            &g,
+            &LocalIndexConfig { num_landmarks: Some(2), seed: 42, ..Default::default() },
+        );
         assert_eq!(idx.stats().num_landmarks, 2);
         assert!(idx.stats().bytes > 0);
         assert!(idx.stats().assigned_vertices >= 2);
@@ -733,7 +825,10 @@ mod tests {
     #[test]
     fn snapshot_roundtrip_is_identity() {
         let g = figure3();
-        let idx = LocalIndex::build(&g, &LocalIndexConfig { num_landmarks: Some(2), seed: 42 });
+        let idx = LocalIndex::build(
+            &g,
+            &LocalIndexConfig { num_landmarks: Some(2), seed: 42, ..Default::default() },
+        );
         let mut bytes = Vec::new();
         idx.save(&mut bytes).unwrap();
         let loaded = LocalIndex::load(&bytes[..]).unwrap();
@@ -768,7 +863,10 @@ mod tests {
     fn snapshot_corruption_is_typed() {
         use kgreach_graph::GraphError;
         let g = figure3();
-        let idx = LocalIndex::build(&g, &LocalIndexConfig { num_landmarks: Some(2), seed: 42 });
+        let idx = LocalIndex::build(
+            &g,
+            &LocalIndexConfig { num_landmarks: Some(2), seed: 42, ..Default::default() },
+        );
         let mut bytes = Vec::new();
         idx.save(&mut bytes).unwrap();
         // Every single-byte flip past the header is rejected, never a panic.
@@ -790,7 +888,7 @@ mod tests {
     #[test]
     fn build_deterministic_under_seed() {
         let g = figure3();
-        let c = LocalIndexConfig { num_landmarks: Some(3), seed: 9 };
+        let c = LocalIndexConfig { num_landmarks: Some(3), seed: 9, ..Default::default() };
         let a = LocalIndex::build(&g, &c);
         let b = LocalIndex::build(&g, &c);
         assert_eq!(a.partition().landmarks(), b.partition().landmarks());

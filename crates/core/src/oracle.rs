@@ -6,6 +6,20 @@
 //! set of `t`, and `V(S,G)` by brute force, then intersects. Three linear
 //! passes — independent of the search machinery under test, which is what
 //! makes it a trustworthy oracle for UIS/UIS\*/INS.
+//!
+//! ```
+//! use kgreach::LscrQuery;
+//! use kgreach::fixtures::{figure3, s0};
+//!
+//! let g = figure3();
+//! let q = LscrQuery::new(
+//!     g.vertex_id("v0").unwrap(),
+//!     g.vertex_id("v4").unwrap(),
+//!     g.label_set(&["likes", "follows"]),
+//!     s0(),
+//! );
+//! assert!(kgreach::oracle::answer(&g, &q.compile(&g).unwrap()).answer);
+//! ```
 
 use crate::query::{CompiledLscrQuery, QueryOutcome, SearchStats};
 use kgreach_graph::traverse::EpochMask;

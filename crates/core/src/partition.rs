@@ -15,6 +15,18 @@
 //!   attribute `w.AF = u`, i.e. joins subgraph `F(u)`. Partitions grow one
 //!   vertex per turn, keeping them balanced. Vertices unreachable from
 //!   every landmark stay unassigned.
+//!
+//! ```
+//! use kgreach::partition::partition_graph;
+//! use kgreach::fixtures::figure3;
+//!
+//! let g = figure3();
+//! let v0 = g.vertex_id("v0").unwrap();
+//! let part = partition_graph(&g, vec![v0]);
+//! assert!(part.is_landmark(v0));
+//! // Everything v0 reaches joins its subgraph F(v0).
+//! assert_eq!(part.num_assigned(), 5);
+//! ```
 
 use kgreach_graph::fxhash::fx_set_with_capacity;
 use kgreach_graph::{Graph, VertexId};
@@ -53,6 +65,18 @@ impl Partition {
     /// vertices (snapshot encoding).
     pub(crate) fn af_slice(&self) -> &[u32] {
         &self.af
+    }
+
+    /// Extends the `AF` array to cover `n` vertices; the new slots are
+    /// unassigned. Dynamic updates intern vertices after the partition
+    /// was computed — they stay outside every subgraph (INS treats them
+    /// through its ordinary frontier expansion) until a full index
+    /// rebuild re-partitions. Never shrinks.
+    pub(crate) fn extend_to(&mut self, n: usize) {
+        if n > self.af.len() {
+            self.af.resize(n, NO_PARTITION);
+            self.landmark_flag.resize(n, false);
+        }
     }
 
     /// The landmark set `I`, by ordinal.

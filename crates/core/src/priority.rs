@@ -137,6 +137,15 @@ impl GlobalQueue {
         }
     }
 
+    /// Grows the queue to cover at least `n` vertices (dynamic graphs
+    /// grow `|V|` between queries; fresh token slots start at `0` = not
+    /// queued). Never shrinks.
+    pub fn ensure_len(&mut self, n: usize) {
+        if n > self.token.len() {
+            self.token.resize(n, 0);
+        }
+    }
+
     /// Readies the queue for a fresh query in O(1): drops all live
     /// entries and invalidates the per-target ρ memo. Push tokens and the
     /// sequence counter are *kept* — stale tokens are harmless once the
@@ -257,7 +266,10 @@ mod tests {
         let g = b.build().unwrap();
         // Deterministic landmarks: use explicit count 2 and the schema has
         // exactly the two typed instances.
-        let idx = LocalIndex::build(&g, &LocalIndexConfig { num_landmarks: Some(2), seed: 3 });
+        let idx = LocalIndex::build(
+            &g,
+            &LocalIndexConfig { num_landmarks: Some(2), seed: 3, ..Default::default() },
+        );
         (g, idx)
     }
 

@@ -1,4 +1,20 @@
 //! LSCR query types, execution options and per-query statistics.
+//!
+//! ```
+//! use kgreach::{Algorithm, LscrEngine, LscrQuery, QueryOptions};
+//! use kgreach::fixtures::{figure3, s0};
+//!
+//! let engine = LscrEngine::new(figure3());
+//! let q = LscrQuery::new(
+//!     engine.graph().vertex_id("v0").unwrap(),
+//!     engine.graph().vertex_id("v4").unwrap(),
+//!     engine.graph().label_set(&["likes", "follows"]),
+//!     s0(),
+//! );
+//! let opts = QueryOptions::default().with_witness(true);
+//! let out = engine.answer_with_options(&q, Algorithm::Auto, &opts).unwrap();
+//! assert!(out.answer && out.witness.is_some());
+//! ```
 
 use crate::constraint::{CompiledConstraint, SubstructureConstraint};
 use crate::engine::Algorithm;
@@ -140,32 +156,103 @@ pub struct CompiledLscrQuery {
 /// entirely — the BitPath-style amortization of per-query compilation
 /// across a workload. The type is `Sync`: one prepared query can be
 /// executed concurrently by many sessions.
+///
+/// Both memos — the compiled plan and `V(S,G)` — are **epoch-stamped**:
+/// after the engine's graph is updated
+/// ([`LscrEngine::apply_update`](crate::LscrEngine::apply_update)), the
+/// next execution observes the epoch mismatch, recompiles the plan and
+/// re-materializes `V(S,G)` against the new graph, transparently.
 #[derive(Debug)]
 pub struct PreparedQuery {
+    query: LscrQuery,
+    memo: std::sync::RwLock<Option<PreparedMemo>>,
+}
+
+/// The epoch-stamped memoized state of one [`PreparedQuery`].
+#[derive(Debug, Clone)]
+struct PreparedMemo {
+    /// The [`Graph::epoch`] the plan (and `vsg`, when present) binds to.
+    epoch: u64,
     compiled: CompiledLscrQuery,
-    vsg: std::sync::OnceLock<Vec<VertexId>>,
+    vsg: Option<Arc<Vec<VertexId>>>,
 }
 
 impl PreparedQuery {
-    pub(crate) fn new(compiled: CompiledLscrQuery) -> Self {
-        PreparedQuery { compiled, vsg: std::sync::OnceLock::new() }
+    pub(crate) fn new(query: LscrQuery, compiled: CompiledLscrQuery) -> Self {
+        let epoch = compiled.constraint.graph_epoch();
+        PreparedQuery {
+            query,
+            memo: std::sync::RwLock::new(Some(PreparedMemo { epoch, compiled, vsg: None })),
+        }
     }
 
-    /// The compiled query.
-    pub fn compiled(&self) -> &CompiledLscrQuery {
-        &self.compiled
+    /// The source query this was prepared from.
+    pub fn query(&self) -> &LscrQuery {
+        &self.query
     }
 
-    /// The materialized `V(S,G)` over `g`, computed on first call and
-    /// memoized. `g` must be the graph the query was prepared against.
-    pub fn vsg(&self, g: &Graph) -> &[VertexId] {
-        self.vsg.get_or_init(|| self.compiled.constraint.satisfying_vertices(g))
+    /// The compiled plan bound to `epoch`, re-preparing through the
+    /// engine's plan cache when the memo predates a graph update.
+    pub(crate) fn plan_for_epoch(
+        &self,
+        engine: &crate::LscrEngine,
+        epoch: u64,
+    ) -> CompiledLscrQuery {
+        if let Some(memo) = self.memo.read().expect("prepared memo lock").as_ref() {
+            if memo.epoch == epoch {
+                return memo.compiled.clone();
+            }
+        }
+        let compiled = engine
+            .compile(&self.query)
+            .expect("a query that prepared once re-prepares (ids are stable across updates)");
+        let fresh_epoch = compiled.constraint.graph_epoch();
+        let mut memo = self.memo.write().expect("prepared memo lock");
+        let stale = memo.as_ref().map_or(true, |m| m.epoch != fresh_epoch);
+        if stale {
+            *memo =
+                Some(PreparedMemo { epoch: fresh_epoch, compiled: compiled.clone(), vsg: None });
+        }
+        compiled
+    }
+
+    /// The materialized `V(S,G)` over `g`, memoized per epoch. `compiled`
+    /// must be the plan returned by
+    /// [`plan_for_epoch`](Self::plan_for_epoch) for `g`'s epoch.
+    pub(crate) fn vsg_for_epoch(
+        &self,
+        g: &Graph,
+        compiled: &CompiledLscrQuery,
+    ) -> Arc<Vec<VertexId>> {
+        let epoch = g.epoch();
+        if let Some(memo) = self.memo.read().expect("prepared memo lock").as_ref() {
+            if memo.epoch == epoch {
+                if let Some(vsg) = &memo.vsg {
+                    return Arc::clone(vsg);
+                }
+            }
+        }
+        let vsg = Arc::new(compiled.constraint.satisfying_vertices(g));
+        let mut memo = self.memo.write().expect("prepared memo lock");
+        if let Some(m) = memo.as_mut() {
+            if m.epoch == epoch && m.vsg.is_none() {
+                m.vsg = Some(Arc::clone(&vsg));
+            }
+        }
+        vsg
     }
 
     /// `|V(S,G)|` if some execution has already materialized it — a free
-    /// exact selectivity figure for the `Auto` planner.
+    /// exact selectivity figure for the `Auto` planner. After a graph
+    /// update this may briefly report the pre-update size (a planner
+    /// *hint*, never a correctness input); the next execution
+    /// re-materializes and refreshes it.
     pub fn vsg_len_if_materialized(&self) -> Option<usize> {
-        self.vsg.get().map(Vec::len)
+        self.memo
+            .read()
+            .expect("prepared memo lock")
+            .as_ref()
+            .and_then(|m| m.vsg.as_ref().map(|v| v.len()))
     }
 }
 

@@ -67,6 +67,14 @@ impl SearchScratch {
         self.close.len()
     }
 
+    /// Grows the scratch to cover at least `n` vertices — dynamic graphs
+    /// intern vertices between queries, and a pooled scratch may predate
+    /// them. Never shrinks.
+    pub fn ensure(&mut self, n: usize) {
+        self.close.ensure_len(n);
+        self.queue.ensure_len(n);
+    }
+
     /// Split borrow for the stack-based algorithms (UIS, UIS\*).
     pub(crate) fn close_and_stack(&mut self) -> (&mut CloseMap, &mut Vec<VertexId>) {
         (&mut self.close, &mut self.stack)
@@ -86,21 +94,21 @@ impl SearchScratch {
 /// `std::thread::scope` workers. They are deliberately **not** `Sync`:
 /// one session per thread is the concurrency model.
 ///
-/// The session snapshots the engine's local index on first INS use; an
-/// index installed later via
-/// [`set_local_index`](crate::LscrEngine::set_local_index) is picked up
-/// by sessions created afterwards.
+/// Every query pins one consistent `(graph, index)` snapshot from the
+/// engine, so a concurrent
+/// [`apply_update`](crate::LscrEngine::apply_update) never changes the
+/// graph under a running search; the *next* query through the same
+/// session sees the updated graph (and grows the scratch if `|V|` grew).
 #[derive(Debug)]
 pub struct Session<'e> {
     engine: &'e LscrEngine,
     /// `Some` until drop returns the scratch to the engine's pool.
     scratch: Option<SearchScratch>,
-    index: Option<Arc<LocalIndex>>,
 }
 
 impl<'e> Session<'e> {
     pub(crate) fn new(engine: &'e LscrEngine, scratch: SearchScratch) -> Self {
-        Session { engine, scratch: Some(scratch), index: None }
+        Session { engine, scratch: Some(scratch) }
     }
 
     /// The engine this session answers against.
@@ -130,20 +138,44 @@ impl<'e> Session<'e> {
     }
 
     /// Answers an already-compiled query.
+    ///
+    /// A compiled query is bound to the graph content epoch it was
+    /// compiled at; if the engine's graph has been updated since, the
+    /// plan is transparently recompiled from its retained SPARQL text
+    /// (through the engine's plan cache) before the search runs.
     pub fn answer_compiled(
         &mut self,
         query: &CompiledLscrQuery,
         algorithm: Algorithm,
         opts: &QueryOptions,
     ) -> QueryOutcome {
-        let resolved = self.resolve(query, algorithm, None);
-        let outcome = self.dispatch(query, resolved, opts, None);
-        self.finalize(query, resolved, outcome, opts)
+        let mut recompiled: Option<CompiledLscrQuery> = None;
+        loop {
+            let query = recompiled.as_ref().unwrap_or(query);
+            let resolved = self.resolve(query, algorithm, None);
+            let (g, index) = self.pin(resolved);
+            if query.constraint.graph_epoch() != g.epoch() {
+                // Stale plan (caller-held query from before an update, or
+                // an update raced the pin): rebind and retry.
+                recompiled = Some(
+                    self.engine
+                        .recompile(query)
+                        .expect("canonical SPARQL text recompiles against the updated graph"),
+                );
+                continue;
+            }
+            let outcome = self.dispatch(&g, &index, query, resolved, opts, None);
+            return self.finalize(&g, query, resolved, outcome, opts);
+        }
     }
 
-    /// Executes a [`PreparedQuery`], reusing its memoized `V(S,G)` across
-    /// repeated executions (it is materialized on the first UIS\*/INS
-    /// execution and shared — including across threads — afterwards).
+    /// Executes a [`PreparedQuery`], reusing its memoized plan and
+    /// `V(S,G)` across repeated executions (materialized on the first
+    /// UIS\*/INS execution and shared — including across threads —
+    /// afterwards). After an engine
+    /// [`apply_update`](crate::LscrEngine::apply_update), the memo is
+    /// stale and is transparently re-prepared against the new graph on
+    /// the next execution.
     ///
     /// [`QueryOptions::vsg_order`] is honored: a shuffled order copies
     /// the memoized set and permutes it (O(|V(S,G)|), still skipping the
@@ -154,26 +186,53 @@ impl<'e> Session<'e> {
         algorithm: Algorithm,
         opts: &QueryOptions,
     ) -> QueryOutcome {
-        let query = prepared.compiled();
-        let resolved = self.resolve(query, algorithm, prepared.vsg_len_if_materialized());
-        let vsg = matches!(resolved, Algorithm::UisStar | Algorithm::Ins)
-            .then(|| prepared.vsg(self.engine.graph()));
-        // The paper's "disordered" semantics only affect UIS* (INS's heap
-        // imposes its own order): shuffle a copy of the memoized set.
-        let shuffled;
-        let vsg = match (resolved, opts.vsg_order, vsg) {
-            (Algorithm::UisStar, crate::query::VsgOrder::Shuffled(seed), Some(v)) => {
-                use rand::seq::SliceRandom;
-                use rand::SeedableRng;
-                let mut copy = v.to_vec();
-                copy.shuffle(&mut rand::rngs::SmallRng::seed_from_u64(seed));
-                shuffled = copy;
-                Some(shuffled.as_slice())
+        loop {
+            let query = prepared.plan_for_epoch(self.engine, self.engine.graph_epoch());
+            let resolved = self.resolve(&query, algorithm, prepared.vsg_len_if_materialized());
+            let (g, index) = self.pin(resolved);
+            if query.constraint.graph_epoch() != g.epoch() {
+                continue; // an update raced the pin; re-prepare and retry
             }
-            (_, _, v) => v,
+            let vsg = matches!(resolved, Algorithm::UisStar | Algorithm::Ins)
+                .then(|| prepared.vsg_for_epoch(&g, &query));
+            // The paper's "disordered" semantics only affect UIS* (INS's
+            // heap imposes its own order): shuffle a copy of the memoized
+            // set.
+            let shuffled;
+            let vsg: Option<&[VertexId]> = match (resolved, opts.vsg_order, &vsg) {
+                (Algorithm::UisStar, crate::query::VsgOrder::Shuffled(seed), Some(v)) => {
+                    use rand::seq::SliceRandom;
+                    use rand::SeedableRng;
+                    let mut copy = v.to_vec();
+                    copy.shuffle(&mut rand::rngs::SmallRng::seed_from_u64(seed));
+                    shuffled = copy;
+                    Some(shuffled.as_slice())
+                }
+                (_, _, v) => v.as_ref().map(|v| v.as_slice()),
+            };
+            let outcome = self.dispatch(&g, &index, &query, resolved, opts, vsg);
+            return self.finalize(&g, &query, resolved, outcome, opts);
+        }
+    }
+
+    /// Pins one consistent `(graph, index)` snapshot for a query, builds
+    /// the index when the resolved algorithm needs one, and grows the
+    /// scratch to the snapshot's `|V|`.
+    fn pin(
+        &mut self,
+        algorithm: Algorithm,
+    ) -> (Arc<kgreach_graph::Graph>, Option<Arc<LocalIndex>>) {
+        let (g, index) = loop {
+            let (g, index) = self.engine.state_snapshot();
+            if algorithm != Algorithm::Ins || index.is_some() {
+                break (g, index);
+            }
+            // Build installs the index for the *current* graph; retry the
+            // snapshot so the pair is consistent.
+            let _ = self.engine.local_index_arc();
         };
-        let outcome = self.dispatch(query, resolved, opts, vsg);
-        self.finalize(query, resolved, outcome, opts)
+        self.scratch.as_mut().expect("scratch present until drop").ensure(g.num_vertices());
+        (g, index)
     }
 
     /// Resolves `Auto` through the engine's planner; manual choices pass
@@ -191,20 +250,17 @@ impl<'e> Session<'e> {
         }
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn dispatch(
         &mut self,
+        g: &kgreach_graph::Graph,
+        index: &Option<Arc<LocalIndex>>,
         query: &CompiledLscrQuery,
         algorithm: Algorithm,
         opts: &QueryOptions,
         vsg: Option<&[VertexId]>,
     ) -> QueryOutcome {
         debug_assert!(algorithm != Algorithm::Auto, "Auto resolved before dispatch");
-        let index = match algorithm {
-            Algorithm::Ins => Some(self.local_index()),
-            _ => None,
-        };
-        let engine = self.engine;
-        let g = engine.graph();
         let scratch = self.scratch.as_mut().expect("scratch present until drop");
         match algorithm {
             Algorithm::Uis => uis::answer_with(g, query, scratch, opts),
@@ -213,10 +269,10 @@ impl<'e> Session<'e> {
                 None => uis_star::answer_with(g, query, scratch, opts),
             },
             Algorithm::Ins => {
-                let index = index.expect("index fetched above");
+                let index = index.as_ref().expect("index pinned for INS");
                 match vsg {
-                    Some(vsg) => ins::answer_with_vsg(g, query, &index, scratch, vsg, opts),
-                    None => ins::answer_with(g, query, &index, scratch, opts),
+                    Some(vsg) => ins::answer_with_vsg(g, query, index, scratch, vsg, opts),
+                    None => ins::answer_with(g, query, index, scratch, opts),
                 }
             }
             Algorithm::Oracle | Algorithm::Auto => oracle::answer(g, query),
@@ -225,6 +281,7 @@ impl<'e> Session<'e> {
 
     fn finalize(
         &self,
+        g: &kgreach_graph::Graph,
         query: &CompiledLscrQuery,
         resolved: Algorithm,
         mut outcome: QueryOutcome,
@@ -232,21 +289,12 @@ impl<'e> Session<'e> {
     ) -> QueryOutcome {
         outcome.stats.algorithm = Some(resolved);
         if opts.witness && outcome.answer {
-            outcome.witness = find_witness(self.engine.graph(), query);
+            outcome.witness = find_witness(g, query);
         }
         if opts.skip_stats {
             outcome.stats = SearchStats { algorithm: Some(resolved), ..Default::default() };
         }
         outcome
-    }
-
-    /// The session's snapshot of the engine's local index (fetched — and
-    /// built if necessary — on first use).
-    fn local_index(&mut self) -> Arc<LocalIndex> {
-        if self.index.is_none() {
-            self.index = Some(self.engine.local_index_arc());
-        }
-        self.index.clone().expect("just set")
     }
 }
 
@@ -281,7 +329,7 @@ mod tests {
     fn all_algorithms_through_one_session() {
         let engine = LscrEngine::new(figure3());
         let g = engine.graph();
-        let query = q(g, "v0", "v4", &["likes", "follows"]);
+        let query = q(&g, "v0", "v4", &["likes", "follows"]);
         let mut session = engine.session();
         for alg in
             [Algorithm::Uis, Algorithm::UisStar, Algorithm::Ins, Algorithm::Oracle, Algorithm::Auto]
@@ -297,7 +345,7 @@ mod tests {
     fn witness_option_attaches_path() {
         let engine = LscrEngine::new(figure3());
         let g = engine.graph();
-        let query = q(g, "v0", "v4", &["likes", "follows"]);
+        let query = q(&g, "v0", "v4", &["likes", "follows"]);
         let mut session = engine.session();
         let opts = QueryOptions::default().with_witness(true);
         let out = session.answer_with_options(&query, Algorithm::Uis, &opts).unwrap();
@@ -305,7 +353,7 @@ mod tests {
         let w = out.witness.expect("witness requested for a true answer");
         assert_eq!(engine.graph().vertex_name(w.via), "v2");
         // False answers carry no witness.
-        let query = q(g, "v0", "v3", &["likes", "follows"]);
+        let query = q(&g, "v0", "v3", &["likes", "follows"]);
         let out = session.answer_with_options(&query, Algorithm::Uis, &opts).unwrap();
         assert!(!out.answer);
         assert!(out.witness.is_none());
@@ -315,7 +363,7 @@ mod tests {
     fn skip_stats_zeroes_counters_but_keeps_choice() {
         let engine = LscrEngine::new(figure3());
         let g = engine.graph();
-        let query = q(g, "v0", "v4", &["likes", "follows"]);
+        let query = q(&g, "v0", "v4", &["likes", "follows"]);
         let mut session = engine.session();
         let opts = QueryOptions::default().with_skip_stats(true);
         let out = session.answer_with_options(&query, Algorithm::Uis, &opts).unwrap();
@@ -328,7 +376,7 @@ mod tests {
     fn prepared_queries_honor_shuffled_vsg_order() {
         let engine = LscrEngine::new(figure3());
         let g = engine.graph();
-        let prepared = engine.prepare(&q(g, "v3", "v4", &["likes", "hates", "friendOf"])).unwrap();
+        let prepared = engine.prepare(&q(&g, "v3", "v4", &["likes", "hates", "friendOf"])).unwrap();
         let mut session = engine.session();
         let reference =
             session.answer_prepared(&prepared, Algorithm::UisStar, &QueryOptions::default());

@@ -11,6 +11,22 @@
 //! materialization and no index — which is what makes UIS applicable to
 //! arbitrary edge-labeled graphs, and also what its
 //! `O(|V|·(|V_S|+|E_S|+|E_?|) + |E|)` time bound (Theorem 3.3) pays for.
+//!
+//! ```
+//! use kgreach::LscrQuery;
+//! use kgreach::fixtures::{figure3, s0};
+//!
+//! let g = figure3();
+//! let q = LscrQuery::new(
+//!     g.vertex_id("v0").unwrap(),
+//!     g.vertex_id("v4").unwrap(),
+//!     g.label_set(&["likes", "follows"]),
+//!     s0(),
+//! );
+//! let out = kgreach::uis::answer(&g, &q.compile(&g).unwrap());
+//! assert!(out.answer);
+//! assert!(out.stats.scck_calls > 0); // per-vertex SCck, no V(S,G)
+//! ```
 
 use crate::close::{CloseMap, CloseState};
 use crate::query::{CompiledLscrQuery, QueryOptions, QueryOutcome, RunLimits, SearchStats};

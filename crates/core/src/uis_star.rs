@@ -17,6 +17,22 @@
 //! performance (§6: UIS\* often loses to plain UIS because the set is
 //! unordered and the search keeps "falling into bad directions"; INS fixes
 //! exactly this). [`answer_seeded`] reproduces that unordered behaviour.
+//!
+//! ```
+//! use kgreach::LscrQuery;
+//! use kgreach::fixtures::{figure3, s0};
+//!
+//! let g = figure3();
+//! let q = LscrQuery::new(
+//!     g.vertex_id("v0").unwrap(),
+//!     g.vertex_id("v4").unwrap(),
+//!     g.label_set(&["likes", "follows"]),
+//!     s0(),
+//! );
+//! let out = kgreach::uis_star::answer(&g, &q.compile(&g).unwrap());
+//! assert!(out.answer);
+//! assert_eq!(out.stats.vsg_size, Some(2)); // V(S0, G0) = {v1, v2}
+//! ```
 
 use crate::close::{CloseMap, CloseState};
 use crate::query::{

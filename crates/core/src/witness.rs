@@ -11,6 +11,21 @@
 //! The returned witness is *a* shortest such path through *some*
 //! satisfying vertex (minimizing `dist(s,u) + dist(u,t)`), not the global
 //! lexicographic minimum — ties are broken by vertex id for determinism.
+//!
+//! ```
+//! use kgreach::{find_witness, LscrQuery};
+//! use kgreach::fixtures::{figure3, s0};
+//!
+//! let g = figure3();
+//! let q = LscrQuery::new(
+//!     g.vertex_id("v0").unwrap(),
+//!     g.vertex_id("v4").unwrap(),
+//!     g.label_set(&["likes", "follows"]),
+//!     s0(),
+//! );
+//! let w = find_witness(&g, &q.compile(&g).unwrap()).expect("reachable");
+//! assert_eq!(g.vertex_name(w.via), "v2"); // the satisfying vertex on the path
+//! ```
 
 use crate::query::CompiledLscrQuery;
 use kgreach_graph::{Edge, Graph, LabelSet, VertexId};
@@ -218,7 +233,7 @@ mod tests {
                         s0(),
                     );
                     let expected = engine.answer(&q, crate::Algorithm::Uis).unwrap().answer;
-                    let w = find_witness(g, &q.compile(g).unwrap());
+                    let w = find_witness(&g, &q.compile(&g).unwrap());
                     assert_eq!(w.is_some(), expected, "{s}->{t} {labels:?}");
                 }
             }

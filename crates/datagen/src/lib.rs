@@ -15,7 +15,10 @@
 //!   generator with `|V(S,G)|`-magnitude targeting;
 //! * [`queries`] — the §6.1.1 evaluation-query protocol (stratified label
 //!   sizes, BFS-distance filtering, UIS difficulty filtering, false-type
-//!   balancing).
+//!   balancing);
+//! * [`updates`] — dynamic-graph edit streams: a held-out edge fraction
+//!   replayed as insert/delete/churn batches whose final state equals
+//!   the original triple set (the differential-testing invariant).
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -30,6 +33,7 @@ pub const DATAGEN_VERSION: u32 = 1;
 pub mod constraints;
 pub mod lubm;
 pub mod queries;
+pub mod updates;
 pub mod yago;
 
 /// The `k` most frequent predicates of `g` (by edge count, ties broken
@@ -47,4 +51,5 @@ pub fn top_label_set(g: &kgreach_graph::Graph, k: usize) -> kgreach_graph::Label
 pub use constraints::{all_lubm_constraints, random_constraint_with_magnitude};
 pub use lubm::LubmConfig;
 pub use queries::{FalseKind, GeneratedQuery, QueryGenConfig, Workload};
+pub use updates::{update_workload, UpdateWorkload, UpdateWorkloadConfig};
 pub use yago::YagoConfig;

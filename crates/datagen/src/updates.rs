@@ -1,0 +1,227 @@
+//! Update workloads: deterministic streams of edit batches for the
+//! dynamic-graph evaluation.
+//!
+//! An update workload splits a final triple set into a **base** graph and
+//! a sequence of [`UpdateBatch`]es that, applied in order, reproduce the
+//! final set exactly:
+//!
+//! * a held-out fraction of edges arrives as *inserts*, chunked into
+//!   batches — the "new facts" stream;
+//! * a configurable amount of *churn* deletes base edges and re-inserts
+//!   them in the following batch — exercising delete + re-insert paths
+//!   the way live KGs do (retracted then re-asserted facts);
+//! * every batch also deletes one held-out edge that has not been
+//!   inserted yet — a guaranteed no-op delete, keeping that path hot in
+//!   differential tests.
+//!
+//! The invariant `base + all batches ≡ final triples` is what the
+//! differential suite leans on: an engine that applied the stream must
+//! answer exactly like an engine built from the final set.
+//!
+//! ```
+//! use kgreach_datagen::updates::{update_workload, UpdateWorkloadConfig};
+//! use kgreach_graph::{GraphBuilder, Triple};
+//!
+//! let triples: Vec<Triple> =
+//!     (0..50).map(|i| Triple::new(&format!("v{i}"), "p", &format!("v{}", i + 1))).collect();
+//! let w = update_workload(&triples, &UpdateWorkloadConfig::default());
+//! assert!(!w.batches.is_empty());
+//!
+//! // Replaying the stream over the base reproduces the final set.
+//! let mut b = GraphBuilder::new();
+//! for t in &w.base {
+//!     b.add(t);
+//! }
+//! let mut g = b.build().unwrap();
+//! for batch in &w.batches {
+//!     g.apply_update(batch).unwrap();
+//! }
+//! assert_eq!(g.num_edges(), 50);
+//! ```
+
+use kgreach_graph::{Triple, UpdateBatch};
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// Configuration for [`update_workload`].
+#[derive(Clone, Debug)]
+pub struct UpdateWorkloadConfig {
+    /// Fraction of the final edge set held out of the base graph and
+    /// streamed in as inserts (the paper-style "1% delta" is `0.01`).
+    pub holdout_fraction: f64,
+    /// Edits per batch (inserts; churn rides on top).
+    pub batch_size: usize,
+    /// Base edges churned (deleted, then re-inserted one batch later)
+    /// per batch.
+    pub churn_per_batch: usize,
+    /// RNG seed — workloads are deterministic given the seed.
+    pub seed: u64,
+}
+
+impl Default for UpdateWorkloadConfig {
+    fn default() -> Self {
+        UpdateWorkloadConfig {
+            holdout_fraction: 0.01,
+            batch_size: 64,
+            churn_per_batch: 2,
+            seed: 0xde17a,
+        }
+    }
+}
+
+/// The output of [`update_workload`]: a base triple set plus the batch
+/// stream that evolves it into the final set.
+#[derive(Clone, Debug)]
+#[non_exhaustive]
+pub struct UpdateWorkload {
+    /// Triples of the initial (base) graph.
+    pub base: Vec<Triple>,
+    /// Edit batches; applying all of them to the base reproduces the
+    /// input triple set exactly.
+    pub batches: Vec<UpdateBatch>,
+}
+
+/// Splits `triples` into a base graph and an insert/delete batch stream
+/// per `config` (see the [module docs](self) for the stream's shape and
+/// invariants). The input is treated as a set; duplicates are ignored by
+/// graph-side dedup.
+pub fn update_workload(triples: &[Triple], config: &UpdateWorkloadConfig) -> UpdateWorkload {
+    let mut rng = SmallRng::seed_from_u64(config.seed);
+    let mut shuffled: Vec<&Triple> = triples.iter().collect();
+    shuffled.shuffle(&mut rng);
+    let holdout = ((triples.len() as f64 * config.holdout_fraction) as usize)
+        .clamp(usize::from(!triples.is_empty()), triples.len());
+    let (held, base) = shuffled.split_at(holdout);
+    let base: Vec<Triple> = base.iter().map(|t| (*t).clone()).collect();
+
+    let mut batches = Vec::new();
+    let mut pending_reinsert: Vec<&Triple> = Vec::new();
+    let chunks: Vec<&[&Triple]> = held.chunks(config.batch_size.max(1)).collect();
+    for (i, chunk) in chunks.iter().enumerate() {
+        let mut batch = UpdateBatch::new();
+        // Re-insert last batch's churned edges first (facts re-asserted).
+        for t in pending_reinsert.drain(..) {
+            batch.insert(&t.subject, &t.predicate, &t.object);
+        }
+        // The stream of new facts.
+        for t in chunk.iter() {
+            batch.insert(&t.subject, &t.predicate, &t.object);
+        }
+        // A guaranteed no-op: delete a held-out edge from a *future*
+        // chunk — it has not been inserted yet.
+        if let Some(not_yet) = chunks.get(i + 1).and_then(|c| c.first()) {
+            batch.delete(&not_yet.subject, &not_yet.predicate, &not_yet.object);
+        }
+        // Churn: retract base facts, to be re-asserted next batch.
+        if !base.is_empty() {
+            for _ in 0..config.churn_per_batch {
+                let t = &base[rng.gen_range(0..base.len())];
+                batch.delete(&t.subject, &t.predicate, &t.object);
+                pending_reinsert.push(t);
+            }
+        }
+        batches.push(batch);
+    }
+    // Close the stream: anything still retracted is re-asserted, so the
+    // final state equals the input set.
+    if !pending_reinsert.is_empty() {
+        let mut batch = UpdateBatch::new();
+        for t in pending_reinsert.drain(..) {
+            batch.insert(&t.subject, &t.predicate, &t.object);
+        }
+        batches.push(batch);
+    }
+    UpdateWorkload { base, batches }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kgreach_graph::GraphBuilder;
+
+    fn chain(n: usize) -> Vec<Triple> {
+        (0..n)
+            .map(|i| {
+                let (s, o) = (format!("v{i}"), format!("v{}", i + 1));
+                Triple::new(&s, "p", &o)
+            })
+            .collect()
+    }
+
+    fn replay(w: &UpdateWorkload) -> kgreach_graph::Graph {
+        let mut b = GraphBuilder::new();
+        for t in &w.base {
+            b.add(t);
+        }
+        let mut g = b.build().unwrap();
+        for batch in &w.batches {
+            g.apply_update(batch).unwrap();
+        }
+        g
+    }
+
+    #[test]
+    fn stream_reproduces_final_set() {
+        let triples = chain(200);
+        for (holdout, batch_size, churn) in [(0.01, 4, 0), (0.1, 8, 3), (0.5, 16, 1)] {
+            let w = update_workload(
+                &triples,
+                &UpdateWorkloadConfig {
+                    holdout_fraction: holdout,
+                    batch_size,
+                    churn_per_batch: churn,
+                    seed: 11,
+                },
+            );
+            let g = replay(&w);
+            assert_eq!(g.num_edges(), triples.len(), "holdout={holdout}");
+            let mut got: Vec<(String, String, String)> =
+                g.to_triples().map(|t| (t.subject, t.predicate, t.object)).collect();
+            let mut want: Vec<(String, String, String)> = triples
+                .iter()
+                .map(|t| (t.subject.clone(), t.predicate.clone(), t.object.clone()))
+                .collect();
+            got.sort();
+            want.sort();
+            assert_eq!(got, want);
+        }
+    }
+
+    #[test]
+    fn workload_is_deterministic_and_exercises_noops() {
+        let triples = chain(100);
+        let cfg = UpdateWorkloadConfig {
+            holdout_fraction: 0.2,
+            batch_size: 5,
+            churn_per_batch: 1,
+            seed: 99,
+        };
+        let a = update_workload(&triples, &cfg);
+        let b = update_workload(&triples, &cfg);
+        assert_eq!(a.base, b.base);
+        assert_eq!(a.batches, b.batches);
+        assert!(a.batches.len() >= 4);
+        // The guaranteed no-op deletes are present in non-final batches.
+        let g = {
+            let mut gb = GraphBuilder::new();
+            for t in &a.base {
+                gb.add(t);
+            }
+            gb.build().unwrap()
+        };
+        let mut g = g;
+        let summary = g.apply_update(&a.batches[0]).unwrap();
+        assert!(summary.noop_deletes >= 1, "future-chunk delete must be a no-op");
+    }
+
+    #[test]
+    fn tiny_inputs_are_safe() {
+        let w = update_workload(&[], &UpdateWorkloadConfig::default());
+        assert!(w.base.is_empty());
+        assert!(w.batches.is_empty());
+        let one = chain(1);
+        let w = update_workload(&one, &UpdateWorkloadConfig::default());
+        assert_eq!(replay(&w).num_edges(), 1);
+    }
+}

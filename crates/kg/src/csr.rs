@@ -181,17 +181,7 @@ impl Csr {
     /// edge twice and never allocates.
     #[inline]
     pub fn labeled_neighbors(&self, v: VertexId, constraint: LabelSet) -> LabelRuns<'_> {
-        let slice = self.neighbors(v);
-        let mask = self.masks[v.index()];
-        let wanted = mask.intersection(constraint);
-        let mode = if wanted.is_empty() || slice.is_empty() {
-            RunMode::Done
-        } else if wanted == mask || slice.len() <= LABEL_SEARCH_CUTOFF {
-            RunMode::Full
-        } else {
-            RunMode::Search
-        };
-        LabelRuns { slice, degree: slice.len(), pending: wanted.bits(), mode }
+        LabelRuns::over(self.neighbors(v), self.masks[v.index()], constraint)
     }
 
     /// The expansion view of `v` under `constraint` — the shape the
@@ -234,10 +224,7 @@ impl Csr {
         if !self.masks[v.index()].contains(l) {
             return &[];
         }
-        let slice = self.neighbors(v);
-        let lo = slice.partition_point(|t| t.label < l);
-        let hi = lo + slice[lo..].partition_point(|t| t.label <= l);
-        &slice[lo..hi]
+        label_run_in(self.neighbors(v), l)
     }
 
     /// Degree of `v` in this direction.
@@ -262,6 +249,16 @@ impl Csr {
             + self.targets.capacity() * std::mem::size_of::<LabeledTarget>()
             + self.masks.capacity() * std::mem::size_of::<LabelSet>()
     }
+}
+
+/// The contiguous run of label `l` inside a `(label, vertex)`-sorted
+/// adjacency slice (binary search) — shared by the CSR lookup path and
+/// the delta overlay's patched adjacencies.
+#[inline]
+pub(crate) fn label_run_in(slice: &[LabeledTarget], l: LabelId) -> &[LabeledTarget] {
+    let lo = slice.partition_point(|t| t.label < l);
+    let hi = lo + slice[lo..].partition_point(|t| t.label <= l);
+    &slice[lo..hi]
 }
 
 /// One vertex's adjacency as the search hot loops consume it; created by
@@ -311,6 +308,29 @@ pub struct LabelRuns<'a> {
     mode: RunMode,
 }
 
+impl<'a> LabelRuns<'a> {
+    /// Builds the run iterator over one adjacency slice and its
+    /// incident-label mask — shared by the CSR path and the delta
+    /// overlay's patched adjacencies, so live and frozen vertices expand
+    /// through identical regimes.
+    #[inline]
+    pub(crate) fn over(
+        slice: &'a [LabeledTarget],
+        mask: LabelSet,
+        constraint: LabelSet,
+    ) -> LabelRuns<'a> {
+        let wanted = mask.intersection(constraint);
+        let mode = if wanted.is_empty() || slice.is_empty() {
+            RunMode::Done
+        } else if wanted == mask || slice.len() <= LABEL_SEARCH_CUTOFF {
+            RunMode::Full
+        } else {
+            RunMode::Search
+        };
+        LabelRuns { slice, degree: slice.len(), pending: wanted.bits(), mode }
+    }
+}
+
 impl LabelRuns<'_> {
     /// The vertex's full degree in this direction — candidate edges plus
     /// the ones the constraint skips outright. Callers that track a
@@ -358,6 +378,15 @@ impl<'a> Iterator for LabelRuns<'a> {
 #[derive(Debug)]
 pub struct PerLabelRuns<'a> {
     slice: &'a [LabeledTarget],
+}
+
+impl<'a> PerLabelRuns<'a> {
+    /// Groups an arbitrary `(label, vertex)`-sorted slice — a CSR slice
+    /// or a delta-overlay patched adjacency.
+    #[inline]
+    pub(crate) fn over(slice: &'a [LabeledTarget]) -> PerLabelRuns<'a> {
+        PerLabelRuns { slice }
+    }
 }
 
 impl<'a> Iterator for PerLabelRuns<'a> {

@@ -9,6 +9,16 @@
 //! dictionary from a binary snapshot costs one allocation plus a
 //! reference-count bump per name — the dictionary decode is the hottest
 //! part of a snapshot load.
+//!
+//! ```
+//! use kgreach_graph::dict::Dict;
+//!
+//! let mut d = Dict::new();
+//! let id = d.intern("http://example.org/alice");
+//! assert_eq!(d.intern("http://example.org/alice"), id); // idempotent
+//! assert_eq!(d.name(id), "http://example.org/alice");
+//! assert_eq!(d.get("missing"), None);
+//! ```
 
 use crate::fxhash::FxHashMap;
 use std::sync::Arc;

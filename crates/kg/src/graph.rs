@@ -1,13 +1,26 @@
-//! The knowledge graph `G = (V, E, 𝓛, LS)` and its builder.
+//! The knowledge graph `G = (V, E, 𝓛, LS)`, its builder, and its dynamic
+//! update path.
 //!
-//! [`Graph`] is an immutable, query-optimized snapshot: interned vertex and
-//! label dictionaries, CSR adjacency in both directions, and the RDFS
+//! [`Graph`] is a query-optimized snapshot: interned vertex and label
+//! dictionaries, CSR adjacency in both directions, and the RDFS
 //! [`Schema`] layer. [`GraphBuilder`] accumulates triples (string-level or
 //! pre-interned) and freezes them into a `Graph`.
+//!
+//! A frozen graph is not sealed forever:
+//! [`apply_update`](Graph::apply_update) layers an [`UpdateBatch`] of
+//! edge insertions/deletions (and freshly interned vertices and labels)
+//! over the base CSR as a [`DeltaOverlay`](crate::DeltaOverlay), every
+//! accessor presents the merged view, and
+//! [`compact`](Graph::compact) re-freezes the overlay into a clean CSR
+//! once the delta grows. Each content-changing batch bumps the graph's
+//! [`epoch`](Graph::epoch), the invalidation signal for every cache
+//! derived from graph content.
 
-use crate::csr::{Csr, Expansion, LabelRuns, LabeledTarget, PerLabelRuns};
+use crate::csr::{label_run_in, Csr, Expansion, LabelRuns, LabeledTarget, PerLabelRuns};
+use crate::delta::{DeltaOverlay, DeltaStats, UpdateBatch, UpdateOp, UpdateSummary};
 use crate::dict::Dict;
 use crate::error::{GraphError, Result};
+use crate::fxhash::fx_set_with_capacity;
 use crate::ids::{Edge, LabelId, VertexId};
 use crate::labelset::{LabelSet, MAX_LABELS};
 use crate::schema::Schema;
@@ -44,13 +57,27 @@ impl std::fmt::Display for GraphFingerprint {
     }
 }
 
-/// An immutable edge-labeled knowledge graph.
+/// An edge-labeled knowledge graph: a frozen CSR base plus an optional
+/// `DeltaOverlay` of applied updates (see the `delta` module docs).
 #[derive(Clone, Debug)]
 pub struct Graph {
     vertex_dict: Dict,
     label_dict: Dict,
     out: Csr,
     inn: Csr,
+    /// Applied-but-not-compacted updates; `None` for a compact graph, in
+    /// which case every accessor takes the overlay-free fast path (one
+    /// predictable branch on a pointer-sized field — boxed so the hot
+    /// check loads one word, not an inline two-hashmap struct).
+    overlay: Option<Box<DeltaOverlay>>,
+    /// Live edge count — `out.num_edges()` for a compact graph, adjusted
+    /// per actual insert/delete while an overlay is active.
+    num_edges: usize,
+    /// Content version: bumped by every [`apply_update`](Self::apply_update)
+    /// that changed something; *not* bumped by [`compact`](Self::compact)
+    /// (compaction is a representation change, so content-keyed caches
+    /// survive it).
+    epoch: u64,
     schema: Schema,
     label_histogram: Vec<usize>,
     /// Per label, the number of vertices with at least one *out*-edge
@@ -87,11 +114,15 @@ impl Graph {
                 label_vertex_counts[l.index()] += 1;
             }
         }
+        let num_edges = out.num_edges();
         Graph {
             vertex_dict,
             label_dict,
             out,
             inn,
+            overlay: None,
+            num_edges,
+            epoch: 0,
             schema,
             label_histogram,
             label_vertex_counts,
@@ -99,13 +130,16 @@ impl Graph {
         }
     }
 
-    /// The out-edge CSR (snapshot encoding).
+    /// The out-edge CSR (snapshot encoding; the caller must have
+    /// compacted first — see `snapshot::write_graph_sections`).
     pub(crate) fn out_csr(&self) -> &Csr {
+        debug_assert!(self.overlay.is_none(), "raw CSR access on a live graph");
         &self.out
     }
 
     /// The in-edge CSR (snapshot encoding).
     pub(crate) fn in_csr(&self) -> &Csr {
+        debug_assert!(self.overlay.is_none(), "raw CSR access on a live graph");
         &self.inn
     }
 
@@ -125,10 +159,10 @@ impl Graph {
         self.vertex_dict.len()
     }
 
-    /// Number of edges `|E|`.
+    /// Number of edges `|E|` (merged view while an overlay is active).
     #[inline]
     pub fn num_edges(&self) -> usize {
-        self.out.num_edges()
+        self.num_edges
     }
 
     /// Number of distinct edge labels `|𝓛|`.
@@ -157,15 +191,36 @@ impl Graph {
     }
 
     /// Out-edges of `v` as `(label, target)` pairs sorted by label.
+    ///
+    /// Like every adjacency accessor, the overlay-free fast path is a
+    /// single predictable branch; the live-graph arm is outlined and
+    /// `#[cold]` so compact-graph callers keep their tight pre-dynamic
+    /// codegen.
     #[inline(always)]
     pub fn out_neighbors(&self, v: VertexId) -> &[LabeledTarget] {
-        self.out.neighbors(v)
+        if self.overlay.is_none() {
+            return self.out.neighbors(v);
+        }
+        self.out_neighbors_live(v)
+    }
+
+    #[cold]
+    fn out_neighbors_live(&self, v: VertexId) -> &[LabeledTarget] {
+        self.overlay.as_ref().expect("live path").out_slice(v, &self.out)
     }
 
     /// In-edges of `v` as `(label, source)` pairs sorted by label.
     #[inline(always)]
     pub fn in_neighbors(&self, v: VertexId) -> &[LabeledTarget] {
-        self.inn.neighbors(v)
+        if self.overlay.is_none() {
+            return self.inn.neighbors(v);
+        }
+        self.in_neighbors_live(v)
+    }
+
+    #[cold]
+    fn in_neighbors_live(&self, v: VertexId) -> &[LabeledTarget] {
+        self.overlay.as_ref().expect("live path").in_slice(v, &self.inn)
     }
 
     /// Out-edges of `v` whose label is in `constraint`, as contiguous
@@ -174,14 +229,32 @@ impl Graph {
     /// per-vertex skip/full/mixed regimes).
     #[inline(always)]
     pub fn labeled_out_neighbors(&self, v: VertexId, constraint: LabelSet) -> LabelRuns<'_> {
-        self.out.labeled_neighbors(v, constraint)
+        if self.overlay.is_none() {
+            return self.out.labeled_neighbors(v, constraint);
+        }
+        let (slice, mask) = self.out_view_live(v);
+        LabelRuns::over(slice, mask, constraint)
+    }
+
+    #[cold]
+    fn out_view_live(&self, v: VertexId) -> (&[LabeledTarget], LabelSet) {
+        self.overlay.as_ref().expect("live path").out_view(v, &self.out)
+    }
+
+    #[cold]
+    fn in_view_live(&self, v: VertexId) -> (&[LabeledTarget], LabelSet) {
+        self.overlay.as_ref().expect("live path").in_view(v, &self.inn)
     }
 
     /// In-edges of `v` whose label is in `constraint`, as contiguous
     /// label runs.
     #[inline(always)]
     pub fn labeled_in_neighbors(&self, v: VertexId, constraint: LabelSet) -> LabelRuns<'_> {
-        self.inn.labeled_neighbors(v, constraint)
+        if self.overlay.is_none() {
+            return self.inn.labeled_neighbors(v, constraint);
+        }
+        let (slice, mask) = self.in_view_live(v);
+        LabelRuns::over(slice, mask, constraint)
     }
 
     /// The out-expansion of `v` under `constraint` — the flat-slice view
@@ -200,7 +273,15 @@ impl Graph {
         constraint: LabelSet,
         selective: bool,
     ) -> Expansion<'_> {
-        self.out.expansion(v, constraint, selective)
+        if self.overlay.is_none() {
+            return self.out.expansion(v, constraint, selective);
+        }
+        let (slice, mask) = self.out_view_live(v);
+        if selective && mask.intersection(constraint).is_empty() {
+            Expansion { edges: &[], degree: slice.len() }
+        } else {
+            Expansion { edges: slice, degree: slice.len() }
+        }
     }
 
     /// Upper bound on the number of vertices a search can *expand* under
@@ -236,43 +317,74 @@ impl Graph {
     /// the local-index BFS.
     #[inline]
     pub fn out_label_runs(&self, v: VertexId) -> PerLabelRuns<'_> {
-        self.out.label_runs(v)
+        if self.overlay.is_none() {
+            return self.out.label_runs(v);
+        }
+        PerLabelRuns::over(self.out_neighbors_live(v))
     }
 
     /// The union of the labels on `v`'s out-edges, in one load.
     #[inline(always)]
     pub fn out_label_mask(&self, v: VertexId) -> LabelSet {
-        self.out.label_mask(v)
+        if self.overlay.is_none() {
+            return self.out.label_mask(v);
+        }
+        self.out_view_live(v).1
     }
 
     /// The union of the labels on `v`'s in-edges, in one load.
     #[inline(always)]
     pub fn in_label_mask(&self, v: VertexId) -> LabelSet {
-        self.inn.label_mask(v)
+        if self.overlay.is_none() {
+            return self.inn.label_mask(v);
+        }
+        self.in_view_live(v).1
     }
 
     /// Out-edges of `v` with label `l`.
     #[inline]
     pub fn out_neighbors_with_label(&self, v: VertexId, l: LabelId) -> &[LabeledTarget] {
-        self.out.neighbors_with_label(v, l)
+        if self.overlay.is_none() {
+            return self.out.neighbors_with_label(v, l);
+        }
+        let (slice, mask) = self.out_view_live(v);
+        if mask.contains(l) {
+            label_run_in(slice, l)
+        } else {
+            &[]
+        }
     }
 
     /// In-edges of `v` with label `l`.
     #[inline]
     pub fn in_neighbors_with_label(&self, v: VertexId, l: LabelId) -> &[LabeledTarget] {
-        self.inn.neighbors_with_label(v, l)
+        if self.overlay.is_none() {
+            return self.inn.neighbors_with_label(v, l);
+        }
+        let (slice, mask) = self.in_view_live(v);
+        if mask.contains(l) {
+            label_run_in(slice, l)
+        } else {
+            &[]
+        }
     }
 
     /// Out-degree of `v`.
     #[inline]
     pub fn out_degree(&self, v: VertexId) -> usize {
-        self.out.degree(v)
+        if self.overlay.is_none() {
+            return self.out.degree(v);
+        }
+        self.out_neighbors_live(v).len()
     }
 
     /// In-degree of `v`.
     #[inline]
     pub fn in_degree(&self, v: VertexId) -> usize {
-        self.inn.degree(v)
+        if self.overlay.is_none() {
+            return self.inn.degree(v);
+        }
+        self.in_neighbors_live(v).len()
     }
 
     /// Total degree (in + out) of `v`.
@@ -283,7 +395,7 @@ impl Graph {
 
     /// Whether the concrete edge `(s, l, t)` exists.
     pub fn has_edge(&self, s: VertexId, l: LabelId, t: VertexId) -> bool {
-        self.out.neighbors_with_label(s, l).iter().any(|n| n.vertex == t)
+        self.out_neighbors_with_label(s, l).iter().any(|n| n.vertex == t)
     }
 
     /// Iterates every edge of the graph in source order.
@@ -394,6 +506,7 @@ impl Graph {
             + self.schema.heap_bytes()
             + self.label_histogram.capacity() * std::mem::size_of::<usize>()
             + self.label_vertex_counts.capacity() * std::mem::size_of::<usize>()
+            + self.overlay.as_deref().map_or(0, DeltaOverlay::heap_bytes)
     }
 
     /// Serializes the graph back to triples (test/io helper).
@@ -401,6 +514,241 @@ impl Graph {
         self.edges().map(move |e| {
             Triple::new(self.vertex_name(e.src), self.label_name(e.label), self.vertex_name(e.dst))
         })
+    }
+}
+
+/// Dynamic updates: overlay application, compaction, epoch.
+impl Graph {
+    /// The graph's content epoch: `0` at freeze (or snapshot load),
+    /// bumped by every [`apply_update`](Self::apply_update) that changed
+    /// something. Caches keyed on graph content (compiled constraint
+    /// plans, `SCck` memos, materialized `V(S,G)` sets) record the epoch
+    /// they were computed at and invalidate on mismatch.
+    #[inline]
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Whether updates are layered over the base CSR (i.e. the graph is
+    /// live, not compact).
+    pub fn has_overlay(&self) -> bool {
+        self.overlay.is_some()
+    }
+
+    /// Delta counters of the active overlay, or `None` for a compact
+    /// graph — the input to compaction policies and to the query
+    /// engine's planner.
+    pub fn delta_stats(&self) -> Option<DeltaStats> {
+        self.overlay.as_deref().map(|ov| ov.stats(self.num_vertices()))
+    }
+
+    /// Applies an [`UpdateBatch`] in op order, layering the changes over
+    /// the base CSR (see the [`delta`](crate::delta) module docs).
+    ///
+    /// * Inserting an existing edge / deleting an absent edge is a no-op
+    ///   (counted in the summary); deletes never intern names.
+    /// * Inserted subject/predicate/object names join the dictionaries;
+    ///   ids are stable — no existing id ever changes or disappears.
+    /// * The RDFS schema layer follows `rdf:type` /
+    ///   `rdfs:subClassOf` edge changes (class registrations are
+    ///   monotone: deleting the last subclass edge keeps the class
+    ///   known, with an empty instance list once its `rdf:type` edges go).
+    /// * All derived statistics (label histogram, per-label vertex
+    ///   counts, non-sink count) are maintained exactly.
+    ///
+    /// Errors with [`GraphError::TooManyLabels`] — *before mutating
+    /// anything* — if the batch would intern labels past [`MAX_LABELS`].
+    /// The epoch is bumped iff the summary reports a change.
+    pub fn apply_update(&mut self, batch: &UpdateBatch) -> Result<UpdateSummary> {
+        // Pre-validate label capacity so a failed batch leaves the graph
+        // untouched.
+        let mut new_labels: Vec<&str> = batch
+            .ops()
+            .iter()
+            .filter_map(|op| match op {
+                UpdateOp::Insert(t) if self.label_dict.get(&t.predicate).is_none() => {
+                    Some(t.predicate.as_str())
+                }
+                _ => None,
+            })
+            .collect();
+        new_labels.sort_unstable();
+        new_labels.dedup();
+        if self.label_dict.len() + new_labels.len() > MAX_LABELS {
+            return Err(GraphError::TooManyLabels {
+                requested: self.label_dict.len() + new_labels.len(),
+                max: MAX_LABELS,
+            });
+        }
+
+        let vertices_before = self.vertex_dict.len();
+        let labels_before = self.label_dict.len();
+        let had_overlay = self.overlay.is_some();
+        if !had_overlay {
+            self.overlay = Some(Box::new(DeltaOverlay::new(self.out.num_vertices())));
+        }
+        let mut summary = UpdateSummary::default();
+        let mut touched = fx_set_with_capacity::<VertexId>(batch.len());
+
+        for op in batch.ops() {
+            match op {
+                UpdateOp::Insert(t) => {
+                    let s = VertexId(self.vertex_dict.intern(&t.subject));
+                    let p = self.intern_update_label(&t.predicate);
+                    let o = VertexId(self.vertex_dict.intern(&t.object));
+                    let target = LabeledTarget { label: p, vertex: o };
+                    let change = self
+                        .overlay
+                        .as_mut()
+                        .expect("overlay installed above")
+                        .insert_edge(&self.out, &self.inn, s, target);
+                    match change {
+                        Some((old_mask, new_mask)) => {
+                            self.label_histogram[p.index()] += 1;
+                            self.num_edges += 1;
+                            self.note_out_mask_change(old_mask, new_mask);
+                            summary.edges_inserted += 1;
+                            touched.insert(s);
+                            if self.schema.type_label == Some(p) {
+                                self.schema.add_instance(o, s);
+                            }
+                            if self.schema.subclass_label == Some(p) {
+                                self.schema.add_class(s);
+                                self.schema.add_class(o);
+                            }
+                        }
+                        None => summary.noop_inserts += 1,
+                    }
+                }
+                UpdateOp::Delete(t) => {
+                    let ids = (
+                        self.vertex_dict.get(&t.subject),
+                        self.label_dict.get(&t.predicate),
+                        self.vertex_dict.get(&t.object),
+                    );
+                    let (Some(s), Some(p), Some(o)) = ids else {
+                        summary.noop_deletes += 1;
+                        continue;
+                    };
+                    let (s, p, o) = (VertexId(s), LabelId(p as u16), VertexId(o));
+                    let target = LabeledTarget { label: p, vertex: o };
+                    let change = self
+                        .overlay
+                        .as_mut()
+                        .expect("overlay installed above")
+                        .delete_edge(&self.out, &self.inn, s, target);
+                    match change {
+                        Some((old_mask, new_mask)) => {
+                            self.label_histogram[p.index()] -= 1;
+                            self.num_edges -= 1;
+                            self.note_out_mask_change(old_mask, new_mask);
+                            summary.edges_deleted += 1;
+                            touched.insert(s);
+                            if self.schema.type_label == Some(p) {
+                                self.schema.remove_instance(o, s);
+                            }
+                        }
+                        None => summary.noop_deletes += 1,
+                    }
+                }
+            }
+        }
+
+        summary.vertices_added = self.vertex_dict.len() - vertices_before;
+        summary.labels_added = self.label_dict.len() - labels_before;
+        summary.touched_sources = touched.into_iter().collect();
+        summary.touched_sources.sort_unstable();
+        if summary.changed() {
+            self.epoch += 1;
+        } else if !had_overlay {
+            self.overlay = None; // an all-no-op batch leaves the graph compact
+        }
+        Ok(summary)
+    }
+
+    /// Re-freezes the overlay into a clean CSR pair: the merged adjacency
+    /// is rebuilt through the same construction path snapshot loading
+    /// validates (`Csr::build` + the `from_parts` derivation), and
+    /// the overlay is dropped. Ids, dictionaries, schema, statistics and
+    /// the [`epoch`](Self::epoch) are all preserved — compaction changes
+    /// the representation, never the content. No-op on a compact graph.
+    pub fn compact(&mut self) {
+        if self.overlay.is_none() {
+            return;
+        }
+        let n = self.num_vertices();
+        let mut edges: Vec<Edge> = Vec::with_capacity(self.num_edges);
+        for raw in 0..n as u32 {
+            let v = VertexId(raw);
+            for t in self.out_neighbors(v) {
+                edges.push(Edge::new(v, t.label, t.vertex));
+            }
+        }
+        let out = Csr::build(n, edges.iter().map(|e| (e.src, e.label, e.dst)));
+        let inn = Csr::build(n, edges.iter().map(|e| (e.dst, e.label, e.src)));
+        let epoch = self.epoch;
+        *self = Graph::from_parts(
+            std::mem::take(&mut self.vertex_dict),
+            std::mem::take(&mut self.label_dict),
+            out,
+            inn,
+            std::mem::take(&mut self.schema),
+            std::mem::take(&mut self.label_histogram),
+        );
+        self.epoch = epoch;
+    }
+
+    /// A compacted clone — the content-identical, overlay-free form used
+    /// by the snapshot encoder; cheap no-op clone semantics do not apply
+    /// (callers on the read path should check [`has_overlay`](Self::has_overlay)
+    /// first).
+    pub fn compacted(&self) -> Graph {
+        let mut c = self.clone();
+        c.compact();
+        c
+    }
+
+    /// Interns a predicate for an insert, extending every label-indexed
+    /// derived array and wiring freshly seen RDFS vocabulary names into
+    /// the schema slots.
+    fn intern_update_label(&mut self, name: &str) -> LabelId {
+        if let Some(id) = self.label_dict.get(name) {
+            return LabelId(id as u16);
+        }
+        let id = self.label_dict.intern(name);
+        debug_assert!(id <= u16::MAX as u32, "label id overflows u16");
+        self.label_histogram.push(0);
+        self.label_vertex_counts.push(0);
+        let l = LabelId(id as u16);
+        if vocab::is_type(name) {
+            self.schema.type_label.get_or_insert(l);
+        } else if vocab::is_subclass_of(name) {
+            self.schema.subclass_label.get_or_insert(l);
+        } else if vocab::is_domain(name) {
+            self.schema.domain_label.get_or_insert(l);
+        } else if vocab::is_range(name) {
+            self.schema.range_label.get_or_insert(l);
+        }
+        l
+    }
+
+    /// Folds an out-mask transition of one vertex into the mask-derived
+    /// statistics (`label_vertex_counts`, `non_sink_vertices`).
+    fn note_out_mask_change(&mut self, old: LabelSet, new: LabelSet) {
+        if old == new {
+            return;
+        }
+        for l in new.difference(old).iter() {
+            self.label_vertex_counts[l.index()] += 1;
+        }
+        for l in old.difference(new).iter() {
+            self.label_vertex_counts[l.index()] -= 1;
+        }
+        match (old.is_empty(), new.is_empty()) {
+            (true, false) => self.non_sink_vertices += 1,
+            (false, true) => self.non_sink_vertices -= 1,
+            _ => {}
+        }
     }
 }
 
@@ -767,6 +1115,310 @@ mod tests {
         // Display carries all four components.
         let text = fp.to_string();
         assert!(text.contains("|V|=5") && text.contains("hash="));
+    }
+
+    /// Rebuilds a graph from another graph's merged triple view — the
+    /// reference a live graph must stay equivalent to.
+    fn rebuilt(g: &Graph) -> Graph {
+        let mut b = GraphBuilder::new();
+        for t in g.to_triples() {
+            b.add(&t);
+        }
+        b.build().unwrap()
+    }
+
+    /// Asserts that the live graph and a from-scratch rebuild of its
+    /// triples agree on every per-vertex view (by name, since ids can
+    /// differ) and on all derived statistics.
+    fn assert_equivalent(live: &Graph, reference: &Graph) {
+        assert_eq!(live.num_edges(), reference.num_edges());
+        let mut live_triples: Vec<(String, String, String)> =
+            live.to_triples().map(|t| (t.subject, t.predicate, t.object)).collect();
+        let mut ref_triples: Vec<(String, String, String)> =
+            reference.to_triples().map(|t| (t.subject, t.predicate, t.object)).collect();
+        live_triples.sort();
+        ref_triples.sort();
+        assert_eq!(live_triples, ref_triples);
+        // Mask-derived statistics must be maintained exactly.
+        for (id, name) in (0..live.num_labels() as u16).map(|i| (i, live.label_name(LabelId(i)))) {
+            let l = LabelId(id);
+            let (hist, counts) =
+                (live.label_histogram()[l.index()], live.label_vertex_counts()[l.index()]);
+            match reference.label_id(name) {
+                Some(rl) => {
+                    assert_eq!(hist, reference.label_histogram()[rl.index()], "hist[{name}]");
+                    assert_eq!(
+                        counts,
+                        reference.label_vertex_counts()[rl.index()],
+                        "vertex_counts[{name}]"
+                    );
+                }
+                None => {
+                    assert_eq!(hist, 0, "label {name} has no edges in the reference");
+                    assert_eq!(counts, 0);
+                }
+            }
+        }
+        // Per-vertex adjacency views agree by name.
+        for v in live.vertices() {
+            let name = live.vertex_name(v).to_owned();
+            // Adjacency slices sort by *label id*, and ids intern in
+            // different orders in the two graphs — compare as sets of
+            // name pairs.
+            let mut out_live: Vec<(String, String)> = live
+                .out_neighbors(v)
+                .iter()
+                .map(|t| (live.label_name(t.label).into(), live.vertex_name(t.vertex).into()))
+                .collect();
+            let mut out_ref: Vec<(String, String)> = match reference.vertex_id(&name) {
+                Some(rv) => reference
+                    .out_neighbors(rv)
+                    .iter()
+                    .map(|t| {
+                        (
+                            reference.label_name(t.label).into(),
+                            reference.vertex_name(t.vertex).into(),
+                        )
+                    })
+                    .collect(),
+                None => Vec::new(),
+            };
+            out_live.sort();
+            out_ref.sort();
+            assert_eq!(out_live, out_ref, "out({name})");
+            assert_eq!(live.out_degree(v), out_live.len());
+            assert_eq!(live.out_label_mask(v).len(), {
+                let mut ls: Vec<&String> = out_live.iter().map(|(l, _)| l).collect();
+                ls.sort();
+                ls.dedup();
+                ls.len()
+            });
+        }
+    }
+
+    #[test]
+    fn apply_update_inserts_deletes_and_noops() {
+        let mut g = figure3_graph();
+        let fp_before = g.fingerprint();
+        assert_eq!(g.epoch(), 0);
+        let mut batch = UpdateBatch::new();
+        batch
+            .insert("v0", "likes", "v4") // new edge between old vertices
+            .insert("v0", "likes", "v2") // already present → no-op
+            .delete("v4", "hates", "v1") // present → deleted
+            .delete("v4", "hates", "v2") // absent → no-op
+            .delete("ghost", "hates", "v1"); // unknown name → no-op, not interned
+        let s = g.apply_update(&batch).unwrap();
+        assert_eq!(s.edges_inserted, 1);
+        assert_eq!(s.edges_deleted, 1);
+        assert_eq!(s.noop_inserts, 1);
+        assert_eq!(s.noop_deletes, 2);
+        assert_eq!(s.vertices_added, 0, "deletes must not intern names");
+        assert!(s.changed());
+        assert_eq!(g.epoch(), 1);
+        assert!(g.has_overlay());
+        assert_eq!(g.vertex_id("ghost"), None);
+        assert_ne!(g.fingerprint(), fp_before);
+        let v0 = g.vertex_id("v0").unwrap();
+        let v4 = g.vertex_id("v4").unwrap();
+        let likes = g.label_id("likes").unwrap();
+        assert!(g.has_edge(v0, likes, v4));
+        assert_eq!(g.out_degree(v4), 0, "v4's only out-edge was deleted");
+        assert!(g.out_label_mask(v4).is_empty());
+        assert_equivalent(&g, &rebuilt(&g));
+        // touched_sources: v0 (insert) and v4 (delete), deduped + sorted.
+        assert_eq!(s.touched_sources, vec![v0, v4]);
+    }
+
+    #[test]
+    fn apply_update_interns_new_vertices_and_labels() {
+        let mut g = figure3_graph();
+        let mut batch = UpdateBatch::new();
+        // A vertex interned by this very batch is used again as a source
+        // in the same batch.
+        batch.insert("v4", "mentors", "newbie").insert("newbie", "mentors", "v0");
+        let s = g.apply_update(&batch).unwrap();
+        assert_eq!(s.vertices_added, 1);
+        assert_eq!(s.labels_added, 1);
+        assert_eq!(s.edges_inserted, 2);
+        let newbie = g.vertex_id("newbie").unwrap();
+        let mentors = g.label_id("mentors").unwrap();
+        assert_eq!(g.out_degree(newbie), 1);
+        assert_eq!(g.in_degree(newbie), 1);
+        assert_eq!(g.label_histogram()[mentors.index()], 2);
+        assert_eq!(g.label_vertex_counts()[mentors.index()], 2);
+        assert!(g.has_edge(newbie, mentors, g.vertex_id("v0").unwrap()));
+        assert_equivalent(&g, &rebuilt(&g));
+        // Label-run and expansion views work on the new vertex.
+        let runs: Vec<_> = g.labeled_out_neighbors(newbie, LabelSet::singleton(mentors)).collect();
+        assert_eq!(runs.len(), 1);
+        assert_eq!(g.out_expansion(newbie, LabelSet::singleton(mentors), true).edges.len(), 1);
+    }
+
+    #[test]
+    fn reinsert_after_delete_roundtrips() {
+        let mut g = figure3_graph();
+        let fp = g.fingerprint();
+        let mut del = UpdateBatch::new();
+        del.delete("v0", "friendOf", "v1");
+        let mut ins = UpdateBatch::new();
+        ins.insert("v0", "friendOf", "v1");
+        g.apply_update(&del).unwrap();
+        assert_eq!(g.num_edges(), 7);
+        g.apply_update(&ins).unwrap();
+        assert_eq!(g.num_edges(), 8);
+        assert_eq!(g.fingerprint(), fp, "delete + re-insert restores the edge multiset");
+        assert_eq!(g.epoch(), 2, "both batches changed content");
+        // Same within one batch, in both orders.
+        let mut both = UpdateBatch::new();
+        both.delete("v0", "friendOf", "v1").insert("v0", "friendOf", "v1");
+        g.apply_update(&both).unwrap();
+        assert_eq!(g.fingerprint(), fp);
+        assert_equivalent(&g, &rebuilt(&g));
+    }
+
+    #[test]
+    fn noop_batch_keeps_graph_compact_and_epoch() {
+        let mut g = figure3_graph();
+        let mut batch = UpdateBatch::new();
+        batch.insert("v0", "likes", "v2").delete("nope", "x", "y");
+        let s = g.apply_update(&batch).unwrap();
+        assert!(!s.changed());
+        assert_eq!(g.epoch(), 0, "no-op batches must not invalidate caches");
+        assert!(!g.has_overlay(), "no-op batch on a compact graph stays compact");
+        assert!(g.delta_stats().is_none());
+        assert!(g.apply_update(&UpdateBatch::new()).is_ok());
+    }
+
+    #[test]
+    fn compact_preserves_content_and_epoch() {
+        let mut g = figure3_graph();
+        let mut batch = UpdateBatch::new();
+        batch.insert("v4", "likes", "v0").delete("v0", "likes", "v2").insert("x", "likes", "y");
+        g.apply_update(&batch).unwrap();
+        let fp = g.fingerprint();
+        let stats = g.delta_stats().unwrap();
+        assert_eq!(stats.inserted_edges, 2);
+        assert_eq!(stats.deleted_edges, 1);
+        assert_eq!(stats.added_vertices, 2);
+        assert!(stats.delta_fraction(g.num_edges()) > 0.0);
+        let live_view = rebuilt(&g);
+        g.compact();
+        assert!(!g.has_overlay());
+        assert_eq!(g.epoch(), 1, "compaction is not a content change");
+        assert_eq!(g.fingerprint(), fp, "ids and edges survive compaction");
+        assert_equivalent(&g, &live_view);
+        g.compact(); // idempotent
+        assert_eq!(g.fingerprint(), fp);
+    }
+
+    #[test]
+    fn delta_counters_track_net_drift_not_churn() {
+        // Regression: churn that returns the graph to its base content
+        // must not creep toward the compaction threshold — insert+delete
+        // of the same overlay edge (and delete+re-insert of a base edge)
+        // cancel in the drift counters instead of accumulating.
+        let mut g = figure3_graph();
+        for round in 0..40 {
+            let mut batch = UpdateBatch::new();
+            batch.insert("v4", "likes", "v0"); // overlay-only edge appears…
+            g.apply_update(&batch).unwrap();
+            let mut batch = UpdateBatch::new();
+            batch.delete("v4", "likes", "v0"); // …and disappears
+            batch.delete("v0", "friendOf", "v1"); // base edge retracted…
+            g.apply_update(&batch).unwrap();
+            let mut batch = UpdateBatch::new();
+            batch.insert("v0", "friendOf", "v1"); // …and re-asserted
+            g.apply_update(&batch).unwrap();
+            let stats = g.delta_stats().unwrap();
+            assert_eq!(stats.inserted_edges, 0, "round {round}");
+            assert_eq!(stats.deleted_edges, 0, "round {round}");
+            assert!(stats.delta_fraction(g.num_edges()) < 1e-9, "round {round}");
+        }
+        assert_eq!(g.fingerprint(), figure3_graph().fingerprint());
+        // patched_vertices counts the union across directions: the churn
+        // touched out-patches {v4, v0} and in-patches {v0, v1} → 3.
+        assert_eq!(g.delta_stats().unwrap().patched_vertices, 3);
+    }
+
+    #[test]
+    fn update_batch_label_overflow_rejected_before_mutation() {
+        let mut g = figure3_graph();
+        let mut batch = UpdateBatch::new();
+        batch.insert("v0", "likes", "v1"); // would be a real change…
+        for i in 0..MAX_LABELS {
+            batch.insert("a", &format!("overflow{i}"), "b");
+        }
+        let fp = g.fingerprint();
+        match g.apply_update(&batch) {
+            Err(GraphError::TooManyLabels { .. }) => {}
+            other => panic!("expected TooManyLabels, got {other:?}"),
+        }
+        assert_eq!(g.fingerprint(), fp, "failed batch must leave the graph untouched");
+        assert_eq!(g.epoch(), 0);
+        assert!(!g.has_overlay());
+        assert_eq!(g.vertex_id("a"), None);
+    }
+
+    #[test]
+    fn schema_follows_type_edge_updates() {
+        let mut b = GraphBuilder::new();
+        b.add_triple("alice", "rdf:type", "Person");
+        b.add_triple("bob", "rdf:type", "Person");
+        let mut g = b.build().unwrap();
+        let person = g.vertex_id("Person").unwrap();
+        assert_eq!(g.schema().instances_of(person).len(), 2);
+        let mut batch = UpdateBatch::new();
+        batch.delete("alice", "rdf:type", "Person").insert("carol", "rdf:type", "Person");
+        g.apply_update(&batch).unwrap();
+        let instances: Vec<&str> =
+            g.schema().instances_of(person).iter().map(|&v| g.vertex_name(v)).collect();
+        assert_eq!(instances, vec!["bob", "carol"]);
+        // A fresh rdf:type label interned by an update wires the schema.
+        let mut g2 = figure3_graph();
+        assert!(g2.schema().type_label.is_none());
+        let mut batch = UpdateBatch::new();
+        batch.insert("v0", "rdf:type", "Thing");
+        g2.apply_update(&batch).unwrap();
+        assert!(g2.schema().type_label.is_some());
+        assert_eq!(g2.schema().instances_of(g2.vertex_id("Thing").unwrap()).len(), 1);
+    }
+
+    #[test]
+    fn random_update_sequences_match_rebuild() {
+        // Deterministic pseudo-random walk over a small name universe:
+        // every prefix of the script must keep the live graph equivalent
+        // to a from-scratch rebuild of its triples.
+        let mut g = figure3_graph();
+        let names = ["v0", "v1", "v2", "v3", "v4", "n0", "n1", "n2"];
+        let labels = ["friendOf", "likes", "advisorOf", "follows", "hates", "p0", "p1"];
+        let mut state = 0x9e3779b97f4a7c15u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for round in 0..40 {
+            let mut batch = UpdateBatch::new();
+            for _ in 0..(next() % 4 + 1) {
+                let s = names[(next() % names.len() as u64) as usize];
+                let p = labels[(next() % labels.len() as u64) as usize];
+                let o = names[(next() % names.len() as u64) as usize];
+                if next() % 3 == 0 {
+                    batch.delete(s, p, o);
+                } else {
+                    batch.insert(s, p, o);
+                }
+            }
+            g.apply_update(&batch).unwrap();
+            assert_equivalent(&g, &rebuilt(&g));
+            if round % 13 == 12 {
+                let fp = g.fingerprint();
+                g.compact();
+                assert_eq!(g.fingerprint(), fp, "round {round}");
+            }
+        }
     }
 
     #[test]

@@ -15,6 +15,17 @@
 //! inherent to CMS-style indexing, which is why label alphabets stay small
 //! (LUBM has ~32 predicates). A `u64` bitset covers every workload in the
 //! evaluation; graphs with more labels are rejected at construction time.
+//!
+//! ```
+//! use kgreach_graph::{LabelId, LabelSet};
+//!
+//! let mut l = LabelSet::EMPTY;
+//! l.insert(LabelId(3));
+//! let broad = LabelSet::all(8);
+//! assert!(l.is_subset_of(broad));
+//! assert_eq!(l.intersection(broad), l);
+//! assert_eq!(broad.len(), 8);
+//! ```
 
 use crate::ids::LabelId;
 use std::fmt;

@@ -2,9 +2,12 @@
 //!
 //! The storage and traversal layer beneath the `kgreach` LSCR query engine:
 //!
-//! * [`Graph`] / [`GraphBuilder`] — an immutable edge-labeled knowledge
-//!   graph `G = (V, E, 𝓛, LS)` with interned dictionaries, CSR adjacency in
+//! * [`Graph`] / [`GraphBuilder`] — an edge-labeled knowledge graph
+//!   `G = (V, E, 𝓛, LS)` with interned dictionaries, CSR adjacency in
 //!   both directions, and an RDFS [`Schema`] layer;
+//! * [`delta`] — dynamic updates: [`UpdateBatch`] edit scripts applied as
+//!   a [`DeltaOverlay`] over the frozen CSR, with epoch-based cache
+//!   invalidation and [`Graph::compact`] re-freezing;
 //! * [`LabelSet`] / [`Cms`] — label-constraint bitsets and collections of
 //!   minimal sufficient label sets (the paper's CMS, Definition 2.3) with
 //!   the antichain `Insert` of Algorithm 3;
@@ -40,6 +43,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod csr;
+pub mod delta;
 pub mod dict;
 pub mod error;
 pub mod fxhash;
@@ -56,6 +60,7 @@ pub mod triples;
 mod graph;
 
 pub use csr::{Expansion, LabelRuns, LabeledTarget, PerLabelRuns};
+pub use delta::{DeltaOverlay, DeltaStats, UpdateBatch, UpdateOp, UpdateSummary};
 pub use error::{GraphError, Result};
 pub use graph::{Graph, GraphBuilder, GraphFingerprint};
 pub use ids::{Edge, LabelId, VertexId};

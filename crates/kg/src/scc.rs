@@ -4,6 +4,20 @@
 //! input graph into SCCs, computes local transitive closures per component,
 //! and propagates CMS along the condensation's topological order. This
 //! module provides the decomposition plus the condensation order.
+//!
+//! ```
+//! use kgreach_graph::{scc::tarjan_scc, GraphBuilder};
+//!
+//! let mut b = GraphBuilder::new();
+//! b.add_triple("a", "p", "b");
+//! b.add_triple("b", "p", "a"); // a ↔ b form one SCC
+//! b.add_triple("b", "p", "c");
+//! let g = b.build().unwrap();
+//! let scc = tarjan_scc(&g);
+//! assert_eq!(scc.num_components(), 2);
+//! let (a, b_) = (g.vertex_id("a").unwrap(), g.vertex_id("b").unwrap());
+//! assert_eq!(scc.component_of(a), scc.component_of(b_));
+//! ```
 
 use crate::graph::Graph;
 use crate::ids::VertexId;

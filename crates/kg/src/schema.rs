@@ -13,6 +13,17 @@
 //!
 //! `Schema` records which label ids correspond to the RDFS vocabulary, which
 //! vertices are classes, and the instance list of every class.
+//!
+//! ```
+//! use kgreach_graph::GraphBuilder;
+//!
+//! let mut b = GraphBuilder::new();
+//! b.add_triple("alice", "rdf:type", "Person");
+//! let g = b.build().unwrap();
+//! let person = g.vertex_id("Person").unwrap();
+//! assert!(g.schema().is_class(person));
+//! assert_eq!(g.schema().instances_of(person).len(), 1);
+//! ```
 
 use crate::fxhash::FxHashMap;
 use crate::ids::{LabelId, VertexId};
@@ -58,6 +69,17 @@ impl Schema {
         self.add_class(class);
         let pos = self.class_pos[&class];
         self.instances[pos].push(instance);
+    }
+
+    /// Unregisters `instance rdf:type class` (dynamic-update path). The
+    /// class itself stays known — class registration is monotone — but
+    /// its instance list shrinks. No-op if the pair was never recorded.
+    pub(crate) fn remove_instance(&mut self, class: VertexId, instance: VertexId) {
+        if let Some(&pos) = self.class_pos.get(&class) {
+            if let Some(i) = self.instances[pos].iter().position(|&v| v == instance) {
+                self.instances[pos].remove(i);
+            }
+        }
     }
 
     /// All class vertices, in first-seen order.

@@ -707,7 +707,19 @@ fn decode_schema(payload: &[u8], num_vertices: usize, num_labels: usize) -> Resu
 /// Writes the graph sections of format v1 into an open container. Most
 /// callers want [`write_graph_snapshot`]; this entry point exists so
 /// composite artifacts (engine snapshots) can embed a graph.
+///
+/// A live graph (one with a [`DeltaOverlay`](crate::DeltaOverlay) of
+/// applied updates) is **compacted on the fly**: the snapshot format
+/// stores only clean CSR arrays, so the merged view is re-frozen into a
+/// temporary and encoded — ids, schema, statistics and the fingerprint
+/// are identical to the live graph's, and loading yields a compact graph
+/// with the same content (the overlay and the epoch counter are serving
+/// state, not data, and are not persisted).
 pub fn write_graph_sections<W: Write>(g: &Graph, w: &mut SectionWriter<W>) -> Result<()> {
+    if g.has_overlay() {
+        let compacted = g.compacted();
+        return write_graph_sections(&compacted, w);
+    }
     let fp = g.fingerprint();
     let mut meta = PayloadBuf::with_capacity(32);
     meta.put_usize(fp.num_vertices);

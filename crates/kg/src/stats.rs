@@ -4,6 +4,18 @@
 //! dataset sizes (Table 2) and densities (`D = |E|/|V|`, Figure 5).
 //! [`GraphStats`] computes those figures plus degree-distribution summaries
 //! used by tests to validate the synthetic generators.
+//!
+//! ```
+//! use kgreach_graph::{GraphBuilder, GraphStats};
+//!
+//! let mut b = GraphBuilder::new();
+//! b.add_triple("hub", "p", "x");
+//! b.add_triple("hub", "q", "y");
+//! let g = b.build().unwrap();
+//! let stats = GraphStats::compute(&g);
+//! assert_eq!(stats.max_out_degree, 2);
+//! assert_eq!(stats.label_histogram.len(), g.num_labels());
+//! ```
 
 use crate::graph::Graph;
 use std::fmt;

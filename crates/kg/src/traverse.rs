@@ -4,6 +4,18 @@
 //! reachability by BFS with the label constraint pruning the frontier — plus
 //! an epoch-versioned visited mask that lets thousands of queries share one
 //! allocation with O(1) reset.
+//!
+//! ```
+//! use kgreach_graph::{traverse, GraphBuilder};
+//!
+//! let mut b = GraphBuilder::new();
+//! b.add_triple("a", "knows", "b");
+//! b.add_triple("b", "hates", "c");
+//! let g = b.build().unwrap();
+//! let (a, c) = (g.vertex_id("a").unwrap(), g.vertex_id("c").unwrap());
+//! assert!(traverse::lcr_reachable(&g, a, c, g.all_labels()));
+//! assert!(!traverse::lcr_reachable(&g, a, c, g.label_set(&["knows"])));
+//! ```
 
 use crate::graph::Graph;
 use crate::ids::VertexId;

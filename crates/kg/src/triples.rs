@@ -4,6 +4,15 @@
 //! module provides the string-level triple type the generators emit and a
 //! line-oriented serialization (`<s> <p> <o> .` with `"literal"` objects)
 //! used by [`crate::io`] to persist generated datasets.
+//!
+//! ```
+//! use kgreach_graph::triples::{parse_line, vocab};
+//!
+//! let t = parse_line("<a> <p> <b> .", 1).unwrap().unwrap();
+//! assert_eq!((t.subject.as_str(), t.predicate.as_str(), t.object.as_str()), ("a", "p", "b"));
+//! assert!(vocab::is_type("rdf:type"));
+//! assert!(!vocab::is_type("likes"));
+//! ```
 
 use crate::error::{GraphError, Result};
 use std::fmt;

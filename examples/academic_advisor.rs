@@ -46,8 +46,8 @@ pub(crate) fn main() {
     ]);
 
     for (name, constraint) in all_lubm_constraints() {
-        let compiled = constraint.compile(g).unwrap();
-        let vsg = compiled.satisfying_vertices(g).len();
+        let compiled = constraint.compile(&g).unwrap();
+        let vsg = compiled.satisfying_vertices(&g).len();
         // A random student and a random university as endpoints.
         let s = g
             .vertex_id(&format!(

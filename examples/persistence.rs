@@ -25,7 +25,7 @@ pub(crate) fn main() {
     let build_started = Instant::now();
     let engine = LscrEngine::with_index_config(
         graph,
-        LocalIndexConfig { num_landmarks: Some(40), seed: 42 },
+        LocalIndexConfig { num_landmarks: Some(40), seed: 42, ..Default::default() },
     );
     let index = engine.local_index(); // the expensive step, done once
     println!(

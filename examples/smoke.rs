@@ -10,6 +10,8 @@
 mod academic_advisor;
 #[path = "financial_fraud.rs"]
 mod financial_fraud;
+#[path = "live_update.rs"]
+mod live_update;
 #[path = "persistence.rs"]
 mod persistence;
 #[path = "quickstart.rs"]
@@ -40,4 +42,9 @@ fn yago_explore_scenario() {
 #[test]
 fn persistence_scenario() {
     persistence::main();
+}
+
+#[test]
+fn live_update_scenario() {
+    live_update::main();
 }

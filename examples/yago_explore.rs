@@ -27,7 +27,7 @@ pub(crate) fn main() {
         g.num_vertices(),
         g.num_edges(),
         g.num_labels(),
-        kgreach_graph::GraphStats::compute(g).max_out_degree
+        kgreach_graph::GraphStats::compute(&g).max_out_degree
     );
 
     let mut session = engine.session();
@@ -37,7 +37,7 @@ pub(crate) fn main() {
 
     for magnitude in [10usize, 100, 1000] {
         let Some((constraint, count)) =
-            random_constraint_with_magnitude(g, magnitude, 7 + magnitude as u64)
+            random_constraint_with_magnitude(&g, magnitude, 7 + magnitude as u64)
         else {
             println!("magnitude {magnitude}: no constraint found");
             continue;

@@ -56,7 +56,7 @@ proptest! {
             expected, "UIS* shuffled"
         );
         for k in [1usize, 4, 16] {
-            let idx = LocalIndex::build(&g, &LocalIndexConfig { num_landmarks: Some(k), seed });
+            let idx = LocalIndex::build(&g, &LocalIndexConfig { num_landmarks: Some(k), seed, ..Default::default() });
             prop_assert_eq!(
                 kgreach::ins::answer_with(&g, &cq, &idx, &mut scratch, &opts).answer,
                 expected,

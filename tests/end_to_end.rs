@@ -14,7 +14,7 @@ fn full_lubm_pipeline_s1_to_s5() {
     let mut session = engine.session();
     for (name, constraint) in all_lubm_constraints() {
         let w = generate_workload(
-            g,
+            &g,
             &constraint,
             &QueryGenConfig {
                 num_true: 3,
@@ -61,11 +61,11 @@ fn workload_is_reusable_across_engines() {
     // agree.
     let e1 = LscrEngine::with_index_config(
         Arc::clone(&g),
-        LocalIndexConfig { num_landmarks: Some(32), seed: 1 },
+        LocalIndexConfig { num_landmarks: Some(32), seed: 1, ..Default::default() },
     );
     let e2 = LscrEngine::with_index_config(
         Arc::clone(&g),
-        LocalIndexConfig { num_landmarks: Some(500), seed: 2 },
+        LocalIndexConfig { num_landmarks: Some(500), seed: 2, ..Default::default() },
     );
     for gq in w.true_queries.iter().chain(&w.false_queries) {
         let a = e1.answer(&gq.query, Algorithm::Ins).unwrap().answer;
@@ -97,8 +97,8 @@ fn graph_io_roundtrip_preserves_answers() {
     };
     let e1 = LscrEngine::new(g);
     let e2 = LscrEngine::new(g2);
-    let a = e1.answer(&make(e1.graph()), Algorithm::Uis).unwrap().answer;
-    let b = e2.answer(&make(e2.graph()), Algorithm::Uis).unwrap().answer;
+    let a = e1.answer(&make(&e1.graph()), Algorithm::Uis).unwrap().answer;
+    let b = e2.answer(&make(&e2.graph()), Algorithm::Uis).unwrap().answer;
     assert_eq!(a, b);
 }
 

@@ -149,8 +149,10 @@ fn triple_parser_rejects_garbage() {
 /// exhaustive per-byte corruption sweeps stay fast.
 fn snapshot_fixture() -> (Graph, Vec<u8>) {
     let g = random_typed_graph(14, 30, 3, 2, 0xBAD);
-    let engine =
-        LscrEngine::with_index_config(g, LocalIndexConfig { num_landmarks: Some(3), seed: 0xBAD });
+    let engine = LscrEngine::with_index_config(
+        g,
+        LocalIndexConfig { num_landmarks: Some(3), seed: 0xBAD, ..Default::default() },
+    );
     let _ = engine.local_index();
     let mut bytes = Vec::new();
     engine.save_snapshot(&mut bytes).unwrap();
@@ -244,7 +246,10 @@ fn index_snapshot_from_different_graph_is_rejected() {
     // Persist an index for graph A, restart against graph B: the embedded
     // fingerprint must trip the existing IndexGraphMismatch path.
     let a = random_typed_graph(14, 30, 3, 2, 0xA);
-    let index_a = LocalIndex::build(&a, &LocalIndexConfig { num_landmarks: Some(3), seed: 1 });
+    let index_a = LocalIndex::build(
+        &a,
+        &LocalIndexConfig { num_landmarks: Some(3), seed: 1, ..Default::default() },
+    );
     let mut bytes = Vec::new();
     index_a.save(&mut bytes).unwrap();
     let loaded = LocalIndex::load(&bytes[..]).unwrap();

@@ -46,7 +46,10 @@ fn brute_cms_in_partition(
 fn local_index_ii_matches_brute_force_on_random_graphs() {
     for seed in 0..6 {
         let g = random_typed_graph(40, 140, 4, 3, seed);
-        let index = LocalIndex::build(&g, &LocalIndexConfig { num_landmarks: Some(4), seed });
+        let index = LocalIndex::build(
+            &g,
+            &LocalIndexConfig { num_landmarks: Some(4), seed, ..Default::default() },
+        );
         for ord in 0..index.partition().num_landmarks() as u32 {
             let lm = index.partition().landmark(ord);
             let brute = brute_cms_in_partition(&g, &index, lm, ord);
@@ -71,7 +74,10 @@ fn eit_entries_satisfy_theorem_5_1() {
     use kgreach_graph::traverse::lcr_reachable;
     for seed in 0..6 {
         let g = random_typed_graph(40, 140, 4, 3, seed);
-        let index = LocalIndex::build(&g, &LocalIndexConfig { num_landmarks: Some(4), seed });
+        let index = LocalIndex::build(
+            &g,
+            &LocalIndexConfig { num_landmarks: Some(4), seed, ..Default::default() },
+        );
         for ord in 0..index.partition().num_landmarks() as u32 {
             let lm = index.partition().landmark(ord);
             for (l, exits) in index.entry(ord).eit_pairs() {
@@ -118,7 +124,10 @@ fn partition_covers_reachable_region() {
     // and every assigned vertex is reachable from its landmark.
     use kgreach_graph::traverse::reachable_set;
     let g = random_typed_graph(50, 150, 4, 3, 9);
-    let index = LocalIndex::build(&g, &LocalIndexConfig { num_landmarks: Some(5), seed: 9 });
+    let index = LocalIndex::build(
+        &g,
+        &LocalIndexConfig { num_landmarks: Some(5), seed: 9, ..Default::default() },
+    );
     let part = index.partition();
     let mut reachable_from_any = std::collections::BTreeSet::new();
     for &lm in part.landmarks() {
@@ -148,7 +157,7 @@ fn partition_covers_reachable_region() {
 #[test]
 fn index_build_deterministic_and_bounded() {
     let g = random_typed_graph(60, 180, 5, 4, 3);
-    let cfg = LocalIndexConfig { num_landmarks: Some(8), seed: 42 };
+    let cfg = LocalIndexConfig { num_landmarks: Some(8), seed: 42, ..Default::default() };
     let a = LocalIndex::build(&g, &cfg);
     let b = LocalIndex::build(&g, &cfg);
     assert_eq!(a.partition().landmarks(), b.partition().landmarks());

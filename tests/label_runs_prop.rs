@@ -163,7 +163,7 @@ fn narrow_label_lubm_queries_skip_edges() {
     let engine = LscrEngine::new(g);
     let g = engine.graph();
     // Same definition of "narrow" the `-narrowL` bench groups use.
-    let narrow = kgreach_datagen::top_label_set(g, 3);
+    let narrow = kgreach_datagen::top_label_set(&g, 3);
     let c = kgreach_datagen::constraints::s1();
     // Sources with real fan-out, so the search actually expands a region.
     let mut sources: Vec<VertexId> = g.vertices().collect();
@@ -174,7 +174,7 @@ fn narrow_label_lubm_queries_skip_edges() {
         let q = LscrQuery::new(s, VertexId(t), narrow, c.clone());
         let cq = engine.compile(&q).unwrap();
         let out = session.answer_compiled(&cq, Algorithm::Uis, &QueryOptions::default());
-        assert_eq!(out.answer, kgreach::oracle::answer(g, &cq).answer, "{s}->{t}");
+        assert_eq!(out.answer, kgreach::oracle::answer(&g, &cq).answer, "{s}->{t}");
         skipped_total += out.stats.edges_skipped;
     }
     assert!(skipped_total > 0, "narrow-label workload skipped no edges");

@@ -22,7 +22,7 @@ fn snapshot_engine_matches_text_engine_on_s1_s3_workloads() {
     let mut text = Vec::new();
     io::write_graph(&original, &mut text).unwrap();
     let parsed = io::read_graph(&text[..]).unwrap();
-    let config = LocalIndexConfig { num_landmarks: Some(24), seed: 9 };
+    let config = LocalIndexConfig { num_landmarks: Some(24), seed: 9, ..Default::default() };
     let text_engine = LscrEngine::with_index_config(parsed, config);
     let _ = text_engine.local_index();
 
@@ -40,7 +40,7 @@ fn snapshot_engine_matches_text_engine_on_s1_s3_workloads() {
         constraints::all_lubm_constraints().into_iter().take(3).enumerate()
     {
         let w = generate_workload(
-            text_engine.graph(),
+            &text_engine.graph(),
             &constraint,
             &QueryGenConfig {
                 num_true: 6,

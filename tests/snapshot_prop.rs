@@ -82,7 +82,7 @@ proptest! {
         k in 1usize..8,
     ) {
         let g = random_typed_graph(n, n * density, 4, 3, seed);
-        let idx = LocalIndex::build(&g, &LocalIndexConfig { num_landmarks: Some(k), seed });
+        let idx = LocalIndex::build(&g, &LocalIndexConfig { num_landmarks: Some(k), seed, ..Default::default() });
         let mut bytes = Vec::new();
         idx.save(&mut bytes).unwrap();
         let loaded = LocalIndex::load(&bytes[..]).unwrap();

@@ -1,38 +1,55 @@
-//! Audits the generated rustdoc HTML for broken relative links.
+//! Audits generated rustdoc HTML *and* the repo's markdown for broken
+//! relative links.
 //!
 //! `cargo doc` with `RUSTDOCFLAGS=-D warnings` already rejects broken
-//! *intra-doc* links at the source level, but it cannot see a second
-//! failure class: `href`s in the generated HTML that point at files
-//! which were never emitted (classic causes: items referenced across
-//! crates that are not documented together, stale `--no-deps` seams,
-//! hand-written anchors in doc comments). This tool walks every `.html`
-//! file under the given doc root, extracts relative link and script
-//! targets, resolves them against the file's directory and fails —
-//! listing each offender — if the target file does not exist.
+//! *intra-doc* links at the source level, but it cannot see two further
+//! failure classes:
 //!
-//! Usage: `check_doc_links target/doc` (CI runs it right after
-//! `cargo doc`). External (`http…`), in-page (`#…`) and absolute links
-//! are out of scope.
+//! 1. `href`s in the generated HTML that point at files which were never
+//!    emitted (classic causes: items referenced across crates that are
+//!    not documented together, stale `--no-deps` seams, hand-written
+//!    anchors in doc comments).
+//! 2. Relative links in hand-written markdown (`README.md`,
+//!    `ARCHITECTURE.md`, `docs/*.md`) whose target file moved or was
+//!    never committed — nothing else in the build reads those files, so
+//!    they rot silently.
+//!
+//! Each argument is a file or a directory: directories are walked
+//! recursively, collecting `.html` (audited as rustdoc output) and `.md`
+//! (audited as markdown) files; a file argument is audited by its
+//! extension. The tool fails, listing each offender, if any relative
+//! link or script target does not resolve to an existing file.
+//!
+//! Usage: `check_doc_links target/doc README.md ARCHITECTURE.md docs`
+//! (CI runs it right after `cargo doc`). External (`http…`), in-page
+//! (`#…`) and absolute links are out of scope.
 
 use std::collections::BTreeSet;
 use std::path::{Path, PathBuf};
 
 fn main() {
-    let root = std::env::args().nth(1).unwrap_or_else(|| "target/doc".into());
-    let root = PathBuf::from(root);
-    if !root.is_dir() {
-        eprintln!("check_doc_links: doc root {} does not exist", root.display());
-        std::process::exit(2);
+    let mut roots: Vec<PathBuf> = std::env::args().skip(1).map(PathBuf::from).collect();
+    if roots.is_empty() {
+        roots.push(PathBuf::from("target/doc"));
     }
-    let mut html_files = Vec::new();
-    collect_html(&root, &mut html_files);
-    if html_files.is_empty() {
-        eprintln!("check_doc_links: no HTML under {}", root.display());
+    let mut files = Vec::new();
+    for root in &roots {
+        if root.is_dir() {
+            collect_docs(root, &mut files);
+        } else if root.is_file() {
+            files.push(root.clone());
+        } else {
+            eprintln!("check_doc_links: {} does not exist", root.display());
+            std::process::exit(2);
+        }
+    }
+    if files.is_empty() {
+        eprintln!("check_doc_links: no HTML or markdown under the given roots");
         std::process::exit(2);
     }
     let mut broken: BTreeSet<String> = BTreeSet::new();
     let mut checked = 0usize;
-    for file in &html_files {
+    for file in &files {
         // Rustdoc's chrome pages (settings/help) reference a doc-root
         // index.html that `--no-deps` builds do not emit; only item pages
         // are audited.
@@ -40,8 +57,13 @@ fn main() {
             continue;
         }
         let Ok(content) = std::fs::read_to_string(file) else { continue };
-        let dir = file.parent().expect("html files have parents");
-        for target in extract_targets(&content) {
+        let dir = file.parent().expect("doc files have parents");
+        let targets = if file.extension().is_some_and(|e| e == "md") {
+            extract_md_targets(&content)
+        } else {
+            extract_targets(&content)
+        };
+        for target in targets {
             checked += 1;
             let resolved = dir.join(&target);
             if !resolved.exists() {
@@ -53,7 +75,7 @@ fn main() {
         println!(
             "check_doc_links: {} link targets across {} pages all resolve",
             checked,
-            html_files.len()
+            files.len()
         );
     } else {
         eprintln!("check_doc_links: {} broken links:", broken.len());
@@ -64,20 +86,44 @@ fn main() {
     }
 }
 
-fn collect_html(dir: &Path, out: &mut Vec<PathBuf>) {
+fn collect_docs(dir: &Path, out: &mut Vec<PathBuf>) {
     let Ok(entries) = std::fs::read_dir(dir) else { return };
     for entry in entries.flatten() {
         let path = entry.path();
         if path.is_dir() {
-            collect_html(&path, out);
-        } else if path.extension().is_some_and(|e| e == "html") {
+            collect_docs(&path, out);
+        } else if path.extension().is_some_and(|e| e == "html" || e == "md") {
             out.push(path);
         }
     }
 }
 
-/// Pulls every local-file link/script target out of one HTML page:
-/// fragment and query stripped, externals and in-page anchors skipped.
+/// Filters one raw link target down to a checkable relative path, or
+/// `None` for targets out of scope (externals, in-page anchors,
+/// absolute paths, templates). Fragments and query strings are
+/// stripped so `FILE.md#section` checks `FILE.md`.
+fn checkable(raw: &str) -> Option<String> {
+    let target = raw.split(['#', '?']).next().unwrap_or("");
+    if target.is_empty()
+        || target.contains("://")
+        || target.starts_with("mailto:")
+        || target.starts_with("javascript:")
+        || target.starts_with('/')
+        || target.contains("${")
+    // JS template literals in rustdoc's loader script
+    {
+        return None;
+    }
+    // Rustdoc escapes nothing we need to unescape for file names it
+    // generates itself; skip anything percent-encoded rather than
+    // mis-resolving it.
+    if target.contains('%') {
+        return None;
+    }
+    Some(target.to_string())
+}
+
+/// Pulls every local-file link/script target out of one HTML page.
 /// A hand-rolled scan, matching the repo's no-new-dependencies policy
 /// (same spirit as `check_bench_json`).
 fn extract_targets(html: &str) -> Vec<String> {
@@ -89,24 +135,38 @@ fn extract_targets(html: &str) -> Vec<String> {
             let Some(end) = rest.find('"') else { break };
             let raw = &rest[..end];
             rest = &rest[end..];
-            let target = raw.split(['#', '?']).next().unwrap_or("");
-            if target.is_empty()
-                || target.contains("://")
-                || target.starts_with("mailto:")
-                || target.starts_with("javascript:")
-                || target.starts_with('/')
-                || target.contains("${")
-            // JS template literals in rustdoc's loader script
-            {
-                continue;
+            if let Some(t) = checkable(raw) {
+                targets.push(t);
             }
-            // Rustdoc escapes nothing we need to unescape for file names
-            // it generates itself; skip anything percent-encoded rather
-            // than mis-resolving it.
-            if target.contains('%') {
-                continue;
+        }
+    }
+    targets
+}
+
+/// Pulls inline-style markdown link targets — `[text](target)` — out of
+/// one markdown file. Fenced code blocks are skipped: `](…)` inside
+/// example code is not a link. Reference-style definitions are rare in
+/// this repo and intentionally out of scope.
+fn extract_md_targets(md: &str) -> Vec<String> {
+    let mut targets = Vec::new();
+    let mut in_fence = false;
+    for line in md.lines() {
+        if line.trim_start().starts_with("```") {
+            in_fence = !in_fence;
+            continue;
+        }
+        if in_fence {
+            continue;
+        }
+        let mut rest = line;
+        while let Some(pos) = rest.find("](") {
+            rest = &rest[pos + 2..];
+            let Some(end) = rest.find(')') else { break };
+            let raw = &rest[..end];
+            rest = &rest[end..];
+            if let Some(t) = checkable(raw) {
+                targets.push(t);
             }
-            targets.push(target.to_string());
         }
     }
     targets

@@ -120,7 +120,7 @@ pub struct GroupResult {
     pub wrong: usize,
 }
 
-/// Runs `algorithm` over a query group through a fresh [`Session`](kgreach::Session) on the
+/// Runs `algorithm` over a query group through a fresh [`kgreach::Session`] on the
 /// shared engine, verifying answers against the generated ground truth.
 ///
 /// UIS\* gets the paper's "disordered" `V(S,G)` semantics via a seeded

@@ -184,6 +184,30 @@ pub struct UpdateOutcome {
     pub compacted: bool,
 }
 
+/// A point-in-time summary of an engine's served state, from
+/// [`LscrEngine::info`]. Serving processes surface these fields on their
+/// health/metrics endpoints.
+#[derive(Clone, Debug)]
+#[non_exhaustive]
+pub struct EngineInfo {
+    /// Vertices in the served graph.
+    pub num_vertices: usize,
+    /// Edges in the served graph (overlay-merged view).
+    pub num_edges: usize,
+    /// Distinct edge labels.
+    pub num_labels: usize,
+    /// Content epoch (bumped by updates and snapshot reloads).
+    pub epoch: u64,
+    /// Whether un-compacted delta overlay edits are live.
+    pub has_overlay: bool,
+    /// Heap footprint of the served graph, in bytes.
+    pub graph_heap_bytes: usize,
+    /// Whether the local index is built/installed.
+    pub index_built: bool,
+    /// Distinct constraint plans currently cached.
+    pub cached_plans: usize,
+}
+
 /// When the overlay's changed-edge fraction
 /// (`DeltaStats::delta_fraction`)
 /// exceeds this threshold after an update, [`LscrEngine::apply_update`]
@@ -646,6 +670,67 @@ impl LscrEngine {
             engine.set_local_index(index)?;
         }
         Ok(engine)
+    }
+
+    /// Hot-swaps the engine's served state with the graph (and index,
+    /// when present) from an engine snapshot, without interrupting
+    /// service: queries running concurrently finish against the old
+    /// state, queries started after this returns see the new one — the
+    /// same atomic-swap discipline as
+    /// [`apply_update`](Self::apply_update).
+    ///
+    /// On any error (unreadable stream, corrupt snapshot, embedded index
+    /// built for a different graph) the engine is left serving its
+    /// current state untouched. The reloaded graph's content epoch is
+    /// advanced strictly past the replaced graph's
+    /// ([`Graph::advance_epoch_to`]), so every epoch-stamped cache bound
+    /// to the old content — compiled plans, `SCck` memos, prepared
+    /// `V(S,G)` sets held by callers — observes a mismatch and rebinds
+    /// instead of serving answers computed against the old graph.
+    ///
+    /// Returns the fresh content epoch.
+    pub fn reload_from_snapshot<R: Read>(&self, reader: R) -> Result<u64, QueryError> {
+        // Decode fully before taking any lock: a corrupt snapshot must
+        // not stall or damage serving.
+        let staged = LscrEngine::from_snapshot(reader)?;
+        let _updates = self.update_lock.lock().expect("update lock");
+        let (graph, index) = staged.state_snapshot();
+        let mut graph = (*graph).clone();
+        let old_epoch = self.graph_epoch();
+        graph.advance_epoch_to(old_epoch + 1);
+        let epoch = graph.epoch();
+        {
+            let mut st = self.state.write().expect("state lock");
+            st.graph = Arc::new(graph);
+            st.index = index;
+        }
+        self.plan_cache.write().expect("plan cache lock").clear();
+        Ok(epoch)
+    }
+
+    /// [`reload_from_snapshot`](Self::reload_from_snapshot) from a file
+    /// path.
+    pub fn reload_from_snapshot_file(&self, path: impl AsRef<Path>) -> Result<u64, QueryError> {
+        let file = File::open(path).map_err(kgreach_graph::GraphError::from)?;
+        self.reload_from_snapshot(file)
+    }
+
+    /// A point-in-time summary of the served state — the cheap
+    /// observability hook behind a serving process's health and metrics
+    /// endpoints (all counters are reads of existing state; nothing is
+    /// built or locked beyond the state read lock).
+    pub fn info(&self) -> EngineInfo {
+        let (graph, index) = self.state_snapshot();
+        EngineInfo {
+            num_vertices: graph.num_vertices(),
+            num_edges: graph.num_edges(),
+            num_labels: graph.num_labels(),
+            epoch: graph.epoch(),
+            has_overlay: graph.has_overlay(),
+            graph_heap_bytes: graph.heap_bytes(),
+            index_built: index.is_some(),
+            cached_plans: self.cached_plans(),
+        }
     }
 
     /// Saves an engine snapshot to a file path.
@@ -1170,6 +1255,83 @@ mod tests {
         let out = engine.answer_prepared(&prepared, Algorithm::Ins, &QueryOptions::default());
         assert!(out.answer);
         assert_eq!(out.stats.vsg_size, Some(1));
+    }
+
+    #[test]
+    fn reload_from_snapshot_swaps_state_and_advances_epoch() {
+        // Serving engine: figure3 with an index and a cached plan.
+        let engine = LscrEngine::new(figure3());
+        let _ = engine.local_index();
+        let q = all_labels_query(&engine.graph(), "v0", "v4");
+        assert!(engine.answer(&q, Algorithm::Ins).unwrap().answer);
+        assert_eq!(engine.cached_plans(), 1);
+
+        // Replacement snapshot: a different graph entirely.
+        let mut b = kgreach_graph::GraphBuilder::new();
+        b.add_triple("a", "likes", "b");
+        b.add_triple("b", "likes", "c");
+        let other = LscrEngine::new(b.build().unwrap());
+        let _ = other.local_index();
+        let mut bytes = Vec::new();
+        other.save_snapshot(&mut bytes).unwrap();
+
+        let epoch = engine.reload_from_snapshot(&bytes[..]).unwrap();
+        assert_eq!(epoch, 1, "reload must advance past the replaced epoch 0");
+        assert_eq!(engine.graph_epoch(), 1);
+        assert_eq!(engine.cached_plans(), 0, "plan cache invalidated on reload");
+        assert_eq!(engine.graph().fingerprint(), other.graph().fingerprint());
+        let idx = engine.local_index_if_built().expect("index restored from snapshot");
+        assert_eq!(idx.graph_fingerprint(), engine.graph().fingerprint());
+
+        // Answers now follow the new content for every algorithm (the
+        // constraint is re-resolved against the new graph: b satisfies
+        // it and sits on the a → c path).
+        let g = engine.graph();
+        let q2 = LscrQuery::new(
+            g.vertex_id("a").unwrap(),
+            g.vertex_id("c").unwrap(),
+            g.all_labels(),
+            SubstructureConstraint::parse("SELECT ?x WHERE { ?x <likes> <c> . }").unwrap(),
+        );
+        for alg in [Algorithm::Uis, Algorithm::UisStar, Algorithm::Ins, Algorithm::Auto] {
+            assert!(engine.answer(&q2, alg).unwrap().answer, "{alg} after reload");
+        }
+    }
+
+    #[test]
+    fn failed_reload_leaves_engine_serving() {
+        let engine = LscrEngine::new(figure3());
+        let q = all_labels_query(&engine.graph(), "v0", "v4");
+        let fp = engine.graph().fingerprint();
+        // Not a snapshot at all.
+        assert!(engine.reload_from_snapshot(&b"garbage"[..]).is_err());
+        // Truncated snapshot.
+        let mut bytes = Vec::new();
+        engine.save_snapshot(&mut bytes).unwrap();
+        bytes.truncate(bytes.len() / 2);
+        assert!(engine.reload_from_snapshot(&bytes[..]).is_err());
+        assert_eq!(engine.graph().fingerprint(), fp, "state untouched on failed reload");
+        assert_eq!(engine.graph_epoch(), 0);
+        assert!(engine.answer(&q, Algorithm::Uis).unwrap().answer);
+    }
+
+    #[test]
+    fn engine_info_reports_served_state() {
+        let engine = LscrEngine::new(figure3());
+        let info = engine.info();
+        assert_eq!(info.num_vertices, 5);
+        assert_eq!(info.num_edges, 8);
+        assert_eq!(info.epoch, 0);
+        assert!(!info.index_built && !info.has_overlay);
+        assert!(info.graph_heap_bytes > 0);
+        let _ = engine.local_index();
+        let mut batch = kgreach_graph::UpdateBatch::new();
+        batch.insert("v4", "likes", "v0");
+        engine.apply_update(&batch).unwrap();
+        let info = engine.info();
+        assert_eq!(info.num_edges, 9);
+        assert_eq!(info.epoch, 1);
+        assert!(info.index_built && info.has_overlay);
     }
 
     #[test]

@@ -91,7 +91,9 @@ pub mod witness;
 
 pub use close::{CloseMap, CloseState};
 pub use constraint::{CompiledConstraint, ConstraintBuilder, ScckCache, SubstructureConstraint};
-pub use engine::{Algorithm, IndexMaintenance, LscrEngine, UpdateOutcome, DELTA_COMPACT_THRESHOLD};
+pub use engine::{
+    Algorithm, EngineInfo, IndexMaintenance, LscrEngine, UpdateOutcome, DELTA_COMPACT_THRESHOLD,
+};
 pub use local_index::{IndexBuildStats, LandmarkEntry, LocalIndex, LocalIndexConfig};
 pub use partition::{
     default_num_landmarks, select_landmarks, select_landmarks_by_degree, Partition,

@@ -6,7 +6,7 @@ use std::fmt;
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum GraphError {
     /// The graph uses more distinct edge labels than the label-set
-    /// machinery supports (see [`MAX_LABELS`](crate::MAX_LABELS)).
+    /// machinery supports (see [`MAX_LABELS`][crate::MAX_LABELS]).
     TooManyLabels {
         /// Number of labels requested.
         requested: usize,

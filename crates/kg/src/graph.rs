@@ -529,6 +529,22 @@ impl Graph {
         self.epoch
     }
 
+    /// Raises the content epoch to at least `at_least` (no-op when the
+    /// epoch is already past it).
+    ///
+    /// The serving hot-reload path needs this: a graph restored from a
+    /// snapshot starts at epoch `0`, and swapping it in for a graph whose
+    /// epoch is *also* `0` (or higher) would let epoch-stamped caches
+    /// (compiled constraint plans, `SCck` memos, materialized `V(S,G)`
+    /// sets) bound to the **old** content pass their staleness check
+    /// against the **new** content. Callers replacing one graph with
+    /// another wholesale must advance the replacement's epoch strictly
+    /// past the replaced graph's — see
+    /// `LscrEngine::reload_from_snapshot` in `kgreach`.
+    pub fn advance_epoch_to(&mut self, at_least: u64) {
+        self.epoch = self.epoch.max(at_least);
+    }
+
     /// Whether updates are layered over the base CSR (i.e. the graph is
     /// live, not compact).
     pub fn has_overlay(&self) -> bool {
@@ -543,7 +559,7 @@ impl Graph {
     }
 
     /// Applies an [`UpdateBatch`] in op order, layering the changes over
-    /// the base CSR (see the [`delta`](crate::delta) module docs).
+    /// the base CSR (see the [`delta`][crate::delta] module docs).
     ///
     /// * Inserting an existing edge / deleting an absent edge is a no-op
     ///   (counted in the summary); deletes never intern names.
@@ -1288,6 +1304,23 @@ mod tests {
         assert!(!g.has_overlay(), "no-op batch on a compact graph stays compact");
         assert!(g.delta_stats().is_none());
         assert!(g.apply_update(&UpdateBatch::new()).is_ok());
+    }
+
+    #[test]
+    fn advance_epoch_is_monotone() {
+        let mut g = figure3_graph();
+        assert_eq!(g.epoch(), 0);
+        g.advance_epoch_to(3);
+        assert_eq!(g.epoch(), 3);
+        g.advance_epoch_to(1); // never moves backwards
+        assert_eq!(g.epoch(), 3);
+        let fp = g.fingerprint();
+        g.advance_epoch_to(4);
+        assert_eq!(g.fingerprint(), fp, "epoch is not content");
+        let mut batch = UpdateBatch::new();
+        batch.insert("v4", "likes", "v0");
+        g.apply_update(&batch).unwrap();
+        assert_eq!(g.epoch(), 5, "updates keep bumping from the advanced epoch");
     }
 
     #[test]

@@ -18,7 +18,7 @@ pub struct VertexId(pub u32);
 ///
 /// Label ids are dense: a graph with `t` labels uses ids `0..t`. The
 /// label-constraint machinery ([`LabelSet`](crate::LabelSet)) supports at
-/// most [`MAX_LABELS`](crate::MAX_LABELS) distinct labels.
+/// most [`MAX_LABELS`][crate::MAX_LABELS] distinct labels.
 #[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct LabelId(pub u16);
 

@@ -1,0 +1,363 @@
+//! `kg-loadgen` — drive load at a `kg-serve` instance and record serving
+//! benchmarks.
+//!
+//! By default the generator is self-contained: it builds a LUBM replica,
+//! spins up an in-process server on an ephemeral port, and drives
+//! ground-truth-checked query load at it over real sockets (so the
+//! measured path includes framing, batching and the worker pool — only
+//! true network latency is absent). Point `--addr` at an external
+//! `kg-serve` started with the *same* generator flags to measure over a
+//! real link.
+//!
+//! Every (constraint × concurrency) combination produces one result row;
+//! with `--out` (default `bench-results/BENCH_serving.json`) the rows are
+//! written in the workspace bench JSON shape validated by
+//! `check_bench_json`. Any wire error or ground-truth mismatch fails the
+//! run — the load generator doubles as an end-to-end correctness check.
+//!
+//! Flags: `--universities`, `--departments`, `--seed` (dataset);
+//! `--queries N` per combination; `--concurrency "2,8"`; `--rate QPS`
+//! for open-loop pacing (default closed-loop); `--algorithm
+//! uis|uis*|ins|auto`; `--batch N` to add `/query_batch` rows with
+//! windows of `N`; `--addr HOST:PORT` for an external server; `--out
+//! PATH` (empty to skip writing).
+
+use kgreach::{Graph, LscrEngine, SubstructureConstraint};
+use kgreach_datagen::constraints::{s1, s2, s3};
+use kgreach_datagen::lubm::{self, LubmConfig};
+use kgreach_datagen::queries::{generate_workload, QueryGenConfig};
+use kgreach_serve::cli::Args;
+use kgreach_serve::{serve, HttpClient, Json, ServerConfig};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// One wire query with its ground truth.
+#[derive(Clone)]
+struct WireQuery {
+    body: String,
+    expected: bool,
+}
+
+/// Latency samples and error tallies from one thread.
+#[derive(Default)]
+struct ThreadResult {
+    latencies_ns: Vec<u64>,
+    wire_errors: usize,
+    mismatches: usize,
+    shed: usize,
+}
+
+fn build_wire_queries(
+    g: &Graph,
+    constraint: &SubstructureConstraint,
+    per_side: usize,
+    seed: u64,
+    algorithm: &str,
+) -> Vec<WireQuery> {
+    let w = generate_workload(
+        g,
+        constraint,
+        &QueryGenConfig {
+            num_true: per_side,
+            num_false: per_side,
+            seed,
+            max_attempts: per_side * 4_000,
+            enforce_difficulty: true,
+        },
+    );
+    let mut out = Vec::with_capacity(w.true_queries.len() + w.false_queries.len());
+    for gq in w.true_queries.iter().chain(&w.false_queries) {
+        let labels: Vec<Json> =
+            gq.query.label_constraint.iter().map(|l| Json::str(g.label_name(l))).collect();
+        let body = Json::Obj(vec![
+            ("source".into(), Json::str(g.vertex_name(gq.query.source))),
+            ("target".into(), Json::str(g.vertex_name(gq.query.target))),
+            ("labels".into(), Json::Arr(labels)),
+            ("constraint".into(), Json::str(gq.query.constraint.sparql_text())),
+            ("algorithm".into(), Json::str(algorithm)),
+        ]);
+        out.push(WireQuery { body: body.to_string(), expected: gq.expected });
+    }
+    // Interleave true/false deterministically so every thread's slice
+    // mixes both.
+    out.sort_by_key(|q| q.body.len() % 7);
+    out
+}
+
+/// Runs `queries` against `addr` on `concurrency` connections; `rate`
+/// (whole-run QPS) > 0 switches from closed-loop to open-loop pacing.
+fn run_combination(
+    addr: std::net::SocketAddr,
+    queries: &[WireQuery],
+    concurrency: usize,
+    rate: f64,
+) -> (Vec<ThreadResult>, Duration) {
+    let started = Instant::now();
+    let results: Vec<ThreadResult> = std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(concurrency);
+        for lane in 0..concurrency {
+            let slice: Vec<&WireQuery> = queries.iter().skip(lane).step_by(concurrency).collect();
+            handles.push(scope.spawn(move || {
+                let mut r = ThreadResult::default();
+                let mut client = match HttpClient::connect(addr) {
+                    Ok(c) => c,
+                    Err(_) => {
+                        r.wire_errors = slice.len();
+                        return r;
+                    }
+                };
+                let lane_interval =
+                    (rate > 0.0).then(|| Duration::from_secs_f64(concurrency as f64 / rate));
+                let mut next_send = Instant::now();
+                for q in slice {
+                    if let Some(interval) = lane_interval {
+                        let now = Instant::now();
+                        if next_send > now {
+                            std::thread::sleep(next_send - now);
+                        }
+                        next_send += interval;
+                    }
+                    let sent = Instant::now();
+                    match client.post_json("/query", &q.body) {
+                        Ok(resp) if resp.status == 200 => {
+                            r.latencies_ns
+                                .push(sent.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64);
+                            let answer = resp
+                                .json()
+                                .ok()
+                                .and_then(|j| j.get("answer").and_then(Json::as_bool));
+                            if answer != Some(q.expected) {
+                                r.mismatches += 1;
+                            }
+                        }
+                        Ok(resp) if resp.status == 429 || resp.status == 503 => r.shed += 1,
+                        Ok(_) => r.wire_errors += 1,
+                        Err(_) => {
+                            r.wire_errors += 1;
+                            // The connection may be gone; reconnect.
+                            if let Ok(c) = HttpClient::connect(addr) {
+                                client = c;
+                            }
+                        }
+                    }
+                }
+                r
+            }));
+        }
+        handles.into_iter().map(|h| h.join().expect("load thread")).collect()
+    });
+    (results, started.elapsed())
+}
+
+/// Runs the `/query_batch` variant: windows of `batch` queries per
+/// request on one connection.
+fn run_batched(
+    addr: std::net::SocketAddr,
+    queries: &[WireQuery],
+    batch: usize,
+) -> (Vec<ThreadResult>, Duration) {
+    let started = Instant::now();
+    let mut r = ThreadResult::default();
+    let mut client = HttpClient::connect(addr).expect("connect");
+    for chunk in queries.chunks(batch) {
+        let body = format!(
+            "{{\"queries\":[{}]}}",
+            chunk.iter().map(|q| q.body.as_str()).collect::<Vec<_>>().join(",")
+        );
+        let sent = Instant::now();
+        match client.post_json("/query_batch", &body) {
+            Ok(resp) if resp.status == 200 => {
+                let per_query =
+                    (sent.elapsed().as_nanos() / chunk.len() as u128).min(u128::from(u64::MAX));
+                let results = resp
+                    .json()
+                    .ok()
+                    .and_then(|j| j.get("results").and_then(|r| r.as_array().map(|a| a.to_vec())));
+                match results {
+                    Some(items) if items.len() == chunk.len() => {
+                        for (item, q) in items.iter().zip(chunk) {
+                            r.latencies_ns.push(per_query as u64);
+                            if item.get("answer").and_then(Json::as_bool) != Some(q.expected) {
+                                r.mismatches += 1;
+                            }
+                        }
+                    }
+                    _ => r.wire_errors += chunk.len(),
+                }
+            }
+            Ok(resp) if resp.status == 429 || resp.status == 503 => r.shed += chunk.len(),
+            _ => r.wire_errors += chunk.len(),
+        }
+    }
+    (vec![r], started.elapsed())
+}
+
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx]
+}
+
+fn summarize(
+    name: String,
+    results: Vec<ThreadResult>,
+    elapsed: Duration,
+    rows: &mut Vec<Json>,
+    total_mismatches: &mut usize,
+    total_wire_errors: &mut usize,
+) {
+    let mut latencies: Vec<u64> = Vec::new();
+    let (mut wire_errors, mut mismatches, mut shed) = (0usize, 0usize, 0usize);
+    for r in results {
+        latencies.extend(r.latencies_ns);
+        wire_errors += r.wire_errors;
+        mismatches += r.mismatches;
+        shed += r.shed;
+    }
+    latencies.sort_unstable();
+    let answered = latencies.len();
+    let median = percentile(&latencies, 0.5);
+    let p99 = percentile(&latencies, 0.99);
+    let qps = answered as f64 / elapsed.as_secs_f64().max(1e-9);
+    println!(
+        "| {name} | {answered} | {:.1} | {:.1} | {:.1} | {qps:.0} | {wire_errors} | {mismatches} | {shed} |",
+        median as f64 / 1e3,
+        percentile(&latencies, 0.95) as f64 / 1e3,
+        p99 as f64 / 1e3,
+    );
+    *total_mismatches += mismatches;
+    *total_wire_errors += wire_errors;
+    if answered == 0 {
+        return; // nothing to report; failure is tallied above
+    }
+    rows.push(Json::Obj(vec![
+        ("name".into(), Json::str(&name)),
+        ("median_ns".into(), Json::u64(median.max(1))),
+        ("p95_ns".into(), Json::u64(percentile(&latencies, 0.95))),
+        ("p99_ns".into(), Json::u64(p99)),
+        ("throughput_qps".into(), Json::num(qps)),
+        ("queries".into(), Json::usize(answered)),
+        ("wire_errors".into(), Json::usize(wire_errors)),
+        ("answer_mismatches".into(), Json::usize(mismatches)),
+        ("shed".into(), Json::usize(shed)),
+    ]));
+}
+
+fn main() {
+    let args = Args::parse();
+    let universities = args.get("universities", 2usize);
+    let departments = args.get("departments", 6usize);
+    let seed = args.get("seed", 0xacade31au64);
+    let per_side = args.get("queries", 100usize) / 2;
+    let rate = args.get("rate", 0.0f64);
+    let algorithm = args.get_str("algorithm").unwrap_or("auto").to_owned();
+    let batch = args.get("batch", 16usize);
+    let concurrency: Vec<usize> = args
+        .get_str("concurrency")
+        .unwrap_or("2,8")
+        .split(',')
+        .filter_map(|s| s.trim().parse().ok())
+        .collect();
+    let out_path = args.get_str("out").unwrap_or("bench-results/BENCH_serving.json").to_owned();
+
+    eprintln!("generating LUBM ({universities} universities x {departments} departments) ...");
+    let g = lubm::generate(&LubmConfig { universities, departments, seed }).expect("LUBM fits");
+    eprintln!("dataset: {} vertices, {} edges", g.num_vertices(), g.num_edges());
+
+    let constraints: Vec<(&str, SubstructureConstraint)> =
+        vec![("S1", s1()), ("S2", s2()), ("S3", s3())];
+    let mut workloads = Vec::new();
+    for (name, c) in &constraints {
+        let queries = build_wire_queries(&g, c, per_side, seed ^ 0x51ab, &algorithm);
+        eprintln!("workload {name}: {} queries", queries.len());
+        workloads.push((*name, queries));
+    }
+
+    // In-process server unless an external one was named. Build the index
+    // up front so INS-path measurements don't pay the one-off build.
+    let server = if args.get_str("addr").is_none() {
+        let engine = Arc::new(LscrEngine::new(g));
+        engine.local_index();
+        Some(serve(engine, ServerConfig::default()).expect("bind ephemeral port"))
+    } else {
+        None
+    };
+    let addr = match (args.get_str("addr"), &server) {
+        (Some(a), _) => a.parse().expect("--addr must be HOST:PORT"),
+        (None, Some(s)) => s.addr(),
+        (None, None) => unreachable!(),
+    };
+    eprintln!(
+        "driving load at {addr} (rate: {})\n",
+        if rate > 0.0 { format!("{rate} qps open-loop") } else { "closed-loop".into() }
+    );
+
+    println!(
+        "| combination | answered | p50 us | p95 us | p99 us | qps | wire_err | wrong | shed |"
+    );
+    println!("|---|---|---|---|---|---|---|---|---|");
+    let dataset = format!("lubm-u{universities}d{departments}");
+    let mut rows = Vec::new();
+    let (mut mismatches, mut wire_errors) = (0usize, 0usize);
+    for (cname, queries) in &workloads {
+        for &c in &concurrency {
+            let (results, elapsed) = run_combination(addr, queries, c, rate);
+            summarize(
+                format!("serving/{dataset}/{cname}/c{c}"),
+                results,
+                elapsed,
+                &mut rows,
+                &mut mismatches,
+                &mut wire_errors,
+            );
+        }
+        if batch > 0 {
+            let (results, elapsed) = run_batched(addr, queries, batch);
+            summarize(
+                format!("serving/{dataset}/{cname}/batch{batch}"),
+                results,
+                elapsed,
+                &mut rows,
+                &mut mismatches,
+                &mut wire_errors,
+            );
+        }
+    }
+
+    if let Some(server) = server {
+        let m = server.metrics();
+        eprintln!(
+            "\nserver counters: {} queries, {} windows ({:.1} queries/window), \
+             {} edges scanned, {} skipped",
+            m.queries_total.load(std::sync::atomic::Ordering::Relaxed),
+            m.batch_windows_total.load(std::sync::atomic::Ordering::Relaxed),
+            m.batched_queries_total.load(std::sync::atomic::Ordering::Relaxed) as f64
+                / m.batch_windows_total.load(std::sync::atomic::Ordering::Relaxed).max(1) as f64,
+            m.edges_scanned_total.load(std::sync::atomic::Ordering::Relaxed),
+            m.edges_skipped_total.load(std::sync::atomic::Ordering::Relaxed),
+        );
+        server.shutdown();
+    }
+
+    if !out_path.is_empty() && !rows.is_empty() {
+        if let Some(dir) = std::path::Path::new(&out_path).parent() {
+            std::fs::create_dir_all(dir).expect("create output directory");
+        }
+        let mut body = String::from("[\n");
+        for (i, row) in rows.iter().enumerate() {
+            body.push_str("  ");
+            body.push_str(&row.to_string());
+            body.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+        }
+        body.push_str("]\n");
+        std::fs::write(&out_path, body).expect("write results");
+        eprintln!("wrote {} rows to {out_path}", rows.len());
+    }
+
+    if mismatches > 0 || wire_errors > 0 {
+        eprintln!("FAILED: {mismatches} ground-truth mismatches, {wire_errors} wire errors");
+        std::process::exit(1);
+    }
+}

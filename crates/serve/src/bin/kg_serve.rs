@@ -1,0 +1,112 @@
+//! `kg-serve` — serve an LSCR engine over HTTP.
+//!
+//! ```text
+//! kg-serve --snapshot engine.kgsnap --addr 127.0.0.1:7468
+//! kg-serve --universities 2 --departments 6          # generated LUBM
+//! ```
+//!
+//! Flags (all optional; see `docs/OPERATIONS.md` for tuning guidance):
+//!
+//! - `--addr HOST:PORT` — bind address (default `127.0.0.1:7468`).
+//! - `--snapshot PATH` — serve an engine snapshot (graph + index) saved
+//!   by `LscrEngine::save_snapshot_file`. Without it, a LUBM replica is
+//!   generated from `--universities`/`--departments`/`--seed`.
+//! - `--build-index` — build the local index up front instead of lazily
+//!   on the first INS query.
+//! - `--workers N`, `--batch-window-us N`, `--max-batch N`,
+//!   `--queue-high-water N`, `--max-connections N` — pool and admission
+//!   tuning.
+//! - `--max-step-budget N`, `--max-timeout-ms N` — per-query work
+//!   ceilings (`0` disables the ceiling).
+
+use kgreach::LscrEngine;
+use kgreach_datagen::lubm;
+use kgreach_serve::cli::Args;
+use kgreach_serve::{serve, BatchConfig, ServerConfig};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn main() {
+    let args = Args::parse();
+    let engine = match args.get_str("snapshot") {
+        Some(path) => {
+            eprintln!("loading engine snapshot from {path} ...");
+            match LscrEngine::from_snapshot_file(path) {
+                Ok(engine) => engine,
+                Err(e) => {
+                    eprintln!("error: cannot load snapshot {path}: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        None => {
+            let config = lubm::LubmConfig {
+                universities: args.get("universities", 2),
+                departments: args.get("departments", 6),
+                seed: args.get("seed", 0xacade31au64),
+            };
+            eprintln!(
+                "no --snapshot given; generating LUBM ({} universities x {} departments) ...",
+                config.universities, config.departments
+            );
+            let g = lubm::generate(&config).expect("LUBM generation fits the label budget");
+            LscrEngine::new(g)
+        }
+    };
+    if args.has("build-index") {
+        eprintln!("building local index ...");
+        engine.local_index();
+    }
+
+    let defaults = BatchConfig::default();
+    let max_step_budget = match args.get("max-step-budget", defaults.max_step_budget.unwrap_or(0)) {
+        0 => None,
+        n => Some(n),
+    };
+    let max_timeout = match args
+        .get("max-timeout-ms", defaults.max_timeout.map_or(0, |t| t.as_millis() as u64))
+    {
+        0 => None,
+        ms => Some(Duration::from_millis(ms)),
+    };
+    let config = ServerConfig {
+        addr: args.get_str("addr").unwrap_or("127.0.0.1:7468").to_owned(),
+        batch: BatchConfig {
+            workers: args.get("workers", defaults.workers),
+            batch_window: Duration::from_micros(
+                args.get("batch-window-us", defaults.batch_window.as_micros() as u64),
+            ),
+            max_batch: args.get("max-batch", defaults.max_batch),
+            queue_high_water: args.get("queue-high-water", defaults.queue_high_water),
+            max_step_budget,
+            max_timeout,
+        },
+        http: Default::default(),
+        max_connections: args.get("max-connections", 256),
+    };
+
+    let info = engine.info();
+    let workers = config.batch.workers;
+    let server = match serve(Arc::new(engine), config) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("error: cannot bind: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "kg-serve listening on http://{} ({} vertices, {} edges, {} labels, epoch {}, {} workers)",
+        server.addr(),
+        info.num_vertices,
+        info.num_edges,
+        info.num_labels,
+        info.epoch,
+        workers
+    );
+    println!("try: curl -s http://{}/healthz", server.addr());
+    // Serve until killed; the acceptor and workers run on their own
+    // threads.
+    loop {
+        std::thread::park();
+    }
+}

@@ -1,0 +1,335 @@
+//! Hand-rolled HTTP/1.1 framing over blocking TCP streams.
+//!
+//! The same offline discipline as `vendor/`: no external HTTP crate, just
+//! the subset of RFC 9112 the serving wire needs — request-line + header
+//! parsing with hard size caps, `Content-Length`-framed bodies,
+//! keep-alive, `Expect: 100-continue`, and response serialization. Chunked
+//! transfer encoding is deliberately rejected (`501`): every client this
+//! protocol targets (curl, the bundled [`client`](crate::client), the
+//! load generator) sends sized bodies, and refusing the feature keeps the
+//! parser small enough to audit.
+//!
+//! Robustness posture (exercised by the fault-injection suite in
+//! `tests/serving.rs`): every malformed input is a typed
+//! [`HttpError`] mapped to a 4xx/5xx response, never a panic; header and
+//! body byte caps bound per-connection memory; read timeouts bound how
+//! long a half-sent ("slowloris") request can pin a connection thread.
+
+use std::io::{BufReader, Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// Hard caps applied while reading one request.
+#[derive(Clone, Copy, Debug)]
+pub struct HttpLimits {
+    /// Request line + headers may not exceed this many bytes.
+    pub max_head_bytes: usize,
+    /// `Content-Length` may not exceed this many bytes.
+    pub max_body_bytes: usize,
+    /// Socket read timeout while a request is being received.
+    pub read_timeout: Duration,
+}
+
+impl Default for HttpLimits {
+    fn default() -> Self {
+        HttpLimits {
+            max_head_bytes: 16 * 1024,
+            max_body_bytes: 1024 * 1024,
+            read_timeout: Duration::from_secs(10),
+        }
+    }
+}
+
+/// One parsed request.
+#[derive(Debug)]
+pub struct Request {
+    /// Upper-cased method (`GET`, `POST`, …).
+    pub method: String,
+    /// The path component of the request target (query string stripped).
+    pub path: String,
+    /// The decoded body (empty when no `Content-Length`).
+    pub body: Vec<u8>,
+    /// Whether the connection should stay open after the response.
+    pub keep_alive: bool,
+}
+
+/// Why a request could not be read.
+#[derive(Debug)]
+pub enum HttpError {
+    /// The peer closed the connection cleanly before sending anything —
+    /// the normal end of a keep-alive session, not an error to report.
+    ConnectionClosed,
+    /// Malformed request line or headers → `400`.
+    BadRequest(String),
+    /// `Content-Length` exceeds [`HttpLimits::max_body_bytes`] → `413`.
+    BodyTooLarge {
+        /// The declared length.
+        declared: usize,
+        /// The configured cap.
+        limit: usize,
+    },
+    /// The request head exceeds [`HttpLimits::max_head_bytes`] → `431`.
+    HeadTooLarge,
+    /// `Transfer-Encoding` was requested → `501` (sized bodies only).
+    UnsupportedTransferEncoding,
+    /// The peer stopped sending mid-request (timeout or truncation) →
+    /// `408`.
+    Timeout,
+    /// Any other socket failure; the connection is dropped.
+    Io(std::io::Error),
+}
+
+impl HttpError {
+    /// The response status this error maps to (`None`: drop silently).
+    pub fn status(&self) -> Option<u16> {
+        match self {
+            HttpError::ConnectionClosed => None,
+            HttpError::BadRequest(_) => Some(400),
+            HttpError::BodyTooLarge { .. } => Some(413),
+            HttpError::HeadTooLarge => Some(431),
+            HttpError::UnsupportedTransferEncoding => Some(501),
+            HttpError::Timeout => Some(408),
+            HttpError::Io(_) => None,
+        }
+    }
+
+    /// Human-readable description for the error envelope.
+    pub fn message(&self) -> String {
+        match self {
+            HttpError::ConnectionClosed => "connection closed".into(),
+            HttpError::BadRequest(m) => m.clone(),
+            HttpError::BodyTooLarge { declared, limit } => {
+                format!("request body of {declared} bytes exceeds the {limit}-byte limit")
+            }
+            HttpError::HeadTooLarge => "request headers exceed the size limit".into(),
+            HttpError::UnsupportedTransferEncoding => {
+                "Transfer-Encoding is not supported; send a Content-Length body".into()
+            }
+            HttpError::Timeout => "timed out waiting for the request".into(),
+            HttpError::Io(e) => format!("socket error: {e}"),
+        }
+    }
+}
+
+/// Reads and parses one request from `reader`.
+///
+/// `reader` must wrap a stream whose read timeout was set to
+/// [`HttpLimits::read_timeout`] (see [`apply_read_timeout`]); this
+/// function maps `WouldBlock`/`TimedOut` to [`HttpError::Timeout`].
+pub fn read_request(
+    reader: &mut BufReader<TcpStream>,
+    limits: &HttpLimits,
+) -> Result<Request, HttpError> {
+    let head = read_head(reader, limits)?;
+    let mut lines = head.split(|&b| b == b'\n').map(|l| l.strip_suffix(b"\r").unwrap_or(l));
+    let request_line = lines.next().unwrap_or(b"");
+    let request_line = std::str::from_utf8(request_line)
+        .map_err(|_| HttpError::BadRequest("request line is not UTF-8".into()))?;
+    let mut parts = request_line.split(' ');
+    let (Some(method), Some(target), Some(version)) = (parts.next(), parts.next(), parts.next())
+    else {
+        return Err(HttpError::BadRequest(format!("malformed request line '{request_line}'")));
+    };
+    if parts.next().is_some() || method.is_empty() || target.is_empty() {
+        return Err(HttpError::BadRequest(format!("malformed request line '{request_line}'")));
+    }
+    let http11 = match version {
+        "HTTP/1.1" => true,
+        "HTTP/1.0" => false,
+        v => return Err(HttpError::BadRequest(format!("unsupported protocol '{v}'"))),
+    };
+
+    let mut content_length = 0usize;
+    let mut keep_alive = http11; // HTTP/1.1 defaults to persistent
+    let mut expect_continue = false;
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let line = std::str::from_utf8(line)
+            .map_err(|_| HttpError::BadRequest("header is not UTF-8".into()))?;
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(HttpError::BadRequest(format!("malformed header '{line}'")));
+        };
+        let value = value.trim();
+        if name.ends_with(' ') || name.ends_with('\t') {
+            return Err(HttpError::BadRequest("whitespace before header colon".into()));
+        }
+        if name.eq_ignore_ascii_case("content-length") {
+            content_length = value
+                .parse()
+                .map_err(|_| HttpError::BadRequest(format!("bad Content-Length '{value}'")))?;
+        } else if name.eq_ignore_ascii_case("transfer-encoding") {
+            return Err(HttpError::UnsupportedTransferEncoding);
+        } else if name.eq_ignore_ascii_case("connection") {
+            if value.eq_ignore_ascii_case("close") {
+                keep_alive = false;
+            } else if value.eq_ignore_ascii_case("keep-alive") {
+                keep_alive = true;
+            }
+        } else if name.eq_ignore_ascii_case("expect") && value.eq_ignore_ascii_case("100-continue")
+        {
+            expect_continue = true;
+        }
+    }
+    if content_length > limits.max_body_bytes {
+        return Err(HttpError::BodyTooLarge {
+            declared: content_length,
+            limit: limits.max_body_bytes,
+        });
+    }
+    if expect_continue && content_length > 0 {
+        // curl sends Expect for larger bodies and waits ~1s for this
+        // interim response before transmitting.
+        reader.get_ref().write_all(b"HTTP/1.1 100 Continue\r\n\r\n").map_err(HttpError::Io)?;
+    }
+    let mut body = vec![0u8; content_length];
+    if content_length > 0 {
+        reader.read_exact(&mut body).map_err(|e| match e.kind() {
+            std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut => HttpError::Timeout,
+            std::io::ErrorKind::UnexpectedEof => {
+                HttpError::BadRequest("body shorter than Content-Length".into())
+            }
+            _ => HttpError::Io(e),
+        })?;
+    }
+    let path = target.split(['?', '#']).next().unwrap_or(target).to_owned();
+    Ok(Request { method: method.to_ascii_uppercase(), path, body, keep_alive })
+}
+
+/// Reads up to and including the blank line terminating the header block,
+/// returning everything before it.
+///
+/// Bytes are pulled one at a time so the scan can never overshoot into
+/// the body — `BufReader` makes single-byte reads a buffered memcpy, and
+/// the head is capped at [`HttpLimits::max_head_bytes`] anyway. Both
+/// `\r\n\r\n` and bare `\n\n` terminators are accepted (hand-typed
+/// clients); header lines are `\r`-stripped individually by the caller.
+fn read_head(reader: &mut BufReader<TcpStream>, limits: &HttpLimits) -> Result<Vec<u8>, HttpError> {
+    let mut head: Vec<u8> = Vec::with_capacity(256);
+    let mut byte = [0u8; 1];
+    loop {
+        match reader.read(&mut byte) {
+            Ok(0) => {
+                // EOF: clean between requests, truncation mid-request.
+                return Err(if head.is_empty() {
+                    HttpError::ConnectionClosed
+                } else {
+                    HttpError::BadRequest("connection closed mid-headers".into())
+                });
+            }
+            Ok(_) => {
+                head.push(byte[0]);
+                if head.ends_with(b"\r\n\r\n") {
+                    head.truncate(head.len() - 4);
+                    return Ok(head);
+                }
+                if head.ends_with(b"\n\n") {
+                    head.truncate(head.len() - 2);
+                    return Ok(head);
+                }
+                if head.len() >= limits.max_head_bytes {
+                    return Err(HttpError::HeadTooLarge);
+                }
+            }
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                // Idle keep-alive connections time out quietly; a
+                // half-sent request head is a slowloris-style fault.
+                return Err(if head.is_empty() {
+                    HttpError::ConnectionClosed
+                } else {
+                    HttpError::Timeout
+                });
+            }
+            Err(e) => return Err(HttpError::Io(e)),
+        }
+    }
+}
+
+/// Writes `resp` to `stream`.
+pub fn write_response(stream: &mut TcpStream, resp: &Response) -> std::io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\n",
+        resp.status,
+        reason(resp.status),
+        resp.content_type,
+        resp.body.len()
+    );
+    if let Some(secs) = resp.retry_after {
+        head.push_str(&format!("Retry-After: {secs}\r\n"));
+    }
+    head.push_str(if resp.close { "Connection: close\r\n" } else { "Connection: keep-alive\r\n" });
+    head.push_str("\r\n");
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(&resp.body)?;
+    stream.flush()
+}
+
+/// One response to serialize.
+#[derive(Debug)]
+pub struct Response {
+    /// Status code.
+    pub status: u16,
+    /// `Content-Type` header value.
+    pub content_type: &'static str,
+    /// Response body.
+    pub body: Vec<u8>,
+    /// Optional `Retry-After` (seconds) — set on shed responses.
+    pub retry_after: Option<u32>,
+    /// Close the connection after this response.
+    pub close: bool,
+}
+
+impl Response {
+    /// A JSON response.
+    pub fn json(status: u16, body: String) -> Response {
+        Response {
+            status,
+            content_type: "application/json",
+            body: body.into_bytes(),
+            retry_after: None,
+            close: false,
+        }
+    }
+
+    /// A plain-text response.
+    pub fn text(status: u16, body: String) -> Response {
+        Response {
+            status,
+            content_type: "text/plain; version=0.0.4; charset=utf-8",
+            body: body.into_bytes(),
+            retry_after: None,
+            close: false,
+        }
+    }
+}
+
+/// Standard reason phrase for the status codes this server emits.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        413 => "Payload Too Large",
+        422 => "Unprocessable Entity",
+        429 => "Too Many Requests",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
+        501 => "Not Implemented",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// Applies the serving read timeout to a freshly accepted stream.
+pub fn apply_read_timeout(stream: &TcpStream, limits: &HttpLimits) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(limits.read_timeout))?;
+    stream.set_nodelay(true)
+}

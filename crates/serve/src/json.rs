@@ -1,0 +1,558 @@
+//! A minimal JSON value type with a strict parser and a serializer.
+//!
+//! The workspace is fully offline (see `vendor/README.md`), so the wire
+//! layer cannot reach for `serde`; this module is the replacement. It is
+//! deliberately small: one [`Json`] enum, RFC 8259-conformant parsing
+//! with a nesting-depth cap (hostile bodies must not blow the stack of a
+//! connection thread), and escaping-correct serialization. Numbers are
+//! `f64` — every quantity on this wire (counts, durations in
+//! microseconds, epochs) fits `f64`'s 2^53 integer range.
+//!
+//! ```
+//! use kgreach_serve::json::Json;
+//!
+//! let v = Json::parse(r#"{"answer": true, "stats": {"edges": 12}}"#).unwrap();
+//! assert_eq!(v.get("answer").and_then(Json::as_bool), Some(true));
+//! assert_eq!(v.get("stats").and_then(|s| s.get("edges")).and_then(Json::as_u64), Some(12));
+//! assert_eq!(Json::Str("a\"b".into()).to_string(), r#""a\"b""#);
+//! ```
+
+use std::fmt;
+
+/// Nesting levels (arrays + objects) the parser accepts. Deeper input is
+/// rejected as malformed rather than recursed into.
+const MAX_DEPTH: usize = 64;
+
+/// A JSON value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number (see the module docs for the `f64` rationale).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, in insertion order (duplicate keys: last wins on
+    /// [`get`](Json::get); the parser keeps both).
+    Obj(Vec<(String, Json)>),
+}
+
+/// A parse failure: byte offset plus description.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JsonError {
+    /// Byte offset of the failure in the input.
+    pub at: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid JSON at byte {}: {}", self.at, self.message)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+impl Json {
+    /// Convenience constructor for string values.
+    pub fn str(s: impl Into<String>) -> Json {
+        Json::Str(s.into())
+    }
+
+    /// Convenience constructor for integer values.
+    pub fn num(n: impl Into<f64>) -> Json {
+        Json::Num(n.into())
+    }
+
+    /// A `u64` as a JSON number (values beyond 2^53 lose precision; the
+    /// wire never carries any).
+    pub fn u64(n: u64) -> Json {
+        Json::Num(n as f64)
+    }
+
+    /// A `usize` as a JSON number.
+    pub fn usize(n: usize) -> Json {
+        Json::Num(n as f64)
+    }
+
+    /// Parses one JSON document; trailing non-whitespace is an error.
+    pub fn parse(text: &str) -> Result<Json, JsonError> {
+        let mut p = Parser { bytes: text.as_bytes(), pos: 0 };
+        let value = p.value(0)?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(p.err("trailing data after the document"));
+        }
+        Ok(value)
+    }
+
+    /// Field lookup on objects (last duplicate wins); `None` on other
+    /// variants and missing keys.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().rev().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The boolean payload, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload as a non-negative integer: `None` for
+    /// non-numbers, negatives and non-integral values.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= u64::MAX as f64 => {
+                Some(*n as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Whether this is `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Json::Null)
+    }
+
+    /// Serializes into `out` (compact, no whitespace).
+    pub fn write(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(true) => out.push_str("true"),
+            Json::Bool(false) => out.push_str("false"),
+            Json::Num(n) => write_number(*n, out),
+            Json::Str(s) => write_escaped(s, out),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(k, out);
+                    out.push(':');
+                    v.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+impl fmt::Display for Json {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut out = String::new();
+        self.write(&mut out);
+        f.write_str(&out)
+    }
+}
+
+fn write_number(n: f64, out: &mut String) {
+    if !n.is_finite() {
+        // JSON has no NaN/Infinity; the wire never produces them, but a
+        // defensive null beats emitting an unparseable token.
+        out.push_str("null");
+    } else if n.fract() == 0.0 && n.abs() < 9e15 {
+        out.push_str(&format!("{}", n as i64));
+    } else {
+        out.push_str(&format!("{n}"));
+    }
+}
+
+fn write_escaped(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn err(&self, message: impl Into<String>) -> JsonError {
+        JsonError { at: self.pos, message: message.into() }
+    }
+
+    fn skip_ws(&mut self) {
+        while self.bytes.get(self.pos).is_some_and(|b| b.is_ascii_whitespace()) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Result<u8, JsonError> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied().ok_or_else(|| self.err("unexpected end of input"))
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), JsonError> {
+        let found = self.peek()?;
+        if found != byte {
+            return Err(self.err(format!("expected '{}', found '{}'", byte as char, found as char)));
+        }
+        self.pos += 1;
+        Ok(())
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Json, JsonError> {
+        if depth > MAX_DEPTH {
+            return Err(self.err(format!("nesting deeper than {MAX_DEPTH}")));
+        }
+        match self.peek()? {
+            b'[' => self.array(depth),
+            b'{' => self.object(depth),
+            b'"' => Ok(Json::Str(self.string()?)),
+            b't' => self.literal("true", Json::Bool(true)),
+            b'f' => self.literal("false", Json::Bool(false)),
+            b'n' => self.literal("null", Json::Null),
+            b'-' | b'0'..=b'9' => self.number(),
+            b => Err(self.err(format!("unexpected '{}'", b as char))),
+        }
+    }
+
+    fn literal(&mut self, lit: &str, value: Json) -> Result<Json, JsonError> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(value)
+        } else {
+            Err(self.err("malformed literal"))
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<Json, JsonError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        if self.peek()? == b']' {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value(depth + 1)?);
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b']' => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                b => return Err(self.err(format!("expected ',' or ']', found '{}'", b as char))),
+            }
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<Json, JsonError> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        if self.peek()? == b'}' {
+            self.pos += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            if self.peek()? != b'"' {
+                return Err(self.err("object key must be a string"));
+            }
+            let key = self.string()?;
+            self.expect(b':')?;
+            fields.push((key, self.value(depth + 1)?));
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b'}' => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                b => return Err(self.err(format!("expected ',' or '}}', found '{}'", b as char))),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let b = *self.bytes.get(self.pos).ok_or_else(|| self.err("unterminated string"))?;
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let esc =
+                        *self.bytes.get(self.pos).ok_or_else(|| self.err("unterminated escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => out.push(self.unicode_escape()?),
+                        _ => return Err(self.err(format!("unknown escape '\\{}'", esc as char))),
+                    }
+                }
+                0x00..=0x1f => return Err(self.err("unescaped control character")),
+                _ => {
+                    // Re-walk UTF-8 from the raw bytes: multi-byte
+                    // sequences arrive one leading byte at a time.
+                    let start = self.pos - 1;
+                    let len = match b {
+                        0x20..=0x7f => 1,
+                        0xc0..=0xdf => 2,
+                        0xe0..=0xef => 3,
+                        0xf0..=0xf7 => 4,
+                        _ => return Err(self.err("invalid UTF-8")),
+                    };
+                    let chunk = self
+                        .bytes
+                        .get(start..start + len)
+                        .ok_or_else(|| self.err("truncated UTF-8"))?;
+                    let s =
+                        std::str::from_utf8(chunk).map_err(|_| self.err("invalid UTF-8 bytes"))?;
+                    out.push_str(s);
+                    self.pos = start + len;
+                }
+            }
+        }
+    }
+
+    fn unicode_escape(&mut self) -> Result<char, JsonError> {
+        let code = self.hex4()?;
+        // Decode surrogate pairs: vertex names are arbitrary user text,
+        // so astral-plane characters must round-trip.
+        if (0xd800..0xdc00).contains(&code) {
+            if self.bytes.get(self.pos..self.pos + 2) != Some(b"\\u") {
+                return Err(self.err("unpaired high surrogate"));
+            }
+            self.pos += 2;
+            let low = self.hex4()?;
+            if !(0xdc00..0xe000).contains(&low) {
+                return Err(self.err("invalid low surrogate"));
+            }
+            let combined = 0x10000 + ((code - 0xd800) << 10) + (low - 0xdc00);
+            return char::from_u32(combined).ok_or_else(|| self.err("invalid surrogate pair"));
+        }
+        char::from_u32(code).ok_or_else(|| self.err("unpaired low surrogate"))
+    }
+
+    fn hex4(&mut self) -> Result<u32, JsonError> {
+        let hex = self
+            .bytes
+            .get(self.pos..self.pos + 4)
+            .ok_or_else(|| self.err("truncated \\u escape"))?;
+        let hex = std::str::from_utf8(hex).map_err(|_| self.err("non-ASCII \\u escape"))?;
+        let code = u32::from_str_radix(hex, 16).map_err(|_| self.err("bad \\u escape"))?;
+        self.pos += 4;
+        Ok(code)
+    }
+
+    fn number(&mut self) -> Result<Json, JsonError> {
+        self.skip_ws();
+        let start = self.pos;
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E'))
+        {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ASCII");
+        if !is_json_number(text) {
+            return Err(JsonError { at: start, message: format!("non-JSON number '{text}'") });
+        }
+        text.parse::<f64>()
+            .map(Json::Num)
+            .map_err(|_| JsonError { at: start, message: format!("malformed number '{text}'") })
+    }
+}
+
+/// RFC 8259 number grammar:
+/// `-?(0|[1-9][0-9]*)(\.[0-9]+)?([eE][+-]?[0-9]+)?`.
+fn is_json_number(text: &str) -> bool {
+    let b = text.as_bytes();
+    let mut i = 0;
+    if b.get(i) == Some(&b'-') {
+        i += 1;
+    }
+    match b.get(i) {
+        Some(b'0') => i += 1,
+        Some(d) if d.is_ascii_digit() => {
+            while b.get(i).is_some_and(u8::is_ascii_digit) {
+                i += 1;
+            }
+        }
+        _ => return false,
+    }
+    if b.get(i) == Some(&b'.') {
+        i += 1;
+        let frac = i;
+        while b.get(i).is_some_and(u8::is_ascii_digit) {
+            i += 1;
+        }
+        if i == frac {
+            return false;
+        }
+    }
+    if matches!(b.get(i), Some(b'e' | b'E')) {
+        i += 1;
+        if matches!(b.get(i), Some(b'+' | b'-')) {
+            i += 1;
+        }
+        let exp = i;
+        while b.get(i).is_some_and(u8::is_ascii_digit) {
+            i += 1;
+        }
+        if i == exp {
+            return false;
+        }
+    }
+    i == b.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_values() {
+        let cases = [
+            "null",
+            "true",
+            "false",
+            "0",
+            "-12",
+            "3.5",
+            r#""""#,
+            r#""plain""#,
+            "[]",
+            "[1,2,3]",
+            "{}",
+            r#"{"a":1,"b":[true,null]}"#,
+        ];
+        for case in cases {
+            let v = Json::parse(case).unwrap_or_else(|e| panic!("{case}: {e}"));
+            assert_eq!(v.to_string(), case, "canonical roundtrip of {case}");
+        }
+    }
+
+    #[test]
+    fn escapes_roundtrip() {
+        let hostile = "quote\" slash\\ newline\n tab\t nul\u{1} emoji\u{1F600} ünïcode";
+        let mut out = String::new();
+        Json::str(hostile).write(&mut out);
+        let back = Json::parse(&out).unwrap();
+        assert_eq!(back.as_str(), Some(hostile));
+        // Surrogate-pair escapes decode too.
+        let v = Json::parse(r#""\ud83d\ude00""#).unwrap();
+        assert_eq!(v.as_str(), Some("\u{1F600}"));
+    }
+
+    #[test]
+    fn accessors() {
+        let v = Json::parse(r#"{"s":"x","n":4,"b":false,"a":[1],"z":null,"s":"y"}"#).unwrap();
+        assert_eq!(v.get("s").and_then(Json::as_str), Some("y"), "last duplicate wins");
+        assert_eq!(v.get("n").and_then(Json::as_u64), Some(4));
+        assert_eq!(v.get("n").and_then(Json::as_f64), Some(4.0));
+        assert_eq!(v.get("b").and_then(Json::as_bool), Some(false));
+        assert_eq!(v.get("a").and_then(Json::as_array).map(<[Json]>::len), Some(1));
+        assert!(v.get("z").is_some_and(Json::is_null));
+        assert!(v.get("missing").is_none());
+        assert_eq!(Json::Num(-1.0).as_u64(), None);
+        assert_eq!(Json::Num(1.5).as_u64(), None);
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        let bad = [
+            "",
+            "{",
+            "[1,]",
+            "{'a':1}",
+            "{\"a\" 1}",
+            "01",
+            "1.",
+            ".5",
+            "+1",
+            "nul",
+            "truex",
+            "\"unterminated",
+            "\"bad\\q\"",
+            "\"\\ud800\"",
+            "[1] extra",
+            "\u{1}",
+            "{\"a\":1,}",
+            "{1:2}",
+        ];
+        for case in bad {
+            assert!(Json::parse(case).is_err(), "{case:?} must be rejected");
+        }
+    }
+
+    #[test]
+    fn depth_cap() {
+        let deep_ok = format!("{}1{}", "[".repeat(MAX_DEPTH), "]".repeat(MAX_DEPTH));
+        assert!(Json::parse(&deep_ok).is_ok());
+        let deep_bad = format!("{}1{}", "[".repeat(MAX_DEPTH + 2), "]".repeat(MAX_DEPTH + 2));
+        assert!(Json::parse(&deep_bad).is_err(), "over-deep nesting must be rejected");
+    }
+
+    #[test]
+    fn number_edges() {
+        assert_eq!(Json::parse("1e3").unwrap().as_f64(), Some(1000.0));
+        assert_eq!(Json::parse("-0.5e-1").unwrap().as_f64(), Some(-0.05));
+        assert_eq!(Json::u64(1_000_000_000_000).to_string(), "1000000000000");
+        assert_eq!(Json::Num(f64::NAN).to_string(), "null", "non-finite serializes as null");
+    }
+}

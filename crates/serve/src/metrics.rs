@@ -1,0 +1,435 @@
+//! Live serving metrics: lock-free counters and latency histograms with
+//! a Prometheus-style text exposition on `GET /metrics`.
+//!
+//! Everything here is a relaxed atomic — recording a sample on the query
+//! hot path is a handful of `fetch_add`s, never a lock — and rendering
+//! reads a consistent-enough snapshot for operational monitoring (gauges
+//! and counters may be skewed by in-flight updates; histograms are
+//! monotone). Field semantics and alerting guidance are documented in
+//! `docs/OPERATIONS.md`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// Histogram bucket upper bounds: powers of two from 2^10 ns (≈1 µs) to
+/// 2^34 ns (≈17 s), plus a +Inf overflow bucket. Query latencies in this
+/// system span 1 µs (mask-pruned UIS) to ~15 ms (worst-case INS), so the
+/// log-2 grid gives ~24 usable resolution steps over the whole range.
+const BUCKET_LOW_POW2: u32 = 10;
+const BUCKET_COUNT: usize = 25;
+
+/// A log-scaled latency histogram over the power-of-two bucket grid
+/// described above.
+#[derive(Debug, Default)]
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; BUCKET_COUNT + 1],
+    sum_ns: AtomicU64,
+    count: AtomicU64,
+}
+
+impl LatencyHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one sample.
+    pub fn record(&self, elapsed: Duration) {
+        let ns = elapsed.as_nanos().min(u128::from(u64::MAX)) as u64;
+        let idx = if ns < (1 << BUCKET_LOW_POW2) {
+            0
+        } else {
+            ((ns.ilog2() - BUCKET_LOW_POW2) as usize + 1).min(BUCKET_COUNT)
+        };
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.sum_ns.fetch_add(ns, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all samples, in nanoseconds.
+    pub fn sum_ns(&self) -> u64 {
+        self.sum_ns.load(Ordering::Relaxed)
+    }
+
+    /// Renders the histogram in text exposition format under `name`, with
+    /// an optional `{label="value"}` pair on every series.
+    fn render(&self, name: &str, label: Option<(&str, &str)>, out: &mut String) {
+        let fmt_labels = |extra: Option<(&str, String)>| -> String {
+            let mut parts = Vec::new();
+            if let Some((k, v)) = label {
+                parts.push(format!("{k}=\"{v}\""));
+            }
+            if let Some((k, v)) = extra {
+                parts.push(format!("{k}=\"{v}\""));
+            }
+            if parts.is_empty() {
+                String::new()
+            } else {
+                format!("{{{}}}", parts.join(","))
+            }
+        };
+        let mut cumulative = 0u64;
+        for (i, bucket) in self.buckets.iter().enumerate() {
+            cumulative += bucket.load(Ordering::Relaxed);
+            let le = if i < BUCKET_COUNT {
+                let ns = 1u64 << (BUCKET_LOW_POW2 + i as u32);
+                format!("{}", ns as f64 / 1e9)
+            } else {
+                "+Inf".into()
+            };
+            out.push_str(&format!("{name}_bucket{} {cumulative}\n", fmt_labels(Some(("le", le)))));
+        }
+        out.push_str(&format!("{name}_sum{} {}\n", fmt_labels(None), self.sum_ns() as f64 / 1e9));
+        out.push_str(&format!("{name}_count{} {}\n", fmt_labels(None), self.count()));
+    }
+}
+
+/// All counters the server exposes on `/metrics`.
+///
+/// Counter semantics (`_total` suffix: monotone since process start):
+/// see `docs/OPERATIONS.md` for the full field reference.
+#[derive(Debug)]
+pub struct ServerMetrics {
+    started: Instant,
+    /// Requests received, by endpoint.
+    pub requests_query: AtomicU64,
+    /// Requests received on `/query_batch`.
+    pub requests_query_batch: AtomicU64,
+    /// Requests received on `/update`.
+    pub requests_update: AtomicU64,
+    /// Requests received on `/snapshot/reload`.
+    pub requests_reload: AtomicU64,
+    /// Requests received on `/healthz` + `/metrics`.
+    pub requests_introspection: AtomicU64,
+    /// Requests for unknown paths/methods or with malformed HTTP.
+    pub requests_other: AtomicU64,
+    /// Responses sent, by status class (2xx, 4xx, 5xx → index 0, 1, 2).
+    pub responses_by_class: [AtomicU64; 3],
+    /// Individual LSCR queries answered (batch members count singly).
+    pub queries_total: AtomicU64,
+    /// Queries rejected with a typed error (unknown vertex, bad
+    /// constraint, …).
+    pub query_errors_total: AtomicU64,
+    /// Queries whose search was stopped by the step budget / timeout.
+    pub queries_interrupted_total: AtomicU64,
+    /// Requests shed because the admission queue was past high water.
+    pub shed_queue_full_total: AtomicU64,
+    /// Requests shed because the server was draining at shutdown.
+    pub shed_draining_total: AtomicU64,
+    /// Connections rejected at accept because the connection cap was hit.
+    pub shed_connections_total: AtomicU64,
+    /// Current admission-queue depth (gauge).
+    pub queue_depth: AtomicU64,
+    /// Micro-batch windows executed by the worker pool.
+    pub batch_windows_total: AtomicU64,
+    /// Queries answered inside those windows (mean batch size =
+    /// `batched_queries_total / batch_windows_total`).
+    pub batched_queries_total: AtomicU64,
+    /// Sum of per-query edges scanned (from `SearchStats`).
+    pub edges_scanned_total: AtomicU64,
+    /// Sum of per-query edges skipped by the label mask / run filter.
+    pub edges_skipped_total: AtomicU64,
+    /// Sum of `SCck` invocations.
+    pub scck_calls_total: AtomicU64,
+    /// Sum of `SCck` cache hits.
+    pub scck_cache_hits_total: AtomicU64,
+    /// Successful `/update` batches applied.
+    pub updates_total: AtomicU64,
+    /// Successful `/snapshot/reload` swaps.
+    pub reloads_total: AtomicU64,
+    /// Connections accepted.
+    pub connections_total: AtomicU64,
+    /// Per-query latency (single queries and batch members alike),
+    /// measured enqueue → answered.
+    pub query_latency: LatencyHistogram,
+    /// Whole-request latency on `/query` and `/query_batch`, measured
+    /// parse → response ready.
+    pub request_latency: LatencyHistogram,
+    /// `/update` request latency.
+    pub update_latency: LatencyHistogram,
+}
+
+impl Default for ServerMetrics {
+    fn default() -> Self {
+        ServerMetrics {
+            started: Instant::now(),
+            requests_query: AtomicU64::new(0),
+            requests_query_batch: AtomicU64::new(0),
+            requests_update: AtomicU64::new(0),
+            requests_reload: AtomicU64::new(0),
+            requests_introspection: AtomicU64::new(0),
+            requests_other: AtomicU64::new(0),
+            responses_by_class: Default::default(),
+            queries_total: AtomicU64::new(0),
+            query_errors_total: AtomicU64::new(0),
+            queries_interrupted_total: AtomicU64::new(0),
+            shed_queue_full_total: AtomicU64::new(0),
+            shed_draining_total: AtomicU64::new(0),
+            shed_connections_total: AtomicU64::new(0),
+            queue_depth: AtomicU64::new(0),
+            batch_windows_total: AtomicU64::new(0),
+            batched_queries_total: AtomicU64::new(0),
+            edges_scanned_total: AtomicU64::new(0),
+            edges_skipped_total: AtomicU64::new(0),
+            scck_calls_total: AtomicU64::new(0),
+            scck_cache_hits_total: AtomicU64::new(0),
+            updates_total: AtomicU64::new(0),
+            reloads_total: AtomicU64::new(0),
+            connections_total: AtomicU64::new(0),
+            query_latency: LatencyHistogram::new(),
+            request_latency: LatencyHistogram::new(),
+            update_latency: LatencyHistogram::new(),
+        }
+    }
+}
+
+impl ServerMetrics {
+    /// Creates zeroed metrics with the uptime clock started now.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Folds one query outcome's search counters into the totals.
+    pub fn record_outcome(&self, stats: &kgreach::SearchStats, interrupted: bool) {
+        self.queries_total.fetch_add(1, Ordering::Relaxed);
+        self.edges_scanned_total.fetch_add(stats.edges_scanned as u64, Ordering::Relaxed);
+        self.edges_skipped_total.fetch_add(stats.edges_skipped as u64, Ordering::Relaxed);
+        self.scck_calls_total.fetch_add(stats.scck_calls as u64, Ordering::Relaxed);
+        self.scck_cache_hits_total.fetch_add(stats.scck_cache_hits as u64, Ordering::Relaxed);
+        if interrupted {
+            self.queries_interrupted_total.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Records the status class of one response.
+    pub fn record_status(&self, status: u16) {
+        let idx = match status {
+            200..=299 => 0,
+            400..=499 => 1,
+            _ => 2,
+        };
+        self.responses_by_class[idx].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Renders the text exposition, folding in the engine's own state
+    /// summary (graph size, epoch, cache occupancy).
+    pub fn render(&self, info: &kgreach::EngineInfo) -> String {
+        let mut out = String::with_capacity(4096);
+        let counter = |out: &mut String, name: &str, help: &str, v: u64| {
+            out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} counter\n{name} {v}\n"));
+        };
+        let gauge = |out: &mut String, name: &str, help: &str, v: f64| {
+            out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} gauge\n{name} {v}\n"));
+        };
+        let load = |a: &AtomicU64| a.load(Ordering::Relaxed);
+
+        gauge(&mut out, "kg_uptime_seconds", "Seconds since server start.", {
+            self.started.elapsed().as_secs_f64()
+        });
+
+        out.push_str(
+            "# HELP kg_requests_total Requests received, by endpoint.\n\
+             # TYPE kg_requests_total counter\n",
+        );
+        for (ep, v) in [
+            ("query", load(&self.requests_query)),
+            ("query_batch", load(&self.requests_query_batch)),
+            ("update", load(&self.requests_update)),
+            ("snapshot_reload", load(&self.requests_reload)),
+            ("introspection", load(&self.requests_introspection)),
+            ("other", load(&self.requests_other)),
+        ] {
+            out.push_str(&format!("kg_requests_total{{endpoint=\"{ep}\"}} {v}\n"));
+        }
+
+        out.push_str(
+            "# HELP kg_responses_total Responses sent, by status class.\n\
+             # TYPE kg_responses_total counter\n",
+        );
+        for (class, v) in ["2xx", "4xx", "5xx"].iter().zip(&self.responses_by_class) {
+            out.push_str(&format!("kg_responses_total{{class=\"{class}\"}} {}\n", load(v)));
+        }
+
+        counter(&mut out, "kg_queries_total", "LSCR queries answered.", load(&self.queries_total));
+        counter(
+            &mut out,
+            "kg_query_errors_total",
+            "Queries rejected with a typed error.",
+            load(&self.query_errors_total),
+        );
+        counter(
+            &mut out,
+            "kg_queries_interrupted_total",
+            "Queries stopped early by the step budget or timeout.",
+            load(&self.queries_interrupted_total),
+        );
+
+        out.push_str(
+            "# HELP kg_shed_total Requests shed by admission control, by reason.\n\
+             # TYPE kg_shed_total counter\n",
+        );
+        for (reason, v) in [
+            ("queue_full", load(&self.shed_queue_full_total)),
+            ("draining", load(&self.shed_draining_total)),
+            ("connection_limit", load(&self.shed_connections_total)),
+        ] {
+            out.push_str(&format!("kg_shed_total{{reason=\"{reason}\"}} {v}\n"));
+        }
+
+        gauge(
+            &mut out,
+            "kg_queue_depth",
+            "Queries waiting in the admission queue right now.",
+            load(&self.queue_depth) as f64,
+        );
+        counter(
+            &mut out,
+            "kg_batch_windows_total",
+            "Micro-batch windows executed by the worker pool.",
+            load(&self.batch_windows_total),
+        );
+        counter(
+            &mut out,
+            "kg_batched_queries_total",
+            "Queries answered inside micro-batch windows.",
+            load(&self.batched_queries_total),
+        );
+        counter(
+            &mut out,
+            "kg_edges_scanned_total",
+            "Edges scanned across all searches.",
+            load(&self.edges_scanned_total),
+        );
+        counter(
+            &mut out,
+            "kg_edges_skipped_total",
+            "Edges skipped by label masks and run filters.",
+            load(&self.edges_skipped_total),
+        );
+        counter(
+            &mut out,
+            "kg_scck_calls_total",
+            "SCck constraint checks invoked.",
+            load(&self.scck_calls_total),
+        );
+        counter(
+            &mut out,
+            "kg_scck_cache_hits_total",
+            "SCck checks answered from the result cache.",
+            load(&self.scck_cache_hits_total),
+        );
+        counter(&mut out, "kg_updates_total", "Update batches applied.", load(&self.updates_total));
+        counter(
+            &mut out,
+            "kg_snapshot_reloads_total",
+            "Snapshot hot reloads completed.",
+            load(&self.reloads_total),
+        );
+        counter(
+            &mut out,
+            "kg_connections_total",
+            "TCP connections accepted.",
+            load(&self.connections_total),
+        );
+
+        // Engine-side state.
+        gauge(&mut out, "kg_graph_vertices", "Vertices in the served graph.", {
+            info.num_vertices as f64
+        });
+        gauge(&mut out, "kg_graph_edges", "Edges in the served graph.", info.num_edges as f64);
+        gauge(&mut out, "kg_graph_epoch", "Content epoch of the served graph.", info.epoch as f64);
+        gauge(&mut out, "kg_graph_heap_bytes", "Heap footprint of the served graph.", {
+            info.graph_heap_bytes as f64
+        });
+        gauge(&mut out, "kg_graph_overlay_live", "1 when un-compacted delta edits are live.", {
+            f64::from(u8::from(info.has_overlay))
+        });
+        gauge(&mut out, "kg_index_built", "1 when the local index is installed.", {
+            f64::from(u8::from(info.index_built))
+        });
+        gauge(&mut out, "kg_cached_plans", "Constraint plans in the engine cache.", {
+            info.cached_plans as f64
+        });
+
+        for (name, help, h) in [
+            (
+                "kg_query_latency_seconds",
+                "Per-query latency, enqueue to answered.",
+                &self.query_latency,
+            ),
+            (
+                "kg_request_latency_seconds",
+                "Whole-request latency on the query endpoints.",
+                &self.request_latency,
+            ),
+            ("kg_update_latency_seconds", "Update request latency.", &self.update_latency),
+        ] {
+            out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} histogram\n"));
+            h.render(name, None, &mut out);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_and_totals() {
+        let h = LatencyHistogram::new();
+        h.record(Duration::from_nanos(500)); // below the first bound
+        h.record(Duration::from_micros(3));
+        h.record(Duration::from_millis(5));
+        h.record(Duration::from_secs(60)); // beyond the last bound
+        assert_eq!(h.count(), 4);
+        assert!(h.sum_ns() > 60_000_000_000);
+        let mut out = String::new();
+        h.render("t", Some(("endpoint", "query")), &mut out);
+        // Cumulative counts are monotone and end at the total.
+        let counts: Vec<u64> = out
+            .lines()
+            .filter(|l| l.starts_with("t_bucket"))
+            .map(|l| l.rsplit(' ').next().unwrap().parse().unwrap())
+            .collect();
+        assert_eq!(counts.len(), BUCKET_COUNT + 1);
+        assert!(counts.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(*counts.last().unwrap(), 4, "+Inf bucket covers everything");
+        assert!(out.contains("t_count{endpoint=\"query\"} 4"));
+    }
+
+    #[test]
+    #[allow(clippy::field_reassign_with_default)] // SearchStats is non_exhaustive
+    fn exposition_renders_engine_state() {
+        let m = ServerMetrics::new();
+        m.record_status(200);
+        m.record_status(404);
+        m.record_status(503);
+        let mut stats = kgreach::SearchStats::default();
+        stats.edges_scanned = 7;
+        stats.edges_skipped = 3;
+        m.record_outcome(&stats, true);
+        let engine = kgreach::LscrEngine::new(kgreach::fixtures::figure3());
+        let text = m.render(&engine.info());
+        for needle in [
+            "kg_queries_total 1",
+            "kg_queries_interrupted_total 1",
+            "kg_edges_scanned_total 7",
+            "kg_edges_skipped_total 3",
+            "kg_responses_total{class=\"2xx\"} 1",
+            "kg_responses_total{class=\"4xx\"} 1",
+            "kg_responses_total{class=\"5xx\"} 1",
+            "kg_graph_vertices 5",
+            "kg_graph_edges 8",
+            "kg_shed_total{reason=\"queue_full\"} 0",
+            "# TYPE kg_query_latency_seconds histogram",
+        ] {
+            assert!(text.contains(needle), "missing {needle:?} in exposition:\n{text}");
+        }
+    }
+}

@@ -1,0 +1,101 @@
+//! Serving: put an LSCR engine behind a socket and operate it live.
+//!
+//! The scenario walks the full serving lifecycle from `docs/PROTOCOL.md`
+//! on one in-process server: answer a query over a real TCP connection,
+//! apply a live update and watch the answer change, hot-reload a
+//! snapshot to roll that update back, and read the`/metrics` counters —
+//! then shut down cleanly. Run with `cargo run --example serving`.
+
+use kgreach::LscrEngine;
+use kgreach_datagen::lubm::{generate, LubmConfig};
+use kgreach_serve::{serve, HttpClient, Json, ServerConfig};
+use std::sync::Arc;
+
+pub(crate) fn main() {
+    // A small LUBM replica behind a server on an ephemeral port.
+    let graph = generate(&LubmConfig { universities: 1, departments: 3, seed: 7 })
+        .expect("LUBM fits the label bitset");
+    println!("serving |V|={} |E|={}", graph.num_vertices(), graph.num_edges());
+    let engine = Arc::new(LscrEngine::new(graph));
+    let server = serve(Arc::clone(&engine), ServerConfig::default()).expect("bind");
+    println!("listening on http://{}", server.addr());
+
+    // Keep a pre-update snapshot around for the rollback below.
+    let dir = std::env::temp_dir().join(format!("kgreach-serving-example-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let snapshot = dir.join("pre-update.kgsnap");
+    engine.save_snapshot_file(&snapshot).expect("snapshot writes");
+
+    let mut client = HttpClient::connect(server.addr()).expect("connect");
+
+    // Liveness first, like an orchestrator would.
+    let health = client.get("/healthz").expect("healthz");
+    assert_eq!(health.status, 200);
+    println!("healthz: {}", health.body);
+
+    // An LSCR query over the wire: does a takesCourse-only path connect
+    // this student to a *different department's* course, passing an
+    // undergraduate? Vertex and label *names* go on the wire, never
+    // internal ids. Before the update below, no such enrollment exists.
+    let query = Json::Obj(vec![
+        ("source".into(), Json::str("UndergraduateStudent0.Department0.University0")),
+        ("target".into(), Json::str("Course0.Department1.University0")),
+        ("labels".into(), Json::Arr(vec![Json::str("ub:takesCourse")])),
+        (
+            "constraint".into(),
+            Json::str("SELECT ?x WHERE { ?x <rdf:type> <ub:UndergraduateStudent> . }"),
+        ),
+        ("witness".into(), Json::Bool(true)),
+    ])
+    .to_string();
+    let before = client.post_json("/query", &query).expect("query");
+    assert_eq!(before.status, 200, "{}", before.body);
+    let before_answer =
+        before.json().expect("json").get("answer").and_then(Json::as_bool).expect("answer");
+    assert!(!before_answer, "no cross-department enrollment exists yet");
+    println!("answer before update: {before_answer}");
+
+    // Live update: splice in a brand-new edge that *creates* a path from
+    // the student to the course, and watch the served answer change.
+    let update = r#"{"ops":[
+        {"op":"insert","subject":"UndergraduateStudent0.Department0.University0","predicate":"ub:takesCourse","object":"Course0.Department1.University0"}
+    ]}"#;
+    let applied = client.post_json("/update", update).expect("update");
+    assert_eq!(applied.status, 200, "{}", applied.body);
+    println!("update applied: {}", applied.body);
+    let after = client.post_json("/query", &query).expect("query after update");
+    let after_answer =
+        after.json().expect("json").get("answer").and_then(Json::as_bool).expect("answer");
+    assert!(after_answer, "the inserted edge creates the path (ug0 satisfies S itself)");
+    println!("answer after update: {after_answer}");
+
+    // Roll the update back by hot-reloading the pre-update snapshot —
+    // no restart, queries on other connections keep flowing throughout.
+    let reload = client
+        .post_json(
+            "/snapshot/reload",
+            &Json::Obj(vec![("path".into(), Json::str(snapshot.display().to_string()))])
+                .to_string(),
+        )
+        .expect("reload");
+    assert_eq!(reload.status, 200, "{}", reload.body);
+    println!("reloaded: {}", reload.body);
+    let rolled_back = client.post_json("/query", &query).expect("query after reload");
+    let rolled_back_answer =
+        rolled_back.json().expect("json").get("answer").and_then(Json::as_bool).expect("answer");
+    assert_eq!(rolled_back_answer, before_answer, "reload rolled the update back");
+    println!("answer after rollback reload: {rolled_back_answer}");
+
+    // The metrics endpoint has been counting all along.
+    let metrics = client.get("/metrics").expect("metrics");
+    assert!(metrics.body.contains("kg_queries_total"));
+    assert!(metrics.body.contains("kg_snapshot_reloads_total 1"));
+    println!(
+        "metrics: {} series lines",
+        metrics.body.lines().filter(|l| !l.starts_with('#')).count()
+    );
+
+    server.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+    println!("server drained and stopped.");
+}

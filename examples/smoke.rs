@@ -16,6 +16,8 @@ mod live_update;
 mod persistence;
 #[path = "quickstart.rs"]
 mod quickstart;
+#[path = "serving.rs"]
+mod serving;
 #[path = "yago_explore.rs"]
 mod yago_explore;
 
@@ -47,4 +49,9 @@ fn persistence_scenario() {
 #[test]
 fn live_update_scenario() {
     live_update::main();
+}
+
+#[test]
+fn serving_scenario() {
+    serving::main();
 }

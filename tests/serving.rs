@@ -1,0 +1,460 @@
+//! End-to-end serving tests over real loopback sockets.
+//!
+//! Four batteries, mirroring the serving layer's promises:
+//!
+//! 1. **Differential**: answers served over the wire must equal the
+//!    in-process engine's answers (and the generator's ground truth) on
+//!    S1–S3 workloads across UIS, UIS\*, INS and Auto — including witness
+//!    paths, which are deterministic and must round-trip name-for-name.
+//! 2. **Fault injection**: malformed request lines, bad JSON, wrong
+//!    shapes, oversized bodies, truncated bodies, chunked encoding and
+//!    unknown routes each map to their documented typed error — never a
+//!    hang, never a torn response, and the server keeps serving afterward.
+//! 3. **Reload-during-query**: hammering queries while the served
+//!    snapshot is hot-swapped stays correct (same-content swap) and
+//!    stays *typed* (content-changing swap), with the epoch advancing.
+//! 4. **Overload**: past the admission high water the server sheds with
+//!    `429` + `Retry-After`, and shutdown drains admitted work with
+//!    `503`.
+
+use kgreach::{Algorithm, LscrEngine, LscrQuery, QueryOptions};
+use kgreach_datagen::constraints;
+use kgreach_datagen::queries::{generate_workload, QueryGenConfig};
+use kgreach_graph::Graph;
+use kgreach_integration::small_lubm;
+use kgreach_serve::{serve, BatchConfig, HttpClient, HttpLimits, Json, ServerConfig};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+const ALGORITHMS: [(Algorithm, &str); 4] = [
+    (Algorithm::Uis, "uis"),
+    (Algorithm::UisStar, "uis*"),
+    (Algorithm::Ins, "ins"),
+    (Algorithm::Auto, "auto"),
+];
+
+/// Renders the wire body for `q` (names, not ids).
+fn wire_body(g: &Graph, q: &LscrQuery, algorithm: &str, witness: bool) -> String {
+    let labels: Vec<Json> = q.label_constraint.iter().map(|l| Json::str(g.label_name(l))).collect();
+    Json::Obj(vec![
+        ("source".into(), Json::str(g.vertex_name(q.source))),
+        ("target".into(), Json::str(g.vertex_name(q.target))),
+        ("labels".into(), Json::Arr(labels)),
+        ("constraint".into(), Json::str(q.constraint.sparql_text())),
+        ("algorithm".into(), Json::str(algorithm)),
+        ("witness".into(), Json::Bool(witness)),
+    ])
+    .to_string()
+}
+
+fn s1_s3_workload(g: &Graph, per_side: usize) -> Vec<(String, Vec<(LscrQuery, bool)>)> {
+    constraints::all_lubm_constraints()
+        .into_iter()
+        .take(3)
+        .enumerate()
+        .map(|(i, (name, constraint))| {
+            let w = generate_workload(
+                g,
+                &constraint,
+                &QueryGenConfig {
+                    num_true: per_side,
+                    num_false: per_side,
+                    seed: 0x5E4E + i as u64,
+                    max_attempts: 80_000,
+                    enforce_difficulty: false,
+                },
+            );
+            let queries = w
+                .true_queries
+                .iter()
+                .chain(&w.false_queries)
+                .map(|gq| (gq.query.clone(), gq.expected))
+                .collect();
+            (name.to_string(), queries)
+        })
+        .collect()
+}
+
+#[test]
+fn wire_answers_match_in_process_answers_on_s1_s3() {
+    let g = small_lubm(77);
+    let engine = Arc::new(LscrEngine::new(g));
+    engine.local_index(); // INS needs it; build once up front
+    let workloads = s1_s3_workload(&engine.graph(), 5);
+
+    let server = serve(Arc::clone(&engine), ServerConfig::default()).unwrap();
+    let mut client = HttpClient::connect(server.addr()).unwrap();
+    let graph = engine.graph();
+
+    let mut checked = 0usize;
+    for (wname, queries) in &workloads {
+        for (q, expected) in queries {
+            for (algo, wire_name) in ALGORITHMS {
+                let reference = engine
+                    .answer_with_options(q, algo, &QueryOptions::default().with_witness(true))
+                    .unwrap();
+                assert_eq!(
+                    reference.answer, *expected,
+                    "{wname}/{algo:?}: in-process answer disagrees with ground truth"
+                );
+                let resp =
+                    client.post_json("/query", &wire_body(&graph, q, wire_name, true)).unwrap();
+                assert_eq!(resp.status, 200, "{wname}/{algo:?}: {}", resp.body);
+                let body = resp.json().unwrap();
+                assert_eq!(
+                    body.get("answer").and_then(Json::as_bool),
+                    Some(*expected),
+                    "{wname}/{algo:?}: wire answer diverged: {}",
+                    resp.body
+                );
+                assert_eq!(body.get("interrupted").and_then(Json::as_bool), Some(false));
+                // Witness paths are deterministic: the wire must carry
+                // exactly the in-process path, translated to names.
+                match (&reference.witness, body.get("witness")) {
+                    (Some(w), Some(jw @ Json::Obj(_))) => {
+                        assert_eq!(
+                            jw.get("via").and_then(Json::as_str),
+                            Some(graph.vertex_name(w.via)),
+                            "{wname}/{algo:?}: witness via diverged"
+                        );
+                        let path = jw.get("path").and_then(Json::as_array).unwrap();
+                        assert_eq!(path.len(), w.path.len());
+                        for (je, e) in path.iter().zip(&w.path) {
+                            assert_eq!(
+                                je.get("src").and_then(Json::as_str),
+                                Some(graph.vertex_name(e.src))
+                            );
+                            assert_eq!(
+                                je.get("label").and_then(Json::as_str),
+                                Some(graph.label_name(e.label))
+                            );
+                            assert_eq!(
+                                je.get("dst").and_then(Json::as_str),
+                                Some(graph.vertex_name(e.dst))
+                            );
+                        }
+                    }
+                    (None, Some(Json::Null)) => {}
+                    (reference, wire) => {
+                        panic!("{wname}/{algo:?}: witness mismatch: {reference:?} vs {wire:?}")
+                    }
+                }
+                checked += 1;
+            }
+        }
+    }
+    assert!(checked >= 3 * 10 * 4, "expected a full matrix, checked only {checked}");
+
+    // The same queries through /query_batch must agree as well.
+    for (wname, queries) in &workloads {
+        let items: Vec<String> =
+            queries.iter().map(|(q, _)| wire_body(&graph, q, "auto", false)).collect();
+        let resp = client
+            .post_json("/query_batch", &format!("{{\"queries\":[{}]}}", items.join(",")))
+            .unwrap();
+        assert_eq!(resp.status, 200);
+        let body = resp.json().unwrap();
+        let results = body.get("results").and_then(Json::as_array).unwrap();
+        assert_eq!(results.len(), queries.len());
+        for (r, (_, expected)) in results.iter().zip(queries) {
+            assert_eq!(
+                r.get("answer").and_then(Json::as_bool),
+                Some(*expected),
+                "{wname}: batch answer diverged"
+            );
+        }
+    }
+    server.shutdown();
+}
+
+#[test]
+fn malformed_requests_get_typed_errors_and_the_server_keeps_serving() {
+    let engine = Arc::new(LscrEngine::new(small_lubm(7)));
+    let config = ServerConfig {
+        http: HttpLimits {
+            max_body_bytes: 4096,
+            read_timeout: Duration::from_millis(300),
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    let server = serve(engine, config).unwrap();
+    let addr = server.addr();
+    let expect_code = |resp: &kgreach_serve::HttpResponse, status: u16, code: &str| {
+        assert_eq!(resp.status, status, "{}", resp.body);
+        let body = resp.json().unwrap_or(Json::Null);
+        assert_eq!(
+            body.get("error").and_then(|e| e.get("code")).and_then(Json::as_str),
+            Some(code),
+            "{}",
+            resp.body
+        );
+    };
+
+    // Garbage request line → 400, connection closed.
+    let mut c = HttpClient::connect(addr).unwrap();
+    c.send_raw(b"GARBAGE\r\n\r\n").unwrap();
+    expect_code(&c.read_response().unwrap(), 400, "bad_request");
+
+    // Declared body over the cap → 413 without reading it.
+    let mut c = HttpClient::connect(addr).unwrap();
+    c.send_raw(b"POST /query HTTP/1.1\r\nContent-Length: 999999\r\n\r\n").unwrap();
+    expect_code(&c.read_response().unwrap(), 413, "body_too_large");
+
+    // Truncated body (partial read) → 408 after the read timeout.
+    let mut c = HttpClient::connect(addr).unwrap();
+    c.send_raw(b"POST /query HTTP/1.1\r\nContent-Length: 50\r\n\r\n{\"so").unwrap();
+    expect_code(&c.read_response().unwrap(), 408, "timeout");
+
+    // Chunked transfer encoding → 501.
+    let mut c = HttpClient::connect(addr).unwrap();
+    c.send_raw(b"POST /query HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n").unwrap();
+    expect_code(&c.read_response().unwrap(), 501, "unsupported");
+
+    // Oversized header block → 431.
+    let mut c = HttpClient::connect(addr).unwrap();
+    c.send_raw(b"GET /healthz HTTP/1.1\r\n").unwrap();
+    let filler = format!("X-Filler: {}\r\n", "y".repeat(8000));
+    c.send_raw(filler.as_bytes()).unwrap();
+    c.send_raw(filler.as_bytes()).unwrap();
+    c.send_raw(filler.as_bytes()).unwrap();
+    expect_code(&c.read_response().unwrap(), 431, "headers_too_large");
+
+    // Protocol-level errors on one keep-alive connection: the connection
+    // survives 4xx responses that kept HTTP framing intact.
+    let mut c = HttpClient::connect(addr).unwrap();
+    expect_code(&c.post_json("/query", "not json").unwrap(), 400, "bad_json");
+    expect_code(&c.post_json("/query", "{\"target\":\"x\"}").unwrap(), 400, "invalid_request");
+    expect_code(
+        &c.post_json(
+            "/query",
+            r#"{"source":"a","target":"b","constraint":"x","algorithm":"bogus"}"#,
+        )
+        .unwrap(),
+        400,
+        "invalid_request",
+    );
+    expect_code(
+        &c.post_json(
+            "/query",
+            r#"{"source":"no-such-vertex","target":"also-missing",
+                "constraint":"SELECT ?x WHERE { ?x <rdf:type> <ub:Course> . }"}"#,
+        )
+        .unwrap(),
+        404,
+        "unknown_vertex",
+    );
+    expect_code(&c.get("/nope").unwrap(), 404, "not_found");
+    expect_code(&c.request("GET", "/query", None).unwrap(), 405, "method_not_allowed");
+    expect_code(&c.post_json("/update", r#"{"ops":"no"}"#).unwrap(), 400, "invalid_request");
+    expect_code(
+        &c.post_json("/snapshot/reload", r#"{"path":"/no/such/file"}"#).unwrap(),
+        422,
+        "bad_snapshot",
+    );
+
+    // `Expect: 100-continue` gets the interim response before the final.
+    let mut c = HttpClient::connect(addr).unwrap();
+    let body = r#"{"bad":"shape"}"#;
+    c.send_raw(
+        format!(
+            "POST /query HTTP/1.1\r\nExpect: 100-continue\r\nContent-Length: {}\r\n\r\n",
+            body.len()
+        )
+        .as_bytes(),
+    )
+    .unwrap();
+    let interim = c.read_response().unwrap();
+    assert_eq!(interim.status, 100);
+    c.send_raw(body.as_bytes()).unwrap();
+    expect_code(&c.read_response().unwrap(), 400, "invalid_request");
+
+    // After all of the above, the server still answers cleanly.
+    let mut c = HttpClient::connect(addr).unwrap();
+    assert_eq!(c.get("/healthz").unwrap().status, 200);
+    let metrics = c.get("/metrics").unwrap();
+    assert_eq!(metrics.status, 200);
+    assert!(metrics.body.contains("kg_responses_total{class=\"4xx\"}"));
+    server.shutdown();
+}
+
+#[test]
+fn hot_reload_under_concurrent_query_load_stays_correct() {
+    let g = small_lubm(42);
+    let engine = Arc::new(LscrEngine::new(g));
+    engine.local_index();
+    let graph = engine.graph();
+
+    // A same-content snapshot: swapping it in must never change any
+    // answer, no matter when the swap lands relative to in-flight
+    // queries.
+    let dir = std::env::temp_dir().join(format!("kgreach-serving-reload-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let same = dir.join("same.kgsnap");
+    engine.save_snapshot_file(&same).unwrap();
+    // A content-changing snapshot (different seed → different edges).
+    let other = dir.join("other.kgsnap");
+    LscrEngine::new(small_lubm(43)).save_snapshot_file(&other).unwrap();
+
+    let server = serve(Arc::clone(&engine), ServerConfig::default()).unwrap();
+    let addr = server.addr();
+
+    let (_, queries) = &s1_s3_workload(&graph, 4)[2]; // S3: the heaviest
+    let bodies: Vec<(String, bool)> =
+        queries.iter().map(|(q, e)| (wire_body(&graph, q, "auto", false), *e)).collect();
+
+    // Phase 1: hammer queries while same-content reloads land. Every
+    // single answer must stay correct.
+    let stop = AtomicBool::new(false);
+    std::thread::scope(|scope| {
+        for _ in 0..4 {
+            scope.spawn(|| {
+                let mut client = HttpClient::connect(addr).unwrap();
+                while !stop.load(Ordering::Relaxed) {
+                    for (body, expected) in &bodies {
+                        let resp = client.post_json("/query", body).unwrap();
+                        assert_eq!(resp.status, 200, "{}", resp.body);
+                        let answer = resp.json().unwrap().get("answer").and_then(Json::as_bool);
+                        assert_eq!(answer, Some(*expected), "answer flipped during reload");
+                    }
+                }
+            });
+        }
+        let mut admin = HttpClient::connect(addr).unwrap();
+        for i in 0..10 {
+            let resp = admin
+                .post_json(
+                    "/snapshot/reload",
+                    &format!("{{\"path\":{}}}", Json::str(same.display().to_string())),
+                )
+                .unwrap();
+            assert_eq!(resp.status, 200, "reload {i}: {}", resp.body);
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        stop.store(true, Ordering::Relaxed);
+    });
+    let epoch_after_same = engine.graph_epoch();
+    assert!(epoch_after_same >= 10, "every reload advances the epoch");
+
+    // Phase 2: swap to different content; queries keep getting typed
+    // responses (200 or a typed 4xx if a vertex name vanished), and the
+    // served state visibly changed.
+    let stop = AtomicBool::new(false);
+    std::thread::scope(|scope| {
+        for _ in 0..2 {
+            scope.spawn(|| {
+                let mut client = HttpClient::connect(addr).unwrap();
+                while !stop.load(Ordering::Relaxed) {
+                    for (body, _) in &bodies {
+                        let resp = client.post_json("/query", body).unwrap();
+                        assert!(
+                            resp.status == 200 || resp.status == 404 || resp.status == 422,
+                            "untyped response during content swap: {} {}",
+                            resp.status,
+                            resp.body
+                        );
+                    }
+                }
+            });
+        }
+        let mut admin = HttpClient::connect(addr).unwrap();
+        let resp = admin
+            .post_json(
+                "/snapshot/reload",
+                &format!("{{\"path\":{}}}", Json::str(other.display().to_string())),
+            )
+            .unwrap();
+        assert_eq!(resp.status, 200, "{}", resp.body);
+        stop.store(true, Ordering::Relaxed);
+    });
+    assert!(engine.graph_epoch() > epoch_after_same);
+    assert_ne!(engine.graph().fingerprint(), graph.fingerprint(), "content must have swapped");
+
+    // Phase 3: swap back to the original content; the full differential
+    // must hold again — stale plans/caches would surface here.
+    let mut admin = HttpClient::connect(addr).unwrap();
+    let resp = admin
+        .post_json(
+            "/snapshot/reload",
+            &format!("{{\"path\":{}}}", Json::str(same.display().to_string())),
+        )
+        .unwrap();
+    assert_eq!(resp.status, 200);
+    let mut client = HttpClient::connect(addr).unwrap();
+    for (body, expected) in &bodies {
+        let resp = client.post_json("/query", body).unwrap();
+        assert_eq!(resp.status, 200, "{}", resp.body);
+        let answer = resp.json().unwrap().get("answer").and_then(Json::as_bool);
+        assert_eq!(answer, Some(*expected), "wrong answer after reload round-trip");
+    }
+    server.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn overload_sheds_with_retry_after_and_drains_on_shutdown() {
+    let engine = Arc::new(LscrEngine::new(small_lubm(7)));
+    // Zero workers: admitted queries sit in the queue forever, so the
+    // depth is fully deterministic.
+    let config = ServerConfig {
+        batch: BatchConfig { workers: 0, queue_high_water: 2, ..Default::default() },
+        ..Default::default()
+    };
+    let server = serve(Arc::clone(&engine), config).unwrap();
+    let addr = server.addr();
+    let g = engine.graph();
+    let body = {
+        let some_vertex = g.vertex_name(kgreach_graph::VertexId(0)).to_owned();
+        Json::Obj(vec![
+            ("source".into(), Json::str(&some_vertex)),
+            ("target".into(), Json::str(&some_vertex)),
+            ("constraint".into(), Json::str("SELECT ?x WHERE { ?x <rdf:type> <ub:Course> . }")),
+        ])
+        .to_string()
+    };
+
+    let metrics = Arc::clone(server.metrics());
+    std::thread::scope(|scope| {
+        // Two queries fill the queue to its high water and block.
+        let blocked: Vec<_> = (0..2)
+            .map(|_| {
+                let body = &body;
+                scope.spawn(move || {
+                    let mut c = HttpClient::connect(addr).unwrap();
+                    c.post_json("/query", body).unwrap()
+                })
+            })
+            .collect();
+        while metrics.queue_depth.load(Ordering::Relaxed) < 2 {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+
+        // The next query is shed with 429 + Retry-After.
+        let mut c = HttpClient::connect(addr).unwrap();
+        let resp = c.post_json("/query", &body).unwrap();
+        assert_eq!(resp.status, 429, "{}", resp.body);
+        assert_eq!(resp.header("retry-after"), Some("1"));
+        assert_eq!(
+            resp.json().unwrap().get("error").and_then(|e| e.get("code")).and_then(Json::as_str),
+            Some("overloaded")
+        );
+
+        // Shutdown drains the admitted-but-unanswered queries with 503.
+        server.shutdown();
+        for h in blocked {
+            let resp = h.join().unwrap();
+            assert_eq!(resp.status, 503, "{}", resp.body);
+            assert_eq!(
+                resp.json()
+                    .unwrap()
+                    .get("error")
+                    .and_then(|e| e.get("code"))
+                    .and_then(Json::as_str),
+                Some("draining")
+            );
+        }
+    });
+    assert_eq!(metrics.shed_queue_full_total.load(Ordering::Relaxed), 1);
+    assert_eq!(metrics.shed_draining_total.load(Ordering::Relaxed), 2);
+}

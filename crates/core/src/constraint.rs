@@ -48,9 +48,9 @@
 
 use kgreach_graph::{Graph, VertexId};
 use kgreach_sparql::{eval, parse, Plan, SelectQuery, SparqlError, Term, TriplePattern};
+use kgreach_sync::atomic::{AtomicU32, AtomicU8, Ordering};
+use kgreach_sync::{Arc, OnceLock};
 use std::fmt;
-use std::sync::atomic::{AtomicU32, AtomicU8, Ordering};
-use std::sync::{Arc, OnceLock};
 
 /// A substructure constraint: a SPARQL BGP with one distinguished variable.
 #[derive(Clone, PartialEq, Eq, Debug)]
@@ -168,7 +168,12 @@ impl ScckCache {
     /// The memoized `SCck(v, S)`, or `None` while *unknown*.
     #[inline(always)]
     pub fn get(&self, v: VertexId) -> Option<bool> {
+        // The Acquire load pairs with the Release store in `set`: a stamp
+        // matching the epoch proves the writer's state byte is visible.
         if self.stamps[v.index()].load(Ordering::Acquire) == self.epoch {
+            // relaxed: ordered by the Acquire on the stamp above — the
+            // stamp's acquire/release pair is the only publication edge
+            // this byte needs.
             Some(self.states[v.index()].load(Ordering::Relaxed) == 1)
         } else {
             None
@@ -180,6 +185,9 @@ impl ScckCache {
     /// slot with a stale state.
     #[inline(always)]
     pub fn set(&self, v: VertexId, sat: bool) {
+        // relaxed: the Release store on the stamp below publishes this
+        // byte; readers only look at it after an Acquire load of the
+        // stamp observes the matching epoch.
         self.states[v.index()].store(u8::from(sat), Ordering::Relaxed);
         self.stamps[v.index()].store(self.epoch, Ordering::Release);
     }
@@ -192,7 +200,7 @@ impl ScckCache {
         self.epoch = self.epoch.wrapping_add(1);
         if self.epoch == 0 {
             for s in &mut self.stamps {
-                *s.get_mut() = 0;
+                s.set_mut(0);
             }
             self.epoch = 1;
         }

@@ -51,10 +51,10 @@ use kgreach_graph::snapshot::{
     self, ArtifactKind, PayloadBuf, PayloadCursor, SectionReader, SectionWriter,
 };
 use kgreach_graph::{Graph, UpdateBatch, UpdateSummary};
+use kgreach_sync::{Arc, Mutex, RwLock};
 use std::fs::File;
 use std::io::{BufReader, BufWriter, Read, Write};
 use std::path::Path;
-use std::sync::{Arc, Mutex, RwLock};
 
 /// The LSCR algorithms implemented by this crate.
 #[derive(Copy, Clone, PartialEq, Eq, Debug, Hash)]

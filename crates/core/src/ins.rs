@@ -37,10 +37,11 @@
 use crate::close::{CloseMap, CloseState};
 use crate::local_index::LocalIndex;
 use crate::priority::{CandidateHeap, GlobalQueue, PriorityContext};
-use crate::query::{CompiledLscrQuery, QueryOptions, QueryOutcome, RunLimits, SearchStats};
+use crate::query::{
+    CompiledLscrQuery, QueryOptions, QueryOutcome, RunLimits, SearchClock, SearchStats,
+};
 use crate::session::SearchScratch;
 use kgreach_graph::{Graph, LabelSet, VertexId};
-use std::time::Instant;
 
 /// Answers `q` with Algorithm 4 over a prebuilt [`LocalIndex`], with
 /// freshly allocated scratch and default options.
@@ -58,11 +59,11 @@ pub fn answer_with(
     scratch: &mut SearchScratch,
     opts: &QueryOptions,
 ) -> QueryOutcome {
-    let start = Instant::now();
-    let limits = RunLimits::new(opts, start);
+    let clock = SearchClock::start_now();
+    let limits = clock.limits(opts);
     let vsg = q.constraint.satisfying_vertices(g);
-    let mut outcome = run(g, q, index, scratch, &vsg, limits);
-    outcome.elapsed = start.elapsed();
+    let mut outcome = run(g, q, index, scratch, &vsg, limits, clock);
+    outcome.elapsed = clock.elapsed();
     outcome
 }
 
@@ -78,7 +79,8 @@ pub fn answer_with_vsg(
     vsg: &[VertexId],
     opts: &QueryOptions,
 ) -> QueryOutcome {
-    run(g, q, index, scratch, vsg, RunLimits::new(opts, Instant::now()))
+    let clock = SearchClock::start_now();
+    run(g, q, index, scratch, vsg, clock.limits(opts), clock)
 }
 
 fn run(
@@ -88,8 +90,8 @@ fn run(
     scratch: &mut SearchScratch,
     vsg: &[VertexId],
     limits: RunLimits,
+    clock: SearchClock,
 ) -> QueryOutcome {
-    let start = Instant::now();
     let (close, queue) = scratch.close_and_queue();
     close.reset();
     queue.reset();
@@ -135,7 +137,7 @@ fn run(
             CloseState::N => {
                 if v == s || v == t {
                     answer = ins.lcs(s, t, false);
-                    return ins.finish(answer, start);
+                    return ins.finish(answer, clock);
                 } else if ins.lcs(s, v, false) && ins.lcs(v, t, true) {
                     answer = true;
                     break;
@@ -151,7 +153,7 @@ fn run(
         }
     }
 
-    ins.finish(answer, start)
+    ins.finish(answer, clock)
 }
 
 struct Ins<'a> {
@@ -336,10 +338,10 @@ impl Ins<'_> {
         self.stats.pushes += 1;
     }
 
-    fn finish(self, answer: bool, start: Instant) -> QueryOutcome {
+    fn finish(self, answer: bool, clock: SearchClock) -> QueryOutcome {
         let mut stats = self.stats;
         stats.passed_vertices = self.close.passed_vertices();
-        let mut out = QueryOutcome::finished(answer, stats, start.elapsed());
+        let mut out = QueryOutcome::finished(answer, stats, clock.elapsed());
         out.interrupted = self.interrupted;
         out
     }

@@ -21,15 +21,14 @@
 //! assert!(kgreach::oracle::answer(&g, &q.compile(&g).unwrap()).answer);
 //! ```
 
-use crate::query::{CompiledLscrQuery, QueryOutcome, SearchStats};
+use crate::query::{CompiledLscrQuery, QueryOutcome, SearchClock, SearchStats};
 use kgreach_graph::traverse::EpochMask;
 use kgreach_graph::{Graph, LabelSet, VertexId};
 use std::collections::VecDeque;
-use std::time::Instant;
 
 /// Answers `q` by the three-pass decomposition.
 pub fn answer(g: &Graph, q: &CompiledLscrQuery) -> QueryOutcome {
-    let start = Instant::now();
+    let clock = SearchClock::start_now();
     let mut stats = SearchStats { algorithm: Some(crate::Algorithm::Oracle), ..Default::default() };
 
     let forward = directional_closure(g, q.source, q.label_constraint, Direction::Forward);
@@ -46,7 +45,7 @@ pub fn answer(g: &Graph, q: &CompiledLscrQuery) -> QueryOutcome {
         }
     }
 
-    QueryOutcome::finished(answer, stats, start.elapsed())
+    QueryOutcome::finished(answer, stats, clock.elapsed())
 }
 
 enum Direction {

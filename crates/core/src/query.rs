@@ -165,7 +165,7 @@ pub struct CompiledLscrQuery {
 #[derive(Debug)]
 pub struct PreparedQuery {
     query: LscrQuery,
-    memo: std::sync::RwLock<Option<PreparedMemo>>,
+    memo: kgreach_sync::RwLock<Option<PreparedMemo>>,
 }
 
 /// The epoch-stamped memoized state of one [`PreparedQuery`].
@@ -182,7 +182,7 @@ impl PreparedQuery {
         let epoch = compiled.constraint.graph_epoch();
         PreparedQuery {
             query,
-            memo: std::sync::RwLock::new(Some(PreparedMemo { epoch, compiled, vsg: None })),
+            memo: kgreach_sync::RwLock::new(Some(PreparedMemo { epoch, compiled, vsg: None })),
         }
     }
 
@@ -358,6 +358,38 @@ impl RunLimits {
     #[inline]
     pub(crate) fn exceeded(&self, edges_scanned: usize) -> bool {
         edges_scanned as u64 >= self.max_edges || self.deadline.is_some_and(|d| Instant::now() >= d)
+    }
+}
+
+/// The wall clock of one search execution.
+///
+/// All clock reads in the search kernels funnel through this type: the
+/// kernels themselves never call [`Instant::now`] directly (enforced by
+/// the `check_sync_lints` hygiene pass), which keeps every timing
+/// decision — deadline arithmetic and elapsed reporting alike — in one
+/// auditable place.
+#[derive(Copy, Clone, Debug)]
+pub(crate) struct SearchClock {
+    start: Instant,
+}
+
+impl SearchClock {
+    /// Starts the clock at the current instant.
+    #[inline]
+    pub(crate) fn start_now() -> Self {
+        SearchClock { start: Instant::now() }
+    }
+
+    /// Resolves `opts` into [`RunLimits`] anchored at this clock's start.
+    #[inline]
+    pub(crate) fn limits(&self, opts: &QueryOptions) -> RunLimits {
+        RunLimits::new(opts, self.start)
+    }
+
+    /// Wall-clock time since the clock started.
+    #[inline]
+    pub(crate) fn elapsed(&self) -> Duration {
+        self.start.elapsed()
     }
 }
 

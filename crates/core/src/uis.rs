@@ -29,10 +29,9 @@
 //! ```
 
 use crate::close::{CloseMap, CloseState};
-use crate::query::{CompiledLscrQuery, QueryOptions, QueryOutcome, RunLimits, SearchStats};
+use crate::query::{CompiledLscrQuery, QueryOptions, QueryOutcome, SearchClock, SearchStats};
 use crate::session::SearchScratch;
 use kgreach_graph::Graph;
-use std::time::Instant;
 
 /// Answers `q` with Algorithm 1, reusing the session scratch across calls
 /// (reset here). Honors the step budget / timeout in `opts`.
@@ -42,8 +41,8 @@ pub fn answer_with(
     scratch: &mut SearchScratch,
     opts: &QueryOptions,
 ) -> QueryOutcome {
-    let start = Instant::now();
-    let limits = RunLimits::new(opts, start);
+    let clock = SearchClock::start_now();
+    let limits = clock.limits(opts);
     let mut stats = SearchStats { algorithm: Some(crate::Algorithm::Uis), ..Default::default() };
     let (close, stack) = scratch.close_and_stack();
     close.reset();
@@ -68,7 +67,7 @@ pub fn answer_with(
     // s = t: the zero-edge path answers immediately when s satisfies S;
     // otherwise a cycle back to t must be found by the normal search.
     if s == t && s_state == CloseState::T {
-        return finish(true, stats, close, start);
+        return finish(true, stats, close, clock);
     }
 
     // Lines 3-11, expanding by candidate label runs: vertices with no
@@ -76,7 +75,7 @@ pub fn answer_with(
     // runs; the per-edge test below only filters whole-slice runs.
     while let Some(u) = stack.pop() {
         if limits.exceeded(stats.edges_scanned) {
-            let mut out = finish(false, stats, close, start);
+            let mut out = finish(false, stats, close, clock);
             out.interrupted = true;
             return out;
         }
@@ -115,12 +114,12 @@ pub fn answer_with(
             };
             // Lines 10-11: report as soon as t is proved in state T.
             if explored && v == t && close.is_t(v) {
-                return finish(true, stats, close, start);
+                return finish(true, stats, close, clock);
             }
         }
     }
 
-    finish(false, stats, close, start)
+    finish(false, stats, close, clock)
 }
 
 /// Answers `q` with freshly allocated scratch and default options.
@@ -129,9 +128,14 @@ pub fn answer(g: &Graph, q: &CompiledLscrQuery) -> QueryOutcome {
     answer_with(g, q, &mut scratch, &QueryOptions::default())
 }
 
-fn finish(answer: bool, mut stats: SearchStats, close: &CloseMap, start: Instant) -> QueryOutcome {
+fn finish(
+    answer: bool,
+    mut stats: SearchStats,
+    close: &CloseMap,
+    clock: SearchClock,
+) -> QueryOutcome {
     stats.passed_vertices = close.passed_vertices();
-    QueryOutcome::finished(answer, stats, start.elapsed())
+    QueryOutcome::finished(answer, stats, clock.elapsed())
 }
 
 #[cfg(test)]

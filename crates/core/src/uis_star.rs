@@ -36,13 +36,12 @@
 
 use crate::close::{CloseMap, CloseState};
 use crate::query::{
-    CompiledLscrQuery, QueryOptions, QueryOutcome, RunLimits, SearchStats, VsgOrder,
+    CompiledLscrQuery, QueryOptions, QueryOutcome, RunLimits, SearchClock, SearchStats, VsgOrder,
 };
 use crate::session::SearchScratch;
 use kgreach_graph::{Graph, LabelSet, VertexId};
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
-use std::time::Instant;
 
 /// Answers `q` with freshly allocated scratch and default options
 /// (ascending `V(S,G)` order).
@@ -63,15 +62,15 @@ pub fn answer_with(
     scratch: &mut SearchScratch,
     opts: &QueryOptions,
 ) -> QueryOutcome {
-    let start = Instant::now();
-    let limits = RunLimits::new(opts, start);
+    let clock = SearchClock::start_now();
+    let limits = clock.limits(opts);
     let mut vsg = q.constraint.satisfying_vertices(g);
     if let VsgOrder::Shuffled(seed) = opts.vsg_order {
         let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
         vsg.shuffle(&mut rng);
     }
-    let mut outcome = run(g, q, scratch, &vsg, limits);
-    outcome.elapsed = start.elapsed();
+    let mut outcome = run(g, q, scratch, &vsg, limits, clock);
+    outcome.elapsed = clock.elapsed();
     outcome
 }
 
@@ -100,7 +99,8 @@ pub fn answer_with_order(
     vsg: &[VertexId],
     opts: &QueryOptions,
 ) -> QueryOutcome {
-    run(g, q, scratch, vsg, RunLimits::new(opts, Instant::now()))
+    let clock = SearchClock::start_now();
+    run(g, q, scratch, vsg, clock.limits(opts), clock)
 }
 
 fn run(
@@ -109,8 +109,8 @@ fn run(
     scratch: &mut SearchScratch,
     vsg: &[VertexId],
     limits: RunLimits,
+    clock: SearchClock,
 ) -> QueryOutcome {
-    let start = Instant::now();
     let (close, stack) = scratch.close_and_stack();
     close.reset();
     stack.clear();
@@ -152,7 +152,7 @@ fn run(
                     // v ∈ V(S,G) coincides with an endpoint: plain
                     // label-reachability decides the whole query.
                     answer = state.lcs(s, t, false);
-                    return state.finish(answer, start);
+                    return state.finish(answer, clock);
                 } else if state.lcs(s, v, false) && state.lcs(v, t, true) {
                     answer = true;
                     break;
@@ -170,7 +170,7 @@ fn run(
         }
     }
 
-    state.finish(answer, start)
+    state.finish(answer, clock)
 }
 
 struct UisStar<'a> {
@@ -265,9 +265,9 @@ impl UisStar<'_> {
         false
     }
 
-    fn finish(mut self, answer: bool, start: Instant) -> QueryOutcome {
+    fn finish(mut self, answer: bool, clock: SearchClock) -> QueryOutcome {
         self.stats.passed_vertices = self.close.passed_vertices();
-        let mut out = QueryOutcome::finished(answer, self.stats, start.elapsed());
+        let mut out = QueryOutcome::finished(answer, self.stats, clock.elapsed());
         out.interrupted = self.interrupted;
         out
     }

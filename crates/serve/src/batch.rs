@@ -25,11 +25,10 @@ use crate::json::Json;
 use crate::metrics::ServerMetrics;
 use crate::protocol::{render_outcome, ApiError, QueryRequest};
 use kgreach::{LscrEngine, Session};
+use kgreach_sync::mpsc;
+use kgreach_sync::thread::JoinHandle;
+use kgreach_sync::{Arc, Condvar, Mutex};
 use std::collections::VecDeque;
-use std::sync::atomic::Ordering;
-use std::sync::mpsc;
-use std::sync::{Arc, Condvar, Mutex};
-use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 /// Worker-pool and admission tuning (see `docs/OPERATIONS.md`).
@@ -104,7 +103,7 @@ impl Batcher {
         for i in 0..config.workers {
             let b = Arc::clone(&batcher);
             handles.push(
-                std::thread::Builder::new()
+                kgreach_sync::thread::Builder::new()
                     .name(format!("kg-worker-{i}"))
                     .spawn(move || b.worker_loop())
                     .expect("spawn worker"),
@@ -135,11 +134,11 @@ impl Batcher {
         {
             let mut st = self.state.lock().expect("queue lock");
             if st.draining {
-                self.metrics.shed_draining_total.fetch_add(reqs.len() as u64, Ordering::Relaxed);
+                self.metrics.shed_draining_total.add(reqs.len() as u64);
                 return Err(ApiError::new(503, "draining", "server is shutting down"));
             }
             if st.jobs.len() + reqs.len() > self.config.queue_high_water {
-                self.metrics.shed_queue_full_total.fetch_add(reqs.len() as u64, Ordering::Relaxed);
+                self.metrics.shed_queue_full_total.add(reqs.len() as u64);
                 return Err(ApiError::new(
                     429,
                     "overloaded",
@@ -154,7 +153,7 @@ impl Batcher {
                 st.jobs.push_back(Job { req, enqueued: now, reply: tx });
                 receivers.push(rx);
             }
-            self.metrics.queue_depth.store(st.jobs.len() as u64, Ordering::Relaxed);
+            self.metrics.queue_depth.set(st.jobs.len() as u64);
         }
         self.available.notify_all();
         Ok(receivers)
@@ -177,10 +176,10 @@ impl Batcher {
         }
         let leftovers: Vec<Job> = self.state.lock().expect("queue lock").jobs.drain(..).collect();
         for job in leftovers {
-            self.metrics.shed_draining_total.fetch_add(1, Ordering::Relaxed);
+            self.metrics.shed_draining_total.add(1);
             let _ = job.reply.send(Err(ApiError::new(503, "draining", "server is shutting down")));
         }
-        self.metrics.queue_depth.store(0, Ordering::Relaxed);
+        self.metrics.queue_depth.set(0);
     }
 
     /// Collects one answer window: blocks for the first job, then
@@ -203,7 +202,7 @@ impl Batcher {
             // window open here would tax every idle-load query with the
             // full window wait for nothing — coalescing only pays when
             // queries are actually queueing behind each other.
-            self.metrics.queue_depth.store(0, Ordering::Relaxed);
+            self.metrics.queue_depth.set(0);
             return Some(window);
         }
         let deadline = Instant::now() + self.config.batch_window;
@@ -225,7 +224,7 @@ impl Batcher {
                 break;
             }
         }
-        self.metrics.queue_depth.store(st.jobs.len() as u64, Ordering::Relaxed);
+        self.metrics.queue_depth.set(st.jobs.len() as u64);
         drop(st);
         Some(window)
     }
@@ -233,8 +232,8 @@ impl Batcher {
     fn worker_loop(&self) {
         let mut session = self.engine.session();
         while let Some(window) = self.next_window() {
-            self.metrics.batch_windows_total.fetch_add(1, Ordering::Relaxed);
-            self.metrics.batched_queries_total.fetch_add(window.len() as u64, Ordering::Relaxed);
+            self.metrics.batch_windows_total.add(1);
+            self.metrics.batched_queries_total.add(window.len() as u64);
             for job in window {
                 let result = self.answer(&mut session, &job.req);
                 self.metrics.query_latency.record(job.enqueued.elapsed());
@@ -259,7 +258,7 @@ impl Batcher {
             let query = match req.resolve(&g) {
                 Ok(q) => q,
                 Err(e) => {
-                    self.metrics.query_errors_total.fetch_add(1, Ordering::Relaxed);
+                    self.metrics.query_errors_total.add(1);
                     return Err(e);
                 }
             };
@@ -273,7 +272,7 @@ impl Batcher {
                     continue;
                 }
                 Err(e) => {
-                    self.metrics.query_errors_total.fetch_add(1, Ordering::Relaxed);
+                    self.metrics.query_errors_total.add(1);
                     return Err(e.into());
                 }
             };
@@ -282,7 +281,7 @@ impl Batcher {
                 return Ok(render_outcome(&g, &out));
             }
         }
-        self.metrics.query_errors_total.fetch_add(1, Ordering::Relaxed);
+        self.metrics.query_errors_total.add(1);
         Err(ApiError::new(
             503,
             "unstable",
@@ -331,9 +330,9 @@ mod tests {
             let body = rx.recv().expect("worker reply").expect("query ok").to_string();
             assert!(body.contains("\"answer\":true"), "{body}");
         }
-        assert_eq!(metrics.queries_total.load(Ordering::Relaxed), 20);
-        assert!(metrics.batch_windows_total.load(Ordering::Relaxed) >= 1);
-        assert_eq!(metrics.batched_queries_total.load(Ordering::Relaxed), 20);
+        assert_eq!(metrics.queries_total.get(), 20);
+        assert!(metrics.batch_windows_total.get() >= 1);
+        assert_eq!(metrics.batched_queries_total.get(), 20);
         assert_eq!(metrics.query_latency.count(), 20);
         batcher.shutdown();
     }
@@ -344,7 +343,7 @@ mod tests {
         let rx = batcher.submit(req("nope", "v4")).expect("admitted");
         let err = rx.recv().expect("worker reply").expect_err("unknown vertex");
         assert_eq!((err.status, err.code), (404, "unknown_vertex"));
-        assert_eq!(metrics.query_errors_total.load(Ordering::Relaxed), 1);
+        assert_eq!(metrics.query_errors_total.get(), 1);
         batcher.shutdown();
     }
 
@@ -359,10 +358,10 @@ mod tests {
         // Batch admission is all-or-nothing.
         let err = batcher.submit_many(vec![req("v0", "v4")]).expect_err("still full");
         assert_eq!(err.status, 429);
-        assert_eq!(metrics.shed_queue_full_total.load(Ordering::Relaxed), 2);
+        assert_eq!(metrics.shed_queue_full_total.get(), 2);
         assert_eq!(batcher.queue_depth(), 2);
         batcher.shutdown();
-        assert_eq!(metrics.shed_draining_total.load(Ordering::Relaxed), 2, "drained unanswered");
+        assert_eq!(metrics.shed_draining_total.get(), 2, "drained unanswered");
     }
 
     #[test]

@@ -331,12 +331,11 @@ fn main() {
         eprintln!(
             "\nserver counters: {} queries, {} windows ({:.1} queries/window), \
              {} edges scanned, {} skipped",
-            m.queries_total.load(std::sync::atomic::Ordering::Relaxed),
-            m.batch_windows_total.load(std::sync::atomic::Ordering::Relaxed),
-            m.batched_queries_total.load(std::sync::atomic::Ordering::Relaxed) as f64
-                / m.batch_windows_total.load(std::sync::atomic::Ordering::Relaxed).max(1) as f64,
-            m.edges_scanned_total.load(std::sync::atomic::Ordering::Relaxed),
-            m.edges_skipped_total.load(std::sync::atomic::Ordering::Relaxed),
+            m.queries_total.get(),
+            m.batch_windows_total.get(),
+            m.batched_queries_total.get() as f64 / m.batch_windows_total.get().max(1) as f64,
+            m.edges_scanned_total.get(),
+            m.edges_skipped_total.get(),
         );
         server.shutdown();
     }

@@ -8,8 +8,47 @@
 //! monotone). Field semantics and alerting guidance are documented in
 //! `docs/OPERATIONS.md`.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use kgreach_sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
+
+/// A monotone counter / settable gauge cell.
+///
+/// This newtype is the single home of the registry's memory-ordering
+/// story: every operation is `Relaxed`, justified once here instead of at
+/// dozens of call sites. Counters carry *statistics*, not state other
+/// threads act on — no reader derives a happens-before edge from a
+/// counter value, and the text exposition only needs each cell to be
+/// individually coherent (atomic), not mutually consistent.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Creates a zeroed cell.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `n` to the cell.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        // relaxed: pure statistic — no payload is published through it.
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Overwrites the cell — gauge semantics.
+    #[inline]
+    pub fn set(&self, v: u64) {
+        // relaxed: last-writer-wins is fine for a monitoring gauge.
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Reads the current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        // relaxed: the exposition tolerates skew between cells.
+        self.0.load(Ordering::Relaxed)
+    }
+}
 
 /// Histogram bucket upper bounds: powers of two from 2^10 ns (≈1 µs) to
 /// 2^34 ns (≈17 s), plus a +Inf overflow bucket. Query latencies in this
@@ -41,18 +80,26 @@ impl LatencyHistogram {
         } else {
             ((ns.ilog2() - BUCKET_LOW_POW2) as usize + 1).min(BUCKET_COUNT)
         };
+        // relaxed: the three cells of one sample need not land atomically
+        // together — a concurrent render may see the bucket bump before
+        // the count bump (or vice versa), which operational monitoring
+        // tolerates; each cell alone never loses an increment.
         self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        // relaxed: see above.
         self.sum_ns.fetch_add(ns, Ordering::Relaxed);
+        // relaxed: see above.
         self.count.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Total samples recorded.
     pub fn count(&self) -> u64 {
+        // relaxed: statistic read; no ordering needed.
         self.count.load(Ordering::Relaxed)
     }
 
     /// Sum of all samples, in nanoseconds.
     pub fn sum_ns(&self) -> u64 {
+        // relaxed: statistic read; no ordering needed.
         self.sum_ns.load(Ordering::Relaxed)
     }
 
@@ -75,6 +122,8 @@ impl LatencyHistogram {
         };
         let mut cumulative = 0u64;
         for (i, bucket) in self.buckets.iter().enumerate() {
+            // relaxed: cumulative counts stay monotone per bucket; skew
+            // against a concurrent record is acceptable in an exposition.
             cumulative += bucket.load(Ordering::Relaxed);
             let le = if i < BUCKET_COUNT {
                 let ns = 1u64 << (BUCKET_LOW_POW2 + i as u32);
@@ -97,53 +146,53 @@ impl LatencyHistogram {
 pub struct ServerMetrics {
     started: Instant,
     /// Requests received, by endpoint.
-    pub requests_query: AtomicU64,
+    pub requests_query: Counter,
     /// Requests received on `/query_batch`.
-    pub requests_query_batch: AtomicU64,
+    pub requests_query_batch: Counter,
     /// Requests received on `/update`.
-    pub requests_update: AtomicU64,
+    pub requests_update: Counter,
     /// Requests received on `/snapshot/reload`.
-    pub requests_reload: AtomicU64,
+    pub requests_reload: Counter,
     /// Requests received on `/healthz` + `/metrics`.
-    pub requests_introspection: AtomicU64,
+    pub requests_introspection: Counter,
     /// Requests for unknown paths/methods or with malformed HTTP.
-    pub requests_other: AtomicU64,
+    pub requests_other: Counter,
     /// Responses sent, by status class (2xx, 4xx, 5xx → index 0, 1, 2).
-    pub responses_by_class: [AtomicU64; 3],
+    pub responses_by_class: [Counter; 3],
     /// Individual LSCR queries answered (batch members count singly).
-    pub queries_total: AtomicU64,
+    pub queries_total: Counter,
     /// Queries rejected with a typed error (unknown vertex, bad
     /// constraint, …).
-    pub query_errors_total: AtomicU64,
+    pub query_errors_total: Counter,
     /// Queries whose search was stopped by the step budget / timeout.
-    pub queries_interrupted_total: AtomicU64,
+    pub queries_interrupted_total: Counter,
     /// Requests shed because the admission queue was past high water.
-    pub shed_queue_full_total: AtomicU64,
+    pub shed_queue_full_total: Counter,
     /// Requests shed because the server was draining at shutdown.
-    pub shed_draining_total: AtomicU64,
+    pub shed_draining_total: Counter,
     /// Connections rejected at accept because the connection cap was hit.
-    pub shed_connections_total: AtomicU64,
+    pub shed_connections_total: Counter,
     /// Current admission-queue depth (gauge).
-    pub queue_depth: AtomicU64,
+    pub queue_depth: Counter,
     /// Micro-batch windows executed by the worker pool.
-    pub batch_windows_total: AtomicU64,
+    pub batch_windows_total: Counter,
     /// Queries answered inside those windows (mean batch size =
     /// `batched_queries_total / batch_windows_total`).
-    pub batched_queries_total: AtomicU64,
+    pub batched_queries_total: Counter,
     /// Sum of per-query edges scanned (from `SearchStats`).
-    pub edges_scanned_total: AtomicU64,
+    pub edges_scanned_total: Counter,
     /// Sum of per-query edges skipped by the label mask / run filter.
-    pub edges_skipped_total: AtomicU64,
+    pub edges_skipped_total: Counter,
     /// Sum of `SCck` invocations.
-    pub scck_calls_total: AtomicU64,
+    pub scck_calls_total: Counter,
     /// Sum of `SCck` cache hits.
-    pub scck_cache_hits_total: AtomicU64,
+    pub scck_cache_hits_total: Counter,
     /// Successful `/update` batches applied.
-    pub updates_total: AtomicU64,
+    pub updates_total: Counter,
     /// Successful `/snapshot/reload` swaps.
-    pub reloads_total: AtomicU64,
+    pub reloads_total: Counter,
     /// Connections accepted.
-    pub connections_total: AtomicU64,
+    pub connections_total: Counter,
     /// Per-query latency (single queries and batch members alike),
     /// measured enqueue → answered.
     pub query_latency: LatencyHistogram,
@@ -158,29 +207,29 @@ impl Default for ServerMetrics {
     fn default() -> Self {
         ServerMetrics {
             started: Instant::now(),
-            requests_query: AtomicU64::new(0),
-            requests_query_batch: AtomicU64::new(0),
-            requests_update: AtomicU64::new(0),
-            requests_reload: AtomicU64::new(0),
-            requests_introspection: AtomicU64::new(0),
-            requests_other: AtomicU64::new(0),
+            requests_query: Counter::new(),
+            requests_query_batch: Counter::new(),
+            requests_update: Counter::new(),
+            requests_reload: Counter::new(),
+            requests_introspection: Counter::new(),
+            requests_other: Counter::new(),
             responses_by_class: Default::default(),
-            queries_total: AtomicU64::new(0),
-            query_errors_total: AtomicU64::new(0),
-            queries_interrupted_total: AtomicU64::new(0),
-            shed_queue_full_total: AtomicU64::new(0),
-            shed_draining_total: AtomicU64::new(0),
-            shed_connections_total: AtomicU64::new(0),
-            queue_depth: AtomicU64::new(0),
-            batch_windows_total: AtomicU64::new(0),
-            batched_queries_total: AtomicU64::new(0),
-            edges_scanned_total: AtomicU64::new(0),
-            edges_skipped_total: AtomicU64::new(0),
-            scck_calls_total: AtomicU64::new(0),
-            scck_cache_hits_total: AtomicU64::new(0),
-            updates_total: AtomicU64::new(0),
-            reloads_total: AtomicU64::new(0),
-            connections_total: AtomicU64::new(0),
+            queries_total: Counter::new(),
+            query_errors_total: Counter::new(),
+            queries_interrupted_total: Counter::new(),
+            shed_queue_full_total: Counter::new(),
+            shed_draining_total: Counter::new(),
+            shed_connections_total: Counter::new(),
+            queue_depth: Counter::new(),
+            batch_windows_total: Counter::new(),
+            batched_queries_total: Counter::new(),
+            edges_scanned_total: Counter::new(),
+            edges_skipped_total: Counter::new(),
+            scck_calls_total: Counter::new(),
+            scck_cache_hits_total: Counter::new(),
+            updates_total: Counter::new(),
+            reloads_total: Counter::new(),
+            connections_total: Counter::new(),
             query_latency: LatencyHistogram::new(),
             request_latency: LatencyHistogram::new(),
             update_latency: LatencyHistogram::new(),
@@ -196,13 +245,13 @@ impl ServerMetrics {
 
     /// Folds one query outcome's search counters into the totals.
     pub fn record_outcome(&self, stats: &kgreach::SearchStats, interrupted: bool) {
-        self.queries_total.fetch_add(1, Ordering::Relaxed);
-        self.edges_scanned_total.fetch_add(stats.edges_scanned as u64, Ordering::Relaxed);
-        self.edges_skipped_total.fetch_add(stats.edges_skipped as u64, Ordering::Relaxed);
-        self.scck_calls_total.fetch_add(stats.scck_calls as u64, Ordering::Relaxed);
-        self.scck_cache_hits_total.fetch_add(stats.scck_cache_hits as u64, Ordering::Relaxed);
+        self.queries_total.add(1);
+        self.edges_scanned_total.add(stats.edges_scanned as u64);
+        self.edges_skipped_total.add(stats.edges_skipped as u64);
+        self.scck_calls_total.add(stats.scck_calls as u64);
+        self.scck_cache_hits_total.add(stats.scck_cache_hits as u64);
         if interrupted {
-            self.queries_interrupted_total.fetch_add(1, Ordering::Relaxed);
+            self.queries_interrupted_total.add(1);
         }
     }
 
@@ -213,7 +262,7 @@ impl ServerMetrics {
             400..=499 => 1,
             _ => 2,
         };
-        self.responses_by_class[idx].fetch_add(1, Ordering::Relaxed);
+        self.responses_by_class[idx].add(1);
     }
 
     /// Renders the text exposition, folding in the engine's own state
@@ -226,7 +275,7 @@ impl ServerMetrics {
         let gauge = |out: &mut String, name: &str, help: &str, v: f64| {
             out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} gauge\n{name} {v}\n"));
         };
-        let load = |a: &AtomicU64| a.load(Ordering::Relaxed);
+        let load = |c: &Counter| c.get();
 
         gauge(&mut out, "kg_uptime_seconds", "Seconds since server start.", {
             self.started.elapsed().as_secs_f64()

@@ -29,11 +29,11 @@ use crate::json::Json;
 use crate::metrics::ServerMetrics;
 use crate::protocol::{parse_update, render_health, render_update, ApiError, QueryRequest};
 use kgreach::LscrEngine;
+use kgreach_sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use kgreach_sync::thread::JoinHandle;
+use kgreach_sync::Arc;
 use std::io::BufReader;
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::Arc;
-use std::thread::JoinHandle;
 use std::time::Instant;
 
 /// Everything tunable about one server instance.
@@ -94,15 +94,20 @@ pub fn serve(engine: Arc<LscrEngine>, config: ServerConfig) -> std::io::Result<S
     let acceptor = {
         let shared = Arc::clone(&shared);
         let max_connections = config.max_connections;
-        std::thread::Builder::new().name("kg-acceptor".into()).spawn(move || {
+        kgreach_sync::thread::Builder::new().name("kg-acceptor".into()).spawn(move || {
             for stream in listener.incoming() {
                 if shared.shutdown.load(Ordering::Acquire) {
                     break;
                 }
                 let Ok(stream) = stream else { continue };
-                shared.metrics.connections_total.fetch_add(1, Ordering::Relaxed);
-                if shared.live_connections.load(Ordering::Acquire) >= max_connections {
-                    shared.metrics.shed_connections_total.fetch_add(1, Ordering::Relaxed);
+                shared.metrics.connections_total.add(1);
+                // relaxed: live_connections is an approximate admission
+                // cap, not a publication flag — no data is transferred
+                // through it, and a momentarily stale count only admits
+                // (or sheds) one connection early, which the cap's
+                // semantics tolerate.
+                if shared.live_connections.load(Ordering::Relaxed) >= max_connections {
+                    shared.metrics.shed_connections_total.add(1);
                     let err = ApiError::new(503, "overloaded", "connection limit reached");
                     let mut resp = Response::json(err.status, err.envelope().to_string());
                     resp.retry_after = Some(1);
@@ -111,12 +116,15 @@ pub fn serve(engine: Arc<LscrEngine>, config: ServerConfig) -> std::io::Result<S
                     let _ = write_response(&mut stream, &resp);
                     continue;
                 }
-                shared.live_connections.fetch_add(1, Ordering::AcqRel);
+                // relaxed: see the cap check above.
+                shared.live_connections.fetch_add(1, Ordering::Relaxed);
                 let shared = Arc::clone(&shared);
-                let _ = std::thread::Builder::new().name("kg-conn".into()).spawn(move || {
-                    handle_connection(stream, &shared);
-                    shared.live_connections.fetch_sub(1, Ordering::AcqRel);
-                });
+                let _ =
+                    kgreach_sync::thread::Builder::new().name("kg-conn".into()).spawn(move || {
+                        handle_connection(stream, &shared);
+                        // relaxed: see the cap check above.
+                        shared.live_connections.fetch_sub(1, Ordering::Relaxed);
+                    });
             }
         })?
     };
@@ -173,7 +181,7 @@ fn handle_connection(stream: TcpStream, shared: &Shared) {
             }
             Err(e) => {
                 if let Some(status) = e.status() {
-                    shared.metrics.requests_other.fetch_add(1, Ordering::Relaxed);
+                    shared.metrics.requests_other.add(1);
                     shared.metrics.record_status(status);
                     let code = match &e {
                         HttpError::BodyTooLarge { .. } => "body_too_large",
@@ -211,7 +219,7 @@ fn dispatch(req: &Request, shared: &Shared) -> Response {
     let m = shared.metrics.as_ref();
     match (req.method.as_str(), req.path.as_str()) {
         ("POST", "/query") => {
-            m.requests_query.fetch_add(1, Ordering::Relaxed);
+            m.requests_query.add(1);
             let start = Instant::now();
             let resp = match handle_query(req, shared) {
                 Ok(body) => Response::json(200, body.to_string()),
@@ -221,7 +229,7 @@ fn dispatch(req: &Request, shared: &Shared) -> Response {
             resp
         }
         ("POST", "/query_batch") => {
-            m.requests_query_batch.fetch_add(1, Ordering::Relaxed);
+            m.requests_query_batch.add(1);
             let start = Instant::now();
             let resp = match handle_query_batch(req, shared) {
                 Ok(body) => Response::json(200, body.to_string()),
@@ -231,7 +239,7 @@ fn dispatch(req: &Request, shared: &Shared) -> Response {
             resp
         }
         ("POST", "/update") => {
-            m.requests_update.fetch_add(1, Ordering::Relaxed);
+            m.requests_update.add(1);
             let start = Instant::now();
             let resp = match handle_update(req, shared) {
                 Ok(body) => Response::json(200, body.to_string()),
@@ -241,25 +249,25 @@ fn dispatch(req: &Request, shared: &Shared) -> Response {
             resp
         }
         ("POST", "/snapshot/reload") => {
-            m.requests_reload.fetch_add(1, Ordering::Relaxed);
+            m.requests_reload.add(1);
             match handle_reload(req, shared) {
                 Ok(body) => Response::json(200, body.to_string()),
                 Err(e) => error_response(&e),
             }
         }
         ("GET", "/healthz") => {
-            m.requests_introspection.fetch_add(1, Ordering::Relaxed);
+            m.requests_introspection.add(1);
             Response::json(200, render_health(&shared.engine.info()).to_string())
         }
         ("GET", "/metrics") => {
-            m.requests_introspection.fetch_add(1, Ordering::Relaxed);
+            m.requests_introspection.add(1);
             Response::text(200, m.render(&shared.engine.info()))
         }
         (
             _,
             "/query" | "/query_batch" | "/update" | "/snapshot/reload" | "/healthz" | "/metrics",
         ) => {
-            m.requests_other.fetch_add(1, Ordering::Relaxed);
+            m.requests_other.add(1);
             error_response(&ApiError::new(
                 405,
                 "method_not_allowed",
@@ -267,7 +275,7 @@ fn dispatch(req: &Request, shared: &Shared) -> Response {
             ))
         }
         _ => {
-            m.requests_other.fetch_add(1, Ordering::Relaxed);
+            m.requests_other.add(1);
             error_response(&ApiError::new(
                 404,
                 "not_found",
@@ -315,7 +323,7 @@ fn handle_update(req: &Request, shared: &Shared) -> Result<Json, ApiError> {
     let body = parse_body(req)?;
     let batch = parse_update(&body)?;
     let outcome = shared.engine.apply_update(&batch)?;
-    shared.metrics.updates_total.fetch_add(1, Ordering::Relaxed);
+    shared.metrics.updates_total.add(1);
     Ok(render_update(&outcome))
 }
 
@@ -329,7 +337,7 @@ fn handle_reload(req: &Request, shared: &Shared) -> Result<Json, ApiError> {
         .engine
         .reload_from_snapshot_file(path)
         .map_err(|e| ApiError::new(422, "bad_snapshot", e.to_string()))?;
-    shared.metrics.reloads_total.fetch_add(1, Ordering::Relaxed);
+    shared.metrics.reloads_total.add(1);
     let info = shared.engine.info();
     Ok(Json::Obj(vec![
         ("epoch".into(), Json::u64(epoch)),

@@ -1,0 +1,213 @@
+//! Synchronisation shim for the kgreach workspace.
+//!
+//! Every concurrent structure in the workspace (the `ScckCache` epoch
+//! stamps, the engine's state swap, the serve batcher, the metrics
+//! registry…) imports its primitives from this crate instead of `std::sync`
+//! — a rule enforced statically by `check_sync_lints`. The shim compiles two
+//! ways:
+//!
+//! * **Normally** it re-exports the plain `std` types: zero overhead, no
+//!   behaviour change.
+//! * **Under `RUSTFLAGS="--cfg kg_loom"`** it re-exports the vendored
+//!   `loom` model-checked types, so the `model_check` test suite can
+//!   exhaustively explore thread interleavings and weak-memory behaviours
+//!   of the production code paths — the same source, recompiled.
+//!
+//! The atomics are thin newtype wrappers (identical method surface in both
+//! modes) rather than raw re-exports, because `std` and `loom` disagree on
+//! the exclusive-access API: `std` has `get_mut`, loom has `with_mut`. The
+//! wrapper exposes [`atomic::AtomicU32::set_mut`] (and friends) over both.
+//!
+//! `Arc` is always `std::sync::Arc` (loom's is too, in our vendored
+//! stand-in): reference counting is not part of the modelled state space.
+//!
+//! What is *not* wrapped: `std::thread::scope` (used by the engine's batch
+//! fan-out; scoped spawns are outside the model's vocabulary — do not call
+//! `answer_batch` from inside a model) and `std::time` (model tests make
+//! timing irrelevant instead: the loom condvar may fire any timed wait at
+//! any scheduling point).
+
+#![warn(missing_docs)]
+
+#[cfg(not(kg_loom))]
+pub use std::sync::{
+    Condvar, Mutex, MutexGuard, OnceLock, RwLock, RwLockReadGuard, RwLockWriteGuard,
+    WaitTimeoutResult,
+};
+
+#[cfg(kg_loom)]
+pub use loom::sync::{
+    Condvar, Mutex, MutexGuard, OnceLock, RwLock, RwLockReadGuard, RwLockWriteGuard,
+    WaitTimeoutResult,
+};
+
+#[doc(no_inline)]
+pub use std::sync::{Arc, LockResult, PoisonError, Weak};
+
+/// Multi-producer single-consumer channel: `std::sync::mpsc` normally, the
+/// modelled channel under `kg_loom`.
+pub mod mpsc {
+    #[cfg(not(kg_loom))]
+    #[doc(no_inline)]
+    pub use std::sync::mpsc::{
+        channel, Receiver, RecvError, RecvTimeoutError, SendError, Sender, TryRecvError,
+    };
+
+    #[cfg(kg_loom)]
+    pub use loom::sync::mpsc::{
+        channel, Receiver, RecvError, RecvTimeoutError, SendError, Sender, TryRecvError,
+    };
+}
+
+/// Thread spawn/join: `std::thread` normally, modelled threads under
+/// `kg_loom` (where `Builder::name` is accepted but not surfaced).
+pub mod thread {
+    #[cfg(not(kg_loom))]
+    #[doc(no_inline)]
+    pub use std::thread::{spawn, yield_now, Builder, JoinHandle};
+
+    #[cfg(kg_loom)]
+    pub use loom::thread::{spawn, yield_now, Builder, JoinHandle};
+}
+
+/// Atomics with a mode-independent method surface.
+pub mod atomic {
+    #[doc(no_inline)]
+    pub use std::sync::atomic::Ordering;
+
+    macro_rules! shim_atomic {
+        ($(#[$doc:meta])* $name:ident, $ty:ty) => {
+            $(#[$doc])*
+            #[derive(Debug, Default)]
+            pub struct $name {
+                #[cfg(not(kg_loom))]
+                inner: std::sync::atomic::$name,
+                #[cfg(kg_loom)]
+                inner: loom::sync::atomic::$name,
+            }
+
+            impl $name {
+                /// Creates an atomic with the given initial value.
+                pub fn new(v: $ty) -> Self {
+                    $name {
+                        #[cfg(not(kg_loom))]
+                        inner: std::sync::atomic::$name::new(v),
+                        #[cfg(kg_loom)]
+                        inner: loom::sync::atomic::$name::new(v),
+                    }
+                }
+
+                /// Atomic load.
+                #[inline]
+                pub fn load(&self, ord: Ordering) -> $ty {
+                    self.inner.load(ord)
+                }
+
+                /// Atomic store.
+                #[inline]
+                pub fn store(&self, v: $ty, ord: Ordering) {
+                    self.inner.store(v, ord)
+                }
+
+                /// Atomic swap; returns the previous value.
+                #[inline]
+                pub fn swap(&self, v: $ty, ord: Ordering) -> $ty {
+                    self.inner.swap(v, ord)
+                }
+
+                /// Atomic wrapping add; returns the previous value.
+                #[inline]
+                pub fn fetch_add(&self, v: $ty, ord: Ordering) -> $ty {
+                    self.inner.fetch_add(v, ord)
+                }
+
+                /// Atomic wrapping subtract; returns the previous value.
+                #[inline]
+                pub fn fetch_sub(&self, v: $ty, ord: Ordering) -> $ty {
+                    self.inner.fetch_sub(v, ord)
+                }
+
+                /// Atomic maximum; returns the previous value.
+                #[inline]
+                pub fn fetch_max(&self, v: $ty, ord: Ordering) -> $ty {
+                    self.inner.fetch_max(v, ord)
+                }
+
+                /// Plain (non-atomic) store through exclusive access — the
+                /// mode-independent spelling of `std`'s `*a.get_mut() = v` /
+                /// loom's `a.with_mut(|p| *p = v)`.
+                #[inline]
+                pub fn set_mut(&mut self, v: $ty) {
+                    #[cfg(not(kg_loom))]
+                    {
+                        *self.inner.get_mut() = v;
+                    }
+                    #[cfg(kg_loom)]
+                    {
+                        self.inner.with_mut(|p| *p = v);
+                    }
+                }
+            }
+        };
+    }
+
+    shim_atomic!(
+        /// Dual-mode `AtomicU8`.
+        AtomicU8,
+        u8
+    );
+    shim_atomic!(
+        /// Dual-mode `AtomicU32`.
+        AtomicU32,
+        u32
+    );
+    shim_atomic!(
+        /// Dual-mode `AtomicU64`.
+        AtomicU64,
+        u64
+    );
+    shim_atomic!(
+        /// Dual-mode `AtomicUsize`.
+        AtomicUsize,
+        usize
+    );
+
+    /// Dual-mode `AtomicBool`.
+    #[derive(Debug, Default)]
+    pub struct AtomicBool {
+        #[cfg(not(kg_loom))]
+        inner: std::sync::atomic::AtomicBool,
+        #[cfg(kg_loom)]
+        inner: loom::sync::atomic::AtomicBool,
+    }
+
+    impl AtomicBool {
+        /// Creates an atomic with the given initial value.
+        pub fn new(v: bool) -> Self {
+            AtomicBool {
+                #[cfg(not(kg_loom))]
+                inner: std::sync::atomic::AtomicBool::new(v),
+                #[cfg(kg_loom)]
+                inner: loom::sync::atomic::AtomicBool::new(v),
+            }
+        }
+
+        /// Atomic load.
+        #[inline]
+        pub fn load(&self, ord: Ordering) -> bool {
+            self.inner.load(ord)
+        }
+
+        /// Atomic store.
+        #[inline]
+        pub fn store(&self, v: bool, ord: Ordering) {
+            self.inner.store(v, ord)
+        }
+
+        /// Atomic swap; returns the previous value.
+        #[inline]
+        pub fn swap(&self, v: bool, ord: Ordering) -> bool {
+            self.inner.swap(v, ord)
+        }
+    }
+}

@@ -1,0 +1,107 @@
+//! Property tests for the metrics registry under real concurrency.
+//!
+//! The model-check suite (`model_check.rs`, under `--cfg kg_loom`) proves
+//! the two-thread windows exhaustively; these properties complement it by
+//! hammering the *same invariants* with many threads and many samples on
+//! the real `std` atomics:
+//!
+//! * concurrent histogram records never lose a count, and the rendered
+//!   bucket totals equal the sum of what every thread recorded;
+//! * concurrent shed-counter adds never lose an increment.
+
+use kgreach_serve::{LatencyHistogram, ServerMetrics};
+use proptest::prelude::*;
+use std::time::Duration;
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, .. ProptestConfig::default() })]
+
+    /// Every thread records its samples; afterwards the histogram's count
+    /// and sum equal the per-thread totals exactly — no increment lost,
+    /// no sample double-counted.
+    #[test]
+    fn concurrent_histogram_records_lose_nothing(
+        per_thread in proptest::collection::vec(
+            proptest::collection::vec(1u64..2_000_000, 1..40),
+            2..6,
+        ),
+    ) {
+        let h = LatencyHistogram::new();
+        let h = &h;
+        std::thread::scope(|scope| {
+            for samples in &per_thread {
+                scope.spawn(move || {
+                    for &ns in samples {
+                        h.record(Duration::from_nanos(ns));
+                    }
+                });
+            }
+        });
+        let expected_count: u64 = per_thread.iter().map(|s| s.len() as u64).sum();
+        let expected_sum: u64 = per_thread.iter().flatten().sum();
+        prop_assert_eq!(h.count(), expected_count);
+        prop_assert_eq!(h.sum_ns(), expected_sum);
+    }
+
+    /// The +Inf bucket of the rendered exposition equals the total number
+    /// of samples recorded across all threads, and the cumulative bucket
+    /// counts are monotone.
+    #[test]
+    fn rendered_bucket_totals_match_thread_sums(
+        per_thread in proptest::collection::vec(
+            proptest::collection::vec(1u64..50_000_000_000, 1..30),
+            2..5,
+        ),
+    ) {
+        let metrics = ServerMetrics::new();
+        let metrics = &metrics;
+        std::thread::scope(|scope| {
+            for samples in &per_thread {
+                scope.spawn(move || {
+                    for &ns in samples {
+                        metrics.query_latency.record(Duration::from_nanos(ns));
+                    }
+                });
+            }
+        });
+        let engine = kgreach::LscrEngine::new(kgreach::fixtures::figure3());
+        let text = metrics.render(&engine.info());
+        let cumulative: Vec<u64> = text
+            .lines()
+            .filter(|l| l.starts_with("kg_query_latency_seconds_bucket"))
+            .map(|l| l.rsplit(' ').next().unwrap().parse().unwrap())
+            .collect();
+        let expected: u64 = per_thread.iter().map(|s| s.len() as u64).sum();
+        prop_assert!(!cumulative.is_empty());
+        prop_assert!(cumulative.windows(2).all(|w| w[0] <= w[1]), "buckets must be monotone");
+        prop_assert_eq!(*cumulative.last().unwrap(), expected, "+Inf bucket covers every sample");
+        prop_assert_eq!(metrics.query_latency.count(), expected);
+    }
+
+    /// Shed counters under concurrent adds: the final value is exactly
+    /// the sum of everything every thread added.
+    #[test]
+    fn concurrent_shed_counter_adds_all_land(
+        per_thread in proptest::collection::vec(
+            proptest::collection::vec(1u64..100, 1..50),
+            2..6,
+        ),
+    ) {
+        let metrics = ServerMetrics::new();
+        let metrics = &metrics;
+        std::thread::scope(|scope| {
+            for adds in &per_thread {
+                scope.spawn(move || {
+                    for &n in adds {
+                        metrics.shed_queue_full_total.add(n);
+                        metrics.shed_draining_total.add(1);
+                    }
+                });
+            }
+        });
+        let expected_full: u64 = per_thread.iter().flatten().sum();
+        let expected_drain: u64 = per_thread.iter().map(|a| a.len() as u64).sum();
+        prop_assert_eq!(metrics.shed_queue_full_total.get(), expected_full);
+        prop_assert_eq!(metrics.shed_draining_total.get(), expected_drain);
+    }
+}

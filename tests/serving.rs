@@ -23,8 +23,8 @@ use kgreach_datagen::queries::{generate_workload, QueryGenConfig};
 use kgreach_graph::Graph;
 use kgreach_integration::small_lubm;
 use kgreach_serve::{serve, BatchConfig, HttpClient, HttpLimits, Json, ServerConfig};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use kgreach_sync::atomic::{AtomicBool, Ordering};
+use kgreach_sync::Arc;
 use std::time::Duration;
 
 const ALGORITHMS: [(Algorithm, &str); 4] = [
@@ -311,6 +311,9 @@ fn hot_reload_under_concurrent_query_load_stays_correct() {
         for _ in 0..4 {
             scope.spawn(|| {
                 let mut client = HttpClient::connect(addr).unwrap();
+                // relaxed: a pure stop flag — thread::scope joins provide
+                // the synchronization; the flag only needs to become
+                // visible eventually.
                 while !stop.load(Ordering::Relaxed) {
                     for (body, expected) in &bodies {
                         let resp = client.post_json("/query", body).unwrap();
@@ -332,6 +335,7 @@ fn hot_reload_under_concurrent_query_load_stays_correct() {
             assert_eq!(resp.status, 200, "reload {i}: {}", resp.body);
             std::thread::sleep(Duration::from_millis(5));
         }
+        // relaxed: stop flag, see above.
         stop.store(true, Ordering::Relaxed);
     });
     let epoch_after_same = engine.graph_epoch();
@@ -345,6 +349,7 @@ fn hot_reload_under_concurrent_query_load_stays_correct() {
         for _ in 0..2 {
             scope.spawn(|| {
                 let mut client = HttpClient::connect(addr).unwrap();
+                // relaxed: stop flag, see above.
                 while !stop.load(Ordering::Relaxed) {
                     for (body, _) in &bodies {
                         let resp = client.post_json("/query", body).unwrap();
@@ -366,6 +371,7 @@ fn hot_reload_under_concurrent_query_load_stays_correct() {
             )
             .unwrap();
         assert_eq!(resp.status, 200, "{}", resp.body);
+        // relaxed: stop flag, see above.
         stop.store(true, Ordering::Relaxed);
     });
     assert!(engine.graph_epoch() > epoch_after_same);
@@ -426,7 +432,7 @@ fn overload_sheds_with_retry_after_and_drains_on_shutdown() {
                 })
             })
             .collect();
-        while metrics.queue_depth.load(Ordering::Relaxed) < 2 {
+        while metrics.queue_depth.get() < 2 {
             std::thread::sleep(Duration::from_millis(2));
         }
 
@@ -455,6 +461,6 @@ fn overload_sheds_with_retry_after_and_drains_on_shutdown() {
             );
         }
     });
-    assert_eq!(metrics.shed_queue_full_total.load(Ordering::Relaxed), 1);
-    assert_eq!(metrics.shed_draining_total.load(Ordering::Relaxed), 2);
+    assert_eq!(metrics.shed_queue_full_total.get(), 1);
+    assert_eq!(metrics.shed_draining_total.get(), 2);
 }

@@ -1,0 +1,57 @@
+//! Race-checked interior mutability, mirroring `loom::cell`.
+//!
+//! [`UnsafeCell`] wraps `std::cell::UnsafeCell` and runs every access through
+//! the runtime's vector-clock race detector: a `with_mut` concurrent (in the
+//! happens-before sense) with any other access, or a `with` concurrent with a
+//! write, fails the model execution with a "data race" diagnostic instead of
+//! being silent undefined behaviour.
+
+use crate::rt;
+
+/// A checked `UnsafeCell`. Use [`with`](UnsafeCell::with) for shared reads
+/// and [`with_mut`](UnsafeCell::with_mut) for exclusive writes; the model
+/// reports an error on any pair of accesses not ordered by happens-before
+/// (unless both are reads).
+#[derive(Debug)]
+pub struct UnsafeCell<T> {
+    data: std::cell::UnsafeCell<T>,
+    race: rt::ObjRef,
+}
+
+// Safety: the cell itself adds no sharing; soundness of concurrent use is the
+// caller's obligation, exactly as with `std::cell::UnsafeCell` — except here
+// violations are *detected* by the model rather than silent.
+unsafe impl<T: Send> Send for UnsafeCell<T> {}
+unsafe impl<T: Send + Sync> Sync for UnsafeCell<T> {}
+
+impl<T> UnsafeCell<T> {
+    /// Wraps a value.
+    pub fn new(value: T) -> Self {
+        UnsafeCell { data: std::cell::UnsafeCell::new(value), race: rt::ObjRef::new() }
+    }
+
+    /// Runs `f` with a shared pointer to the contents, recording a read
+    /// access. Fails the execution if the read races a write.
+    pub fn with<R>(&self, f: impl FnOnce(*const T) -> R) -> R {
+        rt::cell_read(&self.race);
+        f(self.data.get())
+    }
+
+    /// Runs `f` with an exclusive pointer to the contents, recording a write
+    /// access. Fails the execution if the write races any other access.
+    pub fn with_mut<R>(&self, f: impl FnOnce(*mut T) -> R) -> R {
+        rt::cell_write(&self.race);
+        f(self.data.get())
+    }
+
+    /// Unwraps the value.
+    pub fn into_inner(self) -> T {
+        self.data.into_inner()
+    }
+}
+
+impl<T: Default> Default for UnsafeCell<T> {
+    fn default() -> Self {
+        UnsafeCell::new(T::default())
+    }
+}

@@ -1,0 +1,84 @@
+//! Vector clocks: the happens-before bookkeeping behind the model.
+//!
+//! Every modelled thread carries a [`VectorClock`]; component `t` counts the
+//! synchronisation-relevant *events* thread `t` has performed (stores, lock
+//! releases, spawns). Joining clocks at acquire edges (lock acquisition,
+//! `Acquire` loads of `Release` stores, channel receives, thread joins) makes
+//! `clock[t] >= seq` mean "this thread happens-after event `seq` of thread
+//! `t`" — which is exactly the question the atomic store-visibility rule and
+//! the `UnsafeCell` race detector need to answer.
+
+/// A grow-on-demand vector clock. Missing components read as zero, so clocks
+/// created before later threads spawn stay valid.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub(crate) struct VectorClock {
+    slots: Vec<u32>,
+}
+
+impl VectorClock {
+    /// An empty clock (all components zero).
+    pub(crate) fn new() -> Self {
+        VectorClock { slots: Vec::new() }
+    }
+
+    /// Component for thread `tid` (zero if never touched).
+    pub(crate) fn get(&self, tid: usize) -> u32 {
+        self.slots.get(tid).copied().unwrap_or(0)
+    }
+
+    /// Bumps the component for thread `tid` by one and returns the new value.
+    pub(crate) fn increment(&mut self, tid: usize) -> u32 {
+        if self.slots.len() <= tid {
+            self.slots.resize(tid + 1, 0);
+        }
+        self.slots[tid] += 1;
+        self.slots[tid]
+    }
+
+    /// Pointwise maximum: afterwards `self` happens-after everything either
+    /// clock happened-after.
+    pub(crate) fn join(&mut self, other: &VectorClock) {
+        if self.slots.len() < other.slots.len() {
+            self.slots.resize(other.slots.len(), 0);
+        }
+        for (mine, theirs) in self.slots.iter_mut().zip(other.slots.iter()) {
+            *mine = (*mine).max(*theirs);
+        }
+    }
+
+    /// True when `self >= other` pointwise, i.e. everything `other` has seen,
+    /// `self` has seen too. Used by the race detector: an access is ordered
+    /// after a prior access set iff its clock dominates the set's join.
+    pub(crate) fn dominates(&self, other: &VectorClock) -> bool {
+        (0..other.slots.len()).all(|t| self.get(t) >= other.get(t))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::VectorClock;
+
+    #[test]
+    fn join_and_dominates() {
+        let mut a = VectorClock::new();
+        let mut b = VectorClock::new();
+        a.increment(0);
+        a.increment(0);
+        b.increment(1);
+        assert!(!a.dominates(&b));
+        assert!(!b.dominates(&a));
+        let mut j = a.clone();
+        j.join(&b);
+        assert!(j.dominates(&a));
+        assert!(j.dominates(&b));
+        assert_eq!(j.get(0), 2);
+        assert_eq!(j.get(1), 1);
+    }
+
+    #[test]
+    fn missing_components_read_zero() {
+        let c = VectorClock::new();
+        assert_eq!(c.get(17), 0);
+        assert!(c.dominates(&VectorClock::new()));
+    }
+}

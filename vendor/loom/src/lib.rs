@@ -1,0 +1,186 @@
+//! Offline vendored stand-in for the subset of the `loom` 0.7 model-checking
+//! API this workspace uses, plus a `shuttle`-style seeded random explorer.
+//!
+//! The build container has no network access to crates.io, so — following
+//! the policy in `vendor/README.md` — this crate implements from scratch
+//! exactly what the workspace's concurrency tests need:
+//!
+//! * [`model`] / [`Builder::check`] — exhaustive DFS over thread
+//!   interleavings of a closure that uses the types in [`sync`], [`cell`]
+//!   and [`thread`], with optional preemption bounding;
+//! * [`Builder::shuttle`] — seeded pseudo-random exploration for state
+//!   spaces too large to exhaust;
+//! * [`sync::atomic`] — atomics whose loads explore every value the C11-ish
+//!   memory model allows (so missing `Release`/`Acquire` pairs produce real
+//!   stale reads during checking);
+//! * [`sync`] — `Mutex`, `Condvar`, `RwLock`, `OnceLock`, `mpsc` with
+//!   modelled blocking, deadlock detection and happens-before tracking;
+//! * [`cell::UnsafeCell`] — vector-clock data-race detection.
+//!
+//! # Differences from the real crates, accepted by design
+//!
+//! * `SeqCst` is modelled as `AcqRel` (no single total order); the
+//!   workspace bans `SeqCst` at the source level via `check_sync_lints`.
+//! * [`Builder::check`] returns `Result` instead of panicking, so tests can
+//!   assert that a seeded bug *is* caught; [`model`] panics like real loom.
+//! * `sync::Arc` is a re-export of `std::sync::Arc`: reference counting is
+//!   not modelled (loom models it to catch manual-drop races; this
+//!   workspace has none).
+//! * Timed waits (`Condvar::wait_timeout`, `mpsc::recv_timeout`) ignore the
+//!   duration; the scheduler may fire the timeout at any scheduling point,
+//!   which explores strictly more behaviours than any fixed clock would.
+//!
+//! Swapping the real `loom`/`shuttle` back in when network exists is a
+//! workspace-manifest change; see `vendor/README.md`.
+
+#![warn(missing_docs)]
+
+mod clock;
+mod rt;
+
+pub mod cell;
+pub mod sync;
+pub mod thread;
+
+/// Exploration statistics returned by a successful check.
+#[derive(Debug, Clone, Copy)]
+pub struct Stats {
+    /// Number of complete executions explored.
+    pub executions: usize,
+}
+
+/// A failed check: the diagnostic from the first failing execution.
+#[derive(Debug, Clone)]
+pub struct CheckError {
+    /// Panic message, deadlock report or race diagnostic.
+    pub message: String,
+    /// 1-based index of the failing execution.
+    pub executions: usize,
+}
+
+impl std::fmt::Display for CheckError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "model check failed on execution {}: {}", self.executions, self.message)
+    }
+}
+
+impl std::error::Error for CheckError {}
+
+/// Configures and runs a model check.
+#[derive(Debug, Clone)]
+pub struct Builder {
+    /// Maximum number of times the scheduler may switch away from a thread
+    /// that could have continued. `None` (the default) explores the full
+    /// interleaving space; small bounds (2–3) cover the bug-finding bulk of
+    /// it at a fraction of the cost.
+    pub preemption_bound: Option<usize>,
+    /// Hard cap on explored executions in DFS mode; exceeding it fails the
+    /// check with guidance to use [`Builder::shuttle`].
+    pub max_executions: usize,
+    /// Hard cap on scheduling points within one execution (livelock guard).
+    pub max_depth: usize,
+}
+
+impl Default for Builder {
+    fn default() -> Self {
+        Builder { preemption_bound: None, max_executions: 200_000, max_depth: 50_000 }
+    }
+}
+
+impl Builder {
+    /// A builder with default limits and no preemption bound.
+    pub fn new() -> Self {
+        Builder::default()
+    }
+
+    fn run(
+        &self,
+        mode_for: impl Fn(u64) -> rt::Mode,
+        iterations: Option<usize>,
+        f: impl Fn() + Send + Sync + 'static,
+    ) -> Result<Stats, CheckError> {
+        let root: std::sync::Arc<dyn Fn() + Send + Sync> = std::sync::Arc::new(f);
+        let mut schedule = Vec::new();
+        let mut executions = 0usize;
+        loop {
+            executions += 1;
+            if executions > self.max_executions {
+                return Err(CheckError {
+                    message: format!(
+                        "state space not exhausted after {} executions; tighten the model, \
+                         set a preemption_bound, or use shuttle mode",
+                        self.max_executions
+                    ),
+                    executions,
+                });
+            }
+            let exec = rt::Execution::new(
+                schedule,
+                mode_for(executions as u64),
+                self.preemption_bound,
+                self.max_depth,
+            );
+            if let Some(message) = exec.run(root.clone()) {
+                return Err(CheckError { message, executions });
+            }
+            schedule = exec.take_schedule();
+            match iterations {
+                // DFS: odometer-advance the recorded schedule.
+                None => {
+                    if !rt::advance_dfs(&mut schedule) {
+                        return Ok(Stats { executions });
+                    }
+                }
+                // Shuttle: fixed number of independent random walks.
+                Some(n) => {
+                    if executions >= n {
+                        return Ok(Stats { executions });
+                    }
+                    schedule.clear();
+                }
+            }
+        }
+    }
+
+    /// Exhaustively (DFS, subject to the configured bounds) explores every
+    /// interleaving of `f`. Returns the first failure, if any.
+    pub fn check(&self, f: impl Fn() + Send + Sync + 'static) -> Result<Stats, CheckError> {
+        self.run(|_| rt::Mode::Dfs, None, f)
+    }
+
+    /// Runs `iterations` independent seeded pseudo-random executions of `f`
+    /// (shuttle-style). Failures reproduce for the same seed and iteration
+    /// count.
+    pub fn shuttle(
+        &self,
+        iterations: usize,
+        seed: u64,
+        f: impl Fn() + Send + Sync + 'static,
+    ) -> Result<Stats, CheckError> {
+        self.run(
+            move |execution| rt::Mode::Shuttle {
+                // Distinct deterministic stream per execution; | 1 keeps the
+                // xorshift state nonzero.
+                rng: (seed ^ execution.wrapping_mul(0x9E37_79B9_7F4A_7C15)) | 1,
+            },
+            Some(iterations.max(1)),
+            f,
+        )
+    }
+}
+
+/// Exhaustively explores every interleaving of `f`, panicking on the first
+/// failure — the drop-in equivalent of `loom::model`.
+pub fn model(f: impl Fn() + Send + Sync + 'static) {
+    if let Err(e) = Builder::new().check(f) {
+        panic!("{e}");
+    }
+}
+
+/// Runs seeded pseudo-random exploration, panicking on the first failure —
+/// the drop-in equivalent of a `shuttle` random scheduler run.
+pub fn shuttle(iterations: usize, seed: u64, f: impl Fn() + Send + Sync + 'static) {
+    if let Err(e) = Builder::new().shuttle(iterations, seed, f) {
+        panic!("{e}");
+    }
+}

@@ -1,0 +1,1157 @@
+//! The deterministic cooperative runtime behind the model checker.
+//!
+//! # How an execution runs
+//!
+//! User threads are real OS threads (pooled and reused across executions),
+//! but they run one at a time: a single *baton* is handed between the driver
+//! (the thread that called [`crate::Builder::check`]) and exactly one
+//! modelled thread. Every modelled synchronisation operation calls
+//! [`schedule`], which returns the baton to the driver; the driver consults
+//! the exploration state to decide which thread continues. Code between two
+//! synchronisation operations therefore runs atomically with respect to the
+//! model — exactly the granularity at which real memory-model behaviour can
+//! differ.
+//!
+//! # How the state space is explored
+//!
+//! Every nondeterministic decision — which runnable thread continues, which
+//! visible store a relaxed load observes — is a [`Choice`] recorded on a
+//! stack. In DFS mode an execution replays the recorded prefix, extends it
+//! with first-option choices, and on completion the stack is advanced
+//! odometer-style (last non-exhausted choice incremented, suffix dropped)
+//! until the space is exhausted. Preemption bounding caps how often the
+//! scheduler may switch away from a *runnable* thread, which keeps the
+//! explored space polynomial-ish while still covering the interleavings that
+//! find real bugs first. Shuttle mode replaces the odometer with a seeded
+//! xorshift RNG for state spaces too big to exhaust.
+//!
+//! # How memory orderings are modelled
+//!
+//! Each atomic location keeps its full store history. A load may observe any
+//! store not ruled out by per-location coherence (a thread never reads
+//! backwards past a store it already observed) or by happens-before (a store
+//! is hidden once the reader provably knows a later one). `Release` stores
+//! carry the writer's vector clock; `Acquire` loads that observe them join
+//! it. Read-modify-writes always observe the latest store (atomicity) and
+//! continue release sequences. `SeqCst` is modelled as `AcqRel` — the single
+//! total order is not modelled, which is one reason the workspace lint bans
+//! `SeqCst` outright. The net effect: code that needs a `Release`/`Acquire`
+//! pair but uses `Relaxed` will, in some explored execution, read a stale
+//! value and fail its assertion.
+
+use std::any::Any;
+use std::cell::{Cell, RefCell};
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64 as StdAtomicU64, Ordering};
+use std::sync::mpsc as std_mpsc;
+use std::sync::{Arc, Condvar as StdCondvar, Mutex as StdMutex};
+
+use crate::clock::VectorClock;
+
+/// Unwind payload used to cancel still-running threads once an execution has
+/// failed or finished exploring. Never treated as a user failure.
+struct CancelToken;
+
+/// One recorded nondeterministic decision.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct Choice {
+    chosen: usize,
+    total: usize,
+}
+
+/// Exploration strategy for one `check`/`shuttle` call.
+#[derive(Clone, Copy, Debug)]
+pub(crate) enum Mode {
+    /// Exhaustive depth-first enumeration of the choice tree.
+    Dfs,
+    /// Seeded pseudo-random walk (xorshift64*), one path per execution.
+    Shuttle { rng: u64 },
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Status {
+    Runnable,
+    /// Blocked until another thread wakes it (lock release, notify, send…).
+    Blocked,
+    /// Blocked on a timed wait: the scheduler may *choose* to fire the
+    /// timeout at any point, so the thread stays schedulable.
+    BlockedTimed,
+    Finished,
+}
+
+struct ThreadState {
+    status: Status,
+    clock: VectorClock,
+    /// Per-location coherence floor: index of the newest store this thread
+    /// has observed (or written) at each atomic location. Loads never go
+    /// backwards past it.
+    coherence: Vec<(usize, usize)>,
+    /// Set by `Condvar::notify_*` / channel sends while the thread is parked.
+    notified: bool,
+    /// Set by the scheduler when it fires a timed wait's timeout.
+    timed_out: bool,
+    result: Option<Box<dyn Any + Send>>,
+    final_clock: Option<VectorClock>,
+    join_waiters: Vec<usize>,
+}
+
+impl ThreadState {
+    fn new(clock: VectorClock) -> Self {
+        ThreadState {
+            status: Status::Runnable,
+            clock,
+            coherence: Vec::new(),
+            notified: false,
+            timed_out: false,
+            result: None,
+            final_clock: None,
+            join_waiters: Vec::new(),
+        }
+    }
+
+    fn floor(&self, loc: usize) -> usize {
+        self.coherence.iter().find(|(l, _)| *l == loc).map(|(_, f)| *f).unwrap_or(0)
+    }
+
+    fn set_floor(&mut self, loc: usize, floor: usize) {
+        for entry in &mut self.coherence {
+            if entry.0 == loc {
+                entry.1 = entry.1.max(floor);
+                return;
+            }
+        }
+        self.coherence.push((loc, floor));
+    }
+}
+
+/// One store in a location's modification order.
+struct Store {
+    value: u64,
+    writer: usize,
+    writer_seq: u32,
+    /// Writer's clock at the store, present iff the store (or the release
+    /// sequence it continues) was a `Release`. Joined by acquiring readers.
+    release: Option<VectorClock>,
+}
+
+struct Location {
+    stores: Vec<Store>,
+}
+
+/// A modelled mutex, rwlock, condvar or channel endpoint. One struct covers
+/// all of them; unused fields stay empty.
+struct SyncObj {
+    clock: VectorClock,
+    owner: Option<usize>,
+    readers: Vec<usize>,
+    waiters: Vec<usize>,
+}
+
+impl SyncObj {
+    fn new() -> Self {
+        SyncObj { clock: VectorClock::new(), owner: None, readers: Vec::new(), waiters: Vec::new() }
+    }
+}
+
+/// Race-detector state for one `cell::UnsafeCell`.
+struct CellRace {
+    writes: VectorClock,
+    reads: VectorClock,
+}
+
+pub(crate) struct ExecState {
+    threads: Vec<ThreadState>,
+    locations: Vec<Location>,
+    objects: Vec<SyncObj>,
+    cells: Vec<CellRace>,
+    schedule: Vec<Choice>,
+    pos: usize,
+    mode: Mode,
+    failure: Option<String>,
+    cancelling: bool,
+    last_running: usize,
+    preemptions: usize,
+    preemption_bound: Option<usize>,
+    steps: usize,
+    max_depth: usize,
+}
+
+impl ExecState {
+    /// Resolves one nondeterministic decision with `total` options. Forced
+    /// decisions (`total == 1`) are not recorded so the DFS odometer only
+    /// walks real branch points.
+    fn choose(&mut self, total: usize) -> usize {
+        debug_assert!(total >= 1);
+        if total == 1 {
+            return 0;
+        }
+        match self.mode {
+            Mode::Dfs => {
+                if self.pos < self.schedule.len() {
+                    let c = self.schedule[self.pos];
+                    self.pos += 1;
+                    if c.total != total {
+                        self.fail(format!(
+                            "schedule divergence at decision {}: replay expected {} options, \
+                             execution offered {} (is the model closure deterministic?)",
+                            self.pos, c.total, total
+                        ));
+                        return c.chosen.min(total - 1);
+                    }
+                    c.chosen
+                } else {
+                    self.schedule.push(Choice { chosen: 0, total });
+                    self.pos += 1;
+                    0
+                }
+            }
+            Mode::Shuttle { ref mut rng } => {
+                // xorshift64* — cheap, deterministic per seed.
+                let mut x = *rng;
+                x ^= x >> 12;
+                x ^= x << 25;
+                x ^= x >> 27;
+                *rng = x;
+                (x.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 33) as usize % total
+            }
+        }
+    }
+
+    fn fail(&mut self, msg: String) {
+        if self.failure.is_none() {
+            self.failure = Some(msg);
+        }
+        self.cancelling = true;
+    }
+
+    fn loc_id(&mut self, loc: &LocRef, exec_id: u64, me: usize) -> usize {
+        if loc.exec.get() == exec_id {
+            return loc.idx.get();
+        }
+        let id = self.locations.len();
+        self.locations.push(Location {
+            stores: vec![Store { value: loc.last.get(), writer: me, writer_seq: 0, release: None }],
+        });
+        loc.exec.set(exec_id);
+        loc.idx.set(id);
+        id
+    }
+
+    fn obj_id(&mut self, obj: &ObjRef, exec_id: u64) -> usize {
+        if obj.exec.get() == exec_id {
+            return obj.idx.get();
+        }
+        let id = self.objects.len();
+        self.objects.push(SyncObj::new());
+        obj.exec.set(exec_id);
+        obj.idx.set(id);
+        id
+    }
+
+    fn cell_id(&mut self, cell: &ObjRef, exec_id: u64) -> usize {
+        if cell.exec.get() == exec_id {
+            return cell.idx.get();
+        }
+        let id = self.cells.len();
+        self.cells.push(CellRace { writes: VectorClock::new(), reads: VectorClock::new() });
+        cell.exec.set(exec_id);
+        cell.idx.set(id);
+        id
+    }
+
+    fn wake(&mut self, tid: usize) {
+        let t = &mut self.threads[tid];
+        if t.status == Status::Blocked || t.status == Status::BlockedTimed {
+            t.status = Status::Runnable;
+        }
+    }
+}
+
+/// Who currently holds the baton.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Holder {
+    Driver,
+    Thread(usize),
+}
+
+struct Baton {
+    m: StdMutex<Holder>,
+    cv: StdCondvar,
+}
+
+/// Scheduler decision for one driver step.
+enum Decision {
+    Run(usize),
+    Done,
+    Fail,
+}
+
+pub(crate) struct Execution {
+    id: u64,
+    state: StdMutex<ExecState>,
+    baton: Baton,
+}
+
+static NEXT_EXEC_ID: StdAtomicU64 = StdAtomicU64::new(1);
+
+thread_local! {
+    static CURRENT: RefCell<Option<(Arc<Execution>, usize)>> = const { RefCell::new(None) };
+}
+
+fn current() -> Option<(Arc<Execution>, usize)> {
+    CURRENT.with(|c| c.borrow().clone())
+}
+
+impl Execution {
+    pub(crate) fn new(
+        schedule: Vec<Choice>,
+        mode: Mode,
+        preemption_bound: Option<usize>,
+        max_depth: usize,
+    ) -> Arc<Self> {
+        Arc::new(Execution {
+            id: NEXT_EXEC_ID.fetch_add(1, Ordering::Relaxed),
+            state: StdMutex::new(ExecState {
+                threads: Vec::new(),
+                locations: Vec::new(),
+                objects: Vec::new(),
+                cells: Vec::new(),
+                schedule,
+                pos: 0,
+                mode,
+                failure: None,
+                cancelling: false,
+                last_running: 0,
+                preemptions: 0,
+                preemption_bound,
+                steps: 0,
+                max_depth,
+            }),
+            baton: Baton { m: StdMutex::new(Holder::Driver), cv: StdCondvar::new() },
+        })
+    }
+
+    fn lock_state(&self) -> std::sync::MutexGuard<'_, ExecState> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn cancelling(&self) -> bool {
+        self.lock_state().cancelling
+    }
+
+    /// Runs one complete execution; returns the failure message, if any.
+    /// On return every modelled thread has finished (or been cancelled) and
+    /// the baton is back with the driver.
+    pub(crate) fn run(
+        self: &Arc<Self>,
+        root: Arc<dyn Fn() + Send + Sync + 'static>,
+    ) -> Option<String> {
+        {
+            let mut st = self.lock_state();
+            st.threads.push(ThreadState::new(VectorClock::new()));
+        }
+        let exec = Arc::clone(self);
+        dispatch(Box::new(move || {
+            thread_main(
+                exec,
+                0,
+                Box::new(move || {
+                    root();
+                    Box::new(()) as Box<dyn Any + Send>
+                }),
+            );
+        }));
+        loop {
+            let decision = {
+                let mut st = self.lock_state();
+                self.pick(&mut st)
+            };
+            match decision {
+                Decision::Done => break,
+                Decision::Run(tid) => self.baton_run(tid),
+                Decision::Fail => {
+                    self.cancel_all();
+                    break;
+                }
+            }
+        }
+        self.lock_state().failure.take()
+    }
+
+    /// Chooses the next thread to run. Current-thread-first option ordering
+    /// plus preemption accounting implement the preemption bound.
+    fn pick(&self, st: &mut ExecState) -> Decision {
+        if st.failure.is_some() {
+            st.cancelling = true;
+            return Decision::Fail;
+        }
+        let mut options: Vec<usize> = Vec::new();
+        let mut all_finished = true;
+        for (tid, t) in st.threads.iter().enumerate() {
+            match t.status {
+                Status::Finished => {}
+                Status::Runnable | Status::BlockedTimed => {
+                    all_finished = false;
+                    options.push(tid);
+                }
+                Status::Blocked => all_finished = false,
+            }
+        }
+        if all_finished {
+            return Decision::Done;
+        }
+        if options.is_empty() {
+            let stuck: Vec<String> = st
+                .threads
+                .iter()
+                .enumerate()
+                .filter(|(_, t)| t.status != Status::Finished)
+                .map(|(tid, t)| format!("thread {tid}: {:?}", t.status))
+                .collect();
+            st.fail(format!("deadlock: every live thread is blocked ({})", stuck.join(", ")));
+            return Decision::Fail;
+        }
+        let cur = st.last_running;
+        let cur_runnable = st.threads.get(cur).is_some_and(|t| t.status == Status::Runnable);
+        if let Some(p) = options.iter().position(|&t| t == cur) {
+            options.remove(p);
+            options.insert(0, cur);
+        }
+        if let Some(bound) = st.preemption_bound {
+            if st.preemptions >= bound && cur_runnable {
+                options.truncate(1); // current thread is at the front
+            }
+        }
+        let idx = st.choose(options.len());
+        let tid = options[idx];
+        if tid != cur && cur_runnable {
+            st.preemptions += 1;
+        }
+        st.last_running = tid;
+        if st.threads[tid].status == Status::BlockedTimed {
+            st.threads[tid].timed_out = true;
+        }
+        st.threads[tid].status = Status::Runnable;
+        st.steps += 1;
+        if st.steps > st.max_depth {
+            st.fail(format!(
+                "execution exceeded max_depth ({} scheduling points): \
+                 livelock, or raise Builder::max_depth",
+                st.max_depth
+            ));
+            return Decision::Fail;
+        }
+        Decision::Run(tid)
+    }
+
+    /// Hands the baton to `tid` and blocks until it comes back.
+    fn baton_run(&self, tid: usize) {
+        let mut h = self.baton.m.lock().unwrap_or_else(|e| e.into_inner());
+        *h = Holder::Thread(tid);
+        self.baton.cv.notify_all();
+        while *h != Holder::Driver {
+            h = self.baton.cv.wait(h).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// After a failure: resumes every unfinished thread so it unwinds via
+    /// `CancelToken`, leaving no modelled thread parked on the baton.
+    fn cancel_all(&self) {
+        loop {
+            let pending: Vec<usize> = {
+                let st = self.lock_state();
+                st.threads
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, t)| t.status != Status::Finished)
+                    .map(|(tid, _)| tid)
+                    .collect()
+            };
+            if pending.is_empty() {
+                return;
+            }
+            for tid in pending {
+                self.baton_run(tid);
+            }
+        }
+    }
+
+    /// A modelled thread's scheduling point: baton to driver, park until
+    /// scheduled again. No-op during unwinding so guard drops stay safe;
+    /// unwinds with `CancelToken` once the execution is being cancelled.
+    fn yield_in(&self, me: usize) {
+        if std::thread::panicking() {
+            return;
+        }
+        if self.cancelling() {
+            panic::resume_unwind(Box::new(CancelToken));
+        }
+        {
+            let mut h = self.baton.m.lock().unwrap_or_else(|e| e.into_inner());
+            *h = Holder::Driver;
+            self.baton.cv.notify_all();
+            while *h != Holder::Thread(me) {
+                h = self.baton.cv.wait(h).unwrap_or_else(|e| e.into_inner());
+            }
+        }
+        if self.cancelling() {
+            panic::resume_unwind(Box::new(CancelToken));
+        }
+    }
+
+    fn wait_for_baton(&self, me: usize) {
+        let mut h = self.baton.m.lock().unwrap_or_else(|e| e.into_inner());
+        while *h != Holder::Thread(me) {
+            h = self.baton.cv.wait(h).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    fn baton_to_driver(&self) {
+        let mut h = self.baton.m.lock().unwrap_or_else(|e| e.into_inner());
+        *h = Holder::Driver;
+        self.baton.cv.notify_all();
+    }
+
+    pub(crate) fn take_schedule(&self) -> Vec<Choice> {
+        std::mem::take(&mut self.lock_state().schedule)
+    }
+}
+
+/// Advances the DFS odometer: increments the deepest non-exhausted choice and
+/// drops everything after it. Returns false once the space is exhausted.
+pub(crate) fn advance_dfs(schedule: &mut Vec<Choice>) -> bool {
+    loop {
+        match schedule.last_mut() {
+            Some(c) if c.chosen + 1 < c.total => {
+                c.chosen += 1;
+                return true;
+            }
+            Some(_) => {
+                schedule.pop();
+            }
+            None => return false,
+        }
+    }
+}
+
+fn panic_message(payload: &(dyn Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "thread panicked (non-string payload)".to_string()
+    }
+}
+
+/// Body run by every modelled thread (on a pooled OS thread).
+fn thread_main(
+    exec: Arc<Execution>,
+    tid: usize,
+    f: Box<dyn FnOnce() -> Box<dyn Any + Send> + Send>,
+) {
+    CURRENT.with(|c| *c.borrow_mut() = Some((Arc::clone(&exec), tid)));
+    exec.wait_for_baton(tid);
+    let result = if exec.cancelling() {
+        Err(Box::new(CancelToken) as Box<dyn Any + Send>)
+    } else {
+        panic::catch_unwind(AssertUnwindSafe(f))
+    };
+    {
+        let mut st = exec.lock_state();
+        let clock = st.threads[tid].clock.clone();
+        st.threads[tid].final_clock = Some(clock);
+        st.threads[tid].status = Status::Finished;
+        match result {
+            Ok(val) => st.threads[tid].result = Some(val),
+            Err(payload) => {
+                if !payload.is::<CancelToken>() {
+                    let msg = panic_message(payload.as_ref());
+                    st.fail(msg);
+                }
+            }
+        }
+        let waiters = std::mem::take(&mut st.threads[tid].join_waiters);
+        for w in waiters {
+            st.wake(w);
+        }
+    }
+    CURRENT.with(|c| *c.borrow_mut() = None);
+    exec.baton_to_driver();
+}
+
+// ---------------------------------------------------------------------------
+// OS thread pool. Model threads are real threads reused across executions so
+// a DFS over thousands of executions does not pay thousands of thread spawns.
+// ---------------------------------------------------------------------------
+
+type Job = Box<dyn FnOnce() + Send>;
+
+static POOL: StdMutex<Vec<std_mpsc::Sender<Job>>> = StdMutex::new(Vec::new());
+
+fn dispatch(job: Job) {
+    let worker = POOL.lock().unwrap_or_else(|e| e.into_inner()).pop();
+    match worker {
+        Some(tx) => {
+            if let Err(std_mpsc::SendError(job)) = tx.send(job) {
+                spawn_worker(job);
+            }
+        }
+        None => spawn_worker(job),
+    }
+}
+
+fn spawn_worker(job: Job) {
+    let (tx, rx) = std_mpsc::channel::<Job>();
+    std::thread::Builder::new()
+        .name("loom-worker".to_string())
+        .spawn(move || {
+            let mut next = Some(job);
+            while let Some(j) = next.take() {
+                j();
+                POOL.lock().unwrap_or_else(|e| e.into_inner()).push(tx.clone());
+                match rx.recv() {
+                    Ok(j) => next = Some(j),
+                    Err(_) => break,
+                }
+            }
+        })
+        .expect("failed to spawn loom worker thread");
+}
+
+// ---------------------------------------------------------------------------
+// Lazily registered handles tying user-visible objects to per-execution state.
+// ---------------------------------------------------------------------------
+
+/// Handle from a user-visible sync object (mutex, condvar, channel, cell) to
+/// its per-execution slot. `Cell`s are sound here: only the baton holder
+/// touches them, and registration happens under the execution state lock.
+#[derive(Debug, Default)]
+pub(crate) struct ObjRef {
+    exec: Cell<u64>,
+    idx: Cell<usize>,
+}
+
+// Safety: see type docs — the baton serialises all access.
+unsafe impl Send for ObjRef {}
+unsafe impl Sync for ObjRef {}
+
+impl ObjRef {
+    pub(crate) const fn new() -> Self {
+        ObjRef { exec: Cell::new(0), idx: Cell::new(0) }
+    }
+}
+
+/// Like [`ObjRef`] but for atomic locations; `last` carries the most recent
+/// value so a location re-registered in a later execution (or created before
+/// the model closure ran) starts from the right initial value.
+#[derive(Debug)]
+pub(crate) struct LocRef {
+    exec: Cell<u64>,
+    idx: Cell<usize>,
+    last: Cell<u64>,
+}
+
+// Safety: see `ObjRef` — the baton serialises all access.
+unsafe impl Send for LocRef {}
+unsafe impl Sync for LocRef {}
+
+impl LocRef {
+    pub(crate) const fn new(init: u64) -> Self {
+        LocRef { exec: Cell::new(0), idx: Cell::new(0), last: Cell::new(init) }
+    }
+
+    pub(crate) fn unsync_load(&self) -> u64 {
+        self.last.get()
+    }
+}
+
+fn with_state<R>(f: impl FnOnce(&mut ExecState, usize, u64) -> R) -> R {
+    let (exec, me) = current().expect("loom primitive used outside a model execution");
+    let id = exec.id;
+    let mut st = exec.lock_state();
+    f(&mut st, me, id)
+}
+
+/// True when the calling thread is inside a model execution.
+pub(crate) fn in_execution() -> bool {
+    current().is_some()
+}
+
+/// The calling thread's scheduling point.
+pub(crate) fn schedule() {
+    let (exec, me) = current().expect("loom primitive used outside a model execution");
+    exec.yield_in(me);
+}
+
+/// Panics (failing the execution) with a race/model diagnostic.
+fn model_panic(msg: String) -> ! {
+    panic!("{msg}");
+}
+
+// ---------------------------------------------------------------------------
+// Atomics
+// ---------------------------------------------------------------------------
+
+fn acquires(ord: Ordering) -> bool {
+    matches!(ord, Ordering::Acquire | Ordering::AcqRel | Ordering::SeqCst)
+}
+
+fn releases(ord: Ordering) -> bool {
+    matches!(ord, Ordering::Release | Ordering::AcqRel | Ordering::SeqCst)
+}
+
+/// Models an atomic load: picks (as an explored choice) among every store the
+/// reader could legally observe, then applies the acquire edge if any.
+pub(crate) fn atomic_load(loc: &LocRef, ord: Ordering) -> u64 {
+    schedule();
+    with_state(|st, me, exec_id| {
+        let lid = st.loc_id(loc, exec_id, me);
+        let floor = st.threads[me].floor(lid);
+        let visible: Vec<usize> = {
+            let stores = &st.locations[lid].stores;
+            let clock = &st.threads[me].clock;
+            (floor..stores.len())
+                .filter(|&i| {
+                    // Hidden iff the reader provably knows a later store.
+                    !((i + 1)..stores.len())
+                        .any(|j| clock.get(stores[j].writer) >= stores[j].writer_seq)
+                })
+                .collect()
+        };
+        debug_assert!(!visible.is_empty());
+        let chosen = if visible.len() == 1 {
+            visible[0]
+        } else {
+            let pick = st.choose(visible.len());
+            visible[pick]
+        };
+        let (value, release) = {
+            let s = &st.locations[lid].stores[chosen];
+            (s.value, s.release.clone())
+        };
+        if acquires(ord) {
+            if let Some(rc) = release {
+                st.threads[me].clock.join(&rc);
+            }
+        }
+        st.threads[me].set_floor(lid, chosen);
+        loc.last.set(value);
+        value
+    })
+}
+
+/// Models an atomic store: appends to the modification order, tagging the
+/// store with the writer's clock when the ordering releases.
+pub(crate) fn atomic_store(loc: &LocRef, value: u64, ord: Ordering) {
+    schedule();
+    with_state(|st, me, exec_id| {
+        let lid = st.loc_id(loc, exec_id, me);
+        let seq = st.threads[me].clock.increment(me);
+        let release = releases(ord).then(|| st.threads[me].clock.clone());
+        st.locations[lid].stores.push(Store { value, writer: me, writer_seq: seq, release });
+        let newest = st.locations[lid].stores.len() - 1;
+        st.threads[me].set_floor(lid, newest);
+        loc.last.set(value);
+    });
+}
+
+/// Models a read-modify-write: always observes the newest store (atomicity),
+/// applies acquire/release edges per `ord`, and continues the release
+/// sequence when a relaxed RMW lands on a release store.
+pub(crate) fn atomic_rmw(loc: &LocRef, ord: Ordering, f: impl FnOnce(u64) -> u64) -> u64 {
+    schedule();
+    with_state(|st, me, exec_id| {
+        let lid = st.loc_id(loc, exec_id, me);
+        let (prev, prev_release) = {
+            let s = st.locations[lid].stores.last().expect("location has init store");
+            (s.value, s.release.clone())
+        };
+        if acquires(ord) {
+            if let Some(rc) = &prev_release {
+                st.threads[me].clock.join(rc);
+            }
+        }
+        let seq = st.threads[me].clock.increment(me);
+        let release = if releases(ord) {
+            Some(st.threads[me].clock.clone())
+        } else {
+            // RMWs continue release sequences: an acquire load of this store
+            // still synchronises with the original release store.
+            prev_release
+        };
+        let value = f(prev);
+        st.locations[lid].stores.push(Store { value, writer: me, writer_seq: seq, release });
+        let newest = st.locations[lid].stores.len() - 1;
+        st.threads[me].set_floor(lid, newest);
+        loc.last.set(value);
+        prev
+    })
+}
+
+/// Exclusive-access (`&mut`) store: appends to the modification order with no
+/// scheduling point (exclusivity is proven by the borrow checker) when inside
+/// an execution, else just refreshes the cached value. Tagged as a release so
+/// later shared readers — who necessarily obtained their `&` through some
+/// synchronisation — observe it.
+pub(crate) fn atomic_mut_store(loc: &LocRef, value: u64) {
+    if !in_execution() {
+        loc.last.set(value);
+        return;
+    }
+    with_state(|st, me, exec_id| {
+        let lid = st.loc_id(loc, exec_id, me);
+        let seq = st.threads[me].clock.increment(me);
+        let release = Some(st.threads[me].clock.clone());
+        st.locations[lid].stores.push(Store { value, writer: me, writer_seq: seq, release });
+        let newest = st.locations[lid].stores.len() - 1;
+        st.threads[me].set_floor(lid, newest);
+        loc.last.set(value);
+    });
+}
+
+// ---------------------------------------------------------------------------
+// UnsafeCell race detection
+// ---------------------------------------------------------------------------
+
+/// Records an immutable access; fails the execution if it races a write.
+pub(crate) fn cell_read(cell: &ObjRef) {
+    if !in_execution() || std::thread::panicking() {
+        return;
+    }
+    let diag = with_state(|st, me, exec_id| {
+        let cid = st.cell_id(cell, exec_id);
+        st.threads[me].clock.increment(me);
+        let ok = st.threads[me].clock.dominates(&st.cells[cid].writes);
+        let clock = st.threads[me].clock.clone();
+        st.cells[cid].reads.join(&clock);
+        ok
+    });
+    if !diag {
+        model_panic("data race: UnsafeCell read concurrent with a write".to_string());
+    }
+}
+
+/// Records a mutable access; fails the execution if it races any access.
+pub(crate) fn cell_write(cell: &ObjRef) {
+    if !in_execution() || std::thread::panicking() {
+        return;
+    }
+    let diag = with_state(|st, me, exec_id| {
+        let cid = st.cell_id(cell, exec_id);
+        st.threads[me].clock.increment(me);
+        let ok = st.threads[me].clock.dominates(&st.cells[cid].writes)
+            && st.threads[me].clock.dominates(&st.cells[cid].reads);
+        let clock = st.threads[me].clock.clone();
+        st.cells[cid].writes.join(&clock);
+        ok
+    });
+    if !diag {
+        model_panic("data race: UnsafeCell write concurrent with another access".to_string());
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Mutex / RwLock
+// ---------------------------------------------------------------------------
+
+pub(crate) fn mutex_lock(obj: &ObjRef) {
+    schedule();
+    loop {
+        let acquired = with_state(|st, me, exec_id| {
+            let oid = st.obj_id(obj, exec_id);
+            if st.objects[oid].owner.is_none() {
+                st.objects[oid].owner = Some(me);
+                let oc = st.objects[oid].clock.clone();
+                st.threads[me].clock.join(&oc);
+                true
+            } else {
+                st.objects[oid].waiters.push(me);
+                st.threads[me].status = Status::Blocked;
+                false
+            }
+        });
+        if acquired {
+            return;
+        }
+        schedule();
+    }
+}
+
+pub(crate) fn mutex_unlock(obj: &ObjRef) {
+    if !in_execution() {
+        return; // guard dropped after the execution completed
+    }
+    if !std::thread::panicking() {
+        schedule();
+    }
+    with_state(|st, me, exec_id| {
+        let oid = st.obj_id(obj, exec_id);
+        st.objects[oid].owner = None;
+        st.threads[me].clock.increment(me);
+        let clock = st.threads[me].clock.clone();
+        st.objects[oid].clock.join(&clock);
+        let waiters = std::mem::take(&mut st.objects[oid].waiters);
+        for w in waiters {
+            st.wake(w);
+        }
+    });
+}
+
+pub(crate) fn rw_read_lock(obj: &ObjRef) {
+    schedule();
+    loop {
+        let acquired = with_state(|st, me, exec_id| {
+            let oid = st.obj_id(obj, exec_id);
+            if st.objects[oid].owner.is_none() {
+                st.objects[oid].readers.push(me);
+                let oc = st.objects[oid].clock.clone();
+                st.threads[me].clock.join(&oc);
+                true
+            } else {
+                st.objects[oid].waiters.push(me);
+                st.threads[me].status = Status::Blocked;
+                false
+            }
+        });
+        if acquired {
+            return;
+        }
+        schedule();
+    }
+}
+
+pub(crate) fn rw_read_unlock(obj: &ObjRef) {
+    if !in_execution() {
+        return;
+    }
+    if !std::thread::panicking() {
+        schedule();
+    }
+    with_state(|st, me, exec_id| {
+        let oid = st.obj_id(obj, exec_id);
+        if let Some(p) = st.objects[oid].readers.iter().position(|&r| r == me) {
+            st.objects[oid].readers.remove(p);
+        }
+        st.threads[me].clock.increment(me);
+        let clock = st.threads[me].clock.clone();
+        // Reader -> next-writer edge: the writer that acquires after us must
+        // happen-after our critical section.
+        st.objects[oid].clock.join(&clock);
+        let waiters = std::mem::take(&mut st.objects[oid].waiters);
+        for w in waiters {
+            st.wake(w);
+        }
+    });
+}
+
+pub(crate) fn rw_write_lock(obj: &ObjRef) {
+    schedule();
+    loop {
+        let acquired = with_state(|st, me, exec_id| {
+            let oid = st.obj_id(obj, exec_id);
+            if st.objects[oid].owner.is_none() && st.objects[oid].readers.is_empty() {
+                st.objects[oid].owner = Some(me);
+                let oc = st.objects[oid].clock.clone();
+                st.threads[me].clock.join(&oc);
+                true
+            } else {
+                st.objects[oid].waiters.push(me);
+                st.threads[me].status = Status::Blocked;
+                false
+            }
+        });
+        if acquired {
+            return;
+        }
+        schedule();
+    }
+}
+
+pub(crate) fn rw_write_unlock(obj: &ObjRef) {
+    mutex_unlock(obj);
+}
+
+// ---------------------------------------------------------------------------
+// Condvar
+// ---------------------------------------------------------------------------
+
+/// Blocks on `cv` with `mutex` held (released for the duration, reacquired
+/// before returning). Returns true iff the wait timed out — which for timed
+/// waits the scheduler may decide at any scheduling point, so both the
+/// notified and the timed-out paths get explored.
+pub(crate) fn condvar_wait(cv: &ObjRef, mutex: &ObjRef, timed: bool) -> bool {
+    schedule();
+    with_state(|st, me, exec_id| {
+        let oid = st.obj_id(cv, exec_id);
+        st.objects[oid].waiters.push(me);
+        st.threads[me].notified = false;
+        st.threads[me].timed_out = false;
+        // Release the mutex (same state mutation as mutex_unlock, without the
+        // extra scheduling point: this wait op already yielded above).
+        let mid = st.obj_id(mutex, exec_id);
+        st.objects[mid].owner = None;
+        st.threads[me].clock.increment(me);
+        let clock = st.threads[me].clock.clone();
+        st.objects[mid].clock.join(&clock);
+        let waiters = std::mem::take(&mut st.objects[mid].waiters);
+        for w in waiters {
+            st.wake(w);
+        }
+    });
+    loop {
+        let done = with_state(|st, me, _| {
+            if st.threads[me].notified || st.threads[me].timed_out {
+                true
+            } else {
+                st.threads[me].status = if timed { Status::BlockedTimed } else { Status::Blocked };
+                false
+            }
+        });
+        if done {
+            break;
+        }
+        schedule();
+    }
+    let timed_out = with_state(|st, me, exec_id| {
+        let timed_out = st.threads[me].timed_out && !st.threads[me].notified;
+        st.threads[me].notified = false;
+        st.threads[me].timed_out = false;
+        if timed_out {
+            // Timed out without a notify: withdraw from the waiter list.
+            let oid = st.obj_id(cv, exec_id);
+            if let Some(p) = st.objects[oid].waiters.iter().position(|&w| w == me) {
+                st.objects[oid].waiters.remove(p);
+            }
+        }
+        timed_out
+    });
+    mutex_lock(mutex);
+    timed_out
+}
+
+pub(crate) fn condvar_notify(cv: &ObjRef, all: bool) {
+    schedule();
+    with_state(|st, me, exec_id| {
+        let _ = me;
+        let oid = st.obj_id(cv, exec_id);
+        let count = if all { st.objects[oid].waiters.len() } else { 1 };
+        for _ in 0..count {
+            if st.objects[oid].waiters.is_empty() {
+                break;
+            }
+            let w = st.objects[oid].waiters.remove(0);
+            st.threads[w].notified = true;
+            st.wake(w);
+        }
+    });
+}
+
+// ---------------------------------------------------------------------------
+// Channels (the blocking/wakeup half; values live in sync::mpsc)
+// ---------------------------------------------------------------------------
+
+/// The sender's clock contribution for one message: incremented and cloned.
+pub(crate) fn send_clock() -> VectorClock {
+    with_state(|st, me, _| {
+        st.threads[me].clock.increment(me);
+        st.threads[me].clock.clone()
+    })
+}
+
+/// Joins a received message's clock into the receiver (the send → recv edge).
+pub(crate) fn join_clock(c: &VectorClock) {
+    with_state(|st, me, _| st.threads[me].clock.join(c));
+}
+
+/// Wakes any thread parked on the channel object (the blocked receiver).
+pub(crate) fn chan_wake(obj: &ObjRef) {
+    if !in_execution() {
+        return; // sender dropped outside any execution
+    }
+    with_state(|st, _, exec_id| {
+        let oid = st.obj_id(obj, exec_id);
+        let waiters = std::mem::take(&mut st.objects[oid].waiters);
+        for w in waiters {
+            st.threads[w].notified = true;
+            st.wake(w);
+        }
+    });
+}
+
+/// Parks the calling thread on the channel object until woken (or, for timed
+/// waits, until the scheduler fires the timeout). Returns true iff timed out.
+pub(crate) fn chan_block(obj: &ObjRef, timed: bool) -> bool {
+    with_state(|st, me, exec_id| {
+        let oid = st.obj_id(obj, exec_id);
+        st.objects[oid].waiters.push(me);
+        st.threads[me].notified = false;
+        st.threads[me].timed_out = false;
+        st.threads[me].status = if timed { Status::BlockedTimed } else { Status::Blocked };
+    });
+    schedule();
+    with_state(|st, me, exec_id| {
+        let timed_out = st.threads[me].timed_out && !st.threads[me].notified;
+        st.threads[me].notified = false;
+        st.threads[me].timed_out = false;
+        let oid = st.obj_id(obj, exec_id);
+        if let Some(p) = st.objects[oid].waiters.iter().position(|&w| w == me) {
+            st.objects[oid].waiters.remove(p);
+        }
+        timed_out
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Threads
+// ---------------------------------------------------------------------------
+
+/// Spawns a modelled thread; returns its thread id.
+pub(crate) fn thread_spawn(f: Box<dyn FnOnce() -> Box<dyn Any + Send> + Send>) -> usize {
+    schedule();
+    let (exec, me) = current().expect("loom primitive used outside a model execution");
+    let tid = {
+        let mut st = exec.lock_state();
+        let tid = st.threads.len();
+        // Child inherits everything the parent has seen so far.
+        let clock = st.threads[me].clock.clone();
+        st.threads[me].clock.increment(me);
+        st.threads.push(ThreadState::new(clock));
+        tid
+    };
+    let exec2 = Arc::clone(&exec);
+    dispatch(Box::new(move || thread_main(exec2, tid, f)));
+    tid
+}
+
+/// Blocks until thread `tid` finishes; joins its final clock and takes its
+/// result (the spawn-closure return value, boxed).
+pub(crate) fn thread_join(tid: usize) -> Box<dyn Any + Send> {
+    schedule();
+    loop {
+        enum JoinStep {
+            Done(Box<dyn Any + Send>),
+            Wait,
+        }
+        let step = with_state(|st, me, _| {
+            if st.threads[tid].status == Status::Finished {
+                let fc =
+                    st.threads[tid].final_clock.clone().expect("finished thread has a final clock");
+                st.threads[me].clock.join(&fc);
+                let result = st.threads[tid]
+                    .result
+                    .take()
+                    .expect("thread result already taken (double join?)");
+                JoinStep::Done(result)
+            } else {
+                st.threads[tid].join_waiters.push(me);
+                st.threads[me].status = Status::Blocked;
+                JoinStep::Wait
+            }
+        });
+        match step {
+            JoinStep::Done(v) => return v,
+            JoinStep::Wait => schedule(),
+        }
+    }
+}

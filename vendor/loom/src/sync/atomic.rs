@@ -1,0 +1,174 @@
+//! Model-checked atomics, mirroring `loom::sync::atomic`.
+//!
+//! Every location keeps its full store history (see `rt`): loads pick among
+//! the stores the memory model lets them observe — so a `Relaxed` load really
+//! can return a stale value during exploration — and `Acquire`/`Release`
+//! edges join vector clocks exactly where the C11 model says they must.
+//! `SeqCst` is accepted but modelled as `AcqRel`; the workspace's own lint
+//! (`check_sync_lints`) bans it at the source level anyway.
+
+use crate::rt;
+
+#[doc(no_inline)]
+pub use std::sync::atomic::Ordering;
+
+macro_rules! atomic_int {
+    ($(#[$doc:meta])* $name:ident, $ty:ty) => {
+        $(#[$doc])*
+        pub struct $name {
+            loc: rt::LocRef,
+        }
+
+        // Safety: all shared-path operations route through the runtime, which
+        // serialises them under the scheduler baton.
+        unsafe impl Send for $name {}
+        unsafe impl Sync for $name {}
+
+        impl $name {
+            /// Creates an atomic with the given initial value.
+            pub fn new(v: $ty) -> Self {
+                $name {
+                    loc: rt::LocRef::new(v as u64),
+                }
+            }
+
+            /// Atomic load with the given ordering; under the model this is
+            /// an exploration point over every legally observable store.
+            pub fn load(&self, ord: Ordering) -> $ty {
+                rt::atomic_load(&self.loc, ord) as $ty
+            }
+
+            /// Atomic store with the given ordering.
+            pub fn store(&self, v: $ty, ord: Ordering) {
+                rt::atomic_store(&self.loc, v as u64, ord);
+            }
+
+            /// Atomic swap; returns the previous value.
+            pub fn swap(&self, v: $ty, ord: Ordering) -> $ty {
+                rt::atomic_rmw(&self.loc, ord, |_| v as u64) as $ty
+            }
+
+            /// Atomic wrapping add; returns the previous value.
+            pub fn fetch_add(&self, v: $ty, ord: Ordering) -> $ty {
+                rt::atomic_rmw(&self.loc, ord, |prev| {
+                    (prev as $ty).wrapping_add(v) as u64
+                }) as $ty
+            }
+
+            /// Atomic wrapping subtract; returns the previous value.
+            pub fn fetch_sub(&self, v: $ty, ord: Ordering) -> $ty {
+                rt::atomic_rmw(&self.loc, ord, |prev| {
+                    (prev as $ty).wrapping_sub(v) as u64
+                }) as $ty
+            }
+
+            /// Atomic maximum; returns the previous value.
+            pub fn fetch_max(&self, v: $ty, ord: Ordering) -> $ty {
+                rt::atomic_rmw(&self.loc, ord, |prev| {
+                    (prev as $ty).max(v) as u64
+                }) as $ty
+            }
+
+            /// Runs `f` with exclusive (`&mut`) access to the value — the
+            /// loom-style replacement for `std`'s `get_mut`, needed because
+            /// the modelled value lives in the runtime's store history.
+            pub fn with_mut<R>(&mut self, f: impl FnOnce(&mut $ty) -> R) -> R {
+                let mut v = self.loc.unsync_load() as $ty;
+                let r = f(&mut v);
+                rt::atomic_mut_store(&self.loc, v as u64);
+                r
+            }
+
+            /// Unwraps the current value.
+            pub fn into_inner(self) -> $ty {
+                self.loc.unsync_load() as $ty
+            }
+        }
+
+        impl Default for $name {
+            fn default() -> Self {
+                Self::new(0)
+            }
+        }
+
+        impl std::fmt::Debug for $name {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                f.debug_tuple(stringify!($name))
+                    .field(&self.loc.unsync_load())
+                    .finish()
+            }
+        }
+    };
+}
+
+atomic_int!(
+    /// Model-checked `AtomicU8`.
+    AtomicU8,
+    u8
+);
+atomic_int!(
+    /// Model-checked `AtomicU32`.
+    AtomicU32,
+    u32
+);
+atomic_int!(
+    /// Model-checked `AtomicU64`.
+    AtomicU64,
+    u64
+);
+atomic_int!(
+    /// Model-checked `AtomicUsize`.
+    AtomicUsize,
+    usize
+);
+
+/// Model-checked `AtomicBool`.
+pub struct AtomicBool {
+    loc: rt::LocRef,
+}
+
+// Safety: as for the integer atomics.
+unsafe impl Send for AtomicBool {}
+unsafe impl Sync for AtomicBool {}
+
+impl AtomicBool {
+    /// Creates an atomic with the given initial value.
+    pub fn new(v: bool) -> Self {
+        AtomicBool { loc: rt::LocRef::new(v as u64) }
+    }
+
+    /// Atomic load; an exploration point under the model.
+    pub fn load(&self, ord: Ordering) -> bool {
+        rt::atomic_load(&self.loc, ord) != 0
+    }
+
+    /// Atomic store.
+    pub fn store(&self, v: bool, ord: Ordering) {
+        rt::atomic_store(&self.loc, v as u64, ord);
+    }
+
+    /// Atomic swap; returns the previous value.
+    pub fn swap(&self, v: bool, ord: Ordering) -> bool {
+        rt::atomic_rmw(&self.loc, ord, |_| v as u64) != 0
+    }
+
+    /// Runs `f` with exclusive (`&mut`) access to the value.
+    pub fn with_mut<R>(&mut self, f: impl FnOnce(&mut bool) -> R) -> R {
+        let mut v = self.loc.unsync_load() != 0;
+        let r = f(&mut v);
+        rt::atomic_mut_store(&self.loc, v as u64);
+        r
+    }
+}
+
+impl Default for AtomicBool {
+    fn default() -> Self {
+        AtomicBool::new(false)
+    }
+}
+
+impl std::fmt::Debug for AtomicBool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_tuple("AtomicBool").field(&(self.loc.unsync_load() != 0)).finish()
+    }
+}

@@ -1,0 +1,296 @@
+//! Model-checked drop-ins for the `std::sync` primitives the workspace uses.
+//!
+//! Same shapes as `std`: `lock()`/`read()`/`write()` return `LockResult`s
+//! (always `Ok` — a panicking thread fails the whole execution, so poisoning
+//! never surfaces), condvar waits take and return guards, and `Arc` is a
+//! plain re-export of `std::sync::Arc` (reference counting is already
+//! sequentially consistent; modelling it would only grow the state space).
+
+pub mod atomic;
+pub mod mpsc;
+
+use std::time::Duration;
+
+use crate::cell::UnsafeCell;
+use crate::rt;
+
+#[doc(no_inline)]
+pub use std::sync::{Arc, LockResult, PoisonError, Weak};
+
+/// Model-checked mutual exclusion with `std::sync::Mutex`'s API subset.
+#[derive(Debug, Default)]
+pub struct Mutex<T> {
+    obj: rt::ObjRef,
+    data: std::cell::UnsafeCell<T>,
+}
+
+// Safety: the runtime grants at most one guard at a time; data is only
+// reachable through a guard.
+unsafe impl<T: Send> Send for Mutex<T> {}
+unsafe impl<T: Send> Sync for Mutex<T> {}
+
+impl<T> Mutex<T> {
+    /// Wraps a value.
+    pub fn new(t: T) -> Self {
+        Mutex { obj: rt::ObjRef::new(), data: std::cell::UnsafeCell::new(t) }
+    }
+
+    /// Acquires the lock, blocking (in model time) until available.
+    pub fn lock(&self) -> LockResult<MutexGuard<'_, T>> {
+        rt::mutex_lock(&self.obj);
+        Ok(MutexGuard { lock: self })
+    }
+
+    /// Consumes the mutex, returning the inner value.
+    pub fn into_inner(self) -> LockResult<T> {
+        Ok(self.data.into_inner())
+    }
+
+    /// Exclusive access without locking (statically race-free via `&mut`).
+    pub fn get_mut(&mut self) -> LockResult<&mut T> {
+        Ok(self.data.get_mut())
+    }
+}
+
+/// RAII guard for [`Mutex`]; releases on drop.
+#[derive(Debug)]
+pub struct MutexGuard<'a, T> {
+    lock: &'a Mutex<T>,
+}
+
+impl<T> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        // Safety: the runtime guarantees exclusive ownership while the guard
+        // lives.
+        unsafe { &*self.lock.data.get() }
+    }
+}
+
+impl<T> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        // Safety: as above.
+        unsafe { &mut *self.lock.data.get() }
+    }
+}
+
+impl<T> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        rt::mutex_unlock(&self.lock.obj);
+    }
+}
+
+/// Result of a timed condvar wait, mirroring `std::sync::WaitTimeoutResult`.
+#[derive(Debug, Clone, Copy)]
+pub struct WaitTimeoutResult(pub(crate) bool);
+
+impl WaitTimeoutResult {
+    /// True when the wait ended because the (modelled) timeout fired rather
+    /// than a notification.
+    pub fn timed_out(&self) -> bool {
+        self.0
+    }
+}
+
+/// Model-checked condition variable. Timed waits have no real clock: the
+/// scheduler may fire the timeout at any scheduling point, so exploration
+/// covers both the notified and the timed-out path.
+#[derive(Debug, Default)]
+pub struct Condvar {
+    obj: rt::ObjRef,
+}
+
+impl Condvar {
+    /// Creates a condition variable.
+    pub fn new() -> Self {
+        Condvar { obj: rt::ObjRef::new() }
+    }
+
+    /// Releases the guard's mutex, waits for a notification, reacquires.
+    pub fn wait<'a, T>(&self, guard: MutexGuard<'a, T>) -> LockResult<MutexGuard<'a, T>> {
+        let lock = guard.lock;
+        std::mem::forget(guard); // the wait manages unlock/relock itself
+        rt::condvar_wait(&self.obj, &lock.obj, false);
+        Ok(MutexGuard { lock })
+    }
+
+    /// Like [`wait`](Condvar::wait) but may also wake by (modelled) timeout;
+    /// the `Duration` is ignored — model time is scheduling choices, not
+    /// wall-clock.
+    pub fn wait_timeout<'a, T>(
+        &self,
+        guard: MutexGuard<'a, T>,
+        _dur: Duration,
+    ) -> LockResult<(MutexGuard<'a, T>, WaitTimeoutResult)> {
+        let lock = guard.lock;
+        std::mem::forget(guard);
+        let timed_out = rt::condvar_wait(&self.obj, &lock.obj, true);
+        Ok((MutexGuard { lock }, WaitTimeoutResult(timed_out)))
+    }
+
+    /// Wakes one waiter (FIFO — deterministic, unlike real condvars).
+    pub fn notify_one(&self) {
+        rt::condvar_notify(&self.obj, false);
+    }
+
+    /// Wakes all waiters.
+    pub fn notify_all(&self) {
+        rt::condvar_notify(&self.obj, true);
+    }
+}
+
+/// Model-checked reader-writer lock with `std::sync::RwLock`'s API subset.
+#[derive(Debug, Default)]
+pub struct RwLock<T> {
+    obj: rt::ObjRef,
+    data: std::cell::UnsafeCell<T>,
+}
+
+// Safety: readers get shared access, the writer exclusive access, enforced by
+// the runtime.
+unsafe impl<T: Send> Send for RwLock<T> {}
+unsafe impl<T: Send + Sync> Sync for RwLock<T> {}
+
+impl<T> RwLock<T> {
+    /// Wraps a value.
+    pub fn new(t: T) -> Self {
+        RwLock { obj: rt::ObjRef::new(), data: std::cell::UnsafeCell::new(t) }
+    }
+
+    /// Acquires shared read access.
+    pub fn read(&self) -> LockResult<RwLockReadGuard<'_, T>> {
+        rt::rw_read_lock(&self.obj);
+        Ok(RwLockReadGuard { lock: self })
+    }
+
+    /// Acquires exclusive write access.
+    pub fn write(&self) -> LockResult<RwLockWriteGuard<'_, T>> {
+        rt::rw_write_lock(&self.obj);
+        Ok(RwLockWriteGuard { lock: self })
+    }
+
+    /// Exclusive access without locking (statically race-free via `&mut`).
+    pub fn get_mut(&mut self) -> LockResult<&mut T> {
+        Ok(self.data.get_mut())
+    }
+
+    /// Consumes the lock, returning the inner value.
+    pub fn into_inner(self) -> LockResult<T> {
+        Ok(self.data.into_inner())
+    }
+}
+
+/// Shared-access RAII guard for [`RwLock`].
+#[derive(Debug)]
+pub struct RwLockReadGuard<'a, T> {
+    lock: &'a RwLock<T>,
+}
+
+impl<T> std::ops::Deref for RwLockReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        // Safety: the runtime excludes writers while read guards live.
+        unsafe { &*self.lock.data.get() }
+    }
+}
+
+impl<T> Drop for RwLockReadGuard<'_, T> {
+    fn drop(&mut self) {
+        rt::rw_read_unlock(&self.lock.obj);
+    }
+}
+
+/// Exclusive-access RAII guard for [`RwLock`].
+#[derive(Debug)]
+pub struct RwLockWriteGuard<'a, T> {
+    lock: &'a RwLock<T>,
+}
+
+impl<T> std::ops::Deref for RwLockWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        // Safety: the runtime grants the writer exclusive access.
+        unsafe { &*self.lock.data.get() }
+    }
+}
+
+impl<T> std::ops::DerefMut for RwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        // Safety: as above.
+        unsafe { &mut *self.lock.data.get() }
+    }
+}
+
+impl<T> Drop for RwLockWriteGuard<'_, T> {
+    fn drop(&mut self) {
+        rt::rw_write_unlock(&self.lock.obj);
+    }
+}
+
+/// Model-checked once-initialised cell with `std::sync::OnceLock`'s API
+/// subset. The fast path is a genuine acquire-load of a publication flag over
+/// a race-checked cell, so a missing release/acquire pair in the model shows
+/// up as a detected race or a failed unwrap rather than silence.
+#[derive(Debug)]
+pub struct OnceLock<T> {
+    init_lock: Mutex<()>,
+    ready: atomic::AtomicU32,
+    value: UnsafeCell<Option<T>>,
+}
+
+// Safety: `value` is written exactly once under `init_lock` and published via
+// the `ready` release store; readers only touch it after an acquire load
+// observes the flag. The embedded race detector checks this claim every run.
+unsafe impl<T: Send> Send for OnceLock<T> {}
+unsafe impl<T: Send + Sync> Sync for OnceLock<T> {}
+
+impl<T> OnceLock<T> {
+    /// Creates an empty cell.
+    pub fn new() -> Self {
+        OnceLock {
+            init_lock: Mutex::new(()),
+            ready: atomic::AtomicU32::new(0),
+            value: UnsafeCell::new(None),
+        }
+    }
+
+    /// Returns the value if initialised (lock-free fast path).
+    pub fn get(&self) -> Option<&T> {
+        if self.ready.load(atomic::Ordering::Acquire) == 1 {
+            // Safety: the acquire load above synchronises with the release
+            // store in `get_or_init`, so the write to `value` is visible and
+            // no further writes ever happen.
+            self.value.with(|p| unsafe { (*p).as_ref() })
+        } else {
+            None
+        }
+    }
+
+    /// Returns the value, initialising it with `f` if empty. Exactly one
+    /// caller runs `f`; everyone observes the same value.
+    pub fn get_or_init(&self, f: impl FnOnce() -> T) -> &T {
+        if let Some(v) = self.get() {
+            return v;
+        }
+        {
+            let _guard = self.init_lock.lock().expect("once-lock init mutex");
+            // Relaxed suffices: the init mutex orders this load after any
+            // prior initialiser's store.
+            if self.ready.load(atomic::Ordering::Relaxed) == 0 {
+                let value = f();
+                self.value.with_mut(|p| {
+                    // Safety: first and only write, under the init lock.
+                    unsafe { *p = Some(value) };
+                });
+                self.ready.store(1, atomic::Ordering::Release);
+            }
+        }
+        self.get().expect("once-lock initialised above")
+    }
+}
+
+impl<T> Default for OnceLock<T> {
+    fn default() -> Self {
+        OnceLock::new()
+    }
+}

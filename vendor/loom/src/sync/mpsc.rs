@@ -1,0 +1,159 @@
+//! Model-checked `std::sync::mpsc` subset (unbounded channel).
+//!
+//! Values are buffered in the channel itself; the runtime only models the
+//! blocking/wakeup behaviour and the send → receive happens-before edge
+//! (each message carries the sender's vector clock, joined on receipt).
+
+use std::cell::{Cell, RefCell};
+use std::collections::VecDeque;
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::clock::VectorClock;
+use crate::rt;
+
+/// Error returned by [`Sender::send`] when the receiver is gone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SendError<T>(pub T);
+
+/// Error returned by [`Receiver::recv`] when all senders are gone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecvError;
+
+/// Error returned by [`Receiver::recv_timeout`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecvTimeoutError {
+    /// The (modelled) timeout fired before a message arrived.
+    Timeout,
+    /// All senders are gone and the buffer is empty.
+    Disconnected,
+}
+
+/// Error returned by [`Receiver::try_recv`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TryRecvError {
+    /// No message buffered right now.
+    Empty,
+    /// All senders are gone and the buffer is empty.
+    Disconnected,
+}
+
+struct ChanInner<T> {
+    queue: RefCell<VecDeque<(T, VectorClock)>>,
+    senders: Cell<usize>,
+    rx_alive: Cell<bool>,
+    obj: rt::ObjRef,
+}
+
+// Safety: the scheduler baton serialises all access — only one modelled
+// thread runs at a time, so the RefCell/Cells are never touched concurrently.
+unsafe impl<T: Send> Send for ChanInner<T> {}
+unsafe impl<T: Send> Sync for ChanInner<T> {}
+
+/// Sending half of a modelled channel.
+pub struct Sender<T> {
+    inner: Arc<ChanInner<T>>,
+}
+
+/// Receiving half of a modelled channel.
+pub struct Receiver<T> {
+    inner: Arc<ChanInner<T>>,
+}
+
+/// Creates an unbounded modelled channel.
+pub fn channel<T>() -> (Sender<T>, Receiver<T>) {
+    let inner = Arc::new(ChanInner {
+        queue: RefCell::new(VecDeque::new()),
+        senders: Cell::new(1),
+        rx_alive: Cell::new(true),
+        obj: rt::ObjRef::new(),
+    });
+    (Sender { inner: Arc::clone(&inner) }, Receiver { inner })
+}
+
+impl<T> Sender<T> {
+    /// Sends a value; fails iff the receiver has been dropped.
+    pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+        rt::schedule();
+        if !self.inner.rx_alive.get() {
+            return Err(SendError(value));
+        }
+        let clock = rt::send_clock();
+        self.inner.queue.borrow_mut().push_back((value, clock));
+        rt::chan_wake(&self.inner.obj);
+        Ok(())
+    }
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        self.inner.senders.set(self.inner.senders.get() + 1);
+        Sender { inner: Arc::clone(&self.inner) }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        let left = self.inner.senders.get().saturating_sub(1);
+        self.inner.senders.set(left);
+        if left == 0 {
+            // Wake a receiver blocked in recv() so it can observe disconnect.
+            rt::chan_wake(&self.inner.obj);
+        }
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Blocks (in model time) until a message or disconnection.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        rt::schedule();
+        loop {
+            if let Some((v, clock)) = self.inner.queue.borrow_mut().pop_front() {
+                rt::join_clock(&clock);
+                return Ok(v);
+            }
+            if self.inner.senders.get() == 0 {
+                return Err(RecvError);
+            }
+            rt::chan_block(&self.inner.obj, false);
+        }
+    }
+
+    /// Like [`recv`](Receiver::recv) but the scheduler may fire the timeout
+    /// at any scheduling point (the `Duration` itself is ignored — model time
+    /// is scheduling choices, not wall-clock).
+    pub fn recv_timeout(&self, _dur: Duration) -> Result<T, RecvTimeoutError> {
+        rt::schedule();
+        loop {
+            if let Some((v, clock)) = self.inner.queue.borrow_mut().pop_front() {
+                rt::join_clock(&clock);
+                return Ok(v);
+            }
+            if self.inner.senders.get() == 0 {
+                return Err(RecvTimeoutError::Disconnected);
+            }
+            if rt::chan_block(&self.inner.obj, true) {
+                return Err(RecvTimeoutError::Timeout);
+            }
+        }
+    }
+
+    /// Non-blocking receive.
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        rt::schedule();
+        if let Some((v, clock)) = self.inner.queue.borrow_mut().pop_front() {
+            rt::join_clock(&clock);
+            return Ok(v);
+        }
+        if self.inner.senders.get() == 0 {
+            return Err(TryRecvError::Disconnected);
+        }
+        Err(TryRecvError::Empty)
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        self.inner.rx_alive.set(false);
+    }
+}

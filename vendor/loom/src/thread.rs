@@ -1,0 +1,78 @@
+//! Modelled threads, mirroring the `loom::thread` / `std::thread` subset the
+//! workspace uses. Modelled threads run on pooled OS threads but are
+//! scheduled cooperatively by the model's driver — see `rt`.
+
+use std::any::Any;
+use std::marker::PhantomData;
+
+use crate::rt;
+
+/// Handle to a modelled thread; `join` blocks in model time.
+pub struct JoinHandle<T> {
+    tid: usize,
+    _marker: PhantomData<fn() -> T>,
+}
+
+impl<T: 'static> JoinHandle<T> {
+    /// Waits for the thread to finish and returns its result. A modelled
+    /// thread that panics fails the whole execution, so unlike `std` this
+    /// only ever returns `Ok` (the `Result` keeps call sites identical).
+    pub fn join(self) -> std::thread::Result<T> {
+        let boxed: Box<dyn Any + Send> = rt::thread_join(self.tid);
+        Ok(*boxed.downcast::<T>().expect("join result type matches spawn"))
+    }
+}
+
+impl<T> std::fmt::Debug for JoinHandle<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JoinHandle").field("tid", &self.tid).finish()
+    }
+}
+
+/// Spawns a modelled thread.
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    let tid = rt::thread_spawn(Box::new(move || Box::new(f()) as Box<dyn Any + Send>));
+    JoinHandle { tid, _marker: PhantomData }
+}
+
+/// Thread factory mirroring `std::thread::Builder`; the name is accepted for
+/// call-site compatibility but not surfaced (modelled threads are identified
+/// by their spawn order).
+#[derive(Debug, Default)]
+pub struct Builder {
+    name: Option<String>,
+}
+
+impl Builder {
+    /// Creates a builder.
+    pub fn new() -> Self {
+        Builder { name: None }
+    }
+
+    /// Records a thread name (kept only for API compatibility).
+    #[must_use]
+    pub fn name(mut self, name: String) -> Self {
+        self.name = Some(name);
+        self
+    }
+
+    /// Spawns a modelled thread; never fails (the `Result` keeps call sites
+    /// identical to `std`).
+    pub fn spawn<F, T>(self, f: F) -> std::io::Result<JoinHandle<T>>
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        Ok(spawn(f))
+    }
+}
+
+/// A pure scheduling point: lets the model switch threads with no other
+/// effect (mirrors `std::thread::yield_now`).
+pub fn yield_now() {
+    rt::schedule();
+}

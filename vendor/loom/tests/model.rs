@@ -1,0 +1,381 @@
+//! Self-tests for the vendored loom stand-in: the checker must both *pass*
+//! correct synchronisation and *catch* classic bugs (stale relaxed reads,
+//! lost updates, deadlocks, data races) before the workspace's model_check
+//! suite is allowed to trust it.
+
+use std::time::Duration;
+
+use loom::cell::UnsafeCell;
+use loom::sync::atomic::{AtomicU32, Ordering};
+use loom::sync::{mpsc, Arc, Condvar, Mutex, OnceLock, RwLock};
+use loom::thread;
+use loom::Builder;
+
+/// Release/acquire message passing is correct: the acquire load that sees
+/// the flag must see the data.
+#[test]
+fn message_passing_release_acquire_passes() {
+    let stats = Builder::new()
+        .check(|| {
+            let flag = Arc::new(AtomicU32::new(0));
+            let data = Arc::new(AtomicU32::new(0));
+            let (f2, d2) = (Arc::clone(&flag), Arc::clone(&data));
+            let t = thread::spawn(move || {
+                d2.store(42, Ordering::Relaxed);
+                f2.store(1, Ordering::Release);
+            });
+            if flag.load(Ordering::Acquire) == 1 {
+                assert_eq!(data.load(Ordering::Relaxed), 42, "stale data after acquire");
+            }
+            t.join().unwrap();
+        })
+        .expect("correct message passing must verify");
+    // The load has both an interleaving and a value choice: exploration
+    // must actually have branched.
+    assert!(stats.executions > 1, "expected exploration, got {stats:?}");
+}
+
+/// The same litmus with the release downgraded to relaxed must be caught:
+/// some execution observes the flag but stale data.
+#[test]
+fn message_passing_relaxed_publication_is_caught() {
+    let err = Builder::new()
+        .check(|| {
+            let flag = Arc::new(AtomicU32::new(0));
+            let data = Arc::new(AtomicU32::new(0));
+            let (f2, d2) = (Arc::clone(&flag), Arc::clone(&data));
+            let t = thread::spawn(move || {
+                d2.store(42, Ordering::Relaxed);
+                f2.store(1, Ordering::Relaxed); // BUG: no release edge
+            });
+            if flag.load(Ordering::Acquire) == 1 {
+                assert_eq!(data.load(Ordering::Relaxed), 42, "stale data after acquire");
+            }
+            t.join().unwrap();
+        })
+        .expect_err("missing release edge must be caught");
+    assert!(err.message.contains("stale data"), "unexpected diagnostic: {err}");
+}
+
+/// Load-then-store increments lose updates; the model must find the
+/// interleaving where both threads read 0.
+#[test]
+fn lost_update_is_caught() {
+    let err = Builder::new()
+        .check(|| {
+            let c = Arc::new(AtomicU32::new(0));
+            let handles: Vec<_> = (0..2)
+                .map(|_| {
+                    let c = Arc::clone(&c);
+                    thread::spawn(move || {
+                        let v = c.load(Ordering::Relaxed);
+                        c.store(v + 1, Ordering::Relaxed); // BUG: not atomic
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+            assert_eq!(c.load(Ordering::Relaxed), 2, "lost update");
+        })
+        .expect_err("non-atomic increment must be caught");
+    assert!(err.message.contains("lost update"), "got: {err}");
+}
+
+/// The same counter with fetch_add verifies: RMWs are atomic.
+#[test]
+fn fetch_add_increment_passes() {
+    loom::model(|| {
+        let c = Arc::new(AtomicU32::new(0));
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let c = Arc::clone(&c);
+                thread::spawn(move || {
+                    c.fetch_add(1, Ordering::Relaxed);
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(c.load(Ordering::Relaxed), 2);
+    });
+}
+
+/// Mutex-protected non-atomic state: no lost updates, no race reports.
+#[test]
+fn mutex_counter_passes() {
+    loom::model(|| {
+        let c = Arc::new(Mutex::new(0u32));
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let c = Arc::clone(&c);
+                thread::spawn(move || {
+                    *c.lock().unwrap() += 1;
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(*c.lock().unwrap(), 2);
+    });
+}
+
+/// Classic ABBA lock ordering: the model's deadlock detector must fire.
+#[test]
+fn abba_deadlock_is_detected() {
+    let err = Builder::new()
+        .check(|| {
+            let a = Arc::new(Mutex::new(()));
+            let b = Arc::new(Mutex::new(()));
+            let (a2, b2) = (Arc::clone(&a), Arc::clone(&b));
+            let t = thread::spawn(move || {
+                let _ga = a2.lock().unwrap();
+                let _gb = b2.lock().unwrap();
+            });
+            {
+                let _gb = b.lock().unwrap();
+                let _ga = a.lock().unwrap();
+            }
+            t.join().unwrap();
+        })
+        .expect_err("ABBA ordering must deadlock in some interleaving");
+    assert!(err.message.contains("deadlock"), "got: {err}");
+}
+
+/// Condvar handoff: predicate loop plus notify has no lost-wakeup window
+/// (the check runs every interleaving of the set/notify vs. check/wait).
+#[test]
+fn condvar_handoff_passes() {
+    loom::model(|| {
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let p2 = Arc::clone(&pair);
+        let t = thread::spawn(move || {
+            let (m, cv) = &*p2;
+            *m.lock().unwrap() = true;
+            cv.notify_one();
+        });
+        let (m, cv) = &*pair;
+        let mut g = m.lock().unwrap();
+        while !*g {
+            g = cv.wait(g).unwrap();
+        }
+        drop(g);
+        t.join().unwrap();
+    });
+}
+
+/// Timed waits: the scheduler may fire the timeout instead of the notify;
+/// a bounded retry loop must terminate either way.
+#[test]
+fn condvar_wait_timeout_explores_both_paths() {
+    loom::model(|| {
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let p2 = Arc::clone(&pair);
+        let t = thread::spawn(move || {
+            let (m, cv) = &*p2;
+            *m.lock().unwrap() = true;
+            cv.notify_all();
+        });
+        let (m, cv) = &*pair;
+        let mut g = m.lock().unwrap();
+        let mut spurious = 0;
+        while !*g && spurious < 3 {
+            let (ng, to) = cv.wait_timeout(g, Duration::from_millis(1)).unwrap();
+            g = ng;
+            if to.timed_out() {
+                spurious += 1;
+            }
+        }
+        drop(g);
+        t.join().unwrap();
+    });
+}
+
+/// Channel send/receive carries both the value and the happens-before edge.
+#[test]
+fn mpsc_send_recv_passes() {
+    loom::model(|| {
+        let data = Arc::new(AtomicU32::new(0));
+        let (tx, rx) = mpsc::channel::<u32>();
+        let d2 = Arc::clone(&data);
+        let t = thread::spawn(move || {
+            d2.store(7, Ordering::Relaxed);
+            tx.send(99).unwrap();
+        });
+        assert_eq!(rx.recv().unwrap(), 99);
+        // The send -> recv edge must make the relaxed store visible.
+        assert_eq!(data.load(Ordering::Relaxed), 7);
+        t.join().unwrap();
+        assert!(rx.recv().is_err(), "sender dropped, recv must disconnect");
+    });
+}
+
+/// Thread join is a full happens-before edge: relaxed writes from the child
+/// are visible to the parent afterwards.
+#[test]
+fn join_synchronises_passes() {
+    loom::model(|| {
+        let data = Arc::new(AtomicU32::new(0));
+        let d2 = Arc::clone(&data);
+        let t = thread::spawn(move || {
+            d2.store(5, Ordering::Relaxed);
+            17u32
+        });
+        assert_eq!(t.join().unwrap(), 17);
+        assert_eq!(data.load(Ordering::Relaxed), 5);
+    });
+}
+
+/// Exclusive-access writes (`with_mut`) are visible to threads spawned later.
+#[test]
+fn with_mut_write_through_passes() {
+    loom::model(|| {
+        let mut a = AtomicU32::new(0);
+        a.store(5, Ordering::Relaxed);
+        a.with_mut(|v| *v = 7);
+        let a = Arc::new(a);
+        let a2 = Arc::clone(&a);
+        let t = thread::spawn(move || a2.load(Ordering::Relaxed));
+        assert_eq!(t.join().unwrap(), 7);
+    });
+}
+
+/// RwLock: concurrent readers see a consistent value, the writer excludes.
+#[test]
+fn rwlock_readers_and_writer_pass() {
+    loom::model(|| {
+        let l = Arc::new(RwLock::new(0u32));
+        let l2 = Arc::clone(&l);
+        let writer = thread::spawn(move || {
+            *l2.write().unwrap() = 1;
+        });
+        let l3 = Arc::clone(&l);
+        let reader = thread::spawn(move || {
+            let v = *l3.read().unwrap();
+            assert!(v == 0 || v == 1);
+        });
+        writer.join().unwrap();
+        reader.join().unwrap();
+        assert_eq!(*l.read().unwrap(), 1);
+    });
+}
+
+/// OnceLock: exactly one initialiser runs, everyone sees the same value.
+#[test]
+fn once_lock_single_init_passes() {
+    loom::model(|| {
+        let cell = Arc::new(OnceLock::<u32>::new());
+        let inits = Arc::new(AtomicU32::new(0));
+        let (c2, i2) = (Arc::clone(&cell), Arc::clone(&inits));
+        let t = thread::spawn(move || {
+            *c2.get_or_init(|| {
+                i2.fetch_add(1, Ordering::Relaxed);
+                41
+            })
+        });
+        let mine = *cell.get_or_init(|| {
+            inits.fetch_add(1, Ordering::Relaxed);
+            41
+        });
+        let theirs = t.join().unwrap();
+        assert_eq!(mine, 41);
+        assert_eq!(theirs, 41);
+        assert_eq!(inits.load(Ordering::Relaxed), 1, "initialiser ran twice");
+    });
+}
+
+/// Unsynchronised `UnsafeCell` writes are reported as a data race.
+#[test]
+fn unsafe_cell_race_is_caught() {
+    let err = Builder::new()
+        .check(|| {
+            let cell = Arc::new(UnsafeCell::new(0u32));
+            let c2 = Arc::clone(&cell);
+            let t = thread::spawn(move || {
+                c2.with_mut(|p| unsafe { *p = 1 }); // BUG: races the parent's write
+            });
+            cell.with_mut(|p| unsafe { *p = 2 });
+            t.join().unwrap();
+        })
+        .expect_err("unsynchronised writes must race");
+    assert!(err.message.contains("data race"), "got: {err}");
+}
+
+/// The same cell protected by a mutex is race-free.
+#[test]
+fn unsafe_cell_under_mutex_passes() {
+    loom::model(|| {
+        let cell = Arc::new((Mutex::new(()), UnsafeCell::new(0u32)));
+        let c2 = Arc::clone(&cell);
+        let t = thread::spawn(move || {
+            let _g = c2.0.lock().unwrap();
+            c2.1.with_mut(|p| unsafe { *p += 1 });
+        });
+        {
+            let _g = cell.0.lock().unwrap();
+            cell.1.with_mut(|p| unsafe { *p += 1 });
+        }
+        t.join().unwrap();
+        let _g = cell.0.lock().unwrap();
+        cell.1.with(|p| assert_eq!(unsafe { *p }, 2));
+    });
+}
+
+/// Preemption bounding explores a subset but still verifies correct code.
+#[test]
+fn preemption_bound_passes_and_shrinks_space() {
+    let full = Builder::new().check(two_thread_handoff).expect("unbounded check");
+    let bounded = Builder { preemption_bound: Some(1), ..Builder::new() }
+        .check(two_thread_handoff)
+        .expect("bounded check");
+    assert!(
+        bounded.executions <= full.executions,
+        "bound must not grow the space: {bounded:?} vs {full:?}"
+    );
+}
+
+fn two_thread_handoff() {
+    let flag = Arc::new(AtomicU32::new(0));
+    let data = Arc::new(AtomicU32::new(0));
+    let (f2, d2) = (Arc::clone(&flag), Arc::clone(&data));
+    let t = thread::spawn(move || {
+        d2.store(1, Ordering::Relaxed);
+        f2.store(1, Ordering::Release);
+    });
+    if flag.load(Ordering::Acquire) == 1 {
+        assert_eq!(data.load(Ordering::Relaxed), 1);
+    }
+    t.join().unwrap();
+}
+
+/// Shuttle mode: seeded random exploration also finds the relaxed
+/// publication bug (deterministically, for a fixed seed).
+#[test]
+fn shuttle_mode_catches_seeded_bug() {
+    let err = Builder::new()
+        .shuttle(500, 0xDECA_FBAD, || {
+            let flag = Arc::new(AtomicU32::new(0));
+            let data = Arc::new(AtomicU32::new(0));
+            let (f2, d2) = (Arc::clone(&flag), Arc::clone(&data));
+            let t = thread::spawn(move || {
+                d2.store(42, Ordering::Relaxed);
+                f2.store(1, Ordering::Relaxed); // BUG: no release edge
+            });
+            if flag.load(Ordering::Acquire) == 1 {
+                assert_eq!(data.load(Ordering::Relaxed), 42, "stale data");
+            }
+            t.join().unwrap();
+        })
+        .expect_err("shuttle must find the stale read within 500 iterations");
+    assert!(err.message.contains("stale data"), "got: {err}");
+}
+
+/// Shuttle mode on correct code completes the requested iteration count.
+#[test]
+fn shuttle_mode_passes_correct_code() {
+    let stats =
+        Builder::new().shuttle(100, 7, two_thread_handoff).expect("correct handoff under shuttle");
+    assert_eq!(stats.executions, 100);
+}

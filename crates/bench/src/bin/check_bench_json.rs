@@ -6,6 +6,18 @@
 //! malformed or empty file, so the perf trajectory can never silently
 //! degrade into unparseable or vacuous artifacts.
 //!
+//! Beyond well-formedness it enforces one *performance* invariant: rows
+//! that share a workload (same benchmark name with the algorithm segment
+//! removed, e.g. `lscr/S3-narrowL/{UIS,UIS*,INS,Auto}/10`) must stay
+//! within a 100× median spread of each other. The algorithms answer the
+//! same queries; a 4-orders-of-magnitude gap between them (the old
+//! `S3-narrowL` rows sat at ~15 000× the best) means one kernel is
+//! missing a structural optimization, and the committed artifact should
+//! not be allowed to normalize that. `*.before.json` snapshots are
+//! exempt from the spread check (shape is still enforced): they are
+//! frozen baselines whose whole purpose is to record the pathological
+//! state a later commit fixed.
+//!
 //! Usage: `check_bench_json BENCH_algorithms.json [more.json ...]`
 
 use std::process::ExitCode;
@@ -62,7 +74,78 @@ fn check_file(path: &str) -> Result<usize, String> {
             None => return Err(format!("entry {i}: missing \"median_ns\"")),
         }
     }
+    // Historical before-snapshots intentionally preserve the slow rows
+    // a later commit eliminated; only live artifacts must stay tight.
+    if !path.ends_with(".before.json") {
+        check_workload_spread(&entries)?;
+    }
     Ok(entries.len())
+}
+
+/// Maximum allowed ratio between the slowest and fastest algorithm on
+/// the same workload. Generous enough for the real asymmetries (an
+/// uninformed search skipping index maintenance on easy rows), tight
+/// enough to reject a kernel that has fallen off its fast path.
+const MAX_WORKLOAD_SPREAD: f64 = 100.0;
+
+/// Groups rows by workload — the benchmark name with its algorithm
+/// segment (second-to-last `/` component) removed — and rejects any
+/// group whose slowest median exceeds [`MAX_WORKLOAD_SPREAD`]× its
+/// fastest. Names with fewer than three segments carry no algorithm
+/// dimension and are exempt.
+fn check_workload_spread(entries: &[Json]) -> Result<(), String> {
+    // A named row: (full benchmark name, median_ns).
+    type Row = (String, f64);
+    // (workload key, fastest row, slowest row); the row keeps its full
+    // name so the error message points at the exact offenders.
+    let mut groups: Vec<(String, Row, Row)> = Vec::new();
+    for entry in entries {
+        let Json::Object(fields) = entry else { continue };
+        let (Some(name), Some(median)) = (
+            fields.iter().find_map(|(k, v)| match v {
+                Json::String(s) if k == "name" => Some(s.clone()),
+                _ => None,
+            }),
+            fields.iter().find_map(|(k, v)| match v {
+                Json::Number(n) if k == "median_ns" => Some(*n),
+                _ => None,
+            }),
+        ) else {
+            continue;
+        };
+        let segments: Vec<&str> = name.split('/').collect();
+        if segments.len() < 3 {
+            continue;
+        }
+        let mut key_parts = segments.clone();
+        key_parts.remove(segments.len() - 2);
+        let key = key_parts.join("/");
+        match groups.iter_mut().find(|(k, _, _)| *k == key) {
+            Some((_, fastest, slowest)) => {
+                if median < fastest.1 {
+                    *fastest = (name.clone(), median);
+                }
+                if median > slowest.1 {
+                    *slowest = (name, median);
+                }
+            }
+            None => groups.push((key, (name.clone(), median), (name, median))),
+        }
+    }
+    for (key, fastest, slowest) in &groups {
+        if slowest.1 > MAX_WORKLOAD_SPREAD * fastest.1 {
+            return Err(format!(
+                "workload '{key}': '{}' ({:.1} ns) is {:.0}x slower than '{}' ({:.1} ns); \
+                 the allowed spread is {MAX_WORKLOAD_SPREAD:.0}x",
+                slowest.0,
+                slowest.1,
+                slowest.1 / fastest.1,
+                fastest.0,
+                fastest.1,
+            ));
+        }
+    }
+    Ok(())
 }
 
 /// The subset of JSON values the checker distinguishes.

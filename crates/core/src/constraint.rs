@@ -113,6 +113,7 @@ impl SubstructureConstraint {
         Ok(CompiledConstraint {
             plan: Plan::compile(g, &self.query)?,
             scck: Arc::new(OnceLock::new()),
+            vsg: Arc::new(OnceLock::new()),
             text: Arc::from(self.text.as_str()),
             graph_epoch: g.epoch(),
         })
@@ -230,6 +231,13 @@ pub struct CompiledConstraint {
     /// Lazily allocated SCck memo, shared by every clone of this compiled
     /// constraint (engine plan-cache entries hand out clones/`Arc`s).
     scck: Arc<OnceLock<ScckCache>>,
+    /// Lazily materialized `V(S,G)` memo, shared like [`Self::scck`].
+    /// `V(S,G)` is a pure function of graph content at one epoch — the
+    /// same contract as SCck — so every query sharing this compiled plan
+    /// (the engine plan cache hands out clones) materializes it at most
+    /// once. Guarded by the same epoch check as
+    /// [`satisfies_cached`](Self::satisfies_cached).
+    vsg: Arc<OnceLock<Arc<Vec<VertexId>>>>,
     /// Canonical SPARQL text, retained so the engine can recompile a
     /// stale plan after a graph update without the original
     /// [`SubstructureConstraint`] in hand.
@@ -301,6 +309,27 @@ impl CompiledConstraint {
     /// INS orders it with its own priority heap.
     pub fn satisfying_vertices(&self, g: &Graph) -> Vec<VertexId> {
         eval::select_distinct(g, &self.plan)
+    }
+
+    /// [`satisfying_vertices`](Self::satisfying_vertices) through the
+    /// per-constraint memo: the set is materialized once and shared by
+    /// every query (concurrent ones included) using this compiled plan.
+    /// SPARQL evaluation never consults search budgets, so a memoized set
+    /// is always complete — a budget-interrupted query cannot poison it.
+    /// Falls back to an uncached evaluation when the graph's content
+    /// epoch no longer matches the one the plan was compiled at (same
+    /// guard as [`satisfies_cached`](Self::satisfies_cached)).
+    pub fn satisfying_vertices_cached(&self, g: &Graph) -> Arc<Vec<VertexId>> {
+        if self.graph_epoch != g.epoch() {
+            return Arc::new(self.satisfying_vertices(g));
+        }
+        Arc::clone(self.vsg.get_or_init(|| Arc::new(self.satisfying_vertices(g))))
+    }
+
+    /// `|V(S,G)|` if some query has already materialized the shared memo
+    /// (diagnostics/planner).
+    pub fn vsg_len_if_materialized(&self) -> Option<usize> {
+        self.vsg.get().map(|v| v.len())
     }
 
     /// Whether the constraint provably matches nothing in this graph

@@ -839,6 +839,85 @@ mod tests {
     }
 
     #[test]
+    fn interrupted_searches_never_poison_caches() {
+        // Regression guard: a budget-truncated *negative* answer must not
+        // be remembered anywhere — not in the SCck cache (UIS), not in
+        // the plan cache's shared V(S,G) memo (UIS*/INS). Truncate a
+        // known-true query to a false/interrupted outcome, then re-answer
+        // unbudgeted through the same engine and demand the truth back.
+        let engine = LscrEngine::new(figure3());
+        engine.local_index();
+        let g = engine.graph();
+        let q = LscrQuery::new(
+            g.vertex_id("v3").unwrap(),
+            g.vertex_id("v4").unwrap(),
+            g.label_set(&["likes", "hates", "friendOf"]),
+            s0(),
+        );
+        let zero = QueryOptions::default().with_step_budget(0);
+        for alg in [Algorithm::Uis, Algorithm::UisStar, Algorithm::Ins, Algorithm::Auto] {
+            let truncated = engine.answer_with_options(&q, alg, &zero).unwrap();
+            assert!(truncated.interrupted, "{alg}: budget 0 must interrupt");
+            assert!(!truncated.answer, "{alg}: truncated searches answer false");
+            let full = engine.answer(&q, alg).unwrap();
+            assert!(full.answer, "{alg}: a truncated negative poisoned a cache");
+            assert!(!full.interrupted);
+        }
+    }
+
+    #[test]
+    fn interrupted_prepared_queries_recover_the_truth() {
+        // Same invariant through the prepared path: the V(S,G) memo a
+        // truncated run leaves behind is content-derived (the SPARQL
+        // evaluation never consults budgets), so the re-answer must
+        // succeed — and reuse the memo rather than recompute around it.
+        let engine = LscrEngine::new(figure3());
+        engine.local_index();
+        let g = engine.graph();
+        let prepared = engine
+            .prepare(&LscrQuery::new(
+                g.vertex_id("v3").unwrap(),
+                g.vertex_id("v4").unwrap(),
+                g.label_set(&["likes", "hates", "friendOf"]),
+                s0(),
+            ))
+            .unwrap();
+        let zero = QueryOptions::default().with_step_budget(0);
+        for alg in [Algorithm::UisStar, Algorithm::Ins] {
+            let truncated = engine.answer_prepared(&prepared, alg, &zero);
+            assert!(truncated.interrupted && !truncated.answer, "{alg}");
+            let full = engine.answer_prepared(&prepared, alg, &QueryOptions::default());
+            assert!(full.answer, "{alg}: truncated negative stuck in the prepared memo");
+            assert!(!full.interrupted);
+        }
+    }
+
+    #[test]
+    fn proven_negatives_are_not_interrupted() {
+        // The dual guard: an early *negative termination* is a proof, not
+        // a truncation — it must come back `interrupted: false` (so
+        // callers may cache it as definitive) with the counter visible.
+        let engine = LscrEngine::new(figure3());
+        engine.local_index();
+        let g = engine.graph();
+        // v0 has no out-edge labeled "hates": the O(1) mask precheck
+        // proves false without scanning anything.
+        let q = LscrQuery::new(
+            g.vertex_id("v0").unwrap(),
+            g.vertex_id("v4").unwrap(),
+            g.label_set(&["hates"]),
+            s0(),
+        );
+        for alg in [Algorithm::UisStar, Algorithm::Ins] {
+            let out = engine.answer(&q, alg).unwrap();
+            assert!(!out.answer, "{alg}");
+            assert!(!out.interrupted, "{alg}: a proven negative is not a truncation");
+            assert!(out.stats.negative_terminations > 0, "{alg}: precheck must fire");
+            assert_eq!(out.stats.edges_scanned, 0, "{alg}: terminated before any scan");
+        }
+    }
+
+    #[test]
     fn all_algorithms_through_engine() {
         let engine = LscrEngine::new(figure3());
         let g = engine.graph();

@@ -19,6 +19,17 @@
 //!    * `Push(EIT[w])` enqueues the partition's exit frontier under `L`
 //!      (line 25) — landmarks themselves are never enqueued.
 //!
+//! Like UIS\*, selective label constraints over large candidate sets
+//! ([`QueryOptions::bidi_min_candidates`](crate::QueryOptions)) route
+//! through the meet-in-the-middle phase described in that module's
+//! docs, with two INS-specific twists: the forward frontier runs the full landmark
+//! machinery (`Check`/`Cut`/`Push`) over the global priority queue, and a
+//! `Check(II[w], t)` hit *feeds the backward map* — the landmark entry
+//! proves `w ⇝_L t`, so `w` joins `R_t` as if the backward frontier had
+//! discovered it. Once the backward frontier completes, the candidate
+//! loop replaces every `B = T` probe with an O(1) membership test, and
+//! both ordinary pushes and partition-exit pushes are pruned to `R_t`.
+//!
 //! ```
 //! use kgreach::{LocalIndex, LscrQuery};
 //! use kgreach::fixtures::{figure3, s0};
@@ -51,7 +62,9 @@ pub fn answer(g: &Graph, q: &CompiledLscrQuery, index: &LocalIndex) -> QueryOutc
 }
 
 /// Answers `q` with session-owned scratch (reset here). The reported time
-/// includes the `V(S,G)` materialization, as for UIS\*.
+/// includes the `V(S,G)` materialization, as for UIS\*; the set comes
+/// from the compiled constraint's shared memo, so repeated queries over
+/// one compiled plan materialize it once.
 pub fn answer_with(
     g: &Graph,
     q: &CompiledLscrQuery,
@@ -61,7 +74,7 @@ pub fn answer_with(
 ) -> QueryOutcome {
     let clock = SearchClock::start_now();
     let limits = clock.limits(opts);
-    let vsg = q.constraint.satisfying_vertices(g);
+    let vsg = q.constraint.satisfying_vertices_cached(g);
     let mut outcome = run(g, q, index, scratch, &vsg, limits, clock);
     outcome.elapsed = clock.elapsed();
     outcome
@@ -92,7 +105,7 @@ fn run(
     limits: RunLimits,
     clock: SearchClock,
 ) -> QueryOutcome {
-    let (close, queue) = scratch.close_and_queue();
+    let (close, queue, back, back_stack, cand) = scratch.bidirectional_queue_parts();
     close.reset();
     queue.reset();
 
@@ -107,6 +120,10 @@ fn run(
         selective: g.expansion_selective(q.label_constraint),
         close,
         queue,
+        back,
+        back_stack,
+        cand,
+        prune_to_back: false,
         stats: SearchStats {
             vsg_size: Some(vsg.len()),
             algorithm: Some(crate::Algorithm::Ins),
@@ -116,13 +133,41 @@ fn run(
         interrupted: false,
     };
 
-    // Lines 1-3: H over V(S,G); Q seeded with s; close[s] ← F.
+    // Lines 1-3: Q seeded with s; close[s] ← F. (H is built lazily: the
+    // mask prechecks and the bidirectional phase can decide the query
+    // without ever ordering the candidates.)
     ins.close.set(s, CloseState::F);
-    let ctx = PriorityContext { close: ins.close, index, source: s, target: t };
-    let mut heap = CandidateHeap::new(vsg, &ctx);
     let ctx = PriorityContext { close: ins.close, index, source: s, target: t };
     ins.queue.push(s, &ctx);
     ins.stats.pushes += 1;
+
+    if vsg.is_empty() {
+        return ins.finish(false, clock);
+    }
+
+    // O(1) mask prechecks — see the UIS* module docs: with no out-label
+    // of s (or no in-label of t) usable under L, only the zero-edge
+    // s = t witness could remain.
+    if s != t
+        && (g.out_label_mask(s).intersection(q.label_constraint).is_empty()
+            || g.in_label_mask(t).intersection(q.label_constraint).is_empty())
+    {
+        ins.stats.negative_terminations += 1;
+        return ins.finish(false, clock);
+    }
+
+    // Selective L over a large candidate set: meet-in-the-middle phase,
+    // with the landmark Check shortcut feeding the backward map (see
+    // `Ins::bidirectional`). Small candidate sets answer faster through
+    // the classic informed probes, where the index shortcuts both
+    // directions instead of enumerating `R_t` edge by edge.
+    if ins.selective && vsg.len() >= ins.limits.bidi_min_candidates {
+        let answer = ins.bidirectional(s, t, vsg);
+        return ins.finish(answer, clock);
+    }
+
+    let ctx = PriorityContext { close: ins.close, index, source: s, target: t };
+    let mut heap = CandidateHeap::new(vsg, &ctx);
 
     // Lines 4-14: identical control flow to UIS*.
     let mut answer = false;
@@ -164,12 +209,293 @@ struct Ins<'a> {
     selective: bool,
     close: &'a mut CloseMap,
     queue: &'a mut GlobalQueue,
+    /// Backward `close`: marks `R_t`, the vertices proven to reach `t`
+    /// under `L` — by the reverse-expansion frontier, or by a landmark
+    /// `Check` firing during the bidirectional phase.
+    back: &'a mut CloseMap,
+    back_stack: &'a mut Vec<VertexId>,
+    /// `V(S,G)` membership (`N` = not a candidate).
+    cand: &'a mut CloseMap,
+    /// When set (backward frontier completed), forward expansion prunes
+    /// every push — ordinary, landmark or partition exit — outside `R_t`.
+    prune_to_back: bool,
     stats: SearchStats,
     limits: RunLimits,
     interrupted: bool,
 }
 
 impl Ins<'_> {
+    /// The meet-in-the-middle phase plus its cleanup loops (the UIS\*
+    /// design — see that module's docs — with two INS twists): forward
+    /// steps run the full landmark machinery over the global queue, and a
+    /// `Check(II[w], t)` hit during the phase feeds `w` into the backward
+    /// map as a proven `R_t` member. Always returns the final answer.
+    fn bidirectional(&mut self, s: VertexId, t: VertexId, vsg: &[VertexId]) -> bool {
+        self.back.reset();
+        self.back_stack.clear();
+        self.cand.reset();
+        for &v in vsg {
+            self.cand.set(v, CloseState::F);
+        }
+        let mut fwd_cand_seen = usize::from(!self.cand.is_n(s));
+        let mut back_cand_seen = 0usize;
+
+        // Seed the backward frontier at t.
+        self.back.set(t, CloseState::F);
+        self.back_stack.push(t);
+        self.stats.pushes += 1;
+        if !self.cand.is_n(t) {
+            back_cand_seen += 1;
+            if !self.close.is_n(t) {
+                return true; // s = t ∈ V(S,G): zero-edge witness
+            }
+        }
+
+        while !self.queue.is_empty() && !self.back_stack.is_empty() {
+            if self.limits.exceeded(self.stats.edges_scanned) {
+                self.interrupted = true;
+                return false;
+            }
+            if self.back_stack.len() <= self.queue.raw_len() {
+                if let Some(ans) = self.bidi_backward_step(&mut back_cand_seen) {
+                    return ans;
+                }
+            } else if let Some(ans) =
+                self.bidi_forward_step(s, t, &mut fwd_cand_seen, &mut back_cand_seen)
+            {
+                return ans;
+            }
+        }
+
+        if self.back_stack.is_empty() {
+            // R_t fully enumerated (Check-derived seeds only add known
+            // R_t members, whose in-closures stay inside R_t).
+            if back_cand_seen == 0 {
+                self.stats.negative_terminations += 1;
+                return false;
+            }
+            self.prune_to_back = true;
+            self.cleanup_back_complete(s, t, vsg)
+        } else {
+            // Forward region R_s fully enumerated.
+            if fwd_cand_seen == 0 {
+                self.stats.negative_terminations += 1;
+                return false;
+            }
+            self.cleanup_forward_complete(s, t, vsg)
+        }
+    }
+
+    /// One backward expansion step: pop a proven `R_t` member and mark
+    /// its usable in-neighbors. `Some(true)` when the frontiers meet at a
+    /// candidate.
+    fn bidi_backward_step(&mut self, back_cand_seen: &mut usize) -> Option<bool> {
+        let x = self.back_stack.pop().expect("backward frontier non-empty");
+        let exp = self.g.in_expansion(x, self.labels, true);
+        self.stats.edges_skipped += exp.degree;
+        for e in exp.edges {
+            if !self.labels.contains(e.label) {
+                continue;
+            }
+            self.stats.edges_scanned += 1;
+            self.stats.backward_edges_scanned += 1;
+            self.stats.edges_skipped -= 1;
+            let w = e.vertex;
+            if self.back.is_n(w) {
+                self.back.set(w, CloseState::F);
+                self.back_stack.push(w);
+                self.stats.pushes += 1;
+                if !self.cand.is_n(w) {
+                    *back_cand_seen += 1;
+                    if !self.close.is_n(w) {
+                        return Some(true); // meet at candidate w
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    /// One forward `B = F` expansion step over the global queue, with the
+    /// classic landmark treatment (`t* = t`): a `Check` hit proves
+    /// `w ⇝_L t` and seeds the backward map instead of returning (the
+    /// phase only concludes on a candidate), `Cut`/`Push` prune `F(w)` as
+    /// usual, and every fresh forward mark is tested for a meet.
+    fn bidi_forward_step(
+        &mut self,
+        s: VertexId,
+        t: VertexId,
+        fwd_cand_seen: &mut usize,
+        back_cand_seen: &mut usize,
+    ) -> Option<bool> {
+        let ctx = PriorityContext { close: &*self.close, index: self.index, source: s, target: t };
+        let u = self.queue.pop(&ctx)?;
+        let exp = self.g.out_expansion(u, self.labels, true);
+        self.stats.edges_skipped += exp.degree;
+        for e in exp.edges {
+            if !self.labels.contains(e.label) {
+                continue;
+            }
+            self.stats.edges_scanned += 1;
+            self.stats.edges_skipped -= 1;
+            let w = e.vertex;
+            if self.index.partition().is_landmark(w) {
+                if self.index.partition().af(t) == self.index.partition().af(w) {
+                    self.stats.index_hits += 1;
+                    if self.index.entry_of(w).is_some_and(|entry| entry.check(t, self.labels)) {
+                        // The landmark entry proves w ⇝_L t: w joins the
+                        // backward map as a proven R_t member.
+                        if self.back.is_n(w) {
+                            self.back.set(w, CloseState::F);
+                            self.back_stack.push(w);
+                            self.stats.pushes += 1;
+                            if !self.cand.is_n(w) {
+                                *back_cand_seen += 1;
+                            }
+                        }
+                        if !self.cand.is_n(w) {
+                            return Some(true); // s ⇝ w ∈ V(S,G) and w ⇝ t
+                        }
+                    }
+                }
+                if self.close.is_n(w) {
+                    self.close.set(w, CloseState::F);
+                    if let Some(ans) = self.bidi_note_forward(w, fwd_cand_seen) {
+                        return Some(ans);
+                    }
+                    if let Some(ans) = self.bidi_cut_and_push(w, t, fwd_cand_seen) {
+                        return Some(ans);
+                    }
+                }
+            } else if self.close.is_n(w) {
+                self.close.set(w, CloseState::F);
+                self.push(w, t);
+                if let Some(ans) = self.bidi_note_forward(w, fwd_cand_seen) {
+                    return Some(ans);
+                }
+            }
+        }
+        None
+    }
+
+    /// Candidate/meet accounting for a vertex freshly marked `F` by the
+    /// bidirectional phase's forward side.
+    #[inline]
+    fn bidi_note_forward(&mut self, w: VertexId, fwd_cand_seen: &mut usize) -> Option<bool> {
+        if !self.cand.is_n(w) {
+            *fwd_cand_seen += 1;
+            if !self.back.is_n(w) {
+                return Some(true); // meet at candidate w
+            }
+        }
+        None
+    }
+
+    /// `Cut`/`Push` for the bidirectional phase (`B = F`, `t* = t`): same
+    /// marking as [`cut_and_push`](Self::cut_and_push), plus candidate
+    /// and meet accounting on every fresh mark.
+    fn bidi_cut_and_push(
+        &mut self,
+        w: VertexId,
+        t: VertexId,
+        fwd_cand_seen: &mut usize,
+    ) -> Option<bool> {
+        self.stats.index_hits += 1;
+        let ord = self.index.partition().af(w)?;
+        let entry = self.index.entry(ord);
+        for (x, cms) in entry.ii_pairs() {
+            if self.close.is_n(x) && cms.covers(self.labels) {
+                self.close.set(x, CloseState::F);
+                if let Some(ans) = self.bidi_note_forward(x, fwd_cand_seen) {
+                    return Some(ans);
+                }
+            }
+        }
+        for (lx, exits) in entry.eit_pairs() {
+            if !lx.is_subset_of(self.labels) {
+                continue;
+            }
+            for &x in exits {
+                if self.close.is_n(x) {
+                    self.close.set(x, CloseState::F);
+                    self.push(x, t);
+                    if let Some(ans) = self.bidi_note_forward(x, fwd_cand_seen) {
+                        return Some(ans);
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    /// Candidate loop once `back` holds all of `R_t`: membership decides
+    /// `v ⇝_L t` (no `B = T` invocation runs), `lcs(s, v, F)` settles the
+    /// forward half, and forward pushes — including partition exits — are
+    /// confined to `R_t`.
+    fn cleanup_back_complete(&mut self, s: VertexId, t: VertexId, vsg: &[VertexId]) -> bool {
+        for &v in vsg {
+            if self.interrupted || self.limits.exceeded(self.stats.edges_scanned) {
+                self.interrupted = true;
+                return false;
+            }
+            match self.close.get(v) {
+                CloseState::N => {
+                    if v == s || v == t {
+                        // Endpoint ∈ V(S,G): reduces to plain s ⇝_L t.
+                        return !self.back.is_n(s);
+                    }
+                    if self.back.is_n(v) {
+                        continue; // v cannot reach t
+                    }
+                    if self.lcs(s, v, false) {
+                        return true;
+                    }
+                }
+                CloseState::F => {
+                    if !self.back.is_n(v) {
+                        return true;
+                    }
+                }
+                CloseState::T => {}
+            }
+        }
+        false
+    }
+
+    /// Candidate loop once the forward frontier exhausted: `close ≠ N`
+    /// decides `s ⇝_L v`; the partial backward map is a positive-only
+    /// `v ⇝_L t` shortcut before the classic `B = T` probe.
+    fn cleanup_forward_complete(&mut self, s: VertexId, t: VertexId, vsg: &[VertexId]) -> bool {
+        for &v in vsg {
+            if self.interrupted || self.limits.exceeded(self.stats.edges_scanned) {
+                self.interrupted = true;
+                return false;
+            }
+            match self.close.get(v) {
+                CloseState::N => {
+                    if v == t {
+                        // t ∈ V(S,G) reduces the query to s ⇝_L t, and
+                        // the complete forward region disproves it.
+                        return false;
+                    }
+                    // s cannot reach v: skip without any LCS call.
+                }
+                CloseState::F => {
+                    if v == s || v == t {
+                        return !self.close.is_n(t);
+                    }
+                    if !self.back.is_n(v) {
+                        return true;
+                    }
+                    if self.lcs(v, t, true) {
+                        return true;
+                    }
+                }
+                CloseState::T => {}
+            }
+        }
+        false
+    }
     /// Algorithm 4's `LCS(s*, t*, L, B)` (lines 16-30).
     fn lcs(&mut self, s_star: VertexId, t_star: VertexId, b: bool) -> bool {
         self.stats.lcs_invocations += 1;
@@ -244,6 +570,16 @@ impl Ins<'_> {
                     return true;
                 }
 
+                // Cone pruning (see UIS* module docs): with R_t complete,
+                // an unexplored w outside it can neither be part of a
+                // witness path nor — landmark or not — lead the traversal
+                // to any t* that is in R_t (w ⇝ t* ⇝ t would put w in
+                // R_t), so its Check could never fire either.
+                if !b && self.prune_to_back && self.close.is_n(w) && self.back.is_n(w) {
+                    self.stats.frontier_prunes += 1;
+                    continue;
+                }
+
                 if self.index.partition().is_landmark(w) {
                     // Line 22: t* lives in w's partition and w is its
                     // landmark — the precomputed CMS answers w ⇝_L t*.
@@ -312,6 +648,13 @@ impl Ins<'_> {
                 continue;
             }
             for &x in exits {
+                // The landmark entry names x as an exit, but the complete
+                // backward map proves no path from x reaches t — the
+                // partition has no usable way out toward the target.
+                if !b && self.prune_to_back && self.close.is_n(x) && self.back.is_n(x) {
+                    self.stats.frontier_prunes += 1;
+                    continue;
+                }
                 let eligible = if b { !self.close.is_t(x) } else { self.close.is_n(x) };
                 if eligible {
                     self.mark(x, b);

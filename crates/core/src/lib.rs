@@ -100,7 +100,7 @@ pub use partition::{
 };
 pub use query::{
     CompiledLscrQuery, LscrQuery, PreparedQuery, QueryError, QueryOptions, QueryOutcome,
-    SearchStats, VsgOrder,
+    SearchStats, VsgOrder, DEFAULT_BIDI_MIN_CANDIDATES,
 };
 pub use session::{SearchScratch, Session};
 pub use witness::{find_witness, Witness};

@@ -151,9 +151,27 @@ pub fn default_num_landmarks(num_vertices: usize) -> usize {
 /// `LandmarkSelect(LS, k)`: samples classes from the schema, then marks `k`
 /// instances of the selected classes evenly (round-robin across classes).
 ///
-/// Falls back to uniformly random vertices when the schema provides fewer
-/// than `k` instances (general edge-labeled graphs without RDFS typing),
-/// so INS degrades gracefully rather than failing.
+/// A small *coverage quota* — `k / 128`, at least one slot once `k ≥ 2`
+/// (a lone landmark stays with the class spread, which is what makes
+/// `k = 1` deterministic on a single-instance schema) — is reserved for
+/// the vertices with the best rare-label coverage, scored
+/// `Σ_{l ∈ out-mask(v)} |V| / label_vertex_counts[l]` (rarer labels
+/// weigh more). Narrow label constraints draw from labels only a
+/// handful of vertices carry, and a landmark whose out-edges cover such
+/// a label is far more likely to own the partitions those queries
+/// traverse — which is what lets `Check(II[u], t*)` fire instead of
+/// degenerating to plain BFS. The quota stays a *tiny minority* on
+/// purpose, and is filled *after* the class spread has drawn its random
+/// stream: the bulk of the layout keeps the paper's randomized class
+/// spread, which broad-`L` workloads depend on — coverage-heavy
+/// vertices cluster, and measurements show that handing them even a
+/// sixteenth of the slots reshapes partitions enough to slow the
+/// full-alphabet LUBM rows severalfold.
+///
+/// The coverage top-up also doubles as the fallback when the schema
+/// provides fewer than `k` instances (general edge-labeled graphs
+/// without RDFS typing), so INS degrades gracefully rather than
+/// failing.
 pub fn select_landmarks<R: Rng>(g: &Graph, k: usize, rng: &mut R) -> Vec<VertexId> {
     let k = k.min(g.num_vertices());
     if k == 0 {
@@ -163,7 +181,19 @@ pub fn select_landmarks<R: Rng>(g: &Graph, k: usize, rng: &mut R) -> Vec<VertexI
     let mut chosen: Vec<VertexId> = Vec::with_capacity(k);
     let mut taken = fx_set_with_capacity::<VertexId>(k);
 
+    let counts = g.label_vertex_counts();
+    let n = g.num_vertices().max(1) as u64;
+    let coverage = |v: VertexId| -> u64 {
+        g.out_label_mask(v)
+            .iter()
+            .map(|l| n / counts.get(l.index()).copied().unwrap_or(0).max(1) as u64)
+            .sum()
+    };
+
     // Randomly select a set of classes (a random half, at least one).
+    // This runs *before* any coverage work so the class spread draws the
+    // same random stream whether or not a quota follows — the bulk of
+    // the layout stays stable under the quota knob.
     let mut classes: Vec<VertexId> =
         schema.classes().iter().copied().filter(|&c| !schema.instances_of(c).is_empty()).collect();
     classes.shuffle(rng);
@@ -171,9 +201,12 @@ pub fn select_landmarks<R: Rng>(g: &Graph, k: usize, rng: &mut R) -> Vec<VertexI
     let mut cursors: Vec<(usize, &[VertexId])> =
         classes[..selected].iter().map(|&c| (0usize, schema.instances_of(c))).collect();
 
-    // Evenly mark instances: one per selected class per round.
+    // Evenly mark instances for all non-quota slots: one per selected
+    // class per round.
+    let quota = (k / 128).max(1).min(k / 2);
+    let spread_slots = k - quota.min(k);
     let mut progressed = true;
-    while chosen.len() < k && progressed {
+    while chosen.len() < spread_slots && progressed {
         progressed = false;
         for (cursor, instances) in cursors.iter_mut() {
             while *cursor < instances.len() {
@@ -185,20 +218,22 @@ pub fn select_landmarks<R: Rng>(g: &Graph, k: usize, rng: &mut R) -> Vec<VertexI
                     break;
                 }
             }
-            if chosen.len() >= k {
+            if chosen.len() >= spread_slots {
                 break;
             }
         }
     }
 
-    // Fallback: top up with uniformly random vertices.
+    // The coverage quota tops up with the best rare-label coverers,
+    // graph-wide. Shuffle then stable-sort so equal scores stay in
+    // random order and different seeds explore different ties.
     if chosen.len() < k {
-        let mut all: Vec<VertexId> = g.vertices().filter(|v| !taken.contains(v)).collect();
-        all.shuffle(rng);
-        for v in all {
-            if chosen.len() >= k {
-                break;
-            }
+        let mut by_coverage: Vec<VertexId> = g.vertices().filter(|v| !taken.contains(v)).collect();
+        by_coverage.shuffle(rng);
+        by_coverage.sort_by_key(|&v| std::cmp::Reverse(coverage(v)));
+        let missing = k - chosen.len();
+        for v in by_coverage.into_iter().take(missing) {
+            taken.insert(v);
             chosen.push(v);
         }
     }
@@ -300,6 +335,40 @@ mod tests {
         dedup.sort();
         dedup.dedup();
         assert_eq!(dedup.len(), lm.len());
+    }
+
+    #[test]
+    fn select_biases_toward_rare_label_coverage() {
+        // Only the `rare` instances carry a label that exists almost
+        // nowhere else; everything else carries an ubiquitous one. The
+        // coverage quota must land at least one slot on a rare instance —
+        // under every seed, so narrow-L queries (which draw from the rare
+        // labels) get a landmark whose Check can actually fire. The
+        // remaining slots stay with the randomized class spread, so the
+        // full layout is deliberately *not* pinned.
+        let mut b = GraphBuilder::new();
+        for i in 0..4 {
+            b.add_triple(&format!("hub{i}"), "rdf:type", "Hub");
+            b.add_triple(&format!("hub{i}"), "common", &format!("sink{i}"));
+        }
+        for i in 0..2 {
+            b.add_triple(&format!("rare{i}"), "rdf:type", "Rare");
+            b.add_triple(&format!("rare{i}"), "needle", &format!("sink{i}"));
+        }
+        for i in 0..20 {
+            b.add_triple(&format!("c{i}"), "common", &format!("c{}", i + 1));
+        }
+        let g = b.build().unwrap();
+        for seed in 0..16 {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let lm = select_landmarks(&g, 2, &mut rng);
+            assert_eq!(lm.len(), 2, "seed {seed}");
+            let names: Vec<&str> = lm.iter().map(|&v| g.vertex_name(v)).collect();
+            assert!(
+                names.iter().any(|n| n.starts_with("rare")),
+                "seed {seed}: coverage quota missed the rare instances ({names:?})"
+            );
+        }
     }
 
     #[test]

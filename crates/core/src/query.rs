@@ -303,7 +303,21 @@ pub struct QueryOptions {
     pub timeout: Option<Duration>,
     /// `V(S,G)` processing order for UIS\*.
     pub vsg_order: VsgOrder,
+    /// Minimum `|V(S,G)|` for the UIS\*/INS bidirectional phase to
+    /// engage under a selective `L`; `None` means
+    /// [`DEFAULT_BIDI_MIN_CANDIDATES`]. The backward closure replaces up
+    /// to `|V(S,G)|` per-candidate `v ⇝ t` probes, so it only pays for
+    /// itself on candidate sets at least this large — small sets answer
+    /// faster through the classic chained/informed probes.
+    pub bidi_min_candidates: Option<usize>,
 }
+
+/// Default candidate-set size at which the bidirectional phase engages
+/// (see [`QueryOptions::bidi_min_candidates`]). Calibrated on the LUBM
+/// bench: S1's `|V(S,G)| ≈ 6` stays on the classic path it already
+/// answers in microseconds, S3's 576 routes through the backward
+/// closure that replaces its hundreds of per-candidate probes.
+pub const DEFAULT_BIDI_MIN_CANDIDATES: usize = 64;
 
 impl QueryOptions {
     /// Toggles witness-path reconstruction for true answers.
@@ -335,6 +349,14 @@ impl QueryOptions {
         self.vsg_order = order;
         self
     }
+
+    /// Overrides the candidate-set size gating the bidirectional phase
+    /// (0 forces it on whenever `L` is selective — differential tests
+    /// use this to drive the meet-in-the-middle arms on small fixtures).
+    pub fn with_bidi_min_candidates(mut self, min: usize) -> Self {
+        self.bidi_min_candidates = Some(min);
+        self
+    }
 }
 
 /// Resolved step/time limits for one execution, derived from
@@ -344,6 +366,8 @@ impl QueryOptions {
 pub(crate) struct RunLimits {
     max_edges: u64,
     deadline: Option<Instant>,
+    /// Resolved [`QueryOptions::bidi_min_candidates`].
+    pub(crate) bidi_min_candidates: usize,
 }
 
 impl RunLimits {
@@ -351,6 +375,7 @@ impl RunLimits {
         RunLimits {
             max_edges: opts.step_budget.unwrap_or(u64::MAX),
             deadline: opts.timeout.map(|t| start + t),
+            bidi_min_candidates: opts.bidi_min_candidates.unwrap_or(DEFAULT_BIDI_MIN_CANDIDATES),
         }
     }
 
@@ -430,6 +455,17 @@ pub struct SearchStats {
     pub vsg_size: Option<usize>,
     /// Local-index landmark entries consulted (INS).
     pub index_hits: usize,
+    /// Edges scanned by the *backward* (reverse-expansion) frontier of
+    /// the bidirectional phase (UIS\*/INS; a subset of `edges_scanned`).
+    pub backward_edges_scanned: usize,
+    /// Early negative terminations: the search proved the answer `false`
+    /// from mask statistics or an exhausted frontier containing no
+    /// `V(S,G)` candidate, without running the per-candidate loop.
+    pub negative_terminations: usize,
+    /// Forward pushes suppressed because the completed backward frontier
+    /// proved the vertex cannot reach `t` under `L` (cone pruning), plus
+    /// INS partition exits pruned the same way.
+    pub frontier_prunes: usize,
     /// The algorithm that actually executed — for
     /// [`Algorithm::Auto`] this records the
     /// planner's choice.

@@ -50,6 +50,13 @@ pub struct SearchScratch {
     close: CloseMap,
     stack: Vec<VertexId>,
     queue: GlobalQueue,
+    /// Backward-frontier `close` for the bidirectional phase (UIS\*/INS):
+    /// marks the vertices known to reach `t` under `L`.
+    back: CloseMap,
+    back_stack: Vec<VertexId>,
+    /// `V(S,G)` membership as an O(1)-resettable set (the `CloseMap`
+    /// stamp machinery doubles as a bitmap; only `N`/non-`N` is used).
+    cand: CloseMap,
 }
 
 impl SearchScratch {
@@ -59,6 +66,9 @@ impl SearchScratch {
             close: CloseMap::new(num_vertices),
             stack: Vec::with_capacity(64),
             queue: GlobalQueue::new(num_vertices),
+            back: CloseMap::new(num_vertices),
+            back_stack: Vec::with_capacity(64),
+            cand: CloseMap::new(num_vertices),
         }
     }
 
@@ -73,6 +83,8 @@ impl SearchScratch {
     pub fn ensure(&mut self, n: usize) {
         self.close.ensure_len(n);
         self.queue.ensure_len(n);
+        self.back.ensure_len(n);
+        self.cand.ensure_len(n);
     }
 
     /// Split borrow for the stack-based algorithms (UIS, UIS\*).
@@ -80,9 +92,22 @@ impl SearchScratch {
         (&mut self.close, &mut self.stack)
     }
 
-    /// Split borrow for INS.
-    pub(crate) fn close_and_queue(&mut self) -> (&mut CloseMap, &mut GlobalQueue) {
-        (&mut self.close, &mut self.queue)
+    /// Split borrow for the bidirectional UIS\* kernel: forward close +
+    /// stack, backward close + stack, and the candidate set.
+    #[allow(clippy::type_complexity)]
+    pub(crate) fn bidirectional_parts(
+        &mut self,
+    ) -> (&mut CloseMap, &mut Vec<VertexId>, &mut CloseMap, &mut Vec<VertexId>, &mut CloseMap) {
+        (&mut self.close, &mut self.stack, &mut self.back, &mut self.back_stack, &mut self.cand)
+    }
+
+    /// Split borrow for the bidirectional INS kernel: forward close +
+    /// global queue, backward close + stack, and the candidate set.
+    #[allow(clippy::type_complexity)]
+    pub(crate) fn bidirectional_queue_parts(
+        &mut self,
+    ) -> (&mut CloseMap, &mut GlobalQueue, &mut CloseMap, &mut Vec<VertexId>, &mut CloseMap) {
+        (&mut self.close, &mut self.queue, &mut self.back, &mut self.back_stack, &mut self.cand)
     }
 }
 
@@ -152,7 +177,11 @@ impl<'e> Session<'e> {
         let mut recompiled: Option<CompiledLscrQuery> = None;
         loop {
             let query = recompiled.as_ref().unwrap_or(query);
-            let resolved = self.resolve(query, algorithm, None);
+            // The constraint's V(S,G) memo is shared through the engine's
+            // plan cache, so a repeated query plans from the *exact*
+            // candidate count instead of the schema estimate.
+            let resolved =
+                self.resolve(query, algorithm, query.constraint.vsg_len_if_materialized());
             let (g, index) = self.pin(resolved);
             if query.constraint.graph_epoch() != g.epoch() {
                 // Stale plan (caller-held query from before an update, or

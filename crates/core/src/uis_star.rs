@@ -18,6 +18,38 @@
 //! unordered and the search keeps "falling into bad directions"; INS fixes
 //! exactly this). [`answer_seeded`] reproduces that unordered behaviour.
 //!
+//! # Bidirectional phase and early negative termination
+//!
+//! Under a *selective* label constraint
+//! ([`Graph::expansion_selective`]), when `V(S,G)` is large enough
+//! ([`QueryOptions::bidi_min_candidates`](crate::QueryOptions)), the
+//! candidate loop is preceded by a meet-in-the-middle phase: a backward frontier over the reverse
+//! label-masked expansion view ([`Graph::in_expansion`]) races the usual
+//! forward `B = F` frontier, alternating by the smaller-frontier
+//! heuristic. The query is decided the moment the frontiers intersect *at
+//! a `V(S,G)` candidate* (meeting at a non-candidate proves nothing — the
+//! witness must pass through `V(S,G)`). When one side exhausts first, its
+//! `close` map becomes an O(1) oracle for that side's half of every
+//! remaining `s ⇝_L v ⇝_L t` check:
+//!
+//! * backward exhausted with **no candidate in `R_t`** — early negative
+//!   termination, no candidate loop at all;
+//! * backward exhausted otherwise — `v ⇝_L t` is decided by `R_t`
+//!   membership (no `B = T` invocation ever runs) and forward expansion
+//!   prunes every push outside `R_t` (any useful intermediate `x` on a
+//!   path to a candidate `v ∈ R_t` satisfies `x ⇝ v ⇝ t`, so `x ∈ R_t`);
+//! * forward exhausted — `s ⇝_L v` is decided by `close ≠ N`, with the
+//!   partial backward map kept as a positive-only shortcut.
+//!
+//! Two O(1) mask prechecks run even earlier: when `s` has no usable
+//! out-label or `t` no usable in-label under `L`, no one-or-more-edge
+//! path can start or finish, and the query falls to its zero-edge case.
+//! The phase is gated on selectivity — broad-`L` queries keep the
+//! classic single-frontier path byte for byte — and on candidate count:
+//! the backward closure replaces up to `|V(S,G)|` per-candidate `v ⇝ t`
+//! probes, so for small candidate sets the classic chained probes win
+//! and the phase stays off.
+//!
 //! ```
 //! use kgreach::LscrQuery;
 //! use kgreach::fixtures::{figure3, s0};
@@ -55,7 +87,10 @@ pub fn answer(g: &Graph, q: &CompiledLscrQuery) -> QueryOutcome {
 ///
 /// The reported time includes the `V(S,G)` materialization — UIS\* and
 /// INS both pay the SPARQL engine, and comparing them against UIS is only
-/// fair if that cost is on the clock.
+/// fair if that cost is on the clock. The set is obtained through the
+/// compiled constraint's shared memo
+/// ([`CompiledConstraint::satisfying_vertices_cached`](crate::constraint::CompiledConstraint::satisfying_vertices_cached)),
+/// so repeated queries over one compiled plan materialize it once.
 pub fn answer_with(
     g: &Graph,
     q: &CompiledLscrQuery,
@@ -64,12 +99,18 @@ pub fn answer_with(
 ) -> QueryOutcome {
     let clock = SearchClock::start_now();
     let limits = clock.limits(opts);
-    let mut vsg = q.constraint.satisfying_vertices(g);
-    if let VsgOrder::Shuffled(seed) = opts.vsg_order {
+    let vsg = q.constraint.satisfying_vertices_cached(g);
+    let shuffled;
+    let vsg: &[VertexId] = if let VsgOrder::Shuffled(seed) = opts.vsg_order {
         let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
-        vsg.shuffle(&mut rng);
-    }
-    let mut outcome = run(g, q, scratch, &vsg, limits, clock);
+        let mut copy = vsg.to_vec();
+        copy.shuffle(&mut rng);
+        shuffled = copy;
+        &shuffled
+    } else {
+        &vsg
+    };
+    let mut outcome = run(g, q, scratch, vsg, limits, clock);
     outcome.elapsed = clock.elapsed();
     outcome
 }
@@ -111,7 +152,7 @@ fn run(
     limits: RunLimits,
     clock: SearchClock,
 ) -> QueryOutcome {
-    let (close, stack) = scratch.close_and_stack();
+    let (close, stack, back, back_stack, cand) = scratch.bidirectional_parts();
     close.reset();
     stack.clear();
 
@@ -122,6 +163,10 @@ fn run(
         selective: g.expansion_selective(q.label_constraint),
         close,
         stack,
+        back,
+        back_stack,
+        cand,
+        prune_to_back: false,
         stats: SearchStats {
             vsg_size: Some(vsg.len()),
             algorithm: Some(crate::Algorithm::UisStar),
@@ -138,6 +183,32 @@ fn run(
 
     let s = q.source;
     let t = q.target;
+
+    if vsg.is_empty() {
+        return state.finish(false, clock);
+    }
+
+    // O(1) mask prechecks: with no out-label of s (or no in-label of t)
+    // usable under L, no path with ≥ 1 edge can leave s (or enter t) —
+    // only the zero-edge s = t witness remains, and s ≠ t rules it out.
+    if s != t
+        && (g.out_label_mask(s).intersection(q.label_constraint).is_empty()
+            || g.in_label_mask(t).intersection(q.label_constraint).is_empty())
+    {
+        state.stats.negative_terminations += 1;
+        return state.finish(false, clock);
+    }
+
+    // Selective L over a large candidate set: meet-in-the-middle phase
+    // (see the module docs); it either decides the query outright or
+    // completes one frontier and finishes through the specialized
+    // cleanup loops. Small candidate sets stay on the classic chained
+    // probes — one backward closure can only beat them when it replaces
+    // many per-candidate `v ⇝ t` probes.
+    if state.selective && vsg.len() >= state.limits.bidi_min_candidates {
+        let answer = state.bidirectional(s, t, vsg);
+        return state.finish(answer, clock);
+    }
 
     // Lines 3-12.
     let mut answer = false;
@@ -180,12 +251,196 @@ struct UisStar<'a> {
     selective: bool,
     close: &'a mut CloseMap,
     stack: &'a mut Vec<VertexId>,
+    /// Backward `close`: marks `R_t`, the vertices that reach `t` under
+    /// `L` (complete exactly when the bidirectional phase exhausted the
+    /// backward frontier).
+    back: &'a mut CloseMap,
+    back_stack: &'a mut Vec<VertexId>,
+    /// `V(S,G)` membership (`N` = not a candidate).
+    cand: &'a mut CloseMap,
+    /// When set (backward frontier completed), forward expansion skips
+    /// every push outside `R_t` — cone pruning, sound because any useful
+    /// intermediate `x` on a path to a candidate `v ∈ R_t` satisfies
+    /// `x ⇝ v ⇝ t`.
+    prune_to_back: bool,
     stats: SearchStats,
     limits: RunLimits,
     interrupted: bool,
 }
 
 impl UisStar<'_> {
+    /// The meet-in-the-middle phase plus its cleanup loops; always
+    /// returns the final answer (setting `interrupted` on truncation).
+    fn bidirectional(&mut self, s: VertexId, t: VertexId, vsg: &[VertexId]) -> bool {
+        self.back.reset();
+        self.back_stack.clear();
+        self.cand.reset();
+        for &v in vsg {
+            self.cand.set(v, CloseState::F);
+        }
+        let mut fwd_cand_seen = usize::from(!self.cand.is_n(s));
+        let mut back_cand_seen = 0usize;
+
+        // Seed the backward frontier at t.
+        self.back.set(t, CloseState::F);
+        self.back_stack.push(t);
+        self.stats.pushes += 1;
+        if !self.cand.is_n(t) {
+            back_cand_seen += 1;
+            if !self.close.is_n(t) {
+                return true; // s = t ∈ V(S,G): zero-edge witness
+            }
+        }
+
+        // Race the frontiers, expanding the smaller one each step, until
+        // they meet at a candidate or one side exhausts.
+        while !self.stack.is_empty() && !self.back_stack.is_empty() {
+            if self.limits.exceeded(self.stats.edges_scanned) {
+                self.interrupted = true;
+                return false;
+            }
+            if self.back_stack.len() <= self.stack.len() {
+                let x = self.back_stack.pop().expect("backward frontier non-empty");
+                let exp = self.g.in_expansion(x, self.labels, true);
+                self.stats.edges_skipped += exp.degree;
+                for e in exp.edges {
+                    if !self.labels.contains(e.label) {
+                        continue;
+                    }
+                    self.stats.edges_scanned += 1;
+                    self.stats.backward_edges_scanned += 1;
+                    self.stats.edges_skipped -= 1;
+                    let w = e.vertex;
+                    if self.back.is_n(w) {
+                        self.back.set(w, CloseState::F);
+                        self.back_stack.push(w);
+                        self.stats.pushes += 1;
+                        if !self.cand.is_n(w) {
+                            back_cand_seen += 1;
+                            if !self.close.is_n(w) {
+                                return true; // meet at candidate w
+                            }
+                        }
+                    }
+                }
+            } else {
+                // One B = F expansion step over the shared global stack —
+                // identical marking discipline to `lcs`, so later
+                // invocations resume this traversal (Theorem 4.1).
+                let u = self.stack.pop().expect("forward frontier non-empty");
+                let exp = self.g.out_expansion(u, self.labels, true);
+                self.stats.edges_skipped += exp.degree;
+                for e in exp.edges {
+                    if !self.labels.contains(e.label) {
+                        continue;
+                    }
+                    self.stats.edges_scanned += 1;
+                    self.stats.edges_skipped -= 1;
+                    let w = e.vertex;
+                    if self.close.is_n(w) {
+                        self.close.set(w, CloseState::F);
+                        self.stack.push(w);
+                        self.stats.pushes += 1;
+                        if !self.cand.is_n(w) {
+                            fwd_cand_seen += 1;
+                            if !self.back.is_n(w) {
+                                return true; // meet at candidate w
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        if self.back_stack.is_empty() {
+            // R_t fully enumerated.
+            if back_cand_seen == 0 {
+                // No candidate reaches t: early negative termination —
+                // the candidate loop is skipped entirely.
+                self.stats.negative_terminations += 1;
+                return false;
+            }
+            self.prune_to_back = true;
+            self.cleanup_back_complete(s, t, vsg)
+        } else {
+            // The forward region R_s is fully enumerated.
+            if fwd_cand_seen == 0 {
+                self.stats.negative_terminations += 1;
+                return false;
+            }
+            self.cleanup_forward_complete(s, t, vsg)
+        }
+    }
+
+    /// Candidate loop once `back` holds all of `R_t`: `v ⇝_L t` is a
+    /// membership probe (no `B = T` invocation runs), and `lcs(s, v, F)`
+    /// settles the forward half with pushes confined to `R_t`.
+    fn cleanup_back_complete(&mut self, s: VertexId, t: VertexId, vsg: &[VertexId]) -> bool {
+        for &v in vsg {
+            if self.interrupted || self.limits.exceeded(self.stats.edges_scanned) {
+                self.interrupted = true;
+                return false;
+            }
+            match self.close.get(v) {
+                CloseState::N => {
+                    if v == s || v == t {
+                        // Endpoint ∈ V(S,G): the query reduces to plain
+                        // s ⇝_L t, and R_t membership decides it.
+                        return !self.back.is_n(s);
+                    }
+                    if self.back.is_n(v) {
+                        continue; // v cannot reach t
+                    }
+                    if self.lcs(s, v, false) {
+                        return true; // s ⇝ v and v ∈ R_t
+                    }
+                }
+                CloseState::F => {
+                    if !self.back.is_n(v) {
+                        return true; // s ⇝ v already known
+                    }
+                }
+                CloseState::T => {}
+            }
+        }
+        false
+    }
+
+    /// Candidate loop once the forward frontier exhausted: `close ≠ N`
+    /// decides `s ⇝_L v`, and the partial backward map doubles as a
+    /// positive-only `v ⇝_L t` shortcut before the classic `B = T` probe.
+    fn cleanup_forward_complete(&mut self, s: VertexId, t: VertexId, vsg: &[VertexId]) -> bool {
+        for &v in vsg {
+            if self.interrupted || self.limits.exceeded(self.stats.edges_scanned) {
+                self.interrupted = true;
+                return false;
+            }
+            match self.close.get(v) {
+                CloseState::N => {
+                    if v == t {
+                        // t ∈ V(S,G) reduces the query to s ⇝_L t, and
+                        // the complete forward region disproves it.
+                        return false;
+                    }
+                    // s cannot reach v: skip without any LCS call.
+                }
+                CloseState::F => {
+                    if v == s || v == t {
+                        // Endpoint ∈ V(S,G): reduces to s ⇝_L t.
+                        return !self.close.is_n(t);
+                    }
+                    if !self.back.is_n(v) {
+                        return true; // backward phase already proved v ⇝ t
+                    }
+                    if self.lcs(v, t, true) {
+                        return true;
+                    }
+                }
+                CloseState::T => {}
+            }
+        }
+        false
+    }
     /// The paper's `LCS(s*, t*, L, B)` (Algorithm 2, lines 14-24),
     /// verifying `s* ⇝_L t*` over the shared stack/`close`.
     fn lcs(&mut self, s_star: VertexId, t_star: VertexId, b: bool) -> bool {
@@ -231,6 +486,13 @@ impl UisStar<'_> {
                 let w = e.vertex;
                 // Line 20: case 1 (B=T ∧ close[w]≠T), case 2 (B=F ∧ close[w]=N).
                 let explore = if b { !self.close.is_t(w) } else { self.close.is_n(w) };
+                if explore && self.prune_to_back && self.back.is_n(w) {
+                    // Cone pruning: the complete backward region proves w
+                    // cannot reach t, so no path through w can serve any
+                    // remaining candidate (all of them sit in R_t).
+                    self.stats.frontier_prunes += 1;
+                    continue;
+                }
                 if explore {
                     self.close.set(w, if b { CloseState::T } else { CloseState::F });
                     self.stack.push(w);

@@ -18,7 +18,10 @@
 //!   balancing);
 //! * [`updates`] — dynamic-graph edit streams: a held-out edge fraction
 //!   replayed as insert/delete/churn batches whose final state equals
-//!   the original triple set (the differential-testing invariant).
+//!   the original triple set (the differential-testing invariant);
+//! * [`funnel`] — deterministic wide-source/narrow-target fixtures (and
+//!   their mirrors) targeting the bidirectional-search and negative-
+//!   termination paths of the query kernels.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -31,6 +34,7 @@
 pub const DATAGEN_VERSION: u32 = 1;
 
 pub mod constraints;
+pub mod funnel;
 pub mod lubm;
 pub mod queries;
 pub mod updates;
@@ -49,6 +53,7 @@ pub fn top_label_set(g: &kgreach_graph::Graph, k: usize) -> kgreach_graph::Label
 }
 
 pub use constraints::{all_lubm_constraints, random_constraint_with_magnitude};
+pub use funnel::FunnelConfig;
 pub use lubm::LubmConfig;
 pub use queries::{FalseKind, GeneratedQuery, QueryGenConfig, Workload};
 pub use updates::{update_workload, UpdateWorkload, UpdateWorkloadConfig};

@@ -284,6 +284,30 @@ impl Graph {
         }
     }
 
+    /// The in-expansion of `v` under `constraint` — the reverse-direction
+    /// mirror of [`out_expansion`](Self::out_expansion), consumed by the
+    /// bidirectional search kernels' backward frontier. Same contract:
+    /// `selective` lets the in-incident-label mask skip the whole vertex
+    /// (with `degree` still exact for skipped-edge accounting), and the
+    /// overlay-merged view is presented when delta edits are live.
+    #[inline(always)]
+    pub fn in_expansion(
+        &self,
+        v: VertexId,
+        constraint: LabelSet,
+        selective: bool,
+    ) -> Expansion<'_> {
+        if self.overlay.is_none() {
+            return self.inn.expansion(v, constraint, selective);
+        }
+        let (slice, mask) = self.in_view_live(v);
+        if selective && mask.intersection(constraint).is_empty() {
+            Expansion { edges: &[], degree: slice.len() }
+        } else {
+            Expansion { edges: slice, degree: slice.len() }
+        }
+    }
+
     /// Upper bound on the number of vertices a search can *expand* under
     /// `constraint`: Σ over `l ∈ L` of
     /// [`label_vertex_counts`](Self::label_vertex_counts)`[l]`, capped at

@@ -168,6 +168,90 @@ fn wire_answers_match_in_process_answers_on_s1_s3() {
     server.shutdown();
 }
 
+/// Like [`wire_body`], with an explicit client `step_budget`.
+fn wire_body_with_budget(g: &Graph, q: &LscrQuery, algorithm: &str, budget: u64) -> String {
+    let labels: Vec<Json> = q.label_constraint.iter().map(|l| Json::str(g.label_name(l))).collect();
+    Json::Obj(vec![
+        ("source".into(), Json::str(g.vertex_name(q.source))),
+        ("target".into(), Json::str(g.vertex_name(q.target))),
+        ("labels".into(), Json::Arr(labels)),
+        ("constraint".into(), Json::str(q.constraint.sparql_text())),
+        ("algorithm".into(), Json::str(algorithm)),
+        ("step_budget".into(), Json::u64(budget)),
+    ])
+    .to_string()
+}
+
+#[test]
+fn batch_requests_honor_server_budget_ceilings() {
+    // End-to-end mirror of protocol.rs's
+    // `options_clamp_client_budgets_to_server_ceilings`, through
+    // `/query_batch`: a batched client asking for an enormous step budget
+    // must still be clamped to the server's `max_step_budget` ceiling —
+    // the batch path funnels through the same admission clamp as
+    // `/query`, and a truncated search comes back `interrupted`, never as
+    // a definitive answer.
+    let g = small_lubm(77);
+    let engine = Arc::new(LscrEngine::new(g));
+    engine.local_index();
+    let graph = engine.graph();
+    let workloads = s1_s3_workload(&graph, 2);
+    let (_, queries) = &workloads[0];
+    let true_queries: Vec<&LscrQuery> =
+        queries.iter().filter(|(_, e)| *e).map(|(q, _)| q).collect();
+    assert!(!true_queries.is_empty(), "workload must contain true queries");
+    let items: Vec<String> = true_queries
+        .iter()
+        .map(|q| wire_body_with_budget(&graph, q, "auto", 9_999_999_999))
+        .collect();
+    let batch_body = format!("{{\"queries\":[{}]}}", items.join(","));
+
+    // Server with a zero step-budget ceiling: every search is truncated
+    // before its first edge scan, whatever the client asked for.
+    let strict = ServerConfig {
+        batch: BatchConfig { max_step_budget: Some(0), ..Default::default() },
+        ..Default::default()
+    };
+    let server = serve(Arc::clone(&engine), strict).unwrap();
+    let mut client = HttpClient::connect(server.addr()).unwrap();
+    let resp = client.post_json("/query_batch", &batch_body).unwrap();
+    assert_eq!(resp.status, 200, "{}", resp.body);
+    let body = resp.json().unwrap();
+    let results = body.get("results").and_then(Json::as_array).unwrap();
+    assert_eq!(results.len(), true_queries.len());
+    for r in results {
+        assert_eq!(
+            r.get("interrupted").and_then(Json::as_bool),
+            Some(true),
+            "server ceiling must clamp the batched client budget: {r}"
+        );
+        assert_eq!(
+            r.get("answer").and_then(Json::as_bool),
+            Some(false),
+            "a truncated search must not claim a definitive answer: {r}"
+        );
+    }
+    // The singleton path clamps identically.
+    let one = client.post_json("/query", &items[0]).unwrap();
+    assert_eq!(one.status, 200, "{}", one.body);
+    assert_eq!(one.json().unwrap().get("interrupted").and_then(Json::as_bool), Some(true));
+    server.shutdown();
+
+    // Control: under the default (generous) ceiling the same batch, same
+    // client budget, returns the truth uninterrupted — it was the server
+    // ceiling doing the truncating above, not the client value.
+    let server = serve(Arc::clone(&engine), ServerConfig::default()).unwrap();
+    let mut client = HttpClient::connect(server.addr()).unwrap();
+    let resp = client.post_json("/query_batch", &batch_body).unwrap();
+    assert_eq!(resp.status, 200, "{}", resp.body);
+    let body = resp.json().unwrap();
+    for r in body.get("results").and_then(Json::as_array).unwrap() {
+        assert_eq!(r.get("answer").and_then(Json::as_bool), Some(true), "{r}");
+        assert_eq!(r.get("interrupted").and_then(Json::as_bool), Some(false), "{r}");
+    }
+    server.shutdown();
+}
+
 #[test]
 fn malformed_requests_get_typed_errors_and_the_server_keeps_serving() {
     let engine = Arc::new(LscrEngine::new(small_lubm(7)));

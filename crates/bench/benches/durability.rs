@@ -1,0 +1,107 @@
+//! The durability tax and the recovery bill — the WAL layer's two costs:
+//!
+//! - `apply_*`: one acknowledged single-edge insert+delete round trip
+//!   through [`DurableEngine`] under each fsync policy, against the same
+//!   apply with no durability layer (`apply_volatile`). The gap is the
+//!   write-ahead-log overhead an operator buys per policy; see
+//!   `docs/OPERATIONS.md` ("Durability & recovery") for the tradeoff
+//!   table these rows back.
+//! - `recover_512_records`: cold-start recovery of a data directory —
+//!   checkpoint snapshot load plus a 512-record log replay — the time a
+//!   crashed server spends answering `503 recovering` before its doors
+//!   open.
+//!
+//! Numbers are recorded in `bench-results/BENCH_durability.json`.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use kgreach::{DurableEngine, FsyncPolicy, LscrEngine, UpdateBatch, WalConfig};
+use std::path::PathBuf;
+use std::sync::Arc;
+
+fn bench_dir(name: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("kgbench-durability-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn config(fsync: FsyncPolicy) -> WalConfig {
+    // No auto-checkpoint: the bench measures append cost, not rotation.
+    WalConfig { fsync, checkpoint_bytes: u64::MAX }
+}
+
+/// The measured unit of work: insert one fresh edge, then delete it —
+/// two acknowledged content-changing batches, ending where it began so
+/// one engine serves every iteration.
+fn edge_pair() -> (UpdateBatch, UpdateBatch) {
+    let mut insert = UpdateBatch::new();
+    insert.insert("bench-wal-s", "bench-wal-p", "bench-wal-o");
+    let mut remove = UpdateBatch::new();
+    remove.delete("bench-wal-s", "bench-wal-p", "bench-wal-o");
+    (insert, remove)
+}
+
+fn bench_durability(c: &mut Criterion) {
+    let spec = &kgreach_bench::lubm_datasets(1.0)[1]; // D1', ~12k vertices
+    let graph = Arc::new(kgreach_bench::build_lubm(spec));
+    let (insert, remove) = edge_pair();
+
+    let mut group = c.benchmark_group("durability");
+    group.sample_size(10);
+
+    // Baseline: the same two applies with no durability layer at all.
+    let engine = LscrEngine::new(Arc::clone(&graph));
+    group.bench_function("apply_volatile", |b| {
+        b.iter(|| {
+            engine.apply_update(&insert).expect("insert applies");
+            black_box(engine.apply_update(&remove).expect("delete applies"))
+        })
+    });
+
+    for fsync in [FsyncPolicy::Off, FsyncPolicy::Batch, FsyncPolicy::Always] {
+        let dir = bench_dir(&format!("apply-{fsync}"));
+        let g = Arc::clone(&graph);
+        let (d, _) = DurableEngine::open(&dir, config(fsync), move || Ok(LscrEngine::new(g)))
+            .expect("init data dir");
+        group.bench_function(format!("apply_wal_{fsync}"), |b| {
+            b.iter(|| {
+                d.apply_update(&insert).expect("insert applies");
+                black_box(d.apply_update(&remove).expect("delete applies"))
+            })
+        });
+        drop(d);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    // Recovery: checkpoint load + replay of a 512-record log. Each
+    // iteration is a full cold start over the same on-disk state (the
+    // log is clean, so opening it replays without mutating it).
+    let dir = bench_dir("recover");
+    let g = Arc::clone(&graph);
+    let (d, _) =
+        DurableEngine::open(&dir, config(FsyncPolicy::Off), move || Ok(LscrEngine::new(g)))
+            .expect("init data dir");
+    for i in 0..256 {
+        let mut insert = UpdateBatch::new();
+        insert.insert(&format!("bench-wal-s{i}"), "bench-wal-p", &format!("bench-wal-o{i}"));
+        let mut remove = UpdateBatch::new();
+        remove.delete(&format!("bench-wal-s{i}"), "bench-wal-p", &format!("bench-wal-o{i}"));
+        d.apply_update(&insert).expect("insert applies");
+        d.apply_update(&remove).expect("delete applies");
+    }
+    drop(d); // crash-style: no shutdown, the 512 records stay in the log
+    group.bench_function("recover_512_records", |b| {
+        b.iter(|| {
+            let (d, report) =
+                DurableEngine::open(&dir, config(FsyncPolicy::Off), || unreachable!("init ran"))
+                    .expect("recover");
+            assert_eq!(report.replayed, 512);
+            black_box(d.stats().last_seq)
+        })
+    });
+    let _ = std::fs::remove_dir_all(&dir);
+    group.finish();
+}
+
+criterion_group!(benches, bench_durability);
+criterion_main!(benches);

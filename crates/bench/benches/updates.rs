@@ -98,6 +98,28 @@ fn bench_updates(c: &mut Criterion) {
             black_box(run_probe(&fresh))
         })
     });
+    // The O(delta) engine-swap floor: a single-edge insert+delete pair
+    // on an index-free engine over the compact graph (index repair is
+    // partition-sized work and overlay carry-over is delta-sized work —
+    // both measured by apply_delta_and_query above). The swap shares
+    // the frozen CSR/dictionaries via `Arc`, so this stays in
+    // microseconds on D5' (~55k vertices / ~240k edges) where it used
+    // to pay a full O(|V|+|E|) graph memcpy per batch.
+    let (single_insert, single_remove) = {
+        let t = &final_triples[0];
+        let mut i = UpdateBatch::new();
+        i.insert(&t.subject, &t.predicate, "bench-single-edge-object");
+        let mut r = UpdateBatch::new();
+        r.delete(&t.subject, &t.predicate, "bench-single-edge-object");
+        (i, r)
+    };
+    let bare = LscrEngine::new(g.clone());
+    group.bench_function("single_edge_apply", |b| {
+        b.iter(|| {
+            bare.apply_update(&single_insert).expect("insert applies");
+            black_box(bare.apply_update(&single_remove).expect("delete applies"))
+        })
+    });
     group.bench_function("compact", |b| {
         b.iter(|| {
             engine.apply_update(&insert).expect("delta applies");

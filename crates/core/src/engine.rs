@@ -368,6 +368,10 @@ impl LscrEngine {
     pub fn apply_update(&self, batch: &UpdateBatch) -> Result<UpdateOutcome, QueryError> {
         let _updates = self.update_lock.lock().expect("update lock");
         let (old_graph, old_index) = self.state_snapshot();
+        // O(delta), not O(|V|+|E|): the clone shares the frozen base (CSR
+        // pair, dict base layers, per-class schema lists) behind `Arc`s
+        // and copies only overlay state and dict tails — see the `Graph`
+        // type docs. In-flight queries keep reading `old_graph` untouched.
         let mut graph = (*old_graph).clone();
         let summary = graph.apply_update(batch)?;
         if !summary.changed() {

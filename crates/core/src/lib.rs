@@ -76,6 +76,7 @@
 
 pub mod close;
 pub mod constraint;
+pub mod durable;
 pub mod engine;
 pub mod fixtures;
 pub mod ins;
@@ -91,6 +92,10 @@ pub mod witness;
 
 pub use close::{CloseMap, CloseState};
 pub use constraint::{CompiledConstraint, ConstraintBuilder, ScckCache, SubstructureConstraint};
+pub use durable::{
+    CheckpointReport, DurableEngine, DurableOutcome, DurableRecovery, DurableStats, RecoveryReport,
+    WalConfig,
+};
 pub use engine::{
     Algorithm, EngineInfo, IndexMaintenance, LscrEngine, UpdateOutcome, DELTA_COMPACT_THRESHOLD,
 };
@@ -107,6 +112,6 @@ pub use witness::{find_witness, Witness};
 
 // Re-export the substrate types callers need to assemble queries.
 pub use kgreach_graph::{
-    Graph, GraphBuilder, GraphFingerprint, LabelId, LabelSet, UpdateBatch, UpdateOp, UpdateSummary,
-    VertexId,
+    FsyncPolicy, Graph, GraphBuilder, GraphError, GraphFingerprint, LabelId, LabelSet, UpdateBatch,
+    UpdateOp, UpdateSummary, VertexId,
 };

@@ -10,6 +10,20 @@
 //! reference-count bump per name — the dictionary decode is the hottest
 //! part of a snapshot load.
 //!
+//! Internally a dictionary is **layered**: a frozen base (shared behind an
+//! `Arc` by every clone) plus a small owned tail of names interned since
+//! the last [freeze](Dict#freezing). Cloning therefore costs O(tail), not
+//! O(total) — the property the dynamic-update path relies on to make the
+//! engine's pre-swap graph copy O(delta) (a graph clone between
+//! compactions only copies the names the updates themselves added).
+//!
+//! # Freezing
+//!
+//! `Graph::from_parts` (the build/compact/snapshot-load funnel) freezes
+//! both dictionaries, merging the tail into a fresh shared base, so every
+//! compact graph starts with an empty tail. Ids never change across a
+//! freeze — the base keeps the prefix, the tail keeps the suffix.
+//!
 //! ```
 //! use kgreach_graph::dict::Dict;
 //!
@@ -23,14 +37,24 @@
 use crate::fxhash::FxHashMap;
 use std::sync::Arc;
 
+/// The frozen, `Arc`-shared layer of a [`Dict`]: ids `0..by_id.len()`.
+#[derive(Default, Clone, Debug)]
+struct DictBase {
+    by_name: FxHashMap<Arc<str>, u32>,
+    by_id: Vec<Arc<str>>,
+}
+
 /// A two-way string ↔ dense-id dictionary.
 ///
 /// Ids are assigned in first-seen order starting from 0, so they can be used
 /// directly as array indices.
 #[derive(Default, Clone, Debug)]
 pub struct Dict {
-    by_name: FxHashMap<Arc<str>, u32>,
-    by_id: Vec<Arc<str>>,
+    /// Frozen shared prefix; never mutated once built.
+    base: Arc<DictBase>,
+    /// Names interned after the last freeze; `id = base len + tail index`.
+    tail_by_name: FxHashMap<Arc<str>, u32>,
+    tail_by_id: Vec<Arc<str>>,
 }
 
 impl Dict {
@@ -41,13 +65,17 @@ impl Dict {
 
     /// Creates an empty dictionary with room for `cap` entries.
     pub fn with_capacity(cap: usize) -> Self {
-        Dict { by_name: crate::fxhash::fx_map_with_capacity(cap), by_id: Vec::with_capacity(cap) }
+        Dict {
+            base: Arc::default(),
+            tail_by_name: crate::fxhash::fx_map_with_capacity(cap),
+            tail_by_id: Vec::with_capacity(cap),
+        }
     }
 
     /// Rebuilds a dictionary from its id-ordered name list (snapshot
-    /// decoding). Returns `None` if the list holds duplicate names — a
-    /// corrupt snapshot, since interning can never assign two ids to one
-    /// name.
+    /// decoding), already frozen. Returns `None` if the list holds
+    /// duplicate names — a corrupt snapshot, since interning can never
+    /// assign two ids to one name.
     pub(crate) fn from_names(names: Vec<Arc<str>>) -> Option<Dict> {
         let mut by_name = crate::fxhash::fx_map_with_capacity(names.len());
         for (id, name) in names.iter().enumerate() {
@@ -55,24 +83,52 @@ impl Dict {
                 return None;
             }
         }
-        Some(Dict { by_name, by_id: names })
+        Some(Dict {
+            base: Arc::new(DictBase { by_name, by_id: names }),
+            tail_by_name: FxHashMap::default(),
+            tail_by_id: Vec::new(),
+        })
+    }
+
+    /// Merges the tail into a fresh shared base, leaving the tail empty.
+    /// Ids are unchanged. O(1) when the tail is already empty or the base
+    /// is (the builder path); otherwise O(total) — paid only at
+    /// build/compact/snapshot-load time, never per update batch.
+    pub(crate) fn freeze(&mut self) {
+        if self.tail_by_id.is_empty() {
+            return;
+        }
+        let tail_by_name = std::mem::take(&mut self.tail_by_name);
+        let tail_by_id = std::mem::take(&mut self.tail_by_id);
+        if self.base.by_id.is_empty() {
+            self.base = Arc::new(DictBase { by_name: tail_by_name, by_id: tail_by_id });
+            return;
+        }
+        let shared = std::mem::take(&mut self.base);
+        let mut merged = Arc::try_unwrap(shared).unwrap_or_else(|arc| (*arc).clone());
+        merged.by_id.extend(tail_by_id);
+        merged.by_name.extend(tail_by_name);
+        self.base = Arc::new(merged);
     }
 
     /// Interns `name`, returning its id (existing or freshly assigned).
     pub fn intern(&mut self, name: &str) -> u32 {
-        if let Some(&id) = self.by_name.get(name) {
+        if let Some(&id) = self.base.by_name.get(name) {
             return id;
         }
-        let id = self.by_id.len() as u32;
+        if let Some(&id) = self.tail_by_name.get(name) {
+            return id;
+        }
+        let id = (self.base.by_id.len() + self.tail_by_id.len()) as u32;
         let shared: Arc<str> = name.into();
-        self.by_id.push(Arc::clone(&shared));
-        self.by_name.insert(shared, id);
+        self.tail_by_id.push(Arc::clone(&shared));
+        self.tail_by_name.insert(shared, id);
         id
     }
 
     /// Looks up the id of `name`, if interned.
     pub fn get(&self, name: &str) -> Option<u32> {
-        self.by_name.get(name).copied()
+        self.base.by_name.get(name).or_else(|| self.tail_by_name.get(name)).copied()
     }
 
     /// Returns the string for `id`.
@@ -80,38 +136,57 @@ impl Dict {
     /// # Panics
     /// Panics if `id` was never assigned.
     pub fn name(&self, id: u32) -> &str {
-        &self.by_id[id as usize]
+        let id = id as usize;
+        match self.base.by_id.get(id) {
+            Some(s) => s,
+            None => &self.tail_by_id[id - self.base.by_id.len()],
+        }
     }
 
     /// Returns the string for `id`, if assigned.
     pub fn try_name(&self, id: u32) -> Option<&str> {
-        self.by_id.get(id as usize).map(|s| &**s)
+        let id = id as usize;
+        self.base
+            .by_id
+            .get(id)
+            .or_else(|| self.tail_by_id.get(id.wrapping_sub(self.base.by_id.len())))
+            .map(|s| &**s)
     }
 
     /// Number of interned strings.
     pub fn len(&self) -> usize {
-        self.by_id.len()
+        self.base.by_id.len() + self.tail_by_id.len()
     }
 
     /// Whether the dictionary is empty.
     pub fn is_empty(&self) -> bool {
-        self.by_id.is_empty()
+        self.len() == 0
     }
 
     /// Iterates over `(id, name)` pairs in id order.
     pub fn iter(&self) -> impl Iterator<Item = (u32, &str)> {
-        self.by_id.iter().enumerate().map(|(i, s)| (i as u32, &**s))
+        self.base
+            .by_id
+            .iter()
+            .chain(self.tail_by_id.iter())
+            .enumerate()
+            .map(|(i, s)| (i as u32, &**s))
     }
 
-    /// Approximate heap footprint in bytes (for index-size reporting).
+    /// Approximate heap footprint in bytes (for index-size reporting). The
+    /// frozen base is counted in full even though clones share it — the
+    /// figure models a standalone graph, not marginal cost.
     pub fn heap_bytes(&self) -> usize {
         // One shared allocation per string (plus the Arc's two refcounts),
         // referenced from both the map key and the vec entry.
-        let strings: usize = self.by_id.iter().map(|s| s.len() + 16).sum();
-        strings
-            + self.by_id.capacity() * std::mem::size_of::<Arc<str>>()
-            + self.by_name.capacity()
-                * (std::mem::size_of::<Arc<str>>() + std::mem::size_of::<u32>())
+        let entry = |v: &[Arc<str>], map_cap: usize, vec_cap: usize| -> usize {
+            let strings: usize = v.iter().map(|s| s.len() + 16).sum();
+            strings
+                + vec_cap * std::mem::size_of::<Arc<str>>()
+                + map_cap * (std::mem::size_of::<Arc<str>>() + std::mem::size_of::<u32>())
+        };
+        entry(&self.base.by_id, self.base.by_name.capacity(), self.base.by_id.capacity())
+            + entry(&self.tail_by_id, self.tail_by_name.capacity(), self.tail_by_id.capacity())
     }
 }
 
@@ -174,5 +249,53 @@ mod tests {
         d.intern("abc");
         assert!(!d.is_empty());
         assert!(d.heap_bytes() >= 3); // the shared copy of "abc"
+    }
+
+    #[test]
+    fn freeze_preserves_ids_and_lookups() {
+        let mut d = Dict::new();
+        d.intern("a");
+        d.intern("b");
+        d.freeze();
+        assert_eq!(d.intern("c"), 2); // tail continues the id space
+        assert_eq!(d.intern("a"), 0); // base hit after freeze
+        d.freeze(); // merge a non-empty tail into a non-empty base
+        assert_eq!(d.len(), 3);
+        assert_eq!(d.get("c"), Some(2));
+        assert_eq!(d.name(2), "c");
+        assert_eq!(d.iter().collect::<Vec<_>>(), vec![(0, "a"), (1, "b"), (2, "c")]);
+        d.freeze(); // idempotent on an empty tail
+        assert_eq!(d.len(), 3);
+    }
+
+    #[test]
+    fn clones_share_the_frozen_base() {
+        let mut d = Dict::new();
+        d.intern("shared");
+        d.freeze();
+        let c = d.clone();
+        // The base layer is one allocation: both dictionaries resolve id 0
+        // to the very same string storage.
+        assert!(std::ptr::eq(d.name(0).as_ptr(), c.name(0).as_ptr()));
+        // Divergent tails stay independent.
+        let mut c = c;
+        assert_eq!(d.intern("only-d"), 1);
+        assert_eq!(c.intern("only-c"), 1);
+        assert_eq!(d.get("only-c"), None);
+        assert_eq!(c.get("only-d"), None);
+    }
+
+    #[test]
+    fn layered_lookups_cover_both_layers() {
+        let mut d = Dict::new();
+        d.intern("base-0");
+        d.freeze();
+        d.intern("tail-1");
+        assert_eq!(d.get("base-0"), Some(0));
+        assert_eq!(d.get("tail-1"), Some(1));
+        assert_eq!(d.try_name(0), Some("base-0"));
+        assert_eq!(d.try_name(1), Some("tail-1"));
+        assert_eq!(d.try_name(2), None);
+        assert!(d.heap_bytes() >= "base-0".len() + "tail-1".len());
     }
 }

@@ -64,6 +64,29 @@ pub enum GraphError {
         /// Human-readable description of the failure.
         message: String,
     },
+    /// A write-ahead log file does not start with the WAL magic — it is
+    /// not a log at all (or was mangled in transit).
+    WalBadMagic,
+    /// A write-ahead log was written by a newer (or otherwise unknown)
+    /// format version than this build supports.
+    WalVersion {
+        /// Version found in the file header.
+        found: u16,
+        /// Highest version this build reads.
+        supported: u16,
+    },
+    /// A write-ahead log is corrupt *mid-stream*: a complete record failed
+    /// its checksum, its sequence number broke the monotone chain, or its
+    /// payload did not decode. Distinct from a torn tail (a crash-truncated
+    /// final record), which recovery truncates silently — mid-log damage
+    /// means acknowledged records after the damage point would be lost, so
+    /// it is always surfaced as this typed error, never repaired.
+    WalCorrupt {
+        /// Byte offset of the record where corruption was detected.
+        offset: u64,
+        /// Human-readable description of the failure.
+        message: String,
+    },
 }
 
 impl fmt::Display for GraphError {
@@ -96,6 +119,17 @@ impl fmt::Display for GraphError {
             }
             GraphError::SnapshotCorrupt { section, message } => {
                 write!(f, "corrupt snapshot ({section} section): {message}")
+            }
+            GraphError::WalBadMagic => {
+                write!(f, "not a kgreach write-ahead log (bad magic bytes)")
+            }
+            GraphError::WalVersion { found, supported } => write!(
+                f,
+                "write-ahead log format version {found} is not supported (this build reads up \
+                 to version {supported})"
+            ),
+            GraphError::WalCorrupt { offset, message } => {
+                write!(f, "corrupt write-ahead log (record at byte {offset}): {message}")
             }
         }
     }
@@ -138,6 +172,15 @@ mod tests {
         assert!(e.to_string().contains("kind 2"));
         let e = GraphError::SnapshotCorrupt { section: "meta", message: "checksum".into() };
         assert!(e.to_string().contains("meta") && e.to_string().contains("checksum"));
+    }
+
+    #[test]
+    fn wal_errors_are_informative() {
+        assert!(GraphError::WalBadMagic.to_string().contains("magic"));
+        let e = GraphError::WalVersion { found: 7, supported: 1 };
+        assert!(e.to_string().contains('7') && e.to_string().contains('1'));
+        let e = GraphError::WalCorrupt { offset: 42, message: "checksum mismatch".into() };
+        assert!(e.to_string().contains("42") && e.to_string().contains("checksum"));
     }
 
     #[test]

@@ -59,12 +59,20 @@ impl std::fmt::Display for GraphFingerprint {
 
 /// An edge-labeled knowledge graph: a frozen CSR base plus an optional
 /// `DeltaOverlay` of applied updates (see the `delta` module docs).
+///
+/// Cloning is O(delta), not O(|V|+|E|): the CSR pair lives behind `Arc`s
+/// (updates never mutate it — they only grow the overlay), the
+/// dictionaries share their frozen base layer, and the schema shares its
+/// per-class instance lists, so a clone copies only overlay state, dict
+/// tails and O(|𝓛|) statistics. The engine's update path
+/// (`LscrEngine::apply_update` in `kgreach`) leans on this to prepare the
+/// post-batch graph without copying the frozen base.
 #[derive(Clone, Debug)]
 pub struct Graph {
     vertex_dict: Dict,
     label_dict: Dict,
-    out: Csr,
-    inn: Csr,
+    out: std::sync::Arc<Csr>,
+    inn: std::sync::Arc<Csr>,
     /// Applied-but-not-compacted updates; `None` for a compact graph, in
     /// which case every accessor takes the overlay-free fast path (one
     /// predictable branch on a pointer-sized field — boxed so the hot
@@ -99,13 +107,18 @@ impl Graph {
     /// per-label vertex counts here) are recomputed, not trusted from the
     /// input.
     pub(crate) fn from_parts(
-        vertex_dict: Dict,
-        label_dict: Dict,
+        mut vertex_dict: Dict,
+        mut label_dict: Dict,
         out: Csr,
         inn: Csr,
         schema: Schema,
         label_histogram: Vec<usize>,
     ) -> Graph {
+        // Every construction funnel (build, compact, snapshot load) yields
+        // a compact graph; freezing here gives it empty dict tails, so
+        // subsequent clones copy only update-interned names.
+        vertex_dict.freeze();
+        label_dict.freeze();
         let mut label_vertex_counts = vec![0usize; label_dict.len()];
         let mut non_sink_vertices = 0usize;
         for mask in out.label_masks() {
@@ -118,8 +131,8 @@ impl Graph {
         Graph {
             vertex_dict,
             label_dict,
-            out,
-            inn,
+            out: std::sync::Arc::new(out),
+            inn: std::sync::Arc::new(inn),
             overlay: None,
             num_edges,
             epoch: 0,

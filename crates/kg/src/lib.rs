@@ -17,6 +17,9 @@
 //! * [`triples`] / [`io`] — an N-Triples-like text format for datasets;
 //! * [`snapshot`] — versioned, checksummed binary snapshots for
 //!   restart-without-rebuild persistence;
+//! * [`wal`] — a write-ahead update log: sequence-numbered, checksum-chained
+//!   [`UpdateBatch`] records with configurable fsync policy, replayed over
+//!   the last snapshot on crash recovery;
 //! * [`stats`] — dataset summary statistics;
 //! * [`fxhash`] — a vendored fast hasher (dependency policy: no external
 //!   hashing crates).
@@ -56,6 +59,7 @@ pub mod snapshot;
 pub mod stats;
 pub mod traverse;
 pub mod triples;
+pub mod wal;
 
 mod graph;
 
@@ -68,3 +72,4 @@ pub use labelset::{Cms, LabelSet, MAX_LABELS};
 pub use schema::Schema;
 pub use stats::GraphStats;
 pub use triples::Triple;
+pub use wal::{FsyncPolicy, Wal, WalAppend, WalReplay};

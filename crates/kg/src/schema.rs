@@ -28,8 +28,15 @@
 use crate::fxhash::FxHashMap;
 use crate::ids::{LabelId, VertexId};
 use crate::labelset::LabelSet;
+use std::sync::Arc;
 
 /// The RDFS schema view over an edge-labeled graph.
+///
+/// Instance lists live behind per-class `Arc`s, so cloning a schema costs
+/// O(#classes) — not O(#instance assertions) — and a dynamic update only
+/// copies the lists of the classes it actually touches (copy-on-write via
+/// [`Arc::make_mut`]). This keeps the engine's pre-swap graph clone
+/// O(delta) on typed graphs.
 #[derive(Clone, Debug, Default)]
 pub struct Schema {
     /// Label id of `rdf:type`, if the graph has typed vertices.
@@ -42,7 +49,7 @@ pub struct Schema {
     pub range_label: Option<LabelId>,
     classes: Vec<VertexId>,
     class_pos: FxHashMap<VertexId, usize>,
-    instances: Vec<Vec<VertexId>>,
+    instances: Vec<Arc<Vec<VertexId>>>,
 }
 
 impl Schema {
@@ -60,7 +67,7 @@ impl Schema {
         if !self.class_pos.contains_key(&class) {
             self.class_pos.insert(class, self.classes.len());
             self.classes.push(class);
-            self.instances.push(Vec::new());
+            self.instances.push(Arc::default());
         }
     }
 
@@ -68,7 +75,7 @@ impl Schema {
     pub(crate) fn add_instance(&mut self, class: VertexId, instance: VertexId) {
         self.add_class(class);
         let pos = self.class_pos[&class];
-        self.instances[pos].push(instance);
+        Arc::make_mut(&mut self.instances[pos]).push(instance);
     }
 
     /// Unregisters `instance rdf:type class` (dynamic-update path). The
@@ -77,7 +84,7 @@ impl Schema {
     pub(crate) fn remove_instance(&mut self, class: VertexId, instance: VertexId) {
         if let Some(&pos) = self.class_pos.get(&class) {
             if let Some(i) = self.instances[pos].iter().position(|&v| v == instance) {
-                self.instances[pos].remove(i);
+                Arc::make_mut(&mut self.instances[pos]).remove(i);
             }
         }
     }
@@ -107,7 +114,7 @@ impl Schema {
 
     /// Total number of `rdf:type` assertions recorded.
     pub fn num_instance_assertions(&self) -> usize {
-        self.instances.iter().map(Vec::len).sum()
+        self.instances.iter().map(|v| v.len()).sum()
     }
 
     /// Iterates `(class, instances)` pairs.
@@ -115,7 +122,9 @@ impl Schema {
         self.classes.iter().zip(self.instances.iter()).map(|(&c, i)| (c, i.as_slice()))
     }
 
-    /// Approximate heap footprint in bytes.
+    /// Approximate heap footprint in bytes. `Arc`-shared instance lists
+    /// are counted in full — the figure models a standalone graph, not
+    /// marginal cost over clones.
     pub fn heap_bytes(&self) -> usize {
         let inst: usize =
             self.instances.iter().map(|v| v.capacity() * std::mem::size_of::<VertexId>()).sum();

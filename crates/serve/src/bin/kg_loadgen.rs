@@ -21,15 +21,37 @@
 //! uis|uis*|ins|auto`; `--batch N` to add `/query_batch` rows with
 //! windows of `N`; `--addr HOST:PORT` for an external server; `--out
 //! PATH` (empty to skip writing).
+//!
+//! Back-pressure: a `429`/`503` answer is not a failure — the request is
+//! retried with capped exponential backoff (honoring the server's
+//! `Retry-After` hint, with deterministic jitter to avoid thundering
+//! herds), and only a request still shed after [`MAX_RETRIES`] attempts
+//! counts in the `shed` column. Retries get their own column so sustained
+//! overload is visible even when every query eventually lands.
+//!
+//! Chaos mode: `--update-stream N --addr HOST:PORT` switches from query
+//! load to an acknowledged-update stream against a durable server —
+//! each single-edge batch is resent through connection drops and
+//! `recovering` windows until acknowledged, which makes it a harness for
+//! crash-injection experiments (kill the server mid-stream, restart it,
+//! and verify every acknowledged sequence number survived).
 
 use kgreach::{Graph, LscrEngine, SubstructureConstraint};
 use kgreach_datagen::constraints::{s1, s2, s3};
 use kgreach_datagen::lubm::{self, LubmConfig};
 use kgreach_datagen::queries::{generate_workload, QueryGenConfig};
 use kgreach_serve::cli::Args;
-use kgreach_serve::{serve, HttpClient, Json, ServerConfig};
+use kgreach_serve::{serve, HttpClient, HttpResponse, Json, ServerConfig};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// Attempts per query before a shed answer is recorded as `shed`.
+const MAX_RETRIES: u32 = 5;
+/// First backoff step; doubles per attempt.
+const BASE_BACKOFF: Duration = Duration::from_millis(10);
+/// Ceiling on any single backoff sleep, including `Retry-After` hints
+/// (a load generator cannot honor multi-second hints literally).
+const MAX_BACKOFF: Duration = Duration::from_millis(500);
 
 /// One wire query with its ground truth.
 #[derive(Clone)]
@@ -45,6 +67,30 @@ struct ThreadResult {
     wire_errors: usize,
     mismatches: usize,
     shed: usize,
+    retries: usize,
+}
+
+/// xorshift64* step — deterministic jitter without an RNG dependency.
+fn next_rand(state: &mut u64) -> u64 {
+    let mut x = *state;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *state = x;
+    x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+}
+
+/// Backoff before retry number `attempt` (0-based): the server's
+/// `Retry-After` hint when given, else `BASE_BACKOFF * 2^attempt`, capped
+/// at `MAX_BACKOFF` and scaled by a jitter factor in `[0.5, 1.0]`.
+fn backoff_delay(attempt: u32, resp: &HttpResponse, rng: &mut u64) -> Duration {
+    let hinted = resp
+        .header("retry-after")
+        .and_then(|v| v.trim().parse::<u64>().ok())
+        .map(Duration::from_secs);
+    let exponential = BASE_BACKOFF.saturating_mul(1u32 << attempt.min(16));
+    let jitter = 0.5 + (next_rand(rng) >> 11) as f64 / (1u64 << 53) as f64 / 2.0;
+    hinted.unwrap_or(exponential).min(MAX_BACKOFF).mul_f64(jitter)
 }
 
 fn build_wire_queries(
@@ -109,6 +155,7 @@ fn run_combination(
                 let lane_interval =
                     (rate > 0.0).then(|| Duration::from_secs_f64(concurrency as f64 / rate));
                 let mut next_send = Instant::now();
+                let mut rng = 0x9e37_79b9_7f4a_7c15u64 ^ ((lane as u64 + 1) << 32);
                 for q in slice {
                     if let Some(interval) = lane_interval {
                         let now = Instant::now();
@@ -117,26 +164,45 @@ fn run_combination(
                         }
                         next_send += interval;
                     }
-                    let sent = Instant::now();
-                    match client.post_json("/query", &q.body) {
-                        Ok(resp) if resp.status == 200 => {
-                            r.latencies_ns
-                                .push(sent.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64);
-                            let answer = resp
-                                .json()
-                                .ok()
-                                .and_then(|j| j.get("answer").and_then(Json::as_bool));
-                            if answer != Some(q.expected) {
-                                r.mismatches += 1;
+                    let mut attempt = 0u32;
+                    loop {
+                        // Time each attempt separately: a recorded latency
+                        // never includes backoff sleeps.
+                        let sent = Instant::now();
+                        match client.post_json("/query", &q.body) {
+                            Ok(resp) if resp.status == 200 => {
+                                r.latencies_ns.push(
+                                    sent.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64,
+                                );
+                                let answer = resp
+                                    .json()
+                                    .ok()
+                                    .and_then(|j| j.get("answer").and_then(Json::as_bool));
+                                if answer != Some(q.expected) {
+                                    r.mismatches += 1;
+                                }
+                                break;
                             }
-                        }
-                        Ok(resp) if resp.status == 429 || resp.status == 503 => r.shed += 1,
-                        Ok(_) => r.wire_errors += 1,
-                        Err(_) => {
-                            r.wire_errors += 1;
-                            // The connection may be gone; reconnect.
-                            if let Ok(c) = HttpClient::connect(addr) {
-                                client = c;
+                            Ok(resp) if resp.status == 429 || resp.status == 503 => {
+                                if attempt >= MAX_RETRIES {
+                                    r.shed += 1;
+                                    break;
+                                }
+                                std::thread::sleep(backoff_delay(attempt, &resp, &mut rng));
+                                r.retries += 1;
+                                attempt += 1;
+                            }
+                            Ok(_) => {
+                                r.wire_errors += 1;
+                                break;
+                            }
+                            Err(_) => {
+                                r.wire_errors += 1;
+                                // The connection may be gone; reconnect.
+                                if let Ok(c) = HttpClient::connect(addr) {
+                                    client = c;
+                                }
+                                break;
                             }
                         }
                     }
@@ -159,34 +225,49 @@ fn run_batched(
     let started = Instant::now();
     let mut r = ThreadResult::default();
     let mut client = HttpClient::connect(addr).expect("connect");
+    let mut rng = 0x9e37_79b9_7f4a_7c15u64;
     for chunk in queries.chunks(batch) {
         let body = format!(
             "{{\"queries\":[{}]}}",
             chunk.iter().map(|q| q.body.as_str()).collect::<Vec<_>>().join(",")
         );
-        let sent = Instant::now();
-        match client.post_json("/query_batch", &body) {
-            Ok(resp) if resp.status == 200 => {
-                let per_query =
-                    (sent.elapsed().as_nanos() / chunk.len() as u128).min(u128::from(u64::MAX));
-                let results = resp
-                    .json()
-                    .ok()
-                    .and_then(|j| j.get("results").and_then(|r| r.as_array().map(|a| a.to_vec())));
-                match results {
-                    Some(items) if items.len() == chunk.len() => {
-                        for (item, q) in items.iter().zip(chunk) {
-                            r.latencies_ns.push(per_query as u64);
-                            if item.get("answer").and_then(Json::as_bool) != Some(q.expected) {
-                                r.mismatches += 1;
+        let mut attempt = 0u32;
+        loop {
+            let sent = Instant::now();
+            match client.post_json("/query_batch", &body) {
+                Ok(resp) if resp.status == 200 => {
+                    let per_query =
+                        (sent.elapsed().as_nanos() / chunk.len() as u128).min(u128::from(u64::MAX));
+                    let results = resp.json().ok().and_then(|j| {
+                        j.get("results").and_then(|r| r.as_array().map(|a| a.to_vec()))
+                    });
+                    match results {
+                        Some(items) if items.len() == chunk.len() => {
+                            for (item, q) in items.iter().zip(chunk) {
+                                r.latencies_ns.push(per_query as u64);
+                                if item.get("answer").and_then(Json::as_bool) != Some(q.expected) {
+                                    r.mismatches += 1;
+                                }
                             }
                         }
+                        _ => r.wire_errors += chunk.len(),
                     }
-                    _ => r.wire_errors += chunk.len(),
+                    break;
+                }
+                Ok(resp) if resp.status == 429 || resp.status == 503 => {
+                    if attempt >= MAX_RETRIES {
+                        r.shed += chunk.len();
+                        break;
+                    }
+                    std::thread::sleep(backoff_delay(attempt, &resp, &mut rng));
+                    r.retries += 1;
+                    attempt += 1;
+                }
+                _ => {
+                    r.wire_errors += chunk.len();
+                    break;
                 }
             }
-            Ok(resp) if resp.status == 429 || resp.status == 503 => r.shed += chunk.len(),
-            _ => r.wire_errors += chunk.len(),
         }
     }
     (vec![r], started.elapsed())
@@ -209,12 +290,13 @@ fn summarize(
     total_wire_errors: &mut usize,
 ) {
     let mut latencies: Vec<u64> = Vec::new();
-    let (mut wire_errors, mut mismatches, mut shed) = (0usize, 0usize, 0usize);
+    let (mut wire_errors, mut mismatches, mut shed, mut retries) = (0usize, 0usize, 0usize, 0usize);
     for r in results {
         latencies.extend(r.latencies_ns);
         wire_errors += r.wire_errors;
         mismatches += r.mismatches;
         shed += r.shed;
+        retries += r.retries;
     }
     latencies.sort_unstable();
     let answered = latencies.len();
@@ -222,7 +304,7 @@ fn summarize(
     let p99 = percentile(&latencies, 0.99);
     let qps = answered as f64 / elapsed.as_secs_f64().max(1e-9);
     println!(
-        "| {name} | {answered} | {:.1} | {:.1} | {:.1} | {qps:.0} | {wire_errors} | {mismatches} | {shed} |",
+        "| {name} | {answered} | {:.1} | {:.1} | {:.1} | {qps:.0} | {wire_errors} | {mismatches} | {shed} | {retries} |",
         median as f64 / 1e3,
         percentile(&latencies, 0.95) as f64 / 1e3,
         p99 as f64 / 1e3,
@@ -242,11 +324,83 @@ fn summarize(
         ("wire_errors".into(), Json::usize(wire_errors)),
         ("answer_mismatches".into(), Json::usize(mismatches)),
         ("shed".into(), Json::usize(shed)),
+        ("retries".into(), Json::usize(retries)),
     ]));
+}
+
+/// Chaos mode: streams `count` acknowledged single-edge updates at a
+/// (presumably durable) external server, riding through connection drops
+/// and `recovering` windows. Each batch is resent until acknowledged —
+/// at-least-once is safe because the server's no-op detection makes a
+/// duplicate insert a `seq: null` acknowledgement. Prints one `ack` line
+/// per update so a crash-injection harness can diff what was acknowledged
+/// against what survived a restart. Returns the number acknowledged.
+fn run_update_stream(addr: std::net::SocketAddr, count: usize, label: &str) -> usize {
+    let mut client = HttpClient::connect(addr).ok();
+    let mut acked = 0usize;
+    let mut rng = 0xdead_beef_cafe_f00du64;
+    'updates: for i in 0..count {
+        let body = format!(
+            "{{\"ops\":[{{\"op\":\"insert\",\"subject\":\"{label}-{i}\",\
+             \"predicate\":\"next\",\"object\":\"{label}-{}\"}}]}}",
+            i + 1
+        );
+        // Generous attempt budget: a restarting server can be gone for
+        // seconds; chaos mode's whole point is to wait it out.
+        for attempt in 0..200u32 {
+            let Some(c) = client.as_mut() else {
+                std::thread::sleep(Duration::from_millis(50));
+                client = HttpClient::connect(addr).ok();
+                continue;
+            };
+            match c.post_json("/update", &body) {
+                Ok(resp) if resp.status == 200 => {
+                    let j = resp.json().ok();
+                    let seq = j.as_ref().and_then(|j| j.get("seq").and_then(Json::as_u64));
+                    let durable = j
+                        .as_ref()
+                        .and_then(|j| j.get("durable").and_then(Json::as_bool))
+                        .unwrap_or(false);
+                    println!(
+                        "ack {i} seq={} durable={durable}",
+                        seq.map_or("null".into(), |s| s.to_string())
+                    );
+                    acked += 1;
+                    continue 'updates;
+                }
+                Ok(resp) if resp.status == 429 || resp.status == 503 => {
+                    std::thread::sleep(backoff_delay(attempt.min(MAX_RETRIES), &resp, &mut rng));
+                }
+                Ok(resp) => {
+                    eprintln!("FAILED: update {i} answered {}: {}", resp.status, resp.body);
+                    break 'updates;
+                }
+                Err(_) => {
+                    client = None;
+                }
+            }
+        }
+        if acked <= i {
+            eprintln!("FAILED: update {i} never acknowledged");
+            break;
+        }
+    }
+    acked
 }
 
 fn main() {
     let args = Args::parse();
+    if let Some(count) = args.get_opt::<usize>("update-stream") {
+        let Some(addr) = args.get_str("addr") else {
+            eprintln!("error: --update-stream needs --addr HOST:PORT (an external server)");
+            std::process::exit(2);
+        };
+        let addr = addr.parse().expect("--addr must be HOST:PORT");
+        let label = args.get_str("chaos-label").unwrap_or("chaos").to_owned();
+        let acked = run_update_stream(addr, count, &label);
+        eprintln!("acknowledged {acked}/{count} updates");
+        std::process::exit(if acked == count { 0 } else { 1 });
+    }
     let universities = args.get("universities", 2usize);
     let departments = args.get("departments", 6usize);
     let seed = args.get("seed", 0xacade31au64);
@@ -295,9 +449,9 @@ fn main() {
     );
 
     println!(
-        "| combination | answered | p50 us | p95 us | p99 us | qps | wire_err | wrong | shed |"
+        "| combination | answered | p50 us | p95 us | p99 us | qps | wire_err | wrong | shed | retries |"
     );
-    println!("|---|---|---|---|---|---|---|---|---|");
+    println!("|---|---|---|---|---|---|---|---|---|---|");
     let dataset = format!("lubm-u{universities}d{departments}");
     let mut rows = Vec::new();
     let (mut mismatches, mut wire_errors) = (0usize, 0usize);

@@ -60,4 +60,4 @@ pub use http::{HttpError, HttpLimits, Request, Response};
 pub use json::{Json, JsonError};
 pub use metrics::{LatencyHistogram, ServerMetrics};
 pub use protocol::{ApiError, QueryRequest};
-pub use server::{serve, ServerConfig, ServerHandle};
+pub use server::{serve, serve_gated, ServerConfig, ServerHandle};

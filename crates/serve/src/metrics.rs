@@ -266,8 +266,13 @@ impl ServerMetrics {
     }
 
     /// Renders the text exposition, folding in the engine's own state
-    /// summary (graph size, epoch, cache occupancy).
-    pub fn render(&self, info: &kgreach::EngineInfo) -> String {
+    /// summary (graph size, epoch, cache occupancy) and — on a durable
+    /// server — the WAL/checkpoint/recovery counters.
+    pub fn render(
+        &self,
+        info: &kgreach::EngineInfo,
+        durable: Option<&kgreach::DurableStats>,
+    ) -> String {
         let mut out = String::with_capacity(4096);
         let counter = |out: &mut String, name: &str, help: &str, v: u64| {
             out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} counter\n{name} {v}\n"));
@@ -405,6 +410,70 @@ impl ServerMetrics {
             info.cached_plans as f64
         });
 
+        // Durability subsystem (present only with a data directory).
+        if let Some(d) = durable {
+            counter(
+                &mut out,
+                "kg_wal_appends_total",
+                "Update records appended to the write-ahead log.",
+                d.wal_appends,
+            );
+            counter(
+                &mut out,
+                "kg_wal_fsyncs_total",
+                "Fsyncs issued on the write-ahead log.",
+                d.wal_fsyncs,
+            );
+            gauge(
+                &mut out,
+                "kg_wal_bytes",
+                "Current size of the write-ahead log.",
+                d.wal_bytes as f64,
+            );
+            gauge(
+                &mut out,
+                "kg_wal_last_seq",
+                "Sequence number of the last logged update.",
+                d.last_seq as f64,
+            );
+            counter(
+                &mut out,
+                "kg_checkpoints_total",
+                "Checkpoints rolled since startup.",
+                d.checkpoints,
+            );
+            gauge(
+                &mut out,
+                "kg_checkpoint_seq",
+                "Sequence number the current checkpoint covers.",
+                d.checkpoint_seq as f64,
+            );
+            gauge(
+                &mut out,
+                "kg_checkpoint_last_seconds",
+                "Duration of the most recent checkpoint.",
+                d.last_checkpoint_nanos as f64 / 1e9,
+            );
+            gauge(
+                &mut out,
+                "kg_recovery_replayed_records",
+                "Log records replayed by startup recovery.",
+                d.recovery_replayed as f64,
+            );
+            gauge(
+                &mut out,
+                "kg_recovery_truncated_bytes",
+                "Torn-tail bytes truncated by startup recovery.",
+                d.recovery_truncated_bytes as f64,
+            );
+            gauge(
+                &mut out,
+                "kg_recovery_seconds",
+                "Wall-clock startup recovery time.",
+                d.recovery_nanos as f64 / 1e9,
+            );
+        }
+
         for (name, help, h) in [
             (
                 "kg_query_latency_seconds",
@@ -464,7 +533,18 @@ mod tests {
         stats.edges_skipped = 3;
         m.record_outcome(&stats, true);
         let engine = kgreach::LscrEngine::new(kgreach::fixtures::figure3());
-        let text = m.render(&engine.info());
+        let text = m.render(&engine.info(), None);
+        assert!(!text.contains("kg_wal_appends_total"), "no WAL series without durability");
+        let durable = kgreach::DurableStats {
+            last_seq: 9,
+            wal_appends: 9,
+            wal_fsyncs: 3,
+            ..Default::default()
+        };
+        let text_durable = m.render(&engine.info(), Some(&durable));
+        for needle in ["kg_wal_appends_total 9", "kg_wal_fsyncs_total 3", "kg_wal_last_seq 9"] {
+            assert!(text_durable.contains(needle), "missing {needle:?}:\n{text_durable}");
+        }
         for needle in [
             "kg_queries_total 1",
             "kg_queries_interrupted_total 1",

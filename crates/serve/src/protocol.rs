@@ -58,7 +58,16 @@ impl ApiError {
 
 impl From<QueryError> for ApiError {
     fn from(e: QueryError) -> Self {
+        use kgreach::GraphError;
         match &e {
+            // Storage-side failures (WAL append/checkpoint I/O, log
+            // corruption) are the server's fault, not the request's.
+            QueryError::Graph(
+                GraphError::Io(_)
+                | GraphError::WalBadMagic
+                | GraphError::WalVersion { .. }
+                | GraphError::WalCorrupt { .. },
+            ) => ApiError::new(500, "storage", e.to_string()),
             // The protocol layer resolves names itself, so a graph-level
             // failure here means ids went stale mid-flight or the request
             // referenced structure the graph lacks.
@@ -308,8 +317,12 @@ pub fn parse_update(v: &Json) -> Result<UpdateBatch, ApiError> {
     Ok(batch)
 }
 
-/// Renders a `/update` response.
-pub fn render_update(out: &UpdateOutcome) -> Json {
+/// Renders a `/update` response. `seq`/`durable` report durability: on a
+/// durable server `seq` is the write-ahead-log sequence number (absent
+/// for all-no-op batches, which are not logged) and `durable` says the
+/// record had been fsynced when the response was built; a server running
+/// without a data directory reports `durable: false, seq: null`.
+pub fn render_update(out: &UpdateOutcome, seq: Option<u64>, durable: bool) -> Json {
     let (index, repaired) = match &out.index {
         IndexMaintenance::NotBuilt => ("not_built", None),
         IndexMaintenance::Patched { partitions_repaired } => {
@@ -329,7 +342,15 @@ pub fn render_update(out: &UpdateOutcome) -> Json {
         ("index".into(), Json::str(index)),
         ("partitions_repaired".into(), repaired.map_or(Json::Null, Json::usize)),
         ("compacted".into(), Json::Bool(out.compacted)),
+        ("durable".into(), Json::Bool(durable)),
+        ("seq".into(), seq.map_or(Json::Null, Json::u64)),
     ])
+}
+
+/// Renders the `/healthz` body while the server is still replaying its
+/// write-ahead log (served with `503` so load balancers hold traffic).
+pub fn render_health_recovering() -> Json {
+    Json::Obj(vec![("status".into(), Json::str("recovering"))])
 }
 
 /// Renders the `/healthz` body from the engine's state summary.
@@ -442,9 +463,14 @@ mod tests {
 
         let engine = LscrEngine::new(figure3());
         let out = engine.apply_update(&batch).unwrap();
-        let body = render_update(&out).to_string();
+        let body = render_update(&out, Some(1), true).to_string();
         assert!(body.contains("\"epoch\":1"), "{body}");
         assert!(body.contains("\"edges_inserted\":1"), "{body}");
+        assert!(body.contains("\"durable\":true"), "{body}");
+        assert!(body.contains("\"seq\":1"), "{body}");
+        let body = render_update(&out, None, false).to_string();
+        assert!(body.contains("\"durable\":false"), "{body}");
+        assert!(body.contains("\"seq\":null"), "{body}");
     }
 
     #[test]

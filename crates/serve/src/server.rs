@@ -27,11 +27,13 @@ use crate::http::{
 };
 use crate::json::Json;
 use crate::metrics::ServerMetrics;
-use crate::protocol::{parse_update, render_health, render_update, ApiError, QueryRequest};
-use kgreach::LscrEngine;
+use crate::protocol::{
+    parse_update, render_health, render_health_recovering, render_update, ApiError, QueryRequest,
+};
+use kgreach::{DurableEngine, LscrEngine};
 use kgreach_sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use kgreach_sync::thread::JoinHandle;
-use kgreach_sync::Arc;
+use kgreach_sync::{Arc, Mutex};
 use std::io::BufReader;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::time::Instant;
@@ -67,6 +69,19 @@ struct Shared {
     limits: HttpLimits,
     shutdown: AtomicBool,
     live_connections: AtomicUsize,
+    /// `false` while startup recovery replays the write-ahead log: the
+    /// socket is bound (so orchestration can watch `/healthz` flip), but
+    /// data endpoints answer `503 recovering` until the replay finishes.
+    ready: AtomicBool,
+    /// Durability wrapper, installed by [`ServerHandle::install_durable`]
+    /// once recovery completes; `None` on a non-durable server.
+    durable: Mutex<Option<Arc<DurableEngine>>>,
+}
+
+impl Shared {
+    fn durable(&self) -> Option<Arc<DurableEngine>> {
+        self.durable.lock().expect("durable handle lock").clone()
+    }
 }
 
 /// A running server; dropping the handle does **not** stop it — call
@@ -77,8 +92,25 @@ pub struct ServerHandle {
     acceptor: Option<JoinHandle<()>>,
 }
 
-/// Binds `config.addr` and starts serving `engine`.
+/// Binds `config.addr` and starts serving `engine`, immediately ready.
 pub fn serve(engine: Arc<LscrEngine>, config: ServerConfig) -> std::io::Result<ServerHandle> {
+    serve_inner(engine, config, true)
+}
+
+/// Binds `config.addr` but starts **not ready**: data endpoints answer
+/// `503 recovering` (and `/healthz` reports `"recovering"`) until
+/// [`ServerHandle::install_durable`] or [`ServerHandle::mark_ready`] is
+/// called. This is the durable startup path — bind early, replay the
+/// write-ahead log, then open the doors.
+pub fn serve_gated(engine: Arc<LscrEngine>, config: ServerConfig) -> std::io::Result<ServerHandle> {
+    serve_inner(engine, config, false)
+}
+
+fn serve_inner(
+    engine: Arc<LscrEngine>,
+    config: ServerConfig,
+    ready: bool,
+) -> std::io::Result<ServerHandle> {
     let listener = TcpListener::bind(&config.addr)?;
     let addr = listener.local_addr()?;
     let metrics = Arc::new(ServerMetrics::new());
@@ -90,6 +122,8 @@ pub fn serve(engine: Arc<LscrEngine>, config: ServerConfig) -> std::io::Result<S
         limits: config.http,
         shutdown: AtomicBool::new(false),
         live_connections: AtomicUsize::new(0),
+        ready: AtomicBool::new(ready),
+        durable: Mutex::new(None),
     });
     let acceptor = {
         let shared = Arc::clone(&shared);
@@ -147,6 +181,32 @@ impl ServerHandle {
         &self.shared.metrics
     }
 
+    /// Whether data endpoints are open (recovery finished).
+    pub fn ready(&self) -> bool {
+        self.shared.ready.load(Ordering::Acquire)
+    }
+
+    /// Installs the durability wrapper — every subsequent `/update` is
+    /// write-ahead logged through it — and opens the data endpoints.
+    /// Call once, after [`DurableRecovery::replay`] finishes.
+    ///
+    /// [`DurableRecovery::replay`]: kgreach::DurableRecovery::replay
+    pub fn install_durable(&self, durable: Arc<DurableEngine>) {
+        *self.shared.durable.lock().expect("durable handle lock") = Some(durable);
+        self.mark_ready();
+    }
+
+    /// Opens the data endpoints of a [`serve_gated`] server without
+    /// durability (e.g. after some other warm-up).
+    pub fn mark_ready(&self) {
+        self.shared.ready.store(true, Ordering::Release);
+    }
+
+    /// The durability wrapper, if one was installed.
+    pub fn durable(&self) -> Option<Arc<DurableEngine>> {
+        self.shared.durable()
+    }
+
     /// Stops accepting connections, answers every admitted query, and
     /// joins the acceptor and worker pool. Connections blocked mid-read
     /// see `503 draining` on their next request and are closed.
@@ -158,6 +218,14 @@ impl ServerHandle {
             let _ = acceptor.join();
         }
         self.shared.batcher.shutdown();
+        // Durable servers leave a clean data directory behind: flush any
+        // unsynced log records, then checkpoint so the next start
+        // recovers without replay.
+        if let Some(durable) = self.shared.durable() {
+            if let Err(e) = durable.shutdown() {
+                eprintln!("kg-serve: shutdown flush/checkpoint failed: {e}");
+            }
+        }
     }
 }
 
@@ -217,6 +285,29 @@ fn parse_body(req: &Request) -> Result<Json, ApiError> {
 
 fn dispatch(req: &Request, shared: &Shared) -> Response {
     let m = shared.metrics.as_ref();
+    if !shared.ready.load(Ordering::Acquire) {
+        match (req.method.as_str(), req.path.as_str()) {
+            // `/metrics` stays live during replay so recovery progress is
+            // observable; `/healthz` reports the recovering state with a
+            // 503 so load balancers hold traffic.
+            ("GET", "/metrics") => {}
+            ("GET", "/healthz") => {
+                m.requests_introspection.add(1);
+                let mut resp = Response::json(503, render_health_recovering().to_string());
+                resp.retry_after = Some(1);
+                return resp;
+            }
+            ("POST", "/query" | "/query_batch" | "/update" | "/snapshot/reload") => {
+                m.requests_other.add(1);
+                return error_response(&ApiError::new(
+                    503,
+                    "recovering",
+                    "server is replaying its write-ahead log; retry shortly",
+                ));
+            }
+            _ => {} // 404/405 handling below is accurate even mid-recovery
+        }
+    }
     match (req.method.as_str(), req.path.as_str()) {
         ("POST", "/query") => {
             m.requests_query.add(1);
@@ -261,7 +352,8 @@ fn dispatch(req: &Request, shared: &Shared) -> Response {
         }
         ("GET", "/metrics") => {
             m.requests_introspection.add(1);
-            Response::text(200, m.render(&shared.engine.info()))
+            let durable_stats = shared.durable().map(|d| d.stats());
+            Response::text(200, m.render(&shared.engine.info(), durable_stats.as_ref()))
         }
         (
             _,
@@ -322,9 +414,18 @@ fn handle_query_batch(req: &Request, shared: &Shared) -> Result<Json, ApiError> 
 fn handle_update(req: &Request, shared: &Shared) -> Result<Json, ApiError> {
     let body = parse_body(req)?;
     let batch = parse_update(&body)?;
-    let outcome = shared.engine.apply_update(&batch)?;
+    // On a durable server the batch goes through the WAL: the response
+    // is built only after the record is on disk (append-then-ack), so a
+    // crash after the client reads it cannot lose the update.
+    let rendered = match shared.durable() {
+        Some(durable) => {
+            let out = durable.apply_update(&batch)?;
+            render_update(&out.outcome, out.seq, out.durable)
+        }
+        None => render_update(&shared.engine.apply_update(&batch)?, None, false),
+    };
     shared.metrics.updates_total.add(1);
-    Ok(render_update(&outcome))
+    Ok(rendered)
 }
 
 fn handle_reload(req: &Request, shared: &Shared) -> Result<Json, ApiError> {

@@ -65,7 +65,7 @@ proptest! {
             }
         });
         let engine = kgreach::LscrEngine::new(kgreach::fixtures::figure3());
-        let text = metrics.render(&engine.info());
+        let text = metrics.render(&engine.info(), None);
         let cumulative: Vec<u64> = text
             .lines()
             .filter(|l| l.starts_with("kg_query_latency_seconds_bucket"))

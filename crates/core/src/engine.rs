@@ -659,16 +659,43 @@ impl LscrEngine {
         let mut r = SectionReader::new(BufReader::new(reader)).map_err(QueryError::from)?;
         r.expect_kind(ArtifactKind::Engine)?;
         let graph = snapshot::read_graph_sections(&mut r)?;
-        let payload = r.section(TAG_ENGINE_HAS_INDEX, "engine-index-flag")?;
-        let mut flag = PayloadCursor::new(&payload, "engine-index-flag");
+        let has_index =
+            Self::decode_index_flag(&r.section(TAG_ENGINE_HAS_INDEX, "engine-index-flag")?)?;
+        let index = if has_index { Some(LocalIndex::read_sections(&mut r)?) } else { None };
+        r.end().map_err(QueryError::from)?;
+        Self::assemble_restored(graph, index)
+    }
+
+    /// [`from_snapshot`](Self::from_snapshot) over an in-memory buffer,
+    /// borrowing section payloads instead of copying them — the bulk
+    /// cold-start path for multi-million-edge engine snapshots. Same
+    /// result and same typed errors as the streaming reader.
+    pub fn from_snapshot_bytes(bytes: &[u8]) -> Result<LscrEngine, QueryError> {
+        let mut r = snapshot::SliceSectionReader::new(bytes).map_err(QueryError::from)?;
+        r.expect_kind(ArtifactKind::Engine)?;
+        let graph = snapshot::read_graph_sections_slice(&mut r)?;
+        let has_index =
+            Self::decode_index_flag(r.section(TAG_ENGINE_HAS_INDEX, "engine-index-flag")?)?;
+        let index = if has_index { Some(LocalIndex::read_sections_slice(&mut r)?) } else { None };
+        r.end().map_err(QueryError::from)?;
+        Self::assemble_restored(graph, index)
+    }
+
+    fn decode_index_flag(payload: &[u8]) -> Result<bool, QueryError> {
+        let mut flag = PayloadCursor::new(payload, "engine-index-flag");
         let has_index = match flag.get_u8()? {
             0 => false,
             1 => true,
             byte => return Err(flag.corrupt(format!("index flag byte is {byte}")).into()),
         };
         flag.finish()?;
-        let index = if has_index { Some(LocalIndex::read_sections(&mut r)?) } else { None };
-        r.end().map_err(QueryError::from)?;
+        Ok(has_index)
+    }
+
+    fn assemble_restored(
+        graph: Graph,
+        index: Option<LocalIndex>,
+    ) -> Result<LscrEngine, QueryError> {
         let engine = LscrEngine::new(graph);
         if let Some(index) = index {
             engine.set_local_index(index)?;
@@ -744,9 +771,12 @@ impl LscrEngine {
     }
 
     /// Restores an engine snapshot from a file path.
+    ///
+    /// Reads the whole file into memory and decodes sections from the
+    /// borrowed buffer — one bulk read plus in-place validation.
     pub fn from_snapshot_file(path: impl AsRef<Path>) -> Result<LscrEngine, QueryError> {
-        let file = File::open(path).map_err(kgreach_graph::GraphError::from)?;
-        Self::from_snapshot(file)
+        let bytes = std::fs::read(path).map_err(kgreach_graph::GraphError::from)?;
+        Self::from_snapshot_bytes(&bytes)
     }
 
     /// The adaptive planner behind [`Algorithm::Auto`]: picks a concrete

@@ -48,7 +48,7 @@ use crate::partition::{
 };
 use kgreach_graph::fxhash::FxHashMap;
 use kgreach_graph::snapshot::{
-    ArtifactKind, PayloadBuf, PayloadCursor, SectionReader, SectionWriter,
+    ArtifactKind, PayloadBuf, PayloadCursor, SectionReader, SectionWriter, SliceSectionReader,
 };
 use kgreach_graph::{Cms, Graph, GraphFingerprint, LabelSet, VertexId};
 use rand::rngs::SmallRng;
@@ -76,11 +76,23 @@ pub struct LocalIndexConfig {
     /// than rebuilding it and keeps a drifted partition shape alive.
     /// See [`LocalIndex::patched`].
     pub staleness_budget: f64,
+    /// Worker threads for the per-landmark `LocalFullIndex` loop
+    /// (Algorithm 3, lines 3-4). Each landmark's entry is independent,
+    /// so the loop parallelizes without synchronization; results are
+    /// merged in ordinal order, making the built index — including its
+    /// serialized bytes — identical for every thread count. `0` and `1`
+    /// both mean sequential.
+    pub build_threads: usize,
 }
 
 impl Default for LocalIndexConfig {
     fn default() -> Self {
-        LocalIndexConfig { num_landmarks: None, seed: 0x5ca1ab1e, staleness_budget: 0.5 }
+        LocalIndexConfig {
+            num_landmarks: None,
+            seed: 0x5ca1ab1e,
+            staleness_budget: 0.5,
+            build_threads: 1,
+        }
     }
 }
 
@@ -183,23 +195,66 @@ impl LocalIndex {
         let mut rng = SmallRng::seed_from_u64(config.seed);
         // Line 1: landmark selection from the schema.
         let landmarks = select_landmarks(g, k, &mut rng);
-        Self::build_with_landmarks(g, landmarks)
+        Self::build_with_landmarks_threaded(g, landmarks, config.build_threads)
     }
 
     /// Builds the index over an explicit landmark set (used by tests and
     /// the landmark-selection ablation; Algorithm 3 minus line 1).
     pub fn build_with_landmarks(g: &Graph, landmarks: Vec<VertexId>) -> LocalIndex {
+        Self::build_with_landmarks_threaded(g, landmarks, 1)
+    }
+
+    /// [`build_with_landmarks`](Self::build_with_landmarks) with an
+    /// explicit worker-thread count for the per-landmark loop. The
+    /// result is identical — entry for entry and byte for byte once
+    /// [`with_elapsed`](Self::with_elapsed) normalizes the wall time —
+    /// for every `threads` value: workers take static contiguous ordinal
+    /// chunks and results merge back in ordinal order.
+    pub fn build_with_landmarks_threaded(
+        g: &Graph,
+        landmarks: Vec<VertexId>,
+        threads: usize,
+    ) -> LocalIndex {
         let start = Instant::now();
         // Line 2: BFSTraverse builds F / AF.
         let partition = partition_graph(g, landmarks);
 
-        // Lines 3-4: LocalFullIndex per landmark.
-        let mut entries = Vec::with_capacity(partition.num_landmarks());
-        let mut d: Vec<FxHashMap<u32, u32>> = Vec::with_capacity(partition.num_landmarks());
-        for ord in 0..partition.num_landmarks() as u32 {
-            let (entry, d_row) = local_full_index(g, &partition, ord);
-            entries.push(Arc::new(entry));
-            d.push(d_row);
+        // Lines 3-4: LocalFullIndex per landmark. Each iteration is a
+        // pure function of (g, partition, ord), so the loop fans out
+        // across scoped threads with no shared mutable state.
+        let k = partition.num_landmarks();
+        let mut entries = Vec::with_capacity(k);
+        let mut d: Vec<FxHashMap<u32, u32>> = Vec::with_capacity(k);
+        if threads <= 1 || k <= 1 {
+            for ord in 0..k as u32 {
+                let (entry, d_row) = local_full_index(g, &partition, ord);
+                entries.push(Arc::new(entry));
+                d.push(d_row);
+            }
+        } else {
+            let workers = threads.min(k);
+            let chunk = k.div_ceil(workers);
+            let part = &partition;
+            std::thread::scope(|s| {
+                let handles: Vec<_> = (0..workers)
+                    .map(|w| {
+                        let lo = w * chunk;
+                        let hi = (lo + chunk).min(k);
+                        s.spawn(move || {
+                            (lo..hi)
+                                .map(|ord| local_full_index(g, part, ord as u32))
+                                .collect::<Vec<_>>()
+                        })
+                    })
+                    .collect();
+                // Joining in spawn order restores ordinal order exactly.
+                for handle in handles {
+                    for (entry, d_row) in handle.join().expect("index build worker panicked") {
+                        entries.push(Arc::new(entry));
+                        d.push(d_row);
+                    }
+                }
+            });
         }
 
         let ii_pairs = entries.iter().map(|e| e.num_ii()).sum();
@@ -274,6 +329,17 @@ impl LocalIndex {
     /// Build statistics.
     pub fn stats(&self) -> &IndexBuildStats {
         &self.stats
+    }
+
+    /// Returns the same index with `stats.elapsed` replaced. Wall-clock
+    /// build time is the only non-deterministic field that
+    /// [`save`](Self::save) persists, so normalizing it (e.g. to zero)
+    /// makes snapshots byte-comparable across runs and thread counts —
+    /// the determinism contract of
+    /// [`build_with_landmarks_threaded`](Self::build_with_landmarks_threaded).
+    pub fn with_elapsed(mut self, elapsed: Duration) -> LocalIndex {
+        self.stats.elapsed = elapsed;
+        self
     }
 
     /// The fingerprint of the graph this index was built for. Engines
@@ -431,7 +497,24 @@ impl LocalIndex {
     /// container, revalidating every structural invariant the INS search
     /// relies on. Counterpart of [`write_sections`](Self::write_sections).
     pub fn read_sections<R: Read>(r: &mut SectionReader<R>) -> kgreach_graph::Result<LocalIndex> {
-        let meta_payload = r.section(TAG_INDEX_META, "index-meta")?;
+        Self::read_sections_with(|tag, name| r.section(tag, name))
+    }
+
+    /// Reads the index sections from an in-memory container, decoding
+    /// each section straight out of the borrowed payload. Same
+    /// validation as [`read_sections`](Self::read_sections).
+    pub fn read_sections_slice(
+        r: &mut SliceSectionReader<'_>,
+    ) -> kgreach_graph::Result<LocalIndex> {
+        Self::read_sections_with(|tag, name| r.section(tag, name))
+    }
+
+    /// The decode loop shared by the streaming and in-memory readers:
+    /// `next` yields each expected section's payload.
+    fn read_sections_with<P: std::ops::Deref<Target = [u8]>>(
+        mut next: impl FnMut(u16, &'static str) -> kgreach_graph::Result<P>,
+    ) -> kgreach_graph::Result<LocalIndex> {
+        let meta_payload = next(TAG_INDEX_META, "index-meta")?;
         let mut meta = PayloadCursor::new(&meta_payload, "index-meta");
         let fingerprint = GraphFingerprint {
             num_vertices: meta.get_usize()?,
@@ -461,7 +544,7 @@ impl LocalIndex {
         meta.finish()?;
         let label_mask = LabelSet::all(num_labels).bits();
 
-        let part_payload = r.section(TAG_INDEX_PARTITION, "index-partition")?;
+        let part_payload = next(TAG_INDEX_PARTITION, "index-partition")?;
         let mut part = PayloadCursor::new(&part_payload, "index-partition");
         let mut landmarks = Vec::with_capacity(num_landmarks.min(1 << 20));
         for _ in 0..num_landmarks {
@@ -495,7 +578,7 @@ impl LocalIndex {
         part.finish()?;
         let partition = Partition::from_parts(landmarks, af).ok_or(err)?;
 
-        let entries_payload = r.section(TAG_INDEX_ENTRIES, "index-entries")?;
+        let entries_payload = next(TAG_INDEX_ENTRIES, "index-entries")?;
         let mut cur = PayloadCursor::new(&entries_payload, "index-entries");
         let mut entries = Vec::with_capacity(num_landmarks.min(1 << 20));
         for _ in 0..num_landmarks {
@@ -548,7 +631,7 @@ impl LocalIndex {
         }
         cur.finish()?;
 
-        let d_payload = r.section(TAG_INDEX_D, "index-d")?;
+        let d_payload = next(TAG_INDEX_D, "index-d")?;
         let mut cur = PayloadCursor::new(&d_payload, "index-d");
         let mut d: Vec<FxHashMap<u32, u32>> = Vec::with_capacity(num_landmarks.min(1 << 20));
         for _ in 0..num_landmarks {
@@ -614,9 +697,23 @@ impl LocalIndex {
         self.save(File::create(path)?)
     }
 
+    /// Reads a complete local-index snapshot held in memory, borrowing
+    /// section payloads instead of copying them. Equivalent to
+    /// [`load`](Self::load) on the same bytes.
+    pub fn load_bytes(bytes: &[u8]) -> kgreach_graph::Result<LocalIndex> {
+        let mut r = SliceSectionReader::new(bytes)?;
+        r.expect_kind(ArtifactKind::LocalIndex)?;
+        let index = Self::read_sections_slice(&mut r)?;
+        r.end()?;
+        Ok(index)
+    }
+
     /// Loads a local-index snapshot from a file path.
+    ///
+    /// Reads the whole file into memory and decodes sections from the
+    /// borrowed buffer — the bulk cold-start path.
     pub fn load_file(path: impl AsRef<Path>) -> kgreach_graph::Result<LocalIndex> {
-        Self::load(File::open(path)?)
+        Self::load_bytes(&std::fs::read(path)?)
     }
 }
 
@@ -883,6 +980,64 @@ mod tests {
         let mut graph_bytes = Vec::new();
         kgreach_graph::snapshot::write_graph_snapshot(&g, &mut graph_bytes).unwrap();
         assert!(matches!(LocalIndex::load(&graph_bytes[..]), Err(GraphError::SnapshotKind { .. })));
+    }
+
+    #[test]
+    fn threaded_build_is_deterministic() {
+        // The same landmarks built with 1, 2, 3 and 8 workers must
+        // produce byte-identical snapshots (after normalizing the only
+        // wall-clock field) and identical build statistics.
+        let g = figure3();
+        let config = LocalIndexConfig { num_landmarks: Some(3), seed: 7, ..Default::default() };
+        let reference = LocalIndex::build(&g, &config).with_elapsed(Duration::ZERO);
+        let mut reference_bytes = Vec::new();
+        reference.save(&mut reference_bytes).unwrap();
+        for threads in [0, 1, 2, 3, 8] {
+            let idx = LocalIndex::build(&g, &LocalIndexConfig { build_threads: threads, ..config })
+                .with_elapsed(Duration::ZERO);
+            let mut bytes = Vec::new();
+            idx.save(&mut bytes).unwrap();
+            assert_eq!(bytes, reference_bytes, "{threads}-thread build diverged");
+            assert_eq!(idx.stats().bytes, reference.stats().bytes);
+            assert_eq!(idx.stats().num_landmarks, reference.stats().num_landmarks);
+            assert_eq!(idx.stats().ii_pairs, reference.stats().ii_pairs);
+            assert_eq!(idx.stats().eit_pairs, reference.stats().eit_pairs);
+            assert_eq!(idx.stats().assigned_vertices, reference.stats().assigned_vertices);
+        }
+    }
+
+    #[test]
+    fn bytes_path_matches_stream_path() {
+        // The borrowed-slice loader agrees with the streaming loader on
+        // intact input (canonical re-encode is byte-identical) and on
+        // every single-byte flip and truncation (typed error both ways).
+        let g = figure3();
+        let idx = LocalIndex::build(
+            &g,
+            &LocalIndexConfig { num_landmarks: Some(2), seed: 42, ..Default::default() },
+        );
+        let mut bytes = Vec::new();
+        idx.save(&mut bytes).unwrap();
+        let loaded = LocalIndex::load_bytes(&bytes).unwrap();
+        let mut again = Vec::new();
+        loaded.save(&mut again).unwrap();
+        assert_eq!(again, bytes);
+        for i in 12..bytes.len() {
+            let mut mutated = bytes.clone();
+            mutated[i] ^= 0x01;
+            assert_eq!(
+                LocalIndex::load(&mutated[..]).is_err(),
+                LocalIndex::load_bytes(&mutated).is_err(),
+                "readers disagree on flip at byte {i}"
+            );
+            assert!(LocalIndex::load_bytes(&mutated).is_err(), "flip at byte {i} undetected");
+        }
+        for len in 0..bytes.len() {
+            assert!(
+                LocalIndex::load_bytes(&bytes[..len]).is_err(),
+                "truncation to {len} undetected on the bytes path"
+            );
+        }
     }
 
     #[test]

@@ -25,7 +25,7 @@
 //! The generated graph's density is `|E|/|V| ≈ 3.5`, matching the paper's
 //! datasets (Table 2: 3.54–3.59).
 
-use kgreach_graph::{Graph, GraphBuilder, Result, VertexId};
+use kgreach_graph::{Graph, GraphBuilder, GraphSink, Result, StreamingGraphBuilder, VertexId};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -60,14 +60,48 @@ impl LubmConfig {
         let universities = (target_vertices / per_univ).max(1);
         LubmConfig { universities, departments, seed }
     }
+
+    /// A config sized to *at least* `target_edges` deduplicated edges.
+    /// Each department emits ~500 edges before deduplication; the divisor
+    /// here is deliberately conservative (440) so the target is a floor,
+    /// not an estimate — the scale tier's "≥ 5M edges" contract depends
+    /// on that.
+    pub fn sized_edges(target_edges: usize, seed: u64) -> Self {
+        let departments = 6usize;
+        let per_univ = 440 * departments;
+        let universities = target_edges.div_ceil(per_univ).max(1);
+        LubmConfig { universities, departments, seed }
+    }
 }
 
-/// Generates a LUBM-style KG.
+/// Generates a LUBM-style KG by collecting the whole [`emit`] stream into
+/// a [`GraphBuilder`].
 pub fn generate(config: &LubmConfig) -> Result<Graph> {
-    let mut rng = SmallRng::seed_from_u64(config.seed);
     // ~129 vertices and ~460 edges per department.
     let depts = config.universities * config.departments;
     let mut b = GraphBuilder::with_capacity(depts * 140, depts * 480);
+    emit(config, &mut b);
+    b.build()
+}
+
+/// Generates the same graph as [`generate`] through the bounded-memory
+/// [`StreamingGraphBuilder`], compacting every `chunk_edges` emitted
+/// edges. The two paths are byte-identical at the snapshot level for any
+/// chunk size: [`emit`] drives both with one event stream, so intern
+/// order — and therefore every id — is the same.
+pub fn generate_streaming(config: &LubmConfig, chunk_edges: usize) -> Result<Graph> {
+    let mut b = StreamingGraphBuilder::with_chunk_edges(chunk_edges);
+    emit(config, &mut b);
+    b.finish()
+}
+
+/// Emits the LUBM-style triple stream for `config` into any
+/// [`GraphSink`], one department at a time — the chunked source both
+/// construction paths share. Event order (and the single RNG's
+/// consumption sequence) is part of the generator's determinism contract:
+/// equal configs produce identical streams.
+pub fn emit(config: &LubmConfig, b: &mut impl GraphSink) {
+    let mut rng = SmallRng::seed_from_u64(config.seed);
 
     // Shared literal vertices for research interests.
     let interests: Vec<VertexId> =
@@ -229,8 +263,6 @@ pub fn generate(config: &LubmConfig) -> Result<Graph> {
             }
         }
     }
-
-    b.build()
 }
 
 #[cfg(test)]
@@ -306,6 +338,29 @@ mod tests {
         let g = generate(&cfg).unwrap();
         let n = g.num_vertices() as f64;
         assert!((2_500.0..9_000.0).contains(&n), "sized {n}");
+    }
+
+    #[test]
+    fn sized_edges_is_a_floor() {
+        let cfg = LubmConfig::sized_edges(50_000, 1);
+        let g = generate(&cfg).unwrap();
+        let e = g.num_edges();
+        assert!(e >= 50_000, "sized_edges produced only {e} edges");
+        assert!(e <= 150_000, "sized_edges overshot to {e} edges");
+    }
+
+    #[test]
+    fn streaming_build_is_identical() {
+        let cfg = LubmConfig { universities: 2, departments: 3, seed: 11 };
+        let a = generate(&cfg).unwrap();
+        // Tiny chunk to force many intermediate compactions.
+        let b = generate_streaming(&cfg, 64).unwrap();
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        assert_eq!(a.num_vertices(), b.num_vertices());
+        // Same ids, not just the same names: intern order is shared.
+        for v in a.vertices() {
+            assert_eq!(a.vertex_name(v), b.vertex_name(v));
+        }
     }
 
     #[test]

@@ -106,6 +106,44 @@ impl Csr {
         Csr { offsets, targets, masks }
     }
 
+    /// Builds a CSR from an edge list already sorted by
+    /// `(key_vertex, label, other_vertex)` — the scale-path counterpart of
+    /// [`build`](Self::build). Sorted input makes counting-sort placement
+    /// unnecessary: the offsets come from one counting pass and the target
+    /// array is filled by one sequential append, so nothing is staged
+    /// per edge (`build` stages a 16-byte `(key, target)` tuple per edge
+    /// before placement — a 16 B/edge transient that matters at
+    /// multi-million-edge scale). Per-vertex `(label, vertex)` runs are
+    /// sorted by construction, so the per-vertex sort is skipped too.
+    pub(crate) fn from_key_sorted(
+        num_vertices: usize,
+        num_edges: usize,
+        edges: impl Iterator<Item = (VertexId, LabelId, VertexId)> + Clone,
+    ) -> Self {
+        let mut offsets = vec![0u32; num_vertices + 1];
+        for (k, _, _) in edges.clone() {
+            offsets[k.index() + 1] += 1;
+        }
+        for i in 1..offsets.len() {
+            offsets[i] += offsets[i - 1];
+        }
+        let mut targets = Vec::with_capacity(num_edges);
+        let mut masks = vec![LabelSet::EMPTY; num_vertices];
+        #[cfg(debug_assertions)]
+        let mut prev: Option<(VertexId, LabelId, VertexId)> = None;
+        for (k, l, v) in edges {
+            #[cfg(debug_assertions)]
+            {
+                debug_assert!(prev <= Some((k, l, v)), "edges not sorted by (key, label, other)");
+                prev = Some((k, l, v));
+            }
+            targets.push(LabeledTarget { label: l, vertex: v });
+            masks[k.index()].insert(l);
+        }
+        debug_assert_eq!(targets.len(), num_edges);
+        Csr { offsets, targets, masks }
+    }
+
     /// Reassembles a CSR from its raw arrays (snapshot decoding). The
     /// caller is responsible for having validated the offsets/targets
     /// invariants (monotone offsets, ids in range, per-vertex label
@@ -572,6 +610,22 @@ mod tests {
         let csr = Csr::build(0, std::iter::empty());
         assert_eq!(csr.num_vertices(), 0);
         assert_eq!(csr.num_edges(), 0);
+    }
+
+    #[test]
+    fn from_key_sorted_matches_build() {
+        // Same edge multiset, one pre-sorted and one shuffled: both
+        // constructors must produce identical arrays.
+        let mut edges = Vec::new();
+        for i in 0..200u32 {
+            edges.push((VertexId(i % 10), LabelId((i % 5) as u16), VertexId((i * 7) % 40)));
+        }
+        let built = Csr::build(40, edges.iter().copied());
+        edges.sort_unstable();
+        let sorted = Csr::from_key_sorted(40, edges.len(), edges.iter().copied());
+        assert_eq!(sorted.offsets, built.offsets);
+        assert_eq!(sorted.targets, built.targets);
+        assert_eq!(sorted.label_masks(), built.label_masks());
     }
 
     #[test]

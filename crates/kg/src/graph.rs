@@ -737,8 +737,14 @@ impl Graph {
                 edges.push(Edge::new(v, t.label, t.vertex));
             }
         }
-        let out = Csr::build(n, edges.iter().map(|e| (e.src, e.label, e.dst)));
-        let inn = Csr::build(n, edges.iter().map(|e| (e.dst, e.label, e.src)));
+        // The merged-view walk yields edges in (src, label, dst) order, so
+        // both CSRs go through the staging-free sorted-slice constructor
+        // (one in-place re-key for the in-direction).
+        let out =
+            Csr::from_key_sorted(n, edges.len(), edges.iter().map(|e| (e.src, e.label, e.dst)));
+        edges.sort_unstable_by_key(|e| (e.dst, e.label, e.src));
+        let inn =
+            Csr::from_key_sorted(n, edges.len(), edges.iter().map(|e| (e.dst, e.label, e.src)));
         let epoch = self.epoch;
         *self = Graph::from_parts(
             std::mem::take(&mut self.vertex_dict),
@@ -875,58 +881,224 @@ impl GraphBuilder {
     ///
     /// Returns [`GraphError::TooManyLabels`] if more than
     /// [`MAX_LABELS`] distinct predicates were interned.
-    pub fn build(mut self) -> Result<Graph> {
-        if self.label_dict.len() > MAX_LABELS {
-            return Err(GraphError::TooManyLabels {
-                requested: self.label_dict.len(),
-                max: MAX_LABELS,
-            });
+    pub fn build(self) -> Result<Graph> {
+        freeze_edges(self.vertex_dict, self.label_dict, self.edges)
+    }
+}
+
+/// The construction funnel shared by [`GraphBuilder::build`] and
+/// [`StreamingGraphBuilder::finish`]: sorts and deduplicates the edge
+/// list, builds both CSRs through the sorted-slice fast path, and derives
+/// the schema layer and label histogram. Identical dictionaries + edge
+/// multisets produce identical graphs regardless of which builder
+/// accumulated them.
+fn freeze_edges(vertex_dict: Dict, label_dict: Dict, mut edges: Vec<Edge>) -> Result<Graph> {
+    if label_dict.len() > MAX_LABELS {
+        return Err(GraphError::TooManyLabels { requested: label_dict.len(), max: MAX_LABELS });
+    }
+    // Deduplicate identical edges: CSR construction sorts per-vertex, but
+    // global dedup first keeps |E| honest for the evaluation metrics.
+    edges.sort_unstable();
+    edges.dedup();
+
+    let n = vertex_dict.len();
+    let num_edges = edges.len();
+    // `Edge`'s lexicographic (src, label, dst) order is exactly the
+    // out-CSR's key order, so the sorted list feeds the copy-free
+    // constructor directly.
+    let out = Csr::from_key_sorted(n, num_edges, edges.iter().map(|e| (e.src, e.label, e.dst)));
+
+    // Derive the RDFS schema layer from the frozen edges (while they are
+    // still in src-major order, keeping instance-list order stable).
+    let mut schema = Schema::default();
+    for (id, name) in label_dict.iter() {
+        let l = LabelId(id as u16);
+        if vocab::is_type(name) {
+            schema.type_label = Some(l);
+        } else if vocab::is_subclass_of(name) {
+            schema.subclass_label = Some(l);
+        } else if vocab::is_domain(name) {
+            schema.domain_label = Some(l);
+        } else if vocab::is_range(name) {
+            schema.range_label = Some(l);
         }
-        // Deduplicate identical edges: CSR construction sorts per-vertex, but
-        // global dedup first keeps |E| honest for the evaluation metrics.
+    }
+    if let Some(tl) = schema.type_label {
+        for e in &edges {
+            if e.label == tl {
+                schema.add_instance(e.dst, e.src);
+            }
+        }
+    }
+    if let Some(sc) = schema.subclass_label {
+        for e in &edges {
+            if e.label == sc {
+                schema.add_class(e.src);
+                schema.add_class(e.dst);
+            }
+        }
+    }
+
+    let mut label_histogram = vec![0usize; label_dict.len()];
+    for e in &edges {
+        label_histogram[e.label.index()] += 1;
+    }
+
+    // Re-key the same allocation dst-major for the in-CSR instead of
+    // staging a second per-edge buffer; the edge list is consumed anyway.
+    edges.sort_unstable_by_key(|e| (e.dst, e.label, e.src));
+    let inn = Csr::from_key_sorted(n, num_edges, edges.iter().map(|e| (e.dst, e.label, e.src)));
+    drop(edges);
+
+    Ok(Graph::from_parts(vertex_dict, label_dict, out, inn, schema, label_histogram))
+}
+
+/// The event-stream interface graph generators emit into: explicit intern
+/// events plus id-level edges.
+///
+/// Interning is part of the stream (rather than a side effect of
+/// string-level triples) because id assignment is first-seen order: two
+/// sinks fed the same event sequence assign identical ids, which is what
+/// makes a streaming-built graph *byte-identical* (snapshot-level) to an
+/// in-memory-built one. Both [`GraphBuilder`] and
+/// [`StreamingGraphBuilder`] implement it.
+pub trait GraphSink {
+    /// Interns a vertex name, returning its id.
+    fn intern_vertex(&mut self, name: &str) -> VertexId;
+    /// Interns a label name, returning its id.
+    fn intern_label(&mut self, name: &str) -> LabelId;
+    /// Adds an edge between already-interned ids.
+    fn add_edge(&mut self, src: VertexId, label: LabelId, dst: VertexId);
+    /// Adds a string-level triple as an edge.
+    fn add_triple(&mut self, subject: &str, predicate: &str, object: &str) {
+        let s = self.intern_vertex(subject);
+        let p = self.intern_label(predicate);
+        let o = self.intern_vertex(object);
+        self.add_edge(s, p, o);
+    }
+}
+
+impl GraphSink for GraphBuilder {
+    fn intern_vertex(&mut self, name: &str) -> VertexId {
+        GraphBuilder::intern_vertex(self, name)
+    }
+    fn intern_label(&mut self, name: &str) -> LabelId {
+        GraphBuilder::intern_label(self, name)
+    }
+    fn add_edge(&mut self, src: VertexId, label: LabelId, dst: VertexId) {
+        GraphBuilder::add_edge(self, src, label, dst)
+    }
+}
+
+/// Builds a [`Graph`] from a [`GraphSink`] event stream with bounded peak
+/// memory — the multi-million-edge construction path.
+///
+/// [`GraphBuilder`] buffers every added edge and freezes once; its peak
+/// transient memory is fine at benchmark sizes but unbounded in the
+/// arrival-order duplicates it retains until [`build`](GraphBuilder::build).
+/// This builder compacts (sorts + deduplicates) its edge buffer whenever
+/// the unsorted tail reaches `chunk_edges`, so at any instant it holds at
+/// most `|E_dedup| + chunk_edges` 12-byte [`Edge`] records — no
+/// string-level triple is ever buffered (names are interned on arrival,
+/// straight into the dictionaries the final graph keeps).
+///
+/// Fed the same event stream, this builder and [`GraphBuilder`] produce
+/// identical graphs — same ids, same [`GraphFingerprint`], byte-identical
+/// canonical snapshots — because both freeze the same dictionaries and
+/// deduplicated edge list through one shared internal path.
+#[derive(Clone, Debug)]
+pub struct StreamingGraphBuilder {
+    vertex_dict: Dict,
+    label_dict: Dict,
+    /// `edges[..sorted_len]` is sorted + deduplicated; the tail is the
+    /// not-yet-compacted arrivals, never longer than `chunk_edges`.
+    edges: Vec<Edge>,
+    sorted_len: usize,
+    chunk_edges: usize,
+    peak_buffer_bytes: usize,
+}
+
+/// Default compaction chunk: 1 Mi edges ≈ 12 MiB of unsorted tail.
+const DEFAULT_CHUNK_EDGES: usize = 1 << 20;
+
+impl Default for StreamingGraphBuilder {
+    fn default() -> Self {
+        StreamingGraphBuilder::with_chunk_edges(DEFAULT_CHUNK_EDGES)
+    }
+}
+
+impl StreamingGraphBuilder {
+    /// Creates a streaming builder with the default chunk size.
+    pub fn new() -> Self {
+        StreamingGraphBuilder::default()
+    }
+
+    /// Creates a streaming builder that compacts its edge buffer whenever
+    /// the unsorted tail reaches `chunk_edges` (clamped to ≥ 1).
+    pub fn with_chunk_edges(chunk_edges: usize) -> Self {
+        StreamingGraphBuilder {
+            vertex_dict: Dict::default(),
+            label_dict: Dict::default(),
+            edges: Vec::new(),
+            sorted_len: 0,
+            chunk_edges: chunk_edges.max(1),
+            peak_buffer_bytes: 0,
+        }
+    }
+
+    /// Sorts and deduplicates the whole buffer, emptying the tail.
+    fn compact_buffer(&mut self) {
+        self.peak_buffer_bytes =
+            self.peak_buffer_bytes.max(self.edges.capacity() * std::mem::size_of::<Edge>());
+        // The sorted prefix makes this a near-linear pattern-defeating
+        // sort; dedup then folds the tail's repeats into the prefix.
         self.edges.sort_unstable();
         self.edges.dedup();
+        self.sorted_len = self.edges.len();
+    }
 
-        let n = self.vertex_dict.len();
-        let out = Csr::build(n, self.edges.iter().map(|e| (e.src, e.label, e.dst)));
-        let inn = Csr::build(n, self.edges.iter().map(|e| (e.dst, e.label, e.src)));
+    /// Number of distinct edges accumulated so far (tail not yet deduped).
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
 
-        // Derive the RDFS schema layer from the frozen edges.
-        let mut schema = Schema::default();
-        for (id, name) in self.label_dict.iter() {
-            let l = LabelId(id as u16);
-            if vocab::is_type(name) {
-                schema.type_label = Some(l);
-            } else if vocab::is_subclass_of(name) {
-                schema.subclass_label = Some(l);
-            } else if vocab::is_domain(name) {
-                schema.domain_label = Some(l);
-            } else if vocab::is_range(name) {
-                schema.range_label = Some(l);
-            }
-        }
-        if let Some(tl) = schema.type_label {
-            for e in &self.edges {
-                if e.label == tl {
-                    schema.add_instance(e.dst, e.src);
-                }
-            }
-        }
-        if let Some(sc) = schema.subclass_label {
-            for e in &self.edges {
-                if e.label == sc {
-                    schema.add_class(e.src);
-                    schema.add_class(e.dst);
-                }
-            }
-        }
+    /// Number of vertices interned so far.
+    pub fn num_vertices(&self) -> usize {
+        self.vertex_dict.len()
+    }
 
-        let mut label_histogram = vec![0usize; self.label_dict.len()];
-        for e in &self.edges {
-            label_histogram[e.label.index()] += 1;
-        }
+    /// High-water mark of the edge buffer in bytes — the construction
+    /// transient the streaming path bounds (dictionaries and CSRs are
+    /// part of the final graph, not transients). At most
+    /// `12 × (|E_dedup| + chunk_edges)` plus `Vec` growth slack.
+    pub fn peak_buffer_bytes(&self) -> usize {
+        self.peak_buffer_bytes.max(self.edges.capacity() * std::mem::size_of::<Edge>())
+    }
 
-        Ok(Graph::from_parts(self.vertex_dict, self.label_dict, out, inn, schema, label_histogram))
+    /// Freezes the accumulated stream into an immutable [`Graph`].
+    ///
+    /// Returns [`GraphError::TooManyLabels`] if more than [`MAX_LABELS`]
+    /// distinct predicates were interned.
+    pub fn finish(mut self) -> Result<Graph> {
+        self.compact_buffer();
+        freeze_edges(self.vertex_dict, self.label_dict, self.edges)
+    }
+}
+
+impl GraphSink for StreamingGraphBuilder {
+    fn intern_vertex(&mut self, name: &str) -> VertexId {
+        VertexId(self.vertex_dict.intern(name))
+    }
+    fn intern_label(&mut self, name: &str) -> LabelId {
+        let id = self.label_dict.intern(name);
+        debug_assert!(id <= u16::MAX as u32, "label id overflows u16");
+        LabelId(id as u16)
+    }
+    fn add_edge(&mut self, src: VertexId, label: LabelId, dst: VertexId) {
+        self.edges.push(Edge::new(src, label, dst));
+        if self.edges.len() - self.sorted_len >= self.chunk_edges {
+            self.compact_buffer();
+        }
     }
 }
 

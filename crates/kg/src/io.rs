@@ -5,15 +5,15 @@
 //! never issue one syscall per triple).
 
 use crate::error::Result;
-use crate::graph::{Graph, GraphBuilder};
+use crate::graph::{Graph, GraphBuilder, GraphSink, StreamingGraphBuilder};
 use crate::triples::{parse_line, Triple};
 use std::fs::File;
 use std::io::{BufRead, BufReader, BufWriter, Read, Write};
 use std::path::Path;
 
-/// Reads a graph from any reader producing `<s> <p> <o> .` lines.
-pub fn read_graph<R: Read>(reader: R) -> Result<Graph> {
-    let mut builder = GraphBuilder::new();
+/// Streams `<s> <p> <o> .` lines from a reader into any [`GraphSink`] —
+/// one line buffer is reused, so nothing string-level outlives its line.
+pub fn read_graph_into<R: Read>(reader: R, sink: &mut impl GraphSink) -> Result<()> {
     let mut buf = BufReader::new(reader);
     let mut line = String::new();
     let mut lineno = 0usize;
@@ -21,19 +21,34 @@ pub fn read_graph<R: Read>(reader: R) -> Result<Graph> {
         line.clear();
         let n = buf.read_line(&mut line)?;
         if n == 0 {
-            break;
+            return Ok(());
         }
         lineno += 1;
         if let Some(t) = parse_line(&line, lineno)? {
-            builder.add(&t);
+            sink.add_triple(&t.subject, &t.predicate, &t.object);
         }
     }
+}
+
+/// Reads a graph from any reader producing `<s> <p> <o> .` lines.
+pub fn read_graph<R: Read>(reader: R) -> Result<Graph> {
+    let mut builder = GraphBuilder::new();
+    read_graph_into(reader, &mut builder)?;
     builder.build()
 }
 
 /// Loads a graph from a file path.
 pub fn load_graph(path: impl AsRef<Path>) -> Result<Graph> {
     read_graph(File::open(path)?)
+}
+
+/// Loads a graph from a file path through the bounded-memory
+/// [`StreamingGraphBuilder`] — the multi-million-edge text ingestion
+/// path (identical output to [`load_graph`], lower construction peak).
+pub fn load_graph_streaming(path: impl AsRef<Path>) -> Result<Graph> {
+    let mut builder = StreamingGraphBuilder::new();
+    read_graph_into(File::open(path)?, &mut builder)?;
+    builder.finish()
 }
 
 /// Writes a graph's edges to any writer, one triple per line.

@@ -70,6 +70,170 @@ pub mod thread {
     pub use loom::thread::{spawn, yield_now, Builder, JoinHandle};
 }
 
+/// A counting global allocator for memory-budget tests.
+///
+/// The scale test suite commits to a bytes-per-edge budget for graph and
+/// index construction; this wrapper around the system allocator is how
+/// the budget is measured — install it with `#[global_allocator]` in a
+/// test binary and read [`CountingAlloc::live_bytes`](alloc::CountingAlloc::live_bytes) /
+/// [`CountingAlloc::peak_bytes`](alloc::CountingAlloc::peak_bytes) around the region of interest.
+///
+/// This module deliberately uses `std::sync::atomic` directly rather
+/// than the loom shim above: a `#[global_allocator]` static needs `const`
+/// construction (the shim's dual-mode `new` is not `const`), and
+/// allocator counters are bookkeeping outside any modelled state space.
+pub mod alloc {
+    use std::alloc::{GlobalAlloc, Layout, System};
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    /// A [`GlobalAlloc`] that delegates to [`System`] and tracks live and
+    /// peak heap bytes.
+    ///
+    /// ```
+    /// use kgreach_sync::alloc::CountingAlloc;
+    ///
+    /// // In a test binary:
+    /// // #[global_allocator]
+    /// // static ALLOC: CountingAlloc = CountingAlloc::new();
+    /// static ALLOC: CountingAlloc = CountingAlloc::new();
+    /// assert_eq!(ALLOC.live_bytes(), 0);
+    /// ```
+    #[derive(Debug)]
+    pub struct CountingAlloc {
+        live: AtomicUsize,
+        peak: AtomicUsize,
+    }
+
+    impl CountingAlloc {
+        /// A counter at zero — `const`, so it can back a
+        /// `#[global_allocator]` static.
+        pub const fn new() -> CountingAlloc {
+            CountingAlloc { live: AtomicUsize::new(0), peak: AtomicUsize::new(0) }
+        }
+
+        /// Heap bytes currently allocated through this allocator.
+        pub fn live_bytes(&self) -> usize {
+            // relaxed: a statistical counter; readers need no ordering
+            // with the allocations themselves.
+            self.live.load(Ordering::Relaxed)
+        }
+
+        /// High-water mark of [`live_bytes`](Self::live_bytes) since
+        /// construction or the last [`reset_peak`](Self::reset_peak).
+        pub fn peak_bytes(&self) -> usize {
+            // relaxed: a statistical counter; readers need no ordering
+            // with the allocations themselves.
+            self.peak.load(Ordering::Relaxed)
+        }
+
+        /// Restarts peak tracking from the current live count, so a test
+        /// can measure the peak of one region in isolation.
+        pub fn reset_peak(&self) {
+            // relaxed: a statistical counter; a racing allocation may
+            // re-raise the peak immediately, which is the correct result.
+            self.peak.store(self.live.load(Ordering::Relaxed), Ordering::Relaxed);
+        }
+
+        fn add(&self, n: usize) {
+            // relaxed: counters only — they order nothing; the peak is a
+            // monotone high-water mark, so the update race with another
+            // thread's add/sub only ever under-reports a transient peak.
+            let live = self.live.fetch_add(n, Ordering::Relaxed) + n;
+            self.peak.fetch_max(live, Ordering::Relaxed);
+        }
+
+        fn sub(&self, n: usize) {
+            // relaxed: counters only — they order nothing.
+            self.live.fetch_sub(n, Ordering::Relaxed);
+        }
+    }
+
+    impl Default for CountingAlloc {
+        fn default() -> Self {
+            CountingAlloc::new()
+        }
+    }
+
+    // SAFETY: delegates every operation unchanged to `System`; the
+    // counters never influence the returned pointers.
+    unsafe impl GlobalAlloc for CountingAlloc {
+        unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+            // SAFETY: same contract as the caller's.
+            let p = unsafe { System.alloc(layout) };
+            if !p.is_null() {
+                self.add(layout.size());
+            }
+            p
+        }
+
+        unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+            // SAFETY: same contract as the caller's.
+            let p = unsafe { System.alloc_zeroed(layout) };
+            if !p.is_null() {
+                self.add(layout.size());
+            }
+            p
+        }
+
+        unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+            // SAFETY: same contract as the caller's.
+            unsafe { System.dealloc(ptr, layout) };
+            self.sub(layout.size());
+        }
+
+        unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+            // SAFETY: same contract as the caller's.
+            let p = unsafe { System.realloc(ptr, layout, new_size) };
+            if !p.is_null() {
+                if new_size >= layout.size() {
+                    self.add(new_size - layout.size());
+                } else {
+                    self.sub(layout.size() - new_size);
+                }
+            }
+            p
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn counts_alloc_dealloc_and_peak() {
+            let a = CountingAlloc::new();
+            let layout = Layout::from_size_align(4096, 8).unwrap();
+            // SAFETY: layout is valid; every pointer is freed with the
+            // layout it was allocated with.
+            unsafe {
+                let p = a.alloc(layout);
+                assert!(!p.is_null());
+                assert_eq!(a.live_bytes(), 4096);
+                assert_eq!(a.peak_bytes(), 4096);
+                let q = a.alloc_zeroed(layout);
+                assert!(!q.is_null());
+                assert_eq!(a.live_bytes(), 8192);
+                a.dealloc(q, layout);
+                assert_eq!(a.live_bytes(), 4096);
+                assert_eq!(a.peak_bytes(), 8192, "peak survives the free");
+                a.reset_peak();
+                assert_eq!(a.peak_bytes(), 4096);
+                let p = a.realloc(p, layout, 8192);
+                assert!(!p.is_null());
+                assert_eq!(a.live_bytes(), 8192);
+                let grown = Layout::from_size_align(8192, 8).unwrap();
+                let p = a.realloc(p, grown, 1024);
+                assert!(!p.is_null());
+                assert_eq!(a.live_bytes(), 1024);
+                let shrunk = Layout::from_size_align(1024, 8).unwrap();
+                a.dealloc(p, shrunk);
+                assert_eq!(a.live_bytes(), 0);
+                assert_eq!(a.peak_bytes(), 8192);
+            }
+        }
+    }
+}
+
 /// Atomics with a mode-independent method surface.
 pub mod atomic {
     #[doc(no_inline)]

@@ -241,6 +241,150 @@ fn snapshot_every_bit_flip_is_typed() {
     }
 }
 
+// ---------------------------------------------------------------------------
+// The bulk (borrowed-slice) snapshot load path — `from_snapshot_bytes`,
+// `read_graph_snapshot_bytes`, `LocalIndex::load_bytes`, and the file
+// loaders built on them — must uphold exactly the same corruption
+// contract as the streaming readers above: every truncation, bit flip
+// and splice is a typed error, never a panic, never silent acceptance.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn bulk_load_header_errors_are_typed() {
+    let (g, mut bytes) = snapshot_fixture();
+    let pristine = bytes.clone();
+    bytes[..8].copy_from_slice(b"NOTSNAP!");
+    assert!(matches!(
+        LscrEngine::from_snapshot_bytes(&bytes),
+        Err(QueryError::Graph(GraphError::SnapshotBadMagic))
+    ));
+    assert!(matches!(
+        snapshot::read_graph_snapshot_bytes(b"<a> <p> <b> .\n"),
+        Err(GraphError::SnapshotBadMagic)
+    ));
+    assert!(matches!(
+        snapshot::read_graph_snapshot_bytes(b"KG"),
+        Err(GraphError::SnapshotBadMagic)
+    ));
+
+    let mut future = pristine.clone();
+    future[8..10].copy_from_slice(&(FORMAT_VERSION + 1).to_le_bytes());
+    match LscrEngine::from_snapshot_bytes(&future) {
+        Err(QueryError::Graph(GraphError::SnapshotVersion { found, supported })) => {
+            assert_eq!(found, FORMAT_VERSION + 1);
+            assert_eq!(supported, FORMAT_VERSION);
+        }
+        other => panic!("expected SnapshotVersion, got {other:?}"),
+    }
+
+    // Kind mismatches, all three loaders.
+    let mut graph_bytes = Vec::new();
+    snapshot::write_graph_snapshot(&g, &mut graph_bytes).unwrap();
+    assert!(matches!(
+        LscrEngine::from_snapshot_bytes(&graph_bytes),
+        Err(QueryError::Graph(GraphError::SnapshotKind { .. }))
+    ));
+    assert!(matches!(
+        snapshot::read_graph_snapshot_bytes(&pristine),
+        Err(GraphError::SnapshotKind { expected, found })
+            if expected == ArtifactKind::Graph as u8 && found == ArtifactKind::Engine as u8
+    ));
+    assert!(matches!(LocalIndex::load_bytes(&pristine), Err(GraphError::SnapshotKind { .. })));
+}
+
+#[test]
+fn bulk_load_every_truncation_is_typed() {
+    let (_, bytes) = snapshot_fixture();
+    for len in 0..bytes.len() {
+        match LscrEngine::from_snapshot_bytes(&bytes[..len]) {
+            Err(QueryError::Graph(
+                GraphError::SnapshotBadMagic
+                | GraphError::SnapshotCorrupt { .. }
+                | GraphError::SnapshotVersion { .. },
+            )) => {}
+            other => panic!("truncation to {len} bytes: expected a typed error, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn bulk_load_every_bit_flip_is_typed_and_matches_stream_reader() {
+    let (_, bytes) = snapshot_fixture();
+    for i in 12..bytes.len() {
+        for bit in 0..8 {
+            let mut mutated = bytes.clone();
+            mutated[i] ^= 1 << bit;
+            let bulk = LscrEngine::from_snapshot_bytes(&mutated);
+            assert!(bulk.is_err(), "flip of bit {bit} in byte {i} went undetected (bulk path)");
+            // Differential: both readers must agree the snapshot is bad.
+            assert!(
+                LscrEngine::from_snapshot(&mutated[..]).is_err(),
+                "stream reader accepted what the bulk reader rejected (byte {i} bit {bit})"
+            );
+        }
+    }
+}
+
+/// Byte ranges of each section frame in a snapshot container, walked
+/// from the raw framing (mirrors the codec-level helper in
+/// `crates/kg/src/snapshot.rs`).
+fn frame_ranges(bytes: &[u8]) -> Vec<std::ops::Range<usize>> {
+    let mut pos = 12; // header
+    let mut out = Vec::new();
+    while pos < bytes.len() {
+        let tag = u16::from_le_bytes([bytes[pos], bytes[pos + 1]]);
+        let len = u64::from_le_bytes(bytes[pos + 2..pos + 10].try_into().unwrap()) as usize;
+        let end = pos + 10 + len + 8;
+        out.push(pos..end);
+        pos = end;
+        if tag == 0 {
+            break;
+        }
+    }
+    out
+}
+
+#[test]
+fn bulk_load_rejects_spliced_sections() {
+    // Transplant each intact section frame from a second engine snapshot
+    // (same shape, different seed) into the fixture: the checksum chain
+    // must reject every chimera on the bulk path too.
+    let (_, bytes_a) = snapshot_fixture();
+    let g = random_typed_graph(14, 30, 3, 2, 0xBEEF);
+    let engine = LscrEngine::with_index_config(
+        g,
+        LocalIndexConfig { num_landmarks: Some(3), seed: 0xBEEF, ..Default::default() },
+    );
+    let _ = engine.local_index();
+    let mut bytes_b = Vec::new();
+    engine.save_snapshot(&mut bytes_b).unwrap();
+
+    let frames_a = frame_ranges(&bytes_a);
+    let frames_b = frame_ranges(&bytes_b);
+    assert_eq!(frames_a.len(), frames_b.len(), "fixture snapshots frame identically");
+    for (idx, (fa, fb)) in frames_a.iter().zip(&frames_b).enumerate() {
+        let mut chimera = Vec::with_capacity(bytes_a.len());
+        chimera.extend_from_slice(&bytes_a[..fa.start]);
+        chimera.extend_from_slice(&bytes_b[fb.clone()]);
+        chimera.extend_from_slice(&bytes_a[fa.end..]);
+        assert!(
+            LscrEngine::from_snapshot_bytes(&chimera).is_err(),
+            "section {idx} spliced from another snapshot was accepted (bulk path)"
+        );
+    }
+}
+
+#[test]
+fn bulk_file_loaders_report_missing_files_as_io() {
+    let missing = std::env::temp_dir().join("kgfail-no-such-snapshot.kgsnap");
+    assert!(matches!(snapshot::load_graph_snapshot(&missing), Err(GraphError::Io(_))));
+    assert!(matches!(LocalIndex::load_file(&missing), Err(GraphError::Io(_))));
+    assert!(matches!(
+        LscrEngine::from_snapshot_file(&missing),
+        Err(QueryError::Graph(GraphError::Io(_)))
+    ));
+}
+
 #[test]
 fn index_snapshot_from_different_graph_is_rejected() {
     // Persist an index for graph A, restart against graph B: the embedded
